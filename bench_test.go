@@ -1,0 +1,281 @@
+package tnnbcast_test
+
+// One testing.B benchmark per table and figure of the paper's evaluation,
+// plus micro-benchmarks of the substrates. Each figure benchmark executes
+// its experiment runner (internal/experiments) and reports the paper's two
+// metrics for a representative configuration as custom benchmark metrics
+// (pages/query). Full series output — the rows the paper plots — comes
+// from `go run ./cmd/tnnbench -exp <id>`.
+//
+// BENCH_QUERIES (env) overrides the per-configuration query count used by
+// the figure benchmarks (default 50; the paper uses 1,000).
+
+import (
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+
+	"tnnbcast"
+	"tnnbcast/internal/broadcast"
+	"tnnbcast/internal/core"
+	"tnnbcast/internal/dataset"
+	"tnnbcast/internal/experiments"
+	"tnnbcast/internal/geom"
+	"tnnbcast/internal/rtree"
+)
+
+func benchQueries() int {
+	if s := os.Getenv("BENCH_QUERIES"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 50
+}
+
+// benchFigure runs one experiment per iteration and reports the mean
+// access time and tune-in time of the table's last row (the densest
+// configuration) for its first and last columns.
+func benchFigure(b *testing.B, id string) {
+	cfg := experiments.Config{Queries: benchQueries(), Seed: 17}
+	var tab *experiments.Table
+	for i := 0; i < b.N; i++ {
+		tab = experiments.Registry[id](cfg)
+	}
+	if tab != nil && len(tab.Rows) > 0 {
+		last := tab.Rows[len(tab.Rows)-1]
+		b.ReportMetric(last.Values[0], metricUnit(tab.Columns[0]))
+		b.ReportMetric(last.Values[len(last.Values)-1],
+			metricUnit(tab.Columns[len(tab.Columns)-1]))
+	}
+}
+
+// metricUnit turns an algorithm column label into a benchmark metric unit
+// (no whitespace allowed).
+func metricUnit(column string) string {
+	return strings.ReplaceAll(column, " ", "_") + "_pages"
+}
+
+// Figure 9: access time.
+func BenchmarkFig9a(b *testing.B) { benchFigure(b, "fig9a") }
+func BenchmarkFig9b(b *testing.B) { benchFigure(b, "fig9b") }
+func BenchmarkFig9c(b *testing.B) { benchFigure(b, "fig9c") }
+func BenchmarkFig9d(b *testing.B) { benchFigure(b, "fig9d") }
+
+// Figure 11: tune-in time.
+func BenchmarkFig11a(b *testing.B) { benchFigure(b, "fig11a") }
+func BenchmarkFig11b(b *testing.B) { benchFigure(b, "fig11b") }
+func BenchmarkFig11c(b *testing.B) { benchFigure(b, "fig11c") }
+func BenchmarkFig11d(b *testing.B) { benchFigure(b, "fig11d") }
+
+// Figure 12: the ANN optimization.
+func BenchmarkFig12a(b *testing.B) { benchFigure(b, "fig12a") }
+func BenchmarkFig12b(b *testing.B) { benchFigure(b, "fig12b") }
+func BenchmarkFig12c(b *testing.B) { benchFigure(b, "fig12c") }
+func BenchmarkFig12d(b *testing.B) { benchFigure(b, "fig12d") }
+
+// Figure 13: Hybrid-NN with ANN.
+func BenchmarkFig13a(b *testing.B) { benchFigure(b, "fig13a") }
+func BenchmarkFig13b(b *testing.B) { benchFigure(b, "fig13b") }
+
+// Table 3: Approximate-TNN fail rates. The reported metric is the
+// real-real fail rate (the paper's headline 43.2%).
+func BenchmarkTable3(b *testing.B) {
+	cfg := experiments.Config{Queries: benchQueries(), Seed: 17}
+	var tab *experiments.Table
+	for i := 0; i < b.N; i++ {
+		tab = experiments.Table3(cfg)
+	}
+	if tab != nil {
+		b.ReportMetric(tab.Rows[len(tab.Rows)-1].Values[0], "realreal_failrate")
+	}
+}
+
+// --- per-query benchmarks on a fixed broadcast -------------------------
+
+func benchSystem(b *testing.B) *tnnbcast.System {
+	b.Helper()
+	region := tnnbcast.PaperRegion
+	s := tnnbcast.UniformDataset(1, 15210, region)
+	r := tnnbcast.UniformDataset(2, 15210, region)
+	sys, err := tnnbcast.New(s, r, tnnbcast.WithRegion(region), tnnbcast.WithPhases(7919, 104729))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sys
+}
+
+func benchQuery(b *testing.B, algo tnnbcast.Algorithm, opts ...tnnbcast.QueryOption) {
+	sys := benchSystem(b)
+	qs := tnnbcast.UniformDataset(3, 256, tnnbcast.PaperRegion)
+	b.ResetTimer()
+	var access, tunein int64
+	for i := 0; i < b.N; i++ {
+		res := sys.Query(qs[i%len(qs)], algo, opts...)
+		access += res.AccessTime
+		tunein += res.TuneIn
+	}
+	b.ReportMetric(float64(access)/float64(b.N), "access_pages")
+	b.ReportMetric(float64(tunein)/float64(b.N), "tunein_pages")
+}
+
+func BenchmarkQueryWindowBased(b *testing.B) { benchQuery(b, tnnbcast.Window) }
+func BenchmarkQueryDoubleNN(b *testing.B)    { benchQuery(b, tnnbcast.Double) }
+func BenchmarkQueryHybridNN(b *testing.B)    { benchQuery(b, tnnbcast.Hybrid) }
+func BenchmarkQueryApproximate(b *testing.B) { benchQuery(b, tnnbcast.Approximate) }
+func BenchmarkQueryDoubleANN(b *testing.B) {
+	benchQuery(b, tnnbcast.Double, tnnbcast.WithANN(tnnbcast.FactorWindowDouble))
+}
+
+// --- substrate micro-benchmarks ----------------------------------------
+
+func BenchmarkRTreeBuildSTR(b *testing.B) {
+	pts := dataset.Uniform(5, 15210, dataset.PaperRegion)
+	cfg := rtree.Config{LeafCap: 6, NodeCap: 3, Packing: rtree.STR}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rtree.Build(pts, cfg)
+	}
+}
+
+func BenchmarkRTreeBuildHilbert(b *testing.B) {
+	pts := dataset.Uniform(5, 15210, dataset.PaperRegion)
+	cfg := rtree.Config{LeafCap: 6, NodeCap: 3, Packing: rtree.HilbertSort}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rtree.Build(pts, cfg)
+	}
+}
+
+func BenchmarkRTreeNN(b *testing.B) {
+	pts := dataset.Uniform(5, 15210, dataset.PaperRegion)
+	tree := rtree.Build(pts, rtree.Config{LeafCap: 6, NodeCap: 3})
+	qs := dataset.Uniform(6, 256, dataset.PaperRegion)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.NN(qs[i%len(qs)])
+	}
+}
+
+func BenchmarkBroadcastProgramBuild(b *testing.B) {
+	pts := dataset.Uniform(5, 15210, dataset.PaperRegion)
+	p := broadcast.DefaultParams()
+	tree := rtree.Build(pts, rtree.Config{LeafCap: p.LeafCap(), NodeCap: p.NodeCap()})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		broadcast.BuildProgram(tree, p)
+	}
+}
+
+func BenchmarkNextNodeArrival(b *testing.B) {
+	pts := dataset.Uniform(5, 15210, dataset.PaperRegion)
+	p := broadcast.DefaultParams()
+	tree := rtree.Build(pts, rtree.Config{LeafCap: p.LeafCap(), NodeCap: p.NodeCap()})
+	ch := broadcast.NewChannel(broadcast.BuildProgram(tree, p), 12345)
+	n := len(tree.Nodes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ch.NextNodeArrival(i%n, int64(i)*37)
+	}
+}
+
+func BenchmarkMinTransDist(b *testing.B) {
+	m := geom.RectOf(geom.Pt(10, 10), geom.Pt(20, 25))
+	p, r := geom.Pt(0, 0), geom.Pt(40, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		geom.MinTransDist(p, m, r)
+	}
+}
+
+func BenchmarkEllipseRectOverlap(b *testing.B) {
+	e := geom.Ellipse{F1: geom.Pt(0, 0), F2: geom.Pt(30, 10), Major: 50}
+	m := geom.RectOf(geom.Pt(5, -5), geom.Pt(25, 15))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		geom.EllipseRectOverlap(e, m)
+	}
+}
+
+func BenchmarkCircleRectOverlap(b *testing.B) {
+	c := geom.Circle{Center: geom.Pt(10, 10), R: 15}
+	m := geom.RectOf(geom.Pt(5, -5), geom.Pt(25, 15))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		geom.CircleRectOverlap(c, m)
+	}
+}
+
+func BenchmarkOracleTNN(b *testing.B) {
+	p := broadcast.DefaultParams()
+	cfg := rtree.Config{LeafCap: p.LeafCap(), NodeCap: p.NodeCap()}
+	treeS := rtree.Build(dataset.Uniform(5, 15210, dataset.PaperRegion), cfg)
+	treeR := rtree.Build(dataset.Uniform(6, 15210, dataset.PaperRegion), cfg)
+	qs := dataset.Uniform(7, 256, dataset.PaperRegion)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.OracleTNN(qs[i%len(qs)], treeS, treeR)
+	}
+}
+
+// --- extension benchmarks ----------------------------------------------
+
+func BenchmarkQueryTopK10(b *testing.B) {
+	sys := benchSystem(b)
+	qs := tnnbcast.UniformDataset(3, 256, tnnbcast.PaperRegion)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.QueryTopK(qs[i%len(qs)], 10)
+	}
+}
+
+func BenchmarkQueryRoundTrip(b *testing.B) {
+	sys := benchSystem(b)
+	qs := tnnbcast.UniformDataset(3, 256, tnnbcast.PaperRegion)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.QueryRoundTrip(qs[i%len(qs)])
+	}
+}
+
+func BenchmarkQueryChain3(b *testing.B) {
+	region := tnnbcast.PaperRegion
+	cs, err := tnnbcast.NewChain([][]tnnbcast.Point{
+		tnnbcast.UniformDataset(1, 6055, region),
+		tnnbcast.UniformDataset(2, 6055, region),
+		tnnbcast.UniformDataset(3, 6055, region),
+	}, tnnbcast.WithRegion(region))
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs := tnnbcast.UniformDataset(4, 256, region)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cs.Query(qs[i%len(qs)])
+	}
+}
+
+func BenchmarkSingleChannelVsMulti(b *testing.B) {
+	cfg := experiments.Config{Queries: benchQueries(), Seed: 17}
+	var tab *experiments.Table
+	for i := 0; i < b.N; i++ {
+		tab = experiments.SingleVsMultiChannel(cfg)
+	}
+	if tab != nil {
+		b.ReportMetric(tab.Rows[4].Values[1], "access_ratio_double")
+	}
+}
+
+func BenchmarkWireEncodeCycleIndex(b *testing.B) {
+	p := broadcast.DefaultParams()
+	tree := rtree.Build(dataset.Uniform(5, 2411, dataset.PaperRegion),
+		rtree.Config{LeafCap: p.LeafCap(), NodeCap: p.NodeCap()})
+	ch := broadcast.NewChannel(broadcast.BuildProgram(tree, p), 9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := broadcast.EncodeCycleIndex(ch, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

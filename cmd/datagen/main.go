@@ -1,0 +1,109 @@
+// Command datagen generates and inspects the evaluation datasets: the
+// uniform density/size series, the clustered generator, and the CITY/POST
+// real-data substitutes.
+//
+// Usage:
+//
+//	datagen -kind uniform -n 15210            # CSV points to stdout
+//	datagen -kind city -stats                 # skew statistics only
+//	datagen -kind post -out post.csv
+//	datagen -kind clustered -n 5000 -clusters 8
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"tnnbcast/internal/dataset"
+	"tnnbcast/internal/geom"
+)
+
+func main() {
+	var (
+		kind     = flag.String("kind", "uniform", "uniform | clustered | city | post")
+		n        = flag.Int("n", 10000, "point count (uniform/clustered)")
+		clusters = flag.Int("clusters", 8, "cluster count (clustered)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		out      = flag.String("out", "", "output file (default stdout)")
+		stats    = flag.Bool("stats", false, "print statistics instead of points")
+	)
+	flag.Parse()
+
+	var pts []geom.Point
+	region := dataset.PaperRegion
+	switch *kind {
+	case "uniform":
+		pts = dataset.Uniform(*seed, *n, region)
+	case "clustered":
+		pts = dataset.Clustered(*seed, *n, *clusters, 0.02, region)
+	case "city":
+		pts = dataset.City(*seed)
+	case "post":
+		pts = dataset.Post(*seed)
+		region = dataset.PostRegion
+	default:
+		fmt.Fprintf(os.Stderr, "datagen: unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+
+	if *stats {
+		printStats(pts, region)
+		return
+	}
+
+	w := bufio.NewWriter(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "datagen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = bufio.NewWriter(f)
+	}
+	defer w.Flush()
+	fmt.Fprintln(w, "x,y")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%.2f,%.2f\n", p.X, p.Y)
+	}
+}
+
+// printStats reports cardinality, extent, and a grid-based skew index (the
+// coefficient of variation of per-cell counts; 0 for perfectly uniform).
+func printStats(pts []geom.Point, region geom.Rect) {
+	const g = 16
+	counts := make([]float64, g*g)
+	mbr := geom.EmptyRect()
+	for _, p := range pts {
+		mbr = mbr.Extend(p)
+		x := int((p.X - region.Lo.X) / region.Width() * g)
+		y := int((p.Y - region.Lo.Y) / region.Height() * g)
+		if x >= g {
+			x = g - 1
+		}
+		if y >= g {
+			y = g - 1
+		}
+		counts[y*g+x]++
+	}
+	mean := float64(len(pts)) / (g * g)
+	var ss float64
+	empty := 0
+	for _, c := range counts {
+		d := c - mean
+		ss += d * d
+		if c == 0 {
+			empty++
+		}
+	}
+	cv := math.Sqrt(ss/(g*g)) / mean
+	fmt.Printf("points:      %d\n", len(pts))
+	fmt.Printf("region:      %.0f × %.0f\n", region.Width(), region.Height())
+	fmt.Printf("extent:      (%.0f,%.0f)–(%.0f,%.0f)\n", mbr.Lo.X, mbr.Lo.Y, mbr.Hi.X, mbr.Hi.Y)
+	fmt.Printf("density:     %.3g points/unit²\n", float64(len(pts))/region.Area())
+	fmt.Printf("skew (CV):   %.2f over a %d×%d grid\n", cv, g, g)
+	fmt.Printf("empty cells: %d of %d (%.0f%%)\n", empty, g*g, 100*float64(empty)/(g*g))
+}

@@ -1,0 +1,78 @@
+// Command tnnbench regenerates the paper's evaluation: every figure and
+// table of Section 6 has an experiment ID (fig9a … fig13b, tab3, grid).
+//
+// Usage:
+//
+//	tnnbench -exp fig9a                # one experiment, paper defaults
+//	tnnbench -exp all -queries 200     # everything, reduced query count
+//	tnnbench -exp tab3 -csv            # CSV output
+//	tnnbench -list                     # list experiment IDs
+//
+// The paper averages 1,000 random query points per configuration; -queries
+// trades accuracy for speed. All randomness is seeded, so runs are
+// reproducible.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"tnnbcast/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment ID (fig9a…fig13b, tab3, grid) or \"all\"")
+		queries = flag.Int("queries", 1000, "random query points per configuration")
+		seed    = flag.Int64("seed", 0, "random seed (0 = default)")
+		pageCap = flag.Int("page", 64, "page capacity in bytes (64, 128, 256, 512)")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		list    = flag.Bool("list", false, "list experiment IDs and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		ids := make([]string, 0, len(experiments.Registry))
+		for id := range experiments.Registry {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		fmt.Println(strings.Join(ids, "\n"))
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "tnnbench: -exp is required (use -list to see IDs)")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg := experiments.Config{Queries: *queries, Seed: *seed, PageCap: *pageCap}
+
+	var ids []string
+	if *exp == "all" {
+		ids = experiments.Order
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			id = strings.TrimSpace(id)
+			if _, ok := experiments.Registry[id]; !ok {
+				fmt.Fprintf(os.Stderr, "tnnbench: unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			ids = append(ids, id)
+		}
+	}
+
+	for _, id := range ids {
+		start := time.Now()
+		table := experiments.Registry[id](cfg)
+		if *csv {
+			fmt.Printf("# %s — %s\n%s\n", table.ID, table.Title, table.CSV())
+		} else {
+			fmt.Printf("%s(elapsed %s)\n\n", table.Format(), time.Since(start).Round(time.Millisecond))
+		}
+	}
+}

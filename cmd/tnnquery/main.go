@@ -1,0 +1,122 @@
+// Command tnnquery executes a single TNN query over a freshly built
+// two-channel broadcast and reports the answer, the metrics, and — with
+// -trace — the page-by-page download schedule on both channels. The trace
+// makes the linear-medium behaviour of Figure 10 concrete: one can watch
+// the client doze between scheduled arrivals and see which index pages each
+// algorithm pays for.
+//
+// Usage:
+//
+//	tnnquery -algo double -s 10000 -r 10000 -x 19500 -y 19500
+//	tnnquery -algo hybrid -s 2000 -r 30000 -trace
+//	tnnquery -algo all -s 5000 -r 5000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tnnbcast/internal/broadcast"
+	"tnnbcast/internal/core"
+	"tnnbcast/internal/dataset"
+	"tnnbcast/internal/geom"
+	"tnnbcast/internal/rtree"
+)
+
+var algos = map[string]func(core.Env, geom.Point, core.Options) core.Result{
+	"window": core.WindowBased,
+	"double": core.DoubleNN,
+	"hybrid": core.HybridNN,
+	"approx": core.ApproximateTNN,
+}
+
+func main() {
+	var (
+		algo    = flag.String("algo", "double", "window | double | hybrid | approx | all")
+		sizeS   = flag.Int("s", 10000, "size of dataset S")
+		sizeR   = flag.Int("r", 10000, "size of dataset R")
+		x       = flag.Float64("x", 19500, "query point x")
+		y       = flag.Float64("y", 19500, "query point y")
+		seed    = flag.Int64("seed", 1, "random seed (datasets and channel phases)")
+		pageCap = flag.Int("page", 64, "page capacity in bytes")
+		ann     = flag.Float64("ann", 0, "ANN adjustment factor (0 = exact search)")
+		trace   = flag.Bool("trace", false, "print the page-by-page download schedule")
+	)
+	flag.Parse()
+
+	params := broadcast.DefaultParams()
+	params.PageCap = *pageCap
+	if err := params.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "tnnquery:", err)
+		os.Exit(2)
+	}
+
+	region := dataset.PaperRegion
+	ptsS := dataset.Uniform(*seed+1, *sizeS, region)
+	ptsR := dataset.Uniform(*seed+2, *sizeR, region)
+	rcfg := rtree.Config{LeafCap: params.LeafCap(), NodeCap: params.NodeCap()}
+	treeS := rtree.Build(ptsS, rcfg)
+	treeR := rtree.Build(ptsR, rcfg)
+	progS := broadcast.BuildProgram(treeS, params)
+	progR := broadcast.BuildProgram(treeR, params)
+
+	fmt.Printf("channel S: %d points, %d index pages, %d data pages, (1,%d) interleave, cycle %d slots\n",
+		treeS.Count, progS.NumIndexPages(), progS.NumDataPages(), progS.M(), progS.CycleLen())
+	fmt.Printf("channel R: %d points, %d index pages, %d data pages, (1,%d) interleave, cycle %d slots\n",
+		treeR.Count, progR.NumIndexPages(), progR.NumDataPages(), progR.M(), progR.CycleLen())
+
+	env := core.Env{
+		ChS:    broadcast.NewChannel(progS, *seed*7919%progS.CycleLen()),
+		ChR:    broadcast.NewChannel(progR, *seed*104729%progR.CycleLen()),
+		Region: region,
+	}
+	p := geom.Pt(*x, *y)
+
+	oracle, oracleOK := core.OracleTNN(p, treeS, treeR)
+	if oracleOK {
+		fmt.Printf("exact TNN (oracle): s=%v r=%v dist=%.2f\n\n",
+			oracle.S.Point, oracle.R.Point, oracle.Dist)
+	}
+
+	names := []string{*algo}
+	if *algo == "all" {
+		names = []string{"window", "double", "hybrid", "approx"}
+	}
+	for _, name := range names {
+		run, ok := algos[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "tnnquery: unknown algorithm %q\n", name)
+			os.Exit(2)
+		}
+		opt := core.Options{ANN: core.UniformANN(*ann)}
+		if *trace {
+			opt.Trace = func(ch string, slot int64, pg broadcast.Page) {
+				switch pg.Kind {
+				case broadcast.IndexPage:
+					fmt.Printf("  [%s] slot %8d  index node %d\n", ch, slot, pg.NodeID)
+				case broadcast.DataPage:
+					fmt.Printf("  [%s] slot %8d  data object %d (fragment %d)\n",
+						ch, slot, pg.ObjectID, pg.Seq)
+				}
+			}
+			fmt.Printf("%s download schedule:\n", name)
+		}
+		res := run(env, p, opt)
+		if !res.Found {
+			fmt.Printf("%-8s NO ANSWER (search range missed the pair)\n", name)
+			continue
+		}
+		status := "exact"
+		if oracleOK && res.Pair.Dist > oracle.Dist*(1+1e-9) {
+			status = fmt.Sprintf("SUBOPTIMAL (+%.1f%%)", 100*(res.Pair.Dist/oracle.Dist-1))
+		}
+		fmt.Printf("%-8s s=%v r=%v dist=%.2f [%s]\n", name, res.Pair.S.Point, res.Pair.R.Point, res.Pair.Dist, status)
+		fmt.Printf("         access %d pages, tune-in %d pages (estimate %d + filter %d), radius %.2f",
+			res.Metrics.AccessTime, res.Metrics.TuneIn, res.EstimateTuneIn, res.FilterTuneIn, res.Radius)
+		if res.Case != core.CaseNone {
+			fmt.Printf(", hybrid case %d", res.Case+1)
+		}
+		fmt.Println()
+	}
+}

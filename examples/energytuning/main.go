@@ -1,0 +1,103 @@
+// Energy tuning: sweep the approximate-NN adjustment factor and watch the
+// estimate/filter trade-off the paper's Section 5 describes. A small
+// factor approximates little and saves little; a large factor collapses
+// the estimate phase but inflates the search radius, so the filter phase
+// pays more than was saved. The calibrated FactorWindowDouble sits near
+// the optimum; the density-aware rule (exact search on the sparser
+// dataset) protects the gain when the datasets' densities differ.
+//
+//	go run ./examples/energytuning
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"tnnbcast"
+)
+
+func main() {
+	region := tnnbcast.PaperRegion
+	s := tnnbcast.UniformDataset(7, 15210, region) // UNIF(-5.0)
+	r := tnnbcast.UniformDataset(8, 15210, region)
+
+	const queries = 150
+	rng := rand.New(rand.NewSource(99))
+
+	type point struct {
+		q          tnnbcast.Point
+		offS, offR int64
+	}
+	workload := make([]point, queries)
+	for i := range workload {
+		workload[i] = point{
+			q: tnnbcast.Pt(
+				region.Lo.X+rng.Float64()*region.Width(),
+				region.Lo.Y+rng.Float64()*region.Height(),
+			),
+			offS: rng.Int63n(1_000_000),
+			offR: rng.Int63n(1_000_000),
+		}
+	}
+
+	run := func(opts ...tnnbcast.QueryOption) (est, filt, total float64) {
+		for _, w := range workload {
+			sys, err := tnnbcast.New(s, r,
+				tnnbcast.WithRegion(region), tnnbcast.WithPhases(w.offS, w.offR))
+			if err != nil {
+				log.Fatal(err)
+			}
+			res := sys.Query(w.q, tnnbcast.Double, opts...)
+			est += float64(res.EstimateTuneIn)
+			filt += float64(res.FilterTuneIn)
+			total += float64(res.TuneIn)
+		}
+		return est / queries, filt / queries, total / queries
+	}
+
+	estBase, filtBase, base := run()
+	fmt.Printf("exact search baseline: tune-in %.1f pages (estimate %.1f + filter %.1f)\n\n",
+		base, estBase, filtBase)
+
+	fmt.Printf("%8s %10s %9s %9s %9s\n", "factor", "estimate", "filter", "total", "saving")
+	for _, f := range []float64{0.02, 0.05, 0.10, tnnbcast.FactorWindowDouble, 0.25, 0.50, 1.00} {
+		est, filt, total := run(tnnbcast.WithANN(f))
+		mark := ""
+		if f == tnnbcast.FactorWindowDouble {
+			mark = "  ← calibrated default"
+		}
+		fmt.Printf("%8.2f %10.1f %9.1f %9.1f %8.1f%%%s\n",
+			f, est, filt, total, 100*(1-total/base), mark)
+	}
+
+	// Density-aware assignment on unequal datasets.
+	sparse := tnnbcast.UniformDataset(9, 382, region) // UNIF(-6.6)
+	fmt.Println("\nunequal densities (S dense, R sparse): approximate only the dense side")
+	for _, cfg := range []struct {
+		name string
+		opt  func(*tnnbcast.System) tnnbcast.QueryOption
+	}{
+		{"exact both", func(*tnnbcast.System) tnnbcast.QueryOption {
+			return tnnbcast.WithANNFactors(0, 0)
+		}},
+		{"ANN both", func(*tnnbcast.System) tnnbcast.QueryOption {
+			return tnnbcast.WithANN(tnnbcast.FactorWindowDouble)
+		}},
+		{"density-aware", func(sys *tnnbcast.System) tnnbcast.QueryOption {
+			return sys.DensityAwareANN(tnnbcast.FactorWindowDouble)
+		}},
+	} {
+		var total float64
+		for _, w := range workload {
+			sys, err := tnnbcast.New(s, sparse,
+				tnnbcast.WithRegion(region), tnnbcast.WithPhases(w.offS, w.offR))
+			if err != nil {
+				log.Fatal(err)
+			}
+			res := sys.Query(w.q, tnnbcast.Double, cfg.opt(sys))
+			total += float64(res.TuneIn)
+		}
+		fmt.Printf("  %-14s mean tune-in %.1f pages\n", cfg.name, total/queries)
+	}
+}

@@ -1,0 +1,52 @@
+// Quickstart: build a two-channel broadcast over two small datasets and
+// answer one transitive nearest-neighbor query with Double-NN-Search.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tnnbcast"
+)
+
+func main() {
+	// A 10 km × 10 km city. Channel S broadcasts 800 shops, channel R
+	// broadcasts 500 cafés.
+	region := tnnbcast.RectOf(tnnbcast.Pt(0, 0), tnnbcast.Pt(10000, 10000))
+	shops := tnnbcast.UniformDataset(1, 800, region)
+	cafes := tnnbcast.UniformDataset(2, 500, region)
+
+	sys, err := tnnbcast.New(shops, cafes, tnnbcast.WithRegion(region))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	statsS, statsR := sys.ChannelStats()
+	fmt.Printf("channel S: %d objects in %d index + %d data pages, (1,%d) interleave\n",
+		statsS.Points, statsS.IndexPages, statsS.DataPages, statsS.Interleave)
+	fmt.Printf("channel R: %d objects in %d index + %d data pages, (1,%d) interleave\n\n",
+		statsR.Points, statsR.IndexPages, statsR.DataPages, statsR.Interleave)
+
+	// "Starting here, visit a shop and then a café, minimizing the total
+	// walk."
+	me := tnnbcast.Pt(4200, 6100)
+	res := sys.Query(me, tnnbcast.Double)
+	if !res.Found {
+		log.Fatal("no answer")
+	}
+
+	fmt.Printf("query point     : %.0f, %.0f\n", me.X, me.Y)
+	fmt.Printf("best shop       : #%d at (%.0f, %.0f)\n", res.SID, res.S.X, res.S.Y)
+	fmt.Printf("best café       : #%d at (%.0f, %.0f)\n", res.RID, res.R.X, res.R.Y)
+	fmt.Printf("total trip      : %.0f m\n\n", res.Dist)
+
+	fmt.Printf("access time     : %d pages elapsed until the answer was complete\n", res.AccessTime)
+	fmt.Printf("tune-in time    : %d pages downloaded (%d estimating the search range, %d filtering)\n",
+		res.TuneIn, res.EstimateTuneIn, res.FilterTuneIn)
+
+	// The broadcast answer is exact — verify against full random access.
+	exact, _ := sys.Exact(me)
+	fmt.Printf("matches oracle  : %v\n", res.Dist == exact.Dist)
+}

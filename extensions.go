@@ -1,0 +1,173 @@
+package tnnbcast
+
+// Generalized TNN queries — the variants the paper lists as future work
+// (Section 7): chains over more than two datasets, order-free two-dataset
+// queries, and complete round trips.
+
+import (
+	"tnnbcast/internal/broadcast"
+	"tnnbcast/internal/core"
+	"tnnbcast/internal/geom"
+	"tnnbcast/internal/rtree"
+)
+
+// ChainSystem broadcasts k datasets on k channels and answers chain TNN
+// queries: visit one object from each dataset in order, minimizing the
+// total route length.
+type ChainSystem struct {
+	env   core.MultiEnv
+	trees []*rtree.Tree
+}
+
+// NewChain builds a broadcast system over the datasets in visiting order.
+// The same options as New apply (page capacity, interleaving, region);
+// phase offsets are assigned per channel from WithPhases' two values by
+// alternating them.
+func NewChain(datasets [][]Point, opts ...Option) (*ChainSystem, error) {
+	cfg := config{params: broadcast.DefaultParams()}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if err := cfg.params.Validate(); err != nil {
+		return nil, err
+	}
+	region := cfg.region
+	if !cfg.hasReg {
+		mbr := geom.EmptyRect()
+		for _, set := range datasets {
+			for _, p := range set {
+				mbr = mbr.Extend(p)
+			}
+		}
+		region = mbr
+	}
+	rcfg := rtree.Config{
+		LeafCap: cfg.params.LeafCap(),
+		NodeCap: cfg.params.NodeCap(),
+		Packing: rtree.STR,
+	}
+	cs := &ChainSystem{env: core.MultiEnv{Region: region}}
+	for i, set := range datasets {
+		tree := rtree.Build(set, rcfg)
+		prog := broadcast.BuildProgram(tree, cfg.params)
+		off := cfg.offS
+		if i%2 == 1 {
+			off = cfg.offR
+		}
+		cs.trees = append(cs.trees, tree)
+		cs.env.Chs = append(cs.env.Chs, broadcast.NewChannel(prog, off))
+	}
+	return cs, nil
+}
+
+// ChainResult is the outcome of a chain query.
+type ChainResult struct {
+	// Stops are the chosen objects in visiting order; StopIDs index into
+	// the original dataset slices.
+	Stops   []Point
+	StopIDs []int
+	// Dist is the total route length from the query point through every
+	// stop.
+	Dist       float64
+	Found      bool
+	AccessTime int64
+	TuneIn     int64
+}
+
+// Query answers the chain TNN query at p using all channels in parallel
+// (the generalized Double-NN strategy).
+func (cs *ChainSystem) Query(p Point, opts ...QueryOption) ChainResult {
+	var o core.Options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	res := core.ChainTNN(cs.env, p, o)
+	out := ChainResult{
+		Dist:       res.Dist,
+		Found:      res.Found,
+		AccessTime: res.Metrics.AccessTime,
+		TuneIn:     res.Metrics.TuneIn,
+	}
+	for _, s := range res.Stops {
+		out.Stops = append(out.Stops, s.Point)
+		out.StopIDs = append(out.StopIDs, s.ID)
+	}
+	return out
+}
+
+// Exact returns the ground-truth chain answer with full random access.
+func (cs *ChainSystem) Exact(p Point) (ChainResult, bool) {
+	stops, dist, ok := core.OracleChainTNN(p, cs.trees)
+	if !ok {
+		return ChainResult{}, false
+	}
+	out := ChainResult{Dist: dist, Found: true}
+	for _, s := range stops {
+		out.Stops = append(out.Stops, s.Point)
+		out.StopIDs = append(out.StopIDs, s.ID)
+	}
+	return out, true
+}
+
+// QueryUnordered answers the order-free TNN query: visit one object from
+// each dataset in whichever order is shorter. sFirst reports whether the
+// S-dataset object comes first on the best route.
+func (sys *System) QueryUnordered(p Point, opts ...QueryOption) (res Result, sFirst bool) {
+	var o core.Options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	r, first := core.UnorderedTNN(sys.env, p, o)
+	return fromCore(r), first
+}
+
+// QueryRoundTrip answers the complete-route query: visit one object from S,
+// one from R, and return to the start, minimizing the tour length.
+func (sys *System) QueryRoundTrip(p Point, opts ...QueryOption) Result {
+	var o core.Options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return fromCore(core.RoundTripTNN(sys.env, p, o))
+}
+
+// QueryTopK returns the k best (s, r) pairs in ascending transitive-
+// distance order, using the parallel k-NN estimate strategy. Fewer than k
+// pairs are returned when the datasets are smaller than k.
+func (sys *System) QueryTopK(p Point, k int, opts ...QueryOption) ([]Result, bool) {
+	var o core.Options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	res := core.TopKTNN(sys.env, p, k, o)
+	if !res.Found {
+		return nil, false
+	}
+	out := make([]Result, len(res.Pairs))
+	for i, pr := range res.Pairs {
+		out[i] = Result{
+			S: pr.S.Point, R: pr.R.Point,
+			SID: pr.S.ID, RID: pr.R.ID,
+			Dist: pr.Dist, Found: true,
+			AccessTime: res.Metrics.AccessTime,
+			TuneIn:     res.Metrics.TuneIn,
+			Radius:     res.Radius,
+		}
+	}
+	return out, true
+}
+
+// fromCore converts an internal result.
+func fromCore(res core.Result) Result {
+	return Result{
+		S: res.Pair.S.Point, R: res.Pair.R.Point,
+		SID: res.Pair.S.ID, RID: res.Pair.R.ID,
+		Dist:           res.Pair.Dist,
+		Found:          res.Found,
+		AccessTime:     res.Metrics.AccessTime,
+		TuneIn:         res.Metrics.TuneIn,
+		EstimateTuneIn: res.EstimateTuneIn,
+		FilterTuneIn:   res.FilterTuneIn,
+		Radius:         res.Radius,
+	}
+}

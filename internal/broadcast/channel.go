@@ -1,0 +1,103 @@
+package broadcast
+
+import (
+	"fmt"
+
+	"tnnbcast/internal/rtree"
+)
+
+// Channel is one wireless broadcast channel transmitting a Program in a
+// loop, shifted by a phase offset. Slot t of the channel carries the
+// program's cycle-relative page (t - Offset) mod CycleLen.
+//
+// A Channel exposes only what a real receiver could do: ask when a page
+// will next be on air (pointers in a broadcast R-tree are arrival times)
+// and read the page during its slot. There is no random access.
+type Channel struct {
+	prog   *Program
+	offset int64
+}
+
+// NewChannel wraps prog on a channel whose cycle starts at slot offset
+// (i.e. the first index root of a cycle is on air at offset, modulo the
+// cycle length). Any offset, including negative, is accepted.
+func NewChannel(prog *Program, offset int64) *Channel {
+	c := prog.CycleLen()
+	off := offset % c
+	if off < 0 {
+		off += c
+	}
+	return &Channel{prog: prog, offset: off}
+}
+
+// Program returns the underlying broadcast program.
+func (ch *Channel) Program() *Program { return ch.prog }
+
+// rel converts channel slot t to a cycle-relative slot.
+func (ch *Channel) rel(t int64) int64 {
+	c := ch.prog.CycleLen()
+	r := (t - ch.offset) % c
+	if r < 0 {
+		r += c
+	}
+	return r
+}
+
+// PageAt returns the page on air at channel slot t.
+func (ch *Channel) PageAt(t int64) Page { return ch.prog.PageAt(ch.rel(t)) }
+
+// ReadNode returns the R-tree node broadcast at slot t. It panics if slot t
+// carries a data page — callers must only read index pages at their
+// scheduled arrivals.
+func (ch *Channel) ReadNode(t int64) *rtree.Node {
+	p := ch.PageAt(t)
+	if p.Kind != IndexPage {
+		panic(fmt.Sprintf("broadcast: slot %d carries %v, not an index page", t, p.Kind))
+	}
+	return ch.prog.Tree.Nodes[p.NodeID]
+}
+
+// nextOccurrence returns the smallest channel slot t >= after such that the
+// cycle-relative slot of t equals want.
+func (ch *Channel) nextOccurrence(want, after int64) int64 {
+	c := ch.prog.CycleLen()
+	r := ch.rel(after)
+	d := want - r
+	if d < 0 {
+		d += c
+	}
+	return after + d
+}
+
+// NextNodeArrival returns the first slot >= after at which index page
+// nodeID is on air. The index is replicated m times per cycle, so the
+// earliest of the m candidate positions is returned.
+func (ch *Channel) NextNodeArrival(nodeID int, after int64) int64 {
+	if nodeID < 0 || nodeID >= ch.prog.indexPages {
+		panic(fmt.Sprintf("broadcast: node %d out of range [0,%d)", nodeID, ch.prog.indexPages))
+	}
+	best := int64(-1)
+	for f := 0; f < ch.prog.m; f++ {
+		t := ch.nextOccurrence(ch.prog.nodeSlotInCycle(nodeID, f), after)
+		if best < 0 || t < best {
+			best = t
+		}
+	}
+	return best
+}
+
+// NextRootArrival returns the first slot >= after carrying the index root.
+func (ch *Channel) NextRootArrival(after int64) int64 {
+	return ch.NextNodeArrival(0, after)
+}
+
+// NextObjectArrival returns the first slot >= after at which the first data
+// page of objectID is on air. The object's PagesPerObject pages occupy
+// consecutive slots from the returned value.
+func (ch *Channel) NextObjectArrival(objectID int, after int64) int64 {
+	if objectID < 0 || objectID >= len(ch.prog.objPos) {
+		panic(fmt.Sprintf("broadcast: object %d out of range [0,%d)", objectID, len(ch.prog.objPos)))
+	}
+	pos := ch.prog.objPos[objectID]
+	return ch.nextOccurrence(ch.prog.objectSlotInCycle(pos), after)
+}

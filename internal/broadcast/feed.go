@@ -1,0 +1,154 @@
+package broadcast
+
+import "tnnbcast/internal/rtree"
+
+// Feed is what a receiver sees of one dataset's broadcast: arrival-time
+// queries (air-index pointers) and page reads. A dedicated Channel is a
+// Feed; so is one dataset's share of a time-multiplexed single channel
+// (DualChannel), which is how the original single-channel environment of
+// Zheng–Lee–Lee is modelled.
+type Feed interface {
+	// Program returns the broadcast program this feed transmits.
+	Program() *Program
+	// PageAt returns the page on air at slot t. For multiplexed feeds the
+	// slot must belong to this feed's share of the channel.
+	PageAt(t int64) Page
+	// ReadNode returns the R-tree node on air at slot t; it panics if the
+	// slot does not carry one of this feed's index pages.
+	ReadNode(t int64) *rtree.Node
+	// NextNodeArrival returns the first slot >= after carrying index page
+	// nodeID.
+	NextNodeArrival(nodeID int, after int64) int64
+	// NextRootArrival returns the first slot >= after carrying the root.
+	NextRootArrival(after int64) int64
+	// NextObjectArrival returns the first slot >= after at which the
+	// object's first data page is on air. In a multiplexed feed the
+	// object's pages are still consecutive (they lie within one segment).
+	NextObjectArrival(objectID int, after int64) int64
+}
+
+// Channel satisfies Feed.
+var _ Feed = (*Channel)(nil)
+
+// DualChannel time-multiplexes two broadcast programs on one physical
+// channel: each combined cycle transmits program S's full cycle followed
+// by program R's full cycle. A client with a single radio experiences the
+// two datasets exactly as two Feeds whose slots never collide — which is
+// why the multi-channel algorithms run unchanged on it, just slower.
+type DualChannel struct {
+	progS, progR *Program
+	offset       int64
+}
+
+// NewDualChannel multiplexes the two programs with the given phase offset.
+func NewDualChannel(progS, progR *Program, offset int64) *DualChannel {
+	l := progS.CycleLen() + progR.CycleLen()
+	off := offset % l
+	if off < 0 {
+		off += l
+	}
+	return &DualChannel{progS: progS, progR: progR, offset: off}
+}
+
+// CycleLen returns the combined cycle length.
+func (d *DualChannel) CycleLen() int64 {
+	return d.progS.CycleLen() + d.progR.CycleLen()
+}
+
+// FeedS returns the S dataset's view of the channel.
+func (d *DualChannel) FeedS() Feed { return &dualFeed{d: d, second: false} }
+
+// FeedR returns the R dataset's view of the channel.
+func (d *DualChannel) FeedR() Feed { return &dualFeed{d: d, second: true} }
+
+// dualFeed is one program's share of a DualChannel.
+type dualFeed struct {
+	d      *DualChannel
+	second bool // false: S segment [0, lenS); true: R segment [lenS, lenS+lenR)
+}
+
+func (f *dualFeed) prog() *Program {
+	if f.second {
+		return f.d.progR
+	}
+	return f.d.progS
+}
+
+func (f *dualFeed) segStart() int64 {
+	if f.second {
+		return f.d.progS.CycleLen()
+	}
+	return 0
+}
+
+// Program implements Feed.
+func (f *dualFeed) Program() *Program { return f.prog() }
+
+// rel converts a channel slot to a combined-cycle-relative slot.
+func (f *dualFeed) rel(t int64) int64 {
+	l := f.d.CycleLen()
+	r := (t - f.d.offset) % l
+	if r < 0 {
+		r += l
+	}
+	return r
+}
+
+// PageAt implements Feed.
+func (f *dualFeed) PageAt(t int64) Page {
+	r := f.rel(t) - f.segStart()
+	return f.prog().PageAt(r) // panics when the slot is outside this segment
+}
+
+// ReadNode implements Feed.
+func (f *dualFeed) ReadNode(t int64) *rtree.Node {
+	p := f.PageAt(t)
+	if p.Kind != IndexPage {
+		panic("broadcast: slot carries a data page, not an index page")
+	}
+	return f.prog().Tree.Nodes[p.NodeID]
+}
+
+// nextOccurrence returns the first channel slot >= after whose combined-
+// cycle-relative position equals want (which must lie inside this feed's
+// segment).
+func (f *dualFeed) nextOccurrence(want, after int64) int64 {
+	l := f.d.CycleLen()
+	r := f.rel(after)
+	d := want - r
+	if d < 0 {
+		d += l
+	}
+	return after + d
+}
+
+// NextNodeArrival implements Feed.
+func (f *dualFeed) NextNodeArrival(nodeID int, after int64) int64 {
+	pr := f.prog()
+	if nodeID < 0 || nodeID >= pr.NumIndexPages() {
+		panic("broadcast: node out of range")
+	}
+	best := int64(-1)
+	for rep := 0; rep < pr.M(); rep++ {
+		t := f.nextOccurrence(f.segStart()+pr.nodeSlotInCycle(nodeID, rep), after)
+		if best < 0 || t < best {
+			best = t
+		}
+	}
+	return best
+}
+
+// NextRootArrival implements Feed.
+func (f *dualFeed) NextRootArrival(after int64) int64 {
+	return f.NextNodeArrival(0, after)
+}
+
+// NextObjectArrival implements Feed.
+func (f *dualFeed) NextObjectArrival(objectID int, after int64) int64 {
+	pr := f.prog()
+	if objectID < 0 || objectID >= len(pr.objPos) {
+		panic("broadcast: object out of range")
+	}
+	pos := pr.objPos[objectID]
+	return f.nextOccurrence(f.segStart()+pr.objectSlotInCycle(pos), after)
+}

@@ -1,0 +1,58 @@
+package broadcast
+
+import "testing"
+
+func TestParamsCapacities(t *testing.T) {
+	cases := []struct {
+		pageCap          int
+		nodeCap, leafCap int
+		pagesPerObject   int
+	}{
+		// entry sizes: index 18 B, leaf 10 B, object 1024 B.
+		{64, 3, 6, 16},
+		{128, 7, 12, 8},
+		{256, 14, 25, 4},
+		{512, 28, 51, 2},
+	}
+	for _, c := range cases {
+		p := DefaultParams()
+		p.PageCap = c.pageCap
+		if got := p.NodeCap(); got != c.nodeCap {
+			t.Errorf("PageCap=%d: NodeCap = %d, want %d", c.pageCap, got, c.nodeCap)
+		}
+		if got := p.LeafCap(); got != c.leafCap {
+			t.Errorf("PageCap=%d: LeafCap = %d, want %d", c.pageCap, got, c.leafCap)
+		}
+		if got := p.PagesPerObject(); got != c.pagesPerObject {
+			t.Errorf("PageCap=%d: PagesPerObject = %d, want %d", c.pageCap, got, c.pagesPerObject)
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("PageCap=%d: Validate: %v", c.pageCap, err)
+		}
+	}
+}
+
+func TestParamsEntrySizes(t *testing.T) {
+	p := DefaultParams()
+	if p.IndexEntrySize() != 18 {
+		t.Errorf("IndexEntrySize = %d, want 18", p.IndexEntrySize())
+	}
+	if p.LeafEntrySize() != 10 {
+		t.Errorf("LeafEntrySize = %d, want 10", p.LeafEntrySize())
+	}
+}
+
+func TestParamsValidateErrors(t *testing.T) {
+	bad := []Params{
+		{PageCap: 0, PtrSize: 2, CoordSize: 4, DataSize: 1024},
+		{PageCap: 64, PtrSize: -1, CoordSize: 4, DataSize: 1024},
+		{PageCap: 20, PtrSize: 2, CoordSize: 4, DataSize: 1024}, // NodeCap 1
+		{PageCap: 64, PtrSize: 2, CoordSize: 4, DataSize: 1024, M: -3},
+		{PageCap: 64, PtrSize: 2, CoordSize: 40, DataSize: 1024}, // no leaf entries
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: expected error for %+v", i, p)
+		}
+	}
+}

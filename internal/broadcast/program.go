@@ -1,0 +1,199 @@
+package broadcast
+
+import (
+	"fmt"
+	"math"
+
+	"tnnbcast/internal/rtree"
+)
+
+// PageKind discriminates the two page types of a broadcast program.
+type PageKind int
+
+const (
+	// IndexPage carries one R-tree node (MBRs of the children plus their
+	// arrival-time pointers; for leaves, the point coordinates plus data
+	// pointers).
+	IndexPage PageKind = iota
+	// DataPage carries a fragment of one data object's content.
+	DataPage
+)
+
+func (k PageKind) String() string {
+	if k == IndexPage {
+		return "index"
+	}
+	return "data"
+}
+
+// Page describes what is on air during one slot.
+type Page struct {
+	Kind     PageKind
+	NodeID   int // for IndexPage: preorder ID of the R-tree node
+	ObjectID int // for DataPage: the object whose content this is
+	Seq      int // for DataPage: fragment number within the object
+}
+
+// Program is the broadcast program for one dataset on one channel: a packed
+// R-tree serialized in depth-first (preorder) order, (1, m)-interleaved
+// with the data objects, repeated cyclically.
+//
+// Layout of one cycle (m fractions):
+//
+//	[index][fraction 0][index][fraction 1]...[index][fraction m-1]
+//
+// where [index] is every index page in preorder and fraction f carries an
+// equal share of the objects, each object occupying PagesPerObject
+// consecutive data pages. Objects appear in the order their entries occur
+// in the preorder leaf walk, so data order follows index order.
+type Program struct {
+	Tree   *rtree.Tree
+	Params Params
+
+	m          int     // resolved interleaving factor
+	indexPages int     // number of index pages (= number of R-tree nodes)
+	objOrder   []int   // object IDs in broadcast order
+	objPos     []int   // objPos[objectID] = position in objOrder
+	fracStart  []int   // fracStart[f] = first object position of fraction f; len m+1
+	segStart   []int64 // segStart[f] = cycle slot where replication f's index begins; len m+1 (last = cycle length)
+	ppo        int     // pages per object
+}
+
+// BuildProgram serializes tree into a broadcast program. It panics on
+// invalid Params (use Params.Validate to check first) and on trees whose
+// fanout exceeds what a page can hold.
+func BuildProgram(tree *rtree.Tree, p Params) *Program {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	if tree.NodeCap > p.NodeCap() || tree.LeafCap > p.LeafCap() {
+		panic(fmt.Sprintf("broadcast: tree capacities (%d,%d) exceed page capacities (%d,%d)",
+			tree.NodeCap, tree.LeafCap, p.NodeCap(), p.LeafCap()))
+	}
+
+	pr := &Program{
+		Tree:       tree,
+		Params:     p,
+		indexPages: len(tree.Nodes),
+		ppo:        p.PagesPerObject(),
+	}
+
+	// Objects in preorder leaf-walk order.
+	pr.objOrder = make([]int, 0, tree.Count)
+	tree.Preorder(func(n *rtree.Node) {
+		for _, e := range n.Entries {
+			pr.objOrder = append(pr.objOrder, e.ID)
+		}
+	})
+	pr.objPos = make([]int, tree.Count)
+	for pos, id := range pr.objOrder {
+		pr.objPos[id] = pos
+	}
+
+	n := len(pr.objOrder)
+	dataPages := n * pr.ppo
+
+	m := p.M
+	if m == 0 {
+		// Imielinski-optimal interleaving: m* ≈ sqrt(data/index).
+		m = int(math.Round(math.Sqrt(float64(dataPages) / float64(pr.indexPages))))
+	}
+	if m < 1 {
+		m = 1
+	}
+	if n > 0 && m > n {
+		m = n // at least one object per fraction
+	}
+	pr.m = m
+
+	// Balanced object partition: fraction f gets n/m objects plus one of
+	// the first n%m remainders.
+	pr.fracStart = make([]int, m+1)
+	base, rem := 0, 0
+	if m > 0 {
+		base, rem = n/m, n%m
+	}
+	for f := 0; f < m; f++ {
+		sz := base
+		if f < rem {
+			sz++
+		}
+		pr.fracStart[f+1] = pr.fracStart[f] + sz
+	}
+
+	// Segment starts.
+	pr.segStart = make([]int64, m+1)
+	for f := 0; f < m; f++ {
+		fracLen := int64(pr.fracStart[f+1]-pr.fracStart[f]) * int64(pr.ppo)
+		pr.segStart[f+1] = pr.segStart[f] + int64(pr.indexPages) + fracLen
+	}
+	return pr
+}
+
+// CycleLen returns the number of slots in one broadcast cycle.
+func (pr *Program) CycleLen() int64 { return pr.segStart[pr.m] }
+
+// M returns the resolved (1, m) interleaving factor.
+func (pr *Program) M() int { return pr.m }
+
+// NumIndexPages returns the number of index pages (one per R-tree node).
+func (pr *Program) NumIndexPages() int { return pr.indexPages }
+
+// NumDataPages returns the number of data pages in one cycle.
+func (pr *Program) NumDataPages() int { return len(pr.objOrder) * pr.ppo }
+
+// PagesPerObject returns how many consecutive pages one object occupies.
+func (pr *Program) PagesPerObject() int { return pr.ppo }
+
+// PageAt returns the page on air at cycle-relative slot s ∈ [0, CycleLen).
+func (pr *Program) PageAt(s int64) Page {
+	if s < 0 || s >= pr.CycleLen() {
+		panic(fmt.Sprintf("broadcast: slot %d outside cycle [0,%d)", s, pr.CycleLen()))
+	}
+	// Locate the segment (linear scan is fine: m is small, and this is a
+	// tracing/debugging helper, not the hot path).
+	f := 0
+	for f+1 <= pr.m && pr.segStart[f+1] <= s {
+		f++
+	}
+	off := s - pr.segStart[f]
+	if off < int64(pr.indexPages) {
+		return Page{Kind: IndexPage, NodeID: int(off)}
+	}
+	dataOff := off - int64(pr.indexPages)
+	objIdx := pr.fracStart[f] + int(dataOff/int64(pr.ppo))
+	return Page{
+		Kind:     DataPage,
+		ObjectID: pr.objOrder[objIdx],
+		Seq:      int(dataOff % int64(pr.ppo)),
+	}
+}
+
+// objFraction returns which fraction the object at broadcast position pos
+// belongs to.
+func (pr *Program) objFraction(pos int) int {
+	// Binary search over fracStart.
+	lo, hi := 0, pr.m-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if pr.fracStart[mid+1] <= pos {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// nodeSlotInCycle returns the cycle-relative slot of index page nodeID in
+// replication f.
+func (pr *Program) nodeSlotInCycle(nodeID, f int) int64 {
+	return pr.segStart[f] + int64(nodeID)
+}
+
+// objectSlotInCycle returns the cycle-relative slot of the first data page
+// of the object at broadcast position pos.
+func (pr *Program) objectSlotInCycle(pos int) int64 {
+	f := pr.objFraction(pos)
+	return pr.segStart[f] + int64(pr.indexPages) + int64(pos-pr.fracStart[f])*int64(pr.ppo)
+}

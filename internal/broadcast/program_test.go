@@ -1,0 +1,162 @@
+package broadcast
+
+import (
+	"math/rand"
+	"testing"
+
+	"tnnbcast/internal/geom"
+	"tnnbcast/internal/rtree"
+)
+
+func buildTestProgram(t *testing.T, n int, params Params) *Program {
+	t.Helper()
+	rng := rand.New(rand.NewSource(int64(n)))
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Pt(rng.Float64()*1000, rng.Float64()*1000)
+	}
+	tree := rtree.Build(pts, rtree.Config{
+		LeafCap: params.LeafCap(), NodeCap: params.NodeCap(),
+	})
+	return BuildProgram(tree, params)
+}
+
+func TestProgramCycleStructure(t *testing.T) {
+	for _, n := range []int{1, 5, 37, 200} {
+		p := DefaultParams()
+		prog := buildTestProgram(t, n, p)
+
+		if prog.NumDataPages() != n*p.PagesPerObject() {
+			t.Fatalf("n=%d: data pages %d, want %d", n, prog.NumDataPages(), n*p.PagesPerObject())
+		}
+		wantCycle := int64(prog.M()*prog.NumIndexPages() + prog.NumDataPages())
+		if prog.CycleLen() != wantCycle {
+			t.Fatalf("n=%d: cycle %d, want %d", n, prog.CycleLen(), wantCycle)
+		}
+
+		// Scan the entire cycle: every index page appears exactly M times,
+		// every object exactly once with consecutive, complete fragments.
+		nodeCount := make(map[int]int)
+		objStart := make(map[int]int64)
+		objFrags := make(map[int][]int)
+		for s := int64(0); s < prog.CycleLen(); s++ {
+			pg := prog.PageAt(s)
+			switch pg.Kind {
+			case IndexPage:
+				nodeCount[pg.NodeID]++
+			case DataPage:
+				if pg.Seq == 0 {
+					objStart[pg.ObjectID] = s
+				}
+				objFrags[pg.ObjectID] = append(objFrags[pg.ObjectID], pg.Seq)
+			}
+		}
+		for id := 0; id < prog.NumIndexPages(); id++ {
+			if nodeCount[id] != prog.M() {
+				t.Fatalf("n=%d: node %d appears %d times, want %d", n, id, nodeCount[id], prog.M())
+			}
+		}
+		if len(objFrags) != n {
+			t.Fatalf("n=%d: %d objects on air", n, len(objFrags))
+		}
+		for id, frags := range objFrags {
+			if len(frags) != p.PagesPerObject() {
+				t.Fatalf("n=%d: object %d has %d fragments", n, id, len(frags))
+			}
+			for i, seq := range frags {
+				if seq != i {
+					t.Fatalf("n=%d: object %d fragments out of order", n, id)
+				}
+			}
+			// Fragments consecutive from the start slot.
+			if prog.PageAt(objStart[id]+int64(p.PagesPerObject())-1).ObjectID != id {
+				t.Fatalf("n=%d: object %d run not consecutive", n, id)
+			}
+		}
+	}
+}
+
+func TestProgramExplicitM(t *testing.T) {
+	p := DefaultParams()
+	p.M = 4
+	prog := buildTestProgram(t, 100, p)
+	if prog.M() != 4 {
+		t.Fatalf("M = %d, want 4", prog.M())
+	}
+	// Fractions balanced: sizes differ by at most one object.
+	min, max := 1<<30, 0
+	for f := 0; f < 4; f++ {
+		sz := prog.fracStart[f+1] - prog.fracStart[f]
+		if sz < min {
+			min = sz
+		}
+		if sz > max {
+			max = sz
+		}
+	}
+	if max-min > 1 {
+		t.Errorf("unbalanced fractions: min %d max %d", min, max)
+	}
+}
+
+func TestProgramAutoM(t *testing.T) {
+	p := DefaultParams() // M=0 → auto
+	prog := buildTestProgram(t, 500, p)
+	if prog.M() < 1 {
+		t.Fatalf("auto M = %d", prog.M())
+	}
+	// With 16 data pages per object and ~3-fanout index, data outnumbers
+	// index pages, so the optimal m should exceed 1.
+	if prog.M() == 1 {
+		t.Errorf("auto M stayed 1 for data-heavy program (index=%d data=%d)",
+			prog.NumIndexPages(), prog.NumDataPages())
+	}
+	// M never exceeds the object count.
+	small := buildTestProgram(t, 2, p)
+	if small.M() > 2 {
+		t.Errorf("M %d > object count 2", small.M())
+	}
+}
+
+func TestProgramPageAtPanics(t *testing.T) {
+	prog := buildTestProgram(t, 10, DefaultParams())
+	for _, s := range []int64{-1, prog.CycleLen()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("PageAt(%d) should panic", s)
+				}
+			}()
+			prog.PageAt(s)
+		}()
+	}
+}
+
+func TestBuildProgramRejectsOversizedTree(t *testing.T) {
+	p := DefaultParams()
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(1, 1), geom.Pt(2, 2)}
+	tree := rtree.Build(pts, rtree.Config{LeafCap: 100, NodeCap: 50})
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for tree exceeding page capacity")
+		}
+	}()
+	BuildProgram(tree, p)
+}
+
+func TestBuildProgramRejectsInvalidParams(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0)}
+	tree := rtree.Build(pts, rtree.Config{LeafCap: 2, NodeCap: 2})
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for invalid params")
+		}
+	}()
+	BuildProgram(tree, Params{})
+}
+
+func TestPageKindString(t *testing.T) {
+	if IndexPage.String() != "index" || DataPage.String() != "data" {
+		t.Error("PageKind strings wrong")
+	}
+}

@@ -1,0 +1,204 @@
+package broadcast
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"tnnbcast/internal/geom"
+	"tnnbcast/internal/rtree"
+)
+
+// Wire format for broadcast pages, honoring Table 2's sizes: coordinates
+// are 4 bytes (float32), pointers are 2 bytes. The simulation itself works
+// on logical pages; this encoder exists to validate that the capacity
+// arithmetic the whole model rests on (NodeCap/LeafCap/PagesPerObject) is
+// achievable byte-for-byte, and to give downstream users a concrete page
+// layout.
+//
+// Index page layout (one R-tree node per page):
+//
+//	[1B kind/leaf flag][1B entry count] then per entry:
+//	  internal: [4×float32 MBR][uint16 pointer]              (18 B)
+//	  leaf:     [2×float32 point][uint16 pointer]            (10 B)
+//
+// Pointer encoding: a 2-byte pointer cannot hold an absolute slot of a
+// multi-million-slot cycle, so — as real air indexes do — pointers are
+// *relative* delays in coarse units: the number of whole pointerUnit-slot
+// ticks from the start of the carrying page's slot until the target page
+// is on air, where pointerUnit = ⌈cycle/65536⌉. Decoders recover a slot
+// window of width pointerUnit containing the target; the simulation's
+// arrival queries are the exact counterpart.
+//
+// The 2-byte page header is accounted against the page capacity before
+// computing entry capacities in headeredParams (the paper's Table 2
+// numbers have no explicit header; Params without header reproduces them,
+// and the encoder rejects nodes that overflow the raw capacity).
+
+// WireHeaderSize is the per-page header: kind/flags byte + entry count.
+const WireHeaderSize = 2
+
+// pointerUnit returns the coarse tick size used by 2-byte relative
+// pointers for a cycle of the given length.
+func pointerUnit(cycleLen int64) int64 {
+	u := (cycleLen + 65535) / 65536
+	if u < 1 {
+		u = 1
+	}
+	return u
+}
+
+// EncodeNode serializes the node as broadcast at slot carrySlot on ch into
+// a page image of exactly params.PageCap bytes (zero padded). Child and
+// data pointers are encoded relative to carrySlot. It returns an error if
+// the node's entries do not fit the page capacity.
+func EncodeNode(ch *Channel, n *rtree.Node, carrySlot int64, params Params) ([]byte, error) {
+	buf := make([]byte, 0, params.PageCap)
+	unit := pointerUnit(ch.Program().CycleLen())
+
+	relPtr := func(target int64) (uint16, error) {
+		d := target - carrySlot
+		if d < 0 {
+			return 0, fmt.Errorf("broadcast: pointer target %d before carrier %d", target, carrySlot)
+		}
+		ticks := d / unit
+		if ticks > 65535 {
+			return 0, fmt.Errorf("broadcast: pointer delay %d exceeds 2-byte range", d)
+		}
+		return uint16(ticks), nil
+	}
+
+	var kind byte
+	if n.Leaf() {
+		kind = 1
+	}
+	buf = append(buf, kind, byte(len(n.Children)+len(n.Entries)))
+
+	if n.Leaf() {
+		if len(n.Entries) > params.LeafCap() {
+			return nil, fmt.Errorf("broadcast: leaf with %d entries exceeds capacity %d",
+				len(n.Entries), params.LeafCap())
+		}
+		for _, e := range n.Entries {
+			buf = f32(buf, e.Point.X)
+			buf = f32(buf, e.Point.Y)
+			p, err := relPtr(ch.NextObjectArrival(e.ID, carrySlot))
+			if err != nil {
+				return nil, err
+			}
+			buf = binary.BigEndian.AppendUint16(buf, p)
+		}
+	} else {
+		if len(n.Children) > params.NodeCap() {
+			return nil, fmt.Errorf("broadcast: node with %d children exceeds capacity %d",
+				len(n.Children), params.NodeCap())
+		}
+		for _, c := range n.Children {
+			buf = f32(buf, c.MBR.Lo.X)
+			buf = f32(buf, c.MBR.Lo.Y)
+			buf = f32(buf, c.MBR.Hi.X)
+			buf = f32(buf, c.MBR.Hi.Y)
+			p, err := relPtr(ch.NextNodeArrival(c.ID, carrySlot+1))
+			if err != nil {
+				return nil, err
+			}
+			buf = binary.BigEndian.AppendUint16(buf, p)
+		}
+	}
+	if len(buf) > params.PageCap+WireHeaderSize {
+		return nil, fmt.Errorf("broadcast: page image %dB exceeds capacity %dB (+%dB header)",
+			len(buf), params.PageCap, WireHeaderSize)
+	}
+	// Pad to a fixed page size (capacity + header).
+	for len(buf) < params.PageCap+WireHeaderSize {
+		buf = append(buf, 0)
+	}
+	return buf, nil
+}
+
+// WireEntry is one decoded index-page entry.
+type WireEntry struct {
+	// MBR is the child bounding box (internal pages); for leaf pages Lo
+	// holds the point and Hi is unused.
+	MBR geom.Rect
+	// DelayLo and DelayHi bound the slots (relative to the carrying page)
+	// at which the referenced page is on air: the coarse 2-byte pointer
+	// quantizes the exact delay into a window.
+	DelayLo, DelayHi int64
+}
+
+// WirePage is a decoded index page.
+type WirePage struct {
+	Leaf    bool
+	Entries []WireEntry
+}
+
+// DecodeNode parses a page image produced by EncodeNode. cycleLen must be
+// the carrying channel's cycle length (it determines the pointer unit).
+func DecodeNode(img []byte, params Params, cycleLen int64) (WirePage, error) {
+	if len(img) < WireHeaderSize {
+		return WirePage{}, fmt.Errorf("broadcast: short page image (%dB)", len(img))
+	}
+	unit := pointerUnit(cycleLen)
+	leaf := img[0] == 1
+	count := int(img[1])
+	out := WirePage{Leaf: leaf}
+	off := WireHeaderSize
+	entry := params.IndexEntrySize()
+	if leaf {
+		entry = params.LeafEntrySize()
+	}
+	if off+count*entry > len(img) {
+		return WirePage{}, fmt.Errorf("broadcast: %d entries overflow %dB image", count, len(img))
+	}
+	for i := 0; i < count; i++ {
+		var e WireEntry
+		if leaf {
+			x := rf32(img[off:])
+			y := rf32(img[off+4:])
+			e.MBR = geom.Rect{Lo: geom.Pt(x, y), Hi: geom.Pt(x, y)}
+			off += 8
+		} else {
+			lox := rf32(img[off:])
+			loy := rf32(img[off+4:])
+			hix := rf32(img[off+8:])
+			hiy := rf32(img[off+12:])
+			e.MBR = geom.Rect{Lo: geom.Pt(lox, loy), Hi: geom.Pt(hix, hiy)}
+			off += 16
+		}
+		ticks := int64(binary.BigEndian.Uint16(img[off:]))
+		off += 2
+		e.DelayLo = ticks * unit
+		e.DelayHi = (ticks+1)*unit - 1
+		out.Entries = append(out.Entries, e)
+	}
+	return out, nil
+}
+
+// EncodeCycleIndex serializes every index page of one full broadcast cycle
+// (all m replications) and returns the images keyed by slot. It validates
+// that every node of the tree fits its page.
+func EncodeCycleIndex(ch *Channel, params Params) (map[int64][]byte, error) {
+	prog := ch.Program()
+	out := make(map[int64][]byte)
+	for s := int64(0); s < prog.CycleLen(); s++ {
+		pg := ch.PageAt(s)
+		if pg.Kind != IndexPage {
+			continue
+		}
+		img, err := EncodeNode(ch, prog.Tree.Nodes[pg.NodeID], s, params)
+		if err != nil {
+			return nil, fmt.Errorf("slot %d (node %d): %w", s, pg.NodeID, err)
+		}
+		out[s] = img
+	}
+	return out, nil
+}
+
+func f32(b []byte, v float64) []byte {
+	return binary.BigEndian.AppendUint32(b, math.Float32bits(float32(v)))
+}
+
+func rf32(b []byte) float64 {
+	return float64(math.Float32frombits(binary.BigEndian.Uint32(b)))
+}

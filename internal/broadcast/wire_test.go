@@ -1,0 +1,144 @@
+package broadcast
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	p := DefaultParams()
+	p.M = 2
+	prog := buildTestProgram(t, 80, p)
+	ch := NewChannel(prog, 13)
+
+	slot := ch.NextRootArrival(0)
+	root := ch.ReadNode(slot)
+	img, err := EncodeNode(ch, root, slot, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(img) != p.PageCap+WireHeaderSize {
+		t.Fatalf("image size %d, want %d", len(img), p.PageCap+WireHeaderSize)
+	}
+	dec, err := DecodeNode(img, p, prog.CycleLen())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Leaf != root.Leaf() {
+		t.Fatal("leaf flag wrong")
+	}
+	if len(dec.Entries) != len(root.Children)+len(root.Entries) {
+		t.Fatalf("entry count %d", len(dec.Entries))
+	}
+	for i, c := range root.Children {
+		e := dec.Entries[i]
+		// float32 precision: coordinates within 1e-3 of float64 originals
+		// at the test's coordinate scale.
+		if math.Abs(e.MBR.Lo.X-c.MBR.Lo.X) > 1e-3 || math.Abs(e.MBR.Hi.Y-c.MBR.Hi.Y) > 1e-3 {
+			t.Fatalf("child %d MBR drifted: %+v vs %+v", i, e.MBR, c.MBR)
+		}
+		// The decoded pointer window must contain the true next arrival.
+		want := ch.NextNodeArrival(c.ID, slot+1) - slot
+		if want < e.DelayLo || want > e.DelayHi {
+			t.Fatalf("child %d: true delay %d outside window [%d,%d]",
+				i, want, e.DelayLo, e.DelayHi)
+		}
+	}
+}
+
+func TestEncodeLeafPointers(t *testing.T) {
+	p := DefaultParams()
+	prog := buildTestProgram(t, 40, p)
+	ch := NewChannel(prog, 7)
+
+	// Find a leaf on air and verify its object pointers.
+	var leafSlot int64 = -1
+	for s := int64(0); s < prog.CycleLen(); s++ {
+		pg := ch.PageAt(s)
+		if pg.Kind == IndexPage && prog.Tree.Nodes[pg.NodeID].Leaf() {
+			leafSlot = s
+			break
+		}
+	}
+	if leafSlot < 0 {
+		t.Fatal("no leaf page found")
+	}
+	leaf := ch.ReadNode(leafSlot)
+	img, err := EncodeNode(ch, leaf, leafSlot, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeNode(img, p, prog.CycleLen())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Leaf {
+		t.Fatal("leaf flag lost")
+	}
+	for i, e := range leaf.Entries {
+		want := ch.NextObjectArrival(e.ID, leafSlot) - leafSlot
+		w := dec.Entries[i]
+		if want < w.DelayLo || want > w.DelayHi {
+			t.Fatalf("entry %d: true delay %d outside [%d,%d]", i, want, w.DelayLo, w.DelayHi)
+		}
+		if math.Abs(w.MBR.Lo.X-e.Point.X) > 1e-3 {
+			t.Fatalf("entry %d point drifted", i)
+		}
+	}
+}
+
+func TestEncodeCycleIndexAllFit(t *testing.T) {
+	// Every node of a full tree must fit its page at every capacity — this
+	// is the byte-level proof of the capacity arithmetic.
+	for _, pageCap := range []int{64, 128, 256, 512} {
+		p := DefaultParams()
+		p.PageCap = pageCap
+		prog := buildTestProgram(t, 120, p)
+		ch := NewChannel(prog, 3)
+		imgs, err := EncodeCycleIndex(ch, p)
+		if err != nil {
+			t.Fatalf("pageCap %d: %v", pageCap, err)
+		}
+		if len(imgs) != prog.M()*prog.NumIndexPages() {
+			t.Fatalf("pageCap %d: %d images, want %d", pageCap, len(imgs),
+				prog.M()*prog.NumIndexPages())
+		}
+		for slot, img := range imgs {
+			if len(img) != pageCap+WireHeaderSize {
+				t.Fatalf("pageCap %d slot %d: image %dB", pageCap, slot, len(img))
+			}
+			if _, err := DecodeNode(img, p, prog.CycleLen()); err != nil {
+				t.Fatalf("pageCap %d slot %d: decode: %v", pageCap, slot, err)
+			}
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	p := DefaultParams()
+	if _, err := DecodeNode([]byte{1}, p, 100); err == nil {
+		t.Error("short image should error")
+	}
+	// Claimed count overflowing the image.
+	img := make([]byte, 20)
+	img[0] = 0
+	img[1] = 200
+	if _, err := DecodeNode(img, p, 100); err == nil {
+		t.Error("overflowing count should error")
+	}
+}
+
+func TestPointerUnit(t *testing.T) {
+	if pointerUnit(100) != 1 {
+		t.Error("small cycles use unit 1")
+	}
+	if pointerUnit(65536) != 1 {
+		t.Error("exactly 2^16 slots still unit 1")
+	}
+	if u := pointerUnit(65537); u != 2 {
+		t.Errorf("unit = %d, want 2", u)
+	}
+	if u := pointerUnit(1_500_000); u != 23 {
+		t.Errorf("unit = %d, want 23", u)
+	}
+}

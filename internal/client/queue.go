@@ -1,0 +1,77 @@
+package client
+
+import (
+	"container/heap"
+
+	"tnnbcast/internal/rtree"
+)
+
+// Candidate is an R-tree node reference held in a search's candidate queue.
+// The reference was read from the node's parent page, so the MBR and the
+// arrival-time pointer are known before the node itself is downloaded —
+// that is exactly the information a real air-index entry carries.
+type Candidate struct {
+	Node    *rtree.Node // referenced node (only MBR/ID may be consulted before download)
+	Arrival int64       // next on-air slot, computed when the candidate was enqueued
+}
+
+// ArrivalQueue is the paper's MBR_queue: a priority queue of candidate
+// nodes sorted by ascending arrival time on the broadcast channel. Ordering
+// by arrival rather than by distance is what makes the traversal
+// backtrack-free on the linear medium.
+type ArrivalQueue struct {
+	h candHeap
+}
+
+// Len returns the number of queued candidates.
+func (q *ArrivalQueue) Len() int { return len(q.h) }
+
+// Push enqueues a candidate.
+func (q *ArrivalQueue) Push(c Candidate) { heap.Push(&q.h, c) }
+
+// Peek returns the earliest-arriving candidate without removing it.
+// It must not be called on an empty queue.
+func (q *ArrivalQueue) Peek() Candidate { return q.h[0] }
+
+// Pop removes and returns the earliest-arriving candidate.
+// It must not be called on an empty queue.
+func (q *ArrivalQueue) Pop() Candidate { return heap.Pop(&q.h).(Candidate) }
+
+// Drain removes all candidates and returns them in arrival order.
+func (q *ArrivalQueue) Drain() []Candidate {
+	out := make([]Candidate, 0, q.Len())
+	for q.Len() > 0 {
+		out = append(out, q.Pop())
+	}
+	return out
+}
+
+// Snapshot returns the queued candidates in heap (unspecified) order
+// without modifying the queue. Used by Hybrid-NN's initial upper-bound
+// update, which scans MBR_queue.
+func (q *ArrivalQueue) Snapshot() []Candidate {
+	out := make([]Candidate, len(q.h))
+	copy(out, q.h)
+	return out
+}
+
+type candHeap []Candidate
+
+func (h candHeap) Len() int      { return len(h) }
+func (h candHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h candHeap) Less(i, j int) bool {
+	if h[i].Arrival != h[j].Arrival {
+		return h[i].Arrival < h[j].Arrival
+	}
+	// Arrival ties cannot happen within one channel (one page per slot);
+	// break deterministically anyway for cross-channel stability.
+	return h[i].Node.ID < h[j].Node.ID
+}
+func (h *candHeap) Push(x interface{}) { *h = append(*h, x.(Candidate)) }
+func (h *candHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	c := old[n-1]
+	*h = old[:n-1]
+	return c
+}

@@ -1,0 +1,142 @@
+// Package client simulates the mobile client of the paper's system model:
+// a location-aware device that tunes into one or more broadcast channels,
+// downloads pages, dozes between scheduled arrivals, and accounts the two
+// performance metrics — access time and tune-in time, both in pages.
+//
+// The package provides the mechanics every TNN algorithm shares: a
+// per-channel Receiver with doze/wake accounting, an arrival-time-ordered
+// candidate queue (the paper's MBR_queue — ordering by arrival instead of
+// distance avoids backtracking on the linear medium), and a lockstep
+// scheduler that advances several search processes in global broadcast
+// order, which is what "simultaneously accessing multiple channels" means
+// operationally.
+package client
+
+import (
+	"fmt"
+
+	"tnnbcast/internal/broadcast"
+	"tnnbcast/internal/rtree"
+)
+
+// Receiver is the client's interface to one broadcast channel. It tracks
+// the local clock (the next slot at which the radio is free), the number of
+// pages downloaded (tune-in time), and the completion slot of the last
+// download (per-channel access time).
+type Receiver struct {
+	ch    broadcast.Feed
+	issue int64 // slot at which the query was issued
+	now   int64 // next slot the receiver may tune into
+	pages int64 // pages downloaded so far
+	last  int64 // slot of the last downloaded page; issue-1 when none
+	trace func(slot int64, page broadcast.Page)
+}
+
+// SetTrace installs a callback invoked once per downloaded page, for
+// page-level query traces (cmd/tnnquery). A nil callback disables tracing.
+func (r *Receiver) SetTrace(fn func(slot int64, page broadcast.Page)) {
+	r.trace = fn
+}
+
+// NewReceiver creates a receiver for a broadcast feed (a dedicated channel
+// or one dataset's share of a multiplexed channel) with the query issued
+// at slot issue. The receiver may tune in from slot issue onward.
+func NewReceiver(ch broadcast.Feed, issue int64) *Receiver {
+	return &Receiver{ch: ch, issue: issue, now: issue, last: issue - 1}
+}
+
+// Channel returns the underlying broadcast feed.
+func (r *Receiver) Channel() broadcast.Feed { return r.ch }
+
+// Now returns the receiver's local clock: the earliest slot at which the
+// next download may start.
+func (r *Receiver) Now() int64 { return r.now }
+
+// Pages returns the tune-in time accumulated on this channel, in pages.
+func (r *Receiver) Pages() int64 { return r.pages }
+
+// AccessTime returns this channel's access time: slots elapsed from query
+// issue to the end of the last downloaded page. Zero when nothing was
+// downloaded.
+func (r *Receiver) AccessTime() int64 {
+	if r.last < r.issue {
+		return 0
+	}
+	return r.last - r.issue + 1
+}
+
+// WaitUntil dozes until slot t: the local clock advances to t if it is
+// earlier. Used to synchronize phase boundaries across channels (the filter
+// phase cannot start before the estimate phase has finished on both).
+func (r *Receiver) WaitUntil(t int64) {
+	if t > r.now {
+		r.now = t
+	}
+}
+
+// NextNodeArrival returns the earliest slot >= the local clock at which
+// index page nodeID is on air.
+func (r *Receiver) NextNodeArrival(nodeID int) int64 {
+	return r.ch.NextNodeArrival(nodeID, r.now)
+}
+
+// NextRootArrival returns the earliest slot >= the local clock carrying the
+// index root.
+func (r *Receiver) NextRootArrival() int64 {
+	return r.ch.NextRootArrival(r.now)
+}
+
+// DownloadNode dozes until slot (which must be >= the local clock and must
+// carry index page content), downloads the page, and returns the node.
+func (r *Receiver) DownloadNode(slot int64) *rtree.Node {
+	if slot < r.now {
+		panic(fmt.Sprintf("client: download at slot %d before local clock %d", slot, r.now))
+	}
+	n := r.ch.ReadNode(slot) // panics if slot carries a data page
+	r.pages++
+	r.last = slot
+	r.now = slot + 1
+	if r.trace != nil {
+		r.trace(slot, r.ch.PageAt(slot))
+	}
+	return n
+}
+
+// DownloadObject dozes until the next broadcast of objectID's data pages
+// and downloads the full object (PagesPerObject consecutive pages). It
+// returns the slot after the download completes.
+func (r *Receiver) DownloadObject(objectID int) int64 {
+	start := r.ch.NextObjectArrival(objectID, r.now)
+	ppo := int64(r.ch.Program().PagesPerObject())
+	r.pages += ppo
+	r.last = start + ppo - 1
+	r.now = start + ppo
+	if r.trace != nil {
+		for k := int64(0); k < ppo; k++ {
+			r.trace(start+k, r.ch.PageAt(start+k))
+		}
+	}
+	return r.now
+}
+
+// Metrics are the paper's two performance measures for one query.
+type Metrics struct {
+	// AccessTime is the elapsed time from query issue until the query is
+	// satisfied: the larger of the per-channel access times (Section 6).
+	AccessTime int64
+	// TuneIn is the total number of pages downloaded across all channels —
+	// the energy-consumption proxy.
+	TuneIn int64
+}
+
+// Collect combines per-channel receiver statistics into query metrics.
+func Collect(rs ...*Receiver) Metrics {
+	var m Metrics
+	for _, r := range rs {
+		if at := r.AccessTime(); at > m.AccessTime {
+			m.AccessTime = at
+		}
+		m.TuneIn += r.Pages()
+	}
+	return m
+}

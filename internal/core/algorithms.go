@@ -1,0 +1,304 @@
+package core
+
+import (
+	"math"
+
+	"tnnbcast/internal/broadcast"
+	"tnnbcast/internal/client"
+	"tnnbcast/internal/geom"
+	"tnnbcast/internal/rtree"
+)
+
+// Env is the multi-channel broadcast environment a TNN query runs in: one
+// channel broadcasting dataset S, one broadcasting dataset R, and the
+// common service region (known to clients a priori; Approximate-TNN uses
+// its area to scale the unit-square radius estimate).
+type Env struct {
+	ChS, ChR broadcast.Feed
+	Region   geom.Rect
+}
+
+// ANNConfig enables the approximate-NN optimization of Section 5. A factor
+// of zero means exact search on that channel; the paper uses factor = 1 for
+// Window-Based/Double-NN, 1/150–1/200 for Hybrid-NN, and factor 0 on the
+// sparser dataset when densities differ.
+type ANNConfig struct {
+	FactorS, FactorR float64
+}
+
+// Options control one query execution.
+type Options struct {
+	// Issue is the slot at which the query is issued. Channel phase
+	// offsets relative to Issue model the random root waiting times.
+	Issue int64
+	// ANN configures approximate-NN search in the estimate phase.
+	ANN ANNConfig
+	// SkipDataRetrieval excludes the final download of the answer pair's
+	// data pages from the metrics (it is identical for all algorithms).
+	SkipDataRetrieval bool
+	// Trace, when non-nil, is invoked once per downloaded page with the
+	// channel tag ("S" or "R"), the slot, and the page content. Used for
+	// page-level query traces.
+	Trace func(channel string, slot int64, page broadcast.Page)
+}
+
+// applyTrace wires Options.Trace into the two receivers.
+func (o Options) applyTrace(rxS, rxR *client.Receiver) {
+	if o.Trace == nil {
+		return
+	}
+	rxS.SetTrace(func(slot int64, pg broadcast.Page) { o.Trace("S", slot, pg) })
+	rxR.SetTrace(func(slot int64, pg broadcast.Page) { o.Trace("R", slot, pg) })
+}
+
+// HybridCase records which of the three Hybrid-NN cases a query exercised.
+type HybridCase int
+
+const (
+	// CaseNone applies to non-hybrid algorithms or degenerate runs.
+	CaseNone HybridCase = iota
+	// Case2 means the Channel-1 (S) search finished first and the
+	// Channel-2 search was retargeted to s = p.NN(S).
+	Case2
+	// Case3 means the Channel-2 (R) search finished first and the
+	// Channel-1 search switched to the transitive metric.
+	Case3
+)
+
+// Pair is a TNN answer: one object from each dataset and the transitive
+// distance dis(p,s) + dis(s,r).
+type Pair struct {
+	S, R rtree.Entry
+	Dist float64
+}
+
+// Result reports one query execution.
+type Result struct {
+	Pair  Pair
+	Found bool
+	// Metrics are the paper's access time (max over channels) and tune-in
+	// time (sum over channels), in pages.
+	Metrics client.Metrics
+	// EstimateTuneIn and FilterTuneIn split the tune-in time by phase
+	// (data-retrieval pages count toward FilterTuneIn).
+	EstimateTuneIn, FilterTuneIn int64
+	// Radius is the search-range radius determined by the estimate phase.
+	Radius float64
+	// Case is the Hybrid-NN case exercised (CaseNone otherwise).
+	Case HybridCase
+}
+
+// join is the client-side nested-loop join of Algorithm 1 (lines 7–17):
+// scan candidate pairs, keeping the pair with the smallest transitive
+// distance. The incumbent (s0, r0, d) — the pair that defined the search
+// range — seeds the bound; candidates si with dis(p,si) >= d cannot improve
+// it and skip the inner loop.
+func join(p geom.Point, incumbent Pair, haveIncumbent bool, ss, rs []rtree.Entry) (Pair, bool) {
+	best := incumbent
+	ok := haveIncumbent
+	d := math.Inf(1)
+	if ok {
+		d = best.Dist
+	}
+	for _, si := range ss {
+		if geom.Dist(p, si.Point) >= d {
+			continue
+		}
+		for _, rj := range rs {
+			if t := geom.TransDist(p, si.Point, rj.Point); t < d {
+				d = t
+				best = Pair{S: si, R: rj, Dist: t}
+				ok = true
+			}
+		}
+	}
+	return best, ok
+}
+
+// finish runs the shared tail of every algorithm: synchronize the channels
+// to the filter phase, run the two circular range queries in parallel, join
+// locally, optionally download the answer pair's data pages, and collect
+// metrics.
+func finish(env Env, p geom.Point, radius float64, incumbent Pair, haveIncumbent bool,
+	rxS, rxR *client.Receiver, opt Options, caseTag HybridCase) Result {
+
+	estimate := rxS.Pages() + rxR.Pages()
+
+	// The filter phase starts once the estimate phase has finished on both
+	// channels (the radius depends on both results).
+	t := rxS.Now()
+	if rxR.Now() > t {
+		t = rxR.Now()
+	}
+	rxS.WaitUntil(t)
+	rxR.WaitUntil(t)
+
+	w := geom.Circle{Center: p, R: radius}
+	qs := newRangeSearch(rxS, w)
+	qr := newRangeSearch(rxR, w)
+	client.RunParallel(qs, qr)
+
+	pair, ok := join(p, incumbent, haveIncumbent, qs.found, qr.found)
+
+	if ok && !opt.SkipDataRetrieval {
+		// The client dozes until the answer objects' data pages are on air
+		// and downloads the associated attributes, one object per channel.
+		t = rxS.Now()
+		if rxR.Now() > t {
+			t = rxR.Now()
+		}
+		rxS.WaitUntil(t)
+		rxR.WaitUntil(t)
+		rxS.DownloadObject(pair.S.ID)
+		rxR.DownloadObject(pair.R.ID)
+	}
+
+	m := client.Collect(rxS, rxR)
+	return Result{
+		Pair:           pair,
+		Found:          ok,
+		Metrics:        m,
+		EstimateTuneIn: estimate,
+		FilterTuneIn:   m.TuneIn - estimate,
+		Radius:         radius,
+		Case:           caseTag,
+	}
+}
+
+// DoubleNN is the Double-NN-Search algorithm (Algorithm 1): issue the two
+// nearest-neighbor queries p.NN(S) and p.NN(R) in parallel on the two
+// channels as soon as the index roots appear, use
+// d = dis(p,s) + dis(s,r) as the search radius, then run the two range
+// queries in parallel and join.
+func DoubleNN(env Env, p geom.Point, opt Options) Result {
+	rxS := client.NewReceiver(env.ChS, opt.Issue)
+	rxR := client.NewReceiver(env.ChR, opt.Issue)
+	opt.applyTrace(rxS, rxR)
+
+	ns := newNNSearch(rxS, p, opt.ANN.FactorS)
+	nr := newNNSearch(rxR, p, opt.ANN.FactorR)
+	client.RunParallel(ns, nr)
+
+	s, _, okS := ns.result()
+	r, _, okR := nr.result()
+	if !okS || !okR {
+		return Result{Metrics: client.Collect(rxS, rxR)}
+	}
+	d := geom.TransDist(p, s.Point, r.Point)
+	incumbent := Pair{S: s, R: r, Dist: d}
+	return finish(env, p, d, incumbent, true, rxS, rxR, opt, CaseNone)
+}
+
+// WindowBased is the Window-Based-TNN-Search algorithm of Zheng–Lee–Lee,
+// adapted to the multi-channel environment: the first NN query finds
+// s = p.NN(S); the second, which cannot start earlier because its query
+// point is s, finds r = s.NN(R); the radius is d = dis(p,s) + dis(s,r).
+// The filter-phase range queries do run in parallel on both channels.
+func WindowBased(env Env, p geom.Point, opt Options) Result {
+	rxS := client.NewReceiver(env.ChS, opt.Issue)
+	rxR := client.NewReceiver(env.ChR, opt.Issue)
+	opt.applyTrace(rxS, rxR)
+
+	ns := newNNSearch(rxS, p, opt.ANN.FactorS)
+	client.RunSequential(ns)
+	s, _, okS := ns.result()
+	if !okS {
+		return Result{Metrics: client.Collect(rxS, rxR)}
+	}
+
+	// The second NN query starts only after the first finishes.
+	rxR.WaitUntil(rxS.Now())
+	nr := newNNSearch(rxR, s.Point, opt.ANN.FactorR)
+	client.RunSequential(nr)
+	r, _, okR := nr.result()
+	if !okR {
+		return Result{Metrics: client.Collect(rxS, rxR)}
+	}
+
+	d := geom.Dist(p, s.Point) + geom.Dist(s.Point, r.Point)
+	incumbent := Pair{S: s, R: r, Dist: d}
+	return finish(env, p, d, incumbent, true, rxS, rxR, opt, CaseNone)
+}
+
+// HybridNN is the Hybrid-NN-Search algorithm: both NN searches start in
+// parallel (Case 1); when one finishes first its result redirects the
+// other — Case 2 switches the Channel-2 query point to s = p.NN(S), Case 3
+// switches the Channel-1 search to the transitive metric toward r = p.NN(R)
+// using MinTransDist and MinMaxTransDist. Delayed pruning (children are
+// enqueued unpruned and tested at pop) keeps the redirects correct.
+func HybridNN(env Env, p geom.Point, opt Options) Result {
+	rxS := client.NewReceiver(env.ChS, opt.Issue)
+	rxR := client.NewReceiver(env.ChR, opt.Issue)
+	opt.applyTrace(rxS, rxR)
+
+	ns := newNNSearch(rxS, p, opt.ANN.FactorS)
+	nr := newNNSearch(rxR, p, opt.ANN.FactorR)
+
+	caseTag := CaseNone
+	for {
+		_, sDone := ns.Peek()
+		_, rDone := nr.Peek()
+		if sDone && rDone {
+			break
+		}
+		// Redirect exactly once, at the moment one search finishes while
+		// the other still runs.
+		if caseTag == CaseNone {
+			if sDone && !rDone {
+				if s, _, ok := ns.result(); ok {
+					nr.retarget(s.Point)
+					caseTag = Case2
+				}
+			} else if rDone && !sDone {
+				if r, _, ok := nr.result(); ok {
+					ns.switchTransitive(r.Point)
+					caseTag = Case3
+				}
+			}
+		}
+		client.StepEarliest(ns, nr)
+	}
+
+	s, _, okS := ns.result()
+	r, _, okR := nr.result()
+	if !okS || !okR {
+		return Result{Metrics: client.Collect(rxS, rxR)}
+	}
+
+	// The search radius is the transitive distance of the pair the
+	// estimate phase produced. In Case 3 the S-side search already
+	// minimized exactly this quantity; in Case 2 the R-side minimized
+	// dis(s, ·), which is the variable part of it.
+	d := geom.TransDist(p, s.Point, r.Point)
+	incumbent := Pair{S: s, R: r, Dist: d}
+	return finish(env, p, d, incumbent, true, rxS, rxR, opt, caseTag)
+}
+
+// ApproxRadius is Eq. 1 of the paper: for n points uniformly distributed in
+// a unit square, a circle of radius r_k(n) = ln(n)·sqrt(k/(π·n)) encloses
+// at least k points with high probability. The radius scales with the
+// square root of the region area.
+func ApproxRadius(n, k int, area float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return math.Log(float64(n)) * math.Sqrt(float64(k)/(math.Pi*float64(n))) * math.Sqrt(area)
+}
+
+// ApproximateTNN is the Approximate-TNN-Search baseline: skip the estimate
+// phase entirely and set the radius to d = r_1(S) + r_1(R) from Eq. 1.
+// It is the fastest in access time but does not guarantee the radius
+// contains the answer pair; on skewed datasets it can return a non-optimal
+// pair or nothing at all (Found == false). Table 3 measures this fail rate.
+func ApproximateTNN(env Env, p geom.Point, opt Options) Result {
+	rxS := client.NewReceiver(env.ChS, opt.Issue)
+	rxR := client.NewReceiver(env.ChR, opt.Issue)
+	opt.applyTrace(rxS, rxR)
+
+	area := env.Region.Area()
+	nS := env.ChS.Program().Tree.Count
+	nR := env.ChR.Program().Tree.Count
+	d := ApproxRadius(nS, 1, area) + ApproxRadius(nR, 1, area)
+
+	return finish(env, p, d, Pair{}, false, rxS, rxR, opt, CaseNone)
+}

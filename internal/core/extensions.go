@@ -1,0 +1,387 @@
+package core
+
+// This file implements the generalized TNN queries the paper lists as
+// future work (Section 7):
+//
+//  1. ChainTNN — more than two datasets, visited in a specified order on
+//     k simultaneous channels: minimize dis(p,s1) + dis(s1,s2) + … +
+//     dis(s_{k-1},s_k).
+//  2. UnorderedTNN — two datasets with the visiting order unspecified:
+//     the better of (S then R) and (R then S).
+//  3. RoundTripTNN — a complete travel route that returns to the source:
+//     minimize dis(p,s) + dis(s,r) + dis(r,p).
+//
+// All three reuse the estimate–filter paradigm. The correctness argument
+// is the natural generalization of Theorem 1: if d is the length of any
+// *realizable* route (built from actual data objects), every object o on a
+// better route satisfies dis(p,o) ≤ d by the triangle inequality, so the
+// circle(p,d) range queries cover all candidates and the local join finds
+// the exact optimum.
+
+import (
+	"math"
+
+	"tnnbcast/internal/broadcast"
+	"tnnbcast/internal/client"
+	"tnnbcast/internal/geom"
+	"tnnbcast/internal/rtree"
+)
+
+// MultiEnv is a broadcast environment with one channel per dataset, in
+// visiting order.
+type MultiEnv struct {
+	Chs    []broadcast.Feed
+	Region geom.Rect
+}
+
+// ChainResult reports a ChainTNN query.
+type ChainResult struct {
+	// Stops are the chosen objects, one per dataset, in visiting order.
+	Stops []rtree.Entry
+	// Dist is the total route length dis(p,s1) + Σ dis(s_i, s_{i+1}).
+	Dist    float64
+	Found   bool
+	Metrics client.Metrics
+	Radius  float64
+}
+
+// ChainTNN answers a transitive nearest-neighbor query across k datasets
+// in a fixed visiting order, using all k channels simultaneously
+// (the Double-NN strategy generalized). The estimate phase runs k parallel
+// NN searches from p; chaining their results gives a realizable route
+// whose length bounds the search range. The filter phase runs k parallel
+// circular range queries and a layered dynamic-programming join.
+func ChainTNN(env MultiEnv, p geom.Point, opt Options) ChainResult {
+	k := len(env.Chs)
+	if k == 0 {
+		return ChainResult{}
+	}
+	rxs := make([]*client.Receiver, k)
+	searches := make([]client.Process, k)
+	nns := make([]*nnSearch, k)
+	for i, ch := range env.Chs {
+		rxs[i] = client.NewReceiver(ch, opt.Issue)
+		factor := opt.ANN.FactorS
+		if i > 0 {
+			factor = opt.ANN.FactorR
+		}
+		nns[i] = newNNSearch(rxs[i], p, factor)
+		searches[i] = nns[i]
+	}
+	client.RunParallel(searches...)
+
+	// Chain the parallel NN results into a realizable route.
+	route := make([]rtree.Entry, k)
+	for i := range nns {
+		e, _, ok := nns[i].result()
+		if !ok {
+			return ChainResult{Metrics: collectAll(rxs)}
+		}
+		route[i] = e
+	}
+	d := routeLength(p, route)
+
+	// Filter: parallel range queries with radius d on every channel.
+	t := int64(0)
+	for _, rx := range rxs {
+		if rx.Now() > t {
+			t = rx.Now()
+		}
+	}
+	w := geom.Circle{Center: p, R: d}
+	ranges := make([]*rangeSearch, k)
+	procs := make([]client.Process, k)
+	for i, rx := range rxs {
+		rx.WaitUntil(t)
+		ranges[i] = newRangeSearch(rx, w)
+		procs[i] = ranges[i]
+	}
+	client.RunParallel(procs...)
+
+	// Layered DP join: best[i][j] = min route length from p through layers
+	// 0..i ending at candidate j of layer i.
+	layers := make([][]rtree.Entry, k)
+	for i := range ranges {
+		layers[i] = ranges[i].found
+	}
+	stops, dist, ok := chainJoin(p, layers, route, d)
+	if !ok {
+		return ChainResult{Metrics: collectAll(rxs)}
+	}
+
+	if !opt.SkipDataRetrieval {
+		t = 0
+		for _, rx := range rxs {
+			if rx.Now() > t {
+				t = rx.Now()
+			}
+		}
+		for i, rx := range rxs {
+			rx.WaitUntil(t)
+			rx.DownloadObject(stops[i].ID)
+		}
+	}
+
+	return ChainResult{
+		Stops:   stops,
+		Dist:    dist,
+		Found:   true,
+		Metrics: collectAll(rxs),
+		Radius:  d,
+	}
+}
+
+// collectAll combines receiver metrics (max access, summed tune-in).
+func collectAll(rxs []*client.Receiver) client.Metrics {
+	return client.Collect(rxs...)
+}
+
+// routeLength returns dis(p, r0) + Σ dis(r_i, r_{i+1}).
+func routeLength(p geom.Point, route []rtree.Entry) float64 {
+	if len(route) == 0 {
+		return 0
+	}
+	d := geom.Dist(p, route[0].Point)
+	for i := 1; i < len(route); i++ {
+		d += geom.Dist(route[i-1].Point, route[i].Point)
+	}
+	return d
+}
+
+// chainJoin finds the minimum-length route through the candidate layers by
+// dynamic programming, seeded with the incumbent route of length bound.
+func chainJoin(p geom.Point, layers [][]rtree.Entry, incumbent []rtree.Entry, bound float64) ([]rtree.Entry, float64, bool) {
+	k := len(layers)
+	for _, l := range layers {
+		if len(l) == 0 {
+			// The incumbent is realizable even if a range query came back
+			// empty (cannot happen with exact estimates, but keeps the
+			// join total).
+			return incumbent, bound, len(incumbent) == k
+		}
+	}
+	// cost[j] = best route length from p through layers 0..i ending at
+	// layers[i][j]; back[i][j] = predecessor index.
+	cost := make([]float64, len(layers[0]))
+	back := make([][]int, k)
+	for j, e := range layers[0] {
+		cost[j] = geom.Dist(p, e.Point)
+	}
+	for i := 1; i < k; i++ {
+		next := make([]float64, len(layers[i]))
+		back[i] = make([]int, len(layers[i]))
+		for j, e := range layers[i] {
+			best := math.Inf(1)
+			arg := -1
+			for j2, prev := range layers[i-1] {
+				if c := cost[j2] + geom.Dist(prev.Point, e.Point); c < best {
+					best, arg = c, j2
+				}
+			}
+			next[j], back[i][j] = best, arg
+		}
+		cost = next
+	}
+	bestEnd, bestDist := -1, bound
+	for j := range layers[k-1] {
+		if cost[j] < bestDist {
+			bestDist, bestEnd = cost[j], j
+		}
+	}
+	if bestEnd == -1 {
+		return incumbent, bound, len(incumbent) == k
+	}
+	stops := make([]rtree.Entry, k)
+	j := bestEnd
+	for i := k - 1; i >= 1; i-- {
+		stops[i] = layers[i][j]
+		j = back[i][j]
+	}
+	stops[0] = layers[0][j]
+	return stops, bestDist, true
+}
+
+// UnorderedTNN answers the two-dataset TNN query when the visiting order
+// is not specified: it returns the better of visiting S first or R first.
+// Both parallel NN results from the estimate phase yield realizable routes
+// in either order; the smaller of the two bounds the shared search range,
+// and the join evaluates both directions.
+//
+// The returned First reports true when the S-object is visited first.
+func UnorderedTNN(env Env, p geom.Point, opt Options) (Result, bool) {
+	rxS := client.NewReceiver(env.ChS, opt.Issue)
+	rxR := client.NewReceiver(env.ChR, opt.Issue)
+	opt.applyTrace(rxS, rxR)
+
+	ns := newNNSearch(rxS, p, opt.ANN.FactorS)
+	nr := newNNSearch(rxR, p, opt.ANN.FactorR)
+	client.RunParallel(ns, nr)
+	s, _, okS := ns.result()
+	r, _, okR := nr.result()
+	if !okS || !okR {
+		return Result{Metrics: client.Collect(rxS, rxR)}, false
+	}
+
+	dSR := geom.TransDist(p, s.Point, r.Point)
+	dRS := geom.TransDist(p, r.Point, s.Point)
+	d := math.Min(dSR, dRS)
+
+	t := rxS.Now()
+	if rxR.Now() > t {
+		t = rxR.Now()
+	}
+	rxS.WaitUntil(t)
+	rxR.WaitUntil(t)
+	w := geom.Circle{Center: p, R: d}
+	qs := newRangeSearch(rxS, w)
+	qr := newRangeSearch(rxR, w)
+	client.RunParallel(qs, qr)
+
+	sFirstIncumbent := Pair{S: s, R: r, Dist: dSR}
+	pairSR, _ := join(p, sFirstIncumbent, true, qs.found, qr.found)
+	rFirstIncumbent := Pair{S: r, R: s, Dist: dRS}
+	pairRS, _ := join(p, rFirstIncumbent, true, qr.found, qs.found)
+
+	sFirst := pairSR.Dist <= pairRS.Dist
+	var res Pair
+	if sFirst {
+		res = pairSR
+	} else {
+		// pairRS visits R first: its S field holds the R-object.
+		res = Pair{S: pairRS.R, R: pairRS.S, Dist: pairRS.Dist}
+	}
+
+	if !opt.SkipDataRetrieval {
+		t = rxS.Now()
+		if rxR.Now() > t {
+			t = rxR.Now()
+		}
+		rxS.WaitUntil(t)
+		rxR.WaitUntil(t)
+		rxS.DownloadObject(res.S.ID)
+		rxR.DownloadObject(res.R.ID)
+	}
+
+	m := client.Collect(rxS, rxR)
+	return Result{
+		Pair:    res,
+		Found:   true,
+		Metrics: m,
+		Radius:  d,
+	}, sFirst
+}
+
+// RoundTripTNN answers the complete-route variant: visit one object of S,
+// then one of R, then return to the start, minimizing
+// dis(p,s) + dis(s,r) + dis(r,p). The parallel NN results give a
+// realizable tour whose length bounds the range queries (every object on a
+// better tour lies within that distance of p).
+func RoundTripTNN(env Env, p geom.Point, opt Options) Result {
+	rxS := client.NewReceiver(env.ChS, opt.Issue)
+	rxR := client.NewReceiver(env.ChR, opt.Issue)
+	opt.applyTrace(rxS, rxR)
+
+	ns := newNNSearch(rxS, p, opt.ANN.FactorS)
+	nr := newNNSearch(rxR, p, opt.ANN.FactorR)
+	client.RunParallel(ns, nr)
+	s, _, okS := ns.result()
+	r, _, okR := nr.result()
+	if !okS || !okR {
+		return Result{Metrics: client.Collect(rxS, rxR)}
+	}
+
+	tour := func(s, r geom.Point) float64 {
+		return geom.Dist(p, s) + geom.Dist(s, r) + geom.Dist(r, p)
+	}
+	d := tour(s.Point, r.Point)
+
+	t := rxS.Now()
+	if rxR.Now() > t {
+		t = rxR.Now()
+	}
+	rxS.WaitUntil(t)
+	rxR.WaitUntil(t)
+	w := geom.Circle{Center: p, R: d}
+	qs := newRangeSearch(rxS, w)
+	qr := newRangeSearch(rxR, w)
+	client.RunParallel(qs, qr)
+
+	best := Pair{S: s, R: r, Dist: d}
+	for _, si := range qs.found {
+		// An object s on a better tour satisfies dis(p,s) < d; tighter:
+		// the two legs through s already cost dis(p,s) twice is not valid
+		// for asymmetric tours, so only the basic bound applies.
+		if geom.Dist(p, si.Point) >= best.Dist {
+			continue
+		}
+		for _, rj := range qr.found {
+			if td := tour(si.Point, rj.Point); td < best.Dist {
+				best = Pair{S: si, R: rj, Dist: td}
+			}
+		}
+	}
+
+	if !opt.SkipDataRetrieval {
+		t = rxS.Now()
+		if rxR.Now() > t {
+			t = rxR.Now()
+		}
+		rxS.WaitUntil(t)
+		rxR.WaitUntil(t)
+		rxS.DownloadObject(best.S.ID)
+		rxR.DownloadObject(best.R.ID)
+	}
+
+	m := client.Collect(rxS, rxR)
+	return Result{
+		Pair:    best,
+		Found:   true,
+		Metrics: m,
+		Radius:  d,
+	}
+}
+
+// OracleChainTNN computes the exact chain answer by layered dynamic
+// programming over the full datasets (ground truth for tests; exponential
+// savings are not needed at test sizes).
+func OracleChainTNN(p geom.Point, trees []*rtree.Tree) ([]rtree.Entry, float64, bool) {
+	k := len(trees)
+	if k == 0 {
+		return nil, 0, false
+	}
+	layers := make([][]rtree.Entry, k)
+	for i, t := range trees {
+		if t.Count == 0 {
+			return nil, 0, false
+		}
+		var all []rtree.Entry
+		t.Preorder(func(n *rtree.Node) { all = append(all, n.Entries...) })
+		layers[i] = all
+	}
+	incumbent := make([]rtree.Entry, 0)
+	stops, dist, ok := chainJoin(p, layers, incumbent, math.Inf(1))
+	if !ok || len(stops) != k {
+		return nil, 0, false
+	}
+	return stops, dist, true
+}
+
+// OracleRoundTrip computes the exact round-trip answer by exhaustive
+// search (tests only).
+func OracleRoundTrip(p geom.Point, treeS, treeR *rtree.Tree) (Pair, bool) {
+	var ss, rs []rtree.Entry
+	treeS.Preorder(func(n *rtree.Node) { ss = append(ss, n.Entries...) })
+	treeR.Preorder(func(n *rtree.Node) { rs = append(rs, n.Entries...) })
+	best := Pair{Dist: math.Inf(1)}
+	found := false
+	for _, s := range ss {
+		for _, r := range rs {
+			d := geom.Dist(p, s.Point) + geom.Dist(s.Point, r.Point) + geom.Dist(r.Point, p)
+			if d < best.Dist {
+				best = Pair{S: s, R: r, Dist: d}
+				found = true
+			}
+		}
+	}
+	return best, found
+}

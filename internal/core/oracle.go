@@ -1,0 +1,58 @@
+package core
+
+import (
+	"math"
+
+	"tnnbcast/internal/geom"
+	"tnnbcast/internal/rtree"
+)
+
+// OracleTNN computes the exact TNN answer with full random access to both
+// in-memory R-trees — the ground truth the broadcast algorithms are tested
+// against, and the reference that defines Approximate-TNN-Search's fail
+// rate (Table 3).
+//
+// It evaluates min over s of dis(p,s) + dis(s, NN_R(s)) but prunes with the
+// Window-Based bound: after seeding the incumbent with s0 = p.NN(S) and
+// r0 = s0.NN(R), only s within dis(p,s) < d of the query can improve the
+// answer (Theorem 1), so one circular range query bounds the work.
+func OracleTNN(p geom.Point, treeS, treeR *rtree.Tree) (Pair, bool) {
+	s0, _, okS := treeS.NN(p)
+	if !okS {
+		return Pair{}, false
+	}
+	r0, _, okR := treeR.NN(s0.Point)
+	if !okR {
+		return Pair{}, false
+	}
+	best := Pair{S: s0, R: r0, Dist: geom.TransDist(p, s0.Point, r0.Point)}
+
+	for _, s := range treeS.RangeCircle(geom.Circle{Center: p, R: best.Dist}) {
+		ds := geom.Dist(p, s.Point)
+		if ds >= best.Dist {
+			continue
+		}
+		r, _, ok := treeR.NN(s.Point)
+		if !ok {
+			continue
+		}
+		if t := ds + geom.Dist(s.Point, r.Point); t < best.Dist {
+			best = Pair{S: s, R: r, Dist: t}
+		}
+	}
+	return best, true
+}
+
+// BruteTNN is the quadratic reference used to validate OracleTNN in tests.
+func BruteTNN(p geom.Point, ss, rs []geom.Point) (sIdx, rIdx int, dist float64, ok bool) {
+	dist = math.Inf(1)
+	sIdx, rIdx = -1, -1
+	for i, s := range ss {
+		for j, r := range rs {
+			if t := geom.TransDist(p, s, r); t < dist {
+				dist, sIdx, rIdx, ok = t, i, j, true
+			}
+		}
+	}
+	return sIdx, rIdx, dist, ok
+}

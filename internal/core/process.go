@@ -1,0 +1,367 @@
+// Package core implements the paper's contribution: transitive
+// nearest-neighbor (TNN) query processing over multi-channel wireless
+// broadcast. It provides the four algorithms evaluated in the paper —
+// the adapted Window-Based-TNN-Search and Approximate-TNN-Search baselines
+// and the new Double-NN-Search and Hybrid-NN-Search — plus the
+// approximate-NN (ANN) optimization with its circle–rectangle and
+// ellipse–rectangle pruning heuristics and the dynamic threshold of Eq. 4.
+//
+// All algorithms follow the estimate–filter paradigm: phase 1 determines a
+// circular search range around the query point that provably contains the
+// answer pair (Theorem 1), phase 2 retrieves the candidate objects of both
+// datasets inside the range and joins them locally on the client.
+package core
+
+import (
+	"math"
+
+	"tnnbcast/internal/client"
+	"tnnbcast/internal/geom"
+	"tnnbcast/internal/rtree"
+)
+
+// searchMode selects the metric a broadcast search minimizes.
+type searchMode int
+
+const (
+	// modeNN minimizes dis(q, ·): an ordinary nearest-neighbor search.
+	modeNN searchMode = iota
+	// modeTrans minimizes dis(p, ·) + dis(·, r): the transitive search of
+	// Hybrid-NN Case 3, driven by MinTransDist / MinMaxTransDist.
+	modeTrans
+)
+
+// nnSearch is a backtrack-free nearest-neighbor search over the broadcast
+// image of an R-tree. Candidates are popped in arrival order; pruning is
+// evaluated when a candidate is popped (delayed pruning — children are
+// always enqueued so that a Hybrid-NN redirect cannot lose the node holding
+// the answer of the *new* query, Section 4.2.4). It implements
+// client.Process.
+type nnSearch struct {
+	rx   *client.Receiver
+	mode searchMode
+	q    geom.Point // NN query point (p; or s after a Case-2 retarget)
+	rEnd geom.Point // transitive endpoint r (Case 3 only)
+
+	queue  client.ArrivalQueue
+	ub     float64
+	seen   []rtree.Entry
+	best   rtree.Entry
+	bestD  float64
+	bestOK bool
+
+	// ANN pruning (Heuristics 1 and 2). factor == 0 means exact search.
+	factor float64
+
+	height   int
+	started  bool
+	finished bool
+}
+
+// newNNSearch creates an exact or approximate NN search for query point q
+// on the channel behind rx. factor is the ANN adjustment of Eq. 4 (0 for
+// exact search).
+func newNNSearch(rx *client.Receiver, q geom.Point, factor float64) *nnSearch {
+	s := &nnSearch{
+		rx:     rx,
+		mode:   modeNN,
+		q:      q,
+		ub:     math.Inf(1),
+		bestD:  math.Inf(1),
+		factor: factor,
+		height: rx.Channel().Program().Tree.Height,
+	}
+	if rx.Channel().Program().Tree.Count == 0 {
+		s.finished = true
+	}
+	return s
+}
+
+// Peek implements client.Process.
+func (s *nnSearch) Peek() (int64, bool) {
+	if s.finished {
+		return 0, true
+	}
+	if !s.started {
+		return s.rx.NextRootArrival(), false
+	}
+	if s.queue.Len() == 0 {
+		s.finished = true
+		return 0, true
+	}
+	return s.queue.Peek().Arrival, false
+}
+
+// Step implements client.Process.
+func (s *nnSearch) Step() {
+	if !s.started {
+		s.started = true
+		root := s.rx.DownloadNode(s.rx.NextRootArrival())
+		s.visit(root)
+		if s.queue.Len() == 0 {
+			s.finished = true
+		}
+		return
+	}
+	c := s.queue.Pop()
+	if s.pruned(c) {
+		if s.queue.Len() == 0 {
+			s.finished = true
+		}
+		return
+	}
+	node := s.rx.DownloadNode(c.Arrival)
+	s.visit(node)
+	if s.queue.Len() == 0 {
+		s.finished = true
+	}
+}
+
+// lower returns the metric lower bound for a candidate MBR.
+func (s *nnSearch) lower(m geom.Rect) float64 {
+	if s.mode == modeTrans {
+		return geom.MinTransDist(s.q, m, s.rEnd)
+	}
+	return m.MinDist(s.q)
+}
+
+// upper returns the metric upper bound guaranteed for a candidate MBR by
+// the face property.
+func (s *nnSearch) upper(m geom.Rect) float64 {
+	if s.mode == modeTrans {
+		return geom.MinMaxTransDist(s.q, m, s.rEnd)
+	}
+	return m.MinMaxDist(s.q)
+}
+
+// metric returns the distance of an actual data point.
+func (s *nnSearch) metric(p geom.Point) float64 {
+	if s.mode == modeTrans {
+		return geom.TransDist(s.q, p, s.rEnd)
+	}
+	return geom.Dist(s.q, p)
+}
+
+// alpha is the dynamic pruning threshold of Eq. 4:
+// α = (node depth / tree height) × factor, with the root counted at level 1
+// so that leaves reach α = factor.
+func (s *nnSearch) alpha(depth int) float64 {
+	return float64(depth+1) / float64(s.height) * s.factor
+}
+
+// overlapRatio estimates the probability that m contains a point improving
+// the ANN bound, assuming uniformity: the fraction of m's area covered by
+// the current search region (Heuristic 1's circle for NN search,
+// Heuristic 2's ellipse with foci (p, r) for the transitive search).
+func (s *nnSearch) overlapRatio(m geom.Rect) float64 {
+	area := m.Area()
+	if area == 0 {
+		// Degenerate MBR (collinear points): the area heuristic is
+		// undefined; keep the node (it survived the exact prune).
+		return 1
+	}
+	if s.mode == modeTrans {
+		e := geom.Ellipse{F1: s.q, F2: s.rEnd, Major: s.ub}
+		return geom.EllipseRectOverlap(e, m) / area
+	}
+	c := geom.Circle{Center: s.q, R: s.ub}
+	return geom.CircleRectOverlap(c, m) / area
+}
+
+// pruned decides whether a popped candidate can be skipped without
+// downloading it. Exact pruning discards nodes that provably cannot
+// improve the sound upper bound; ANN pruning (when factor > 0)
+// additionally discards nodes whose estimated improvement probability is
+// at most α. The most promising candidate — the one achieving the smallest
+// lower bound among all currently queued nodes — is never ANN-pruned:
+// this is Section 5.1's "the MBR which gives the latest upper bound has to
+// be preserved and visited", and it guarantees the search descends at
+// least one full branch to real data points.
+func (s *nnSearch) pruned(c client.Candidate) bool {
+	lb := s.lower(c.Node.MBR)
+	if lb > s.ub && (s.factor <= 0 || s.bestOK) {
+		// Exact pruning. In ANN mode it is deferred until a real point
+		// backs the bound: face-property promises alone could otherwise
+		// exact-prune the whole queue after ANN pruning removed the
+		// promised subtree, ending the search with no result at all.
+		return true
+	}
+	if s.factor <= 0 || math.IsInf(s.ub, 1) {
+		return false
+	}
+	if lb <= s.queueMinLower() {
+		return false // the greedy-descent guarantee: always visited
+	}
+	return s.overlapRatio(c.Node.MBR) <= s.alpha(c.Node.Depth)
+}
+
+// queueMinLower returns the smallest metric lower bound among the queued
+// candidates (+Inf when the queue is empty). The queue is small — delayed
+// pruning bounds it by roughly (height−1)×(fanout−1) live nodes — so the
+// scan is cheap.
+func (s *nnSearch) queueMinLower() float64 {
+	min := math.Inf(1)
+	for _, c := range s.queue.Snapshot() {
+		if lb := s.lower(c.Node.MBR); lb < min {
+			min = lb
+		}
+	}
+	return min
+}
+
+// visit consumes a downloaded node's page content: child references for
+// internal nodes (updating the upper bound via the face property),
+// point entries for leaves.
+func (s *nnSearch) visit(n *rtree.Node) {
+	if n.Leaf() {
+		for _, e := range n.Entries {
+			s.seen = append(s.seen, e)
+			d := s.metric(e.Point)
+			if d < s.bestD {
+				s.bestD, s.best, s.bestOK = d, e, true
+			}
+			if d < s.ub {
+				s.ub = d
+			}
+		}
+		return
+	}
+	for _, ch := range n.Children {
+		// Sound upper bound (face property) for exact pruning.
+		if z := s.upper(ch.MBR); z < s.ub {
+			s.ub = z
+		}
+		// Delayed pruning: enqueue every child; pruning happens at pop so
+		// that a later metric change can still reach any subtree.
+		s.queue.Push(client.Candidate{Node: ch, Arrival: s.rx.NextNodeArrival(ch.ID)})
+	}
+}
+
+// rescore recomputes the incumbent over every point seen so far under the
+// current metric. The client has already downloaded those leaf pages, so
+// this costs no additional tune-in.
+func (s *nnSearch) rescore() {
+	s.ub = math.Inf(1)
+	s.bestD = math.Inf(1)
+	s.bestOK = false
+	for _, e := range s.seen {
+		d := s.metric(e.Point)
+		if d < s.bestD {
+			s.bestD, s.best, s.bestOK = d, e, true
+		}
+		if d < s.ub {
+			s.ub = d
+		}
+	}
+}
+
+// queueBoundUpdate performs the initial upper-bound update of Section
+// 4.2.3 after a redirect: scan MBR_queue and lower the sound bound to the
+// smallest guaranteed (face-property) distance among the queued MBRs.
+func (s *nnSearch) queueBoundUpdate() {
+	for _, c := range s.queue.Snapshot() {
+		if z := s.upper(c.Node.MBR); z < s.ub {
+			s.ub = z
+		}
+	}
+}
+
+// retarget switches the NN search to a new query point (Hybrid-NN Case 2:
+// the Channel-1 search finished with result s; the Channel-2 search now
+// looks for the neighbor of s on the remaining portion of its R-tree).
+func (s *nnSearch) retarget(newQ geom.Point) {
+	s.q = newQ
+	s.mode = modeNN
+	s.rescore()
+	s.queueBoundUpdate()
+	if s.finished && s.queue.Len() > 0 {
+		s.finished = false
+	}
+}
+
+// switchTransitive switches the search to the transitive metric
+// dis(p, ·) + dis(·, r) (Hybrid-NN Case 3: the Channel-2 search finished
+// with result r; the Channel-1 search now minimizes the full transitive
+// distance using MinTransDist/MinMaxTransDist on its remaining R-tree).
+func (s *nnSearch) switchTransitive(r geom.Point) {
+	s.rEnd = r
+	s.mode = modeTrans
+	s.rescore()
+	s.queueBoundUpdate()
+	if s.finished && s.queue.Len() > 0 {
+		s.finished = false
+	}
+}
+
+// result returns the best entry found and its metric value.
+func (s *nnSearch) result() (rtree.Entry, float64, bool) {
+	return s.best, s.bestD, s.bestOK
+}
+
+// rangeSearch retrieves every object location inside a circular window —
+// the filter-phase range query. It implements client.Process.
+type rangeSearch struct {
+	rx       *client.Receiver
+	circle   geom.Circle
+	queue    client.ArrivalQueue
+	found    []rtree.Entry
+	started  bool
+	finished bool
+}
+
+func newRangeSearch(rx *client.Receiver, c geom.Circle) *rangeSearch {
+	s := &rangeSearch{rx: rx, circle: c}
+	if rx.Channel().Program().Tree.Count == 0 {
+		s.finished = true
+	}
+	return s
+}
+
+// Peek implements client.Process.
+func (s *rangeSearch) Peek() (int64, bool) {
+	if s.finished {
+		return 0, true
+	}
+	if !s.started {
+		return s.rx.NextRootArrival(), false
+	}
+	if s.queue.Len() == 0 {
+		s.finished = true
+		return 0, true
+	}
+	return s.queue.Peek().Arrival, false
+}
+
+// Step implements client.Process.
+func (s *rangeSearch) Step() {
+	var node *rtree.Node
+	if !s.started {
+		s.started = true
+		node = s.rx.DownloadNode(s.rx.NextRootArrival())
+	} else {
+		c := s.queue.Pop()
+		if !s.circle.IntersectsRect(c.Node.MBR) {
+			if s.queue.Len() == 0 {
+				s.finished = true
+			}
+			return
+		}
+		node = s.rx.DownloadNode(c.Arrival)
+	}
+	if node.Leaf() {
+		for _, e := range node.Entries {
+			if s.circle.Contains(e.Point) {
+				s.found = append(s.found, e)
+			}
+		}
+	} else {
+		for _, ch := range node.Children {
+			if s.circle.IntersectsRect(ch.MBR) {
+				s.queue.Push(client.Candidate{Node: ch, Arrival: s.rx.NextNodeArrival(ch.ID)})
+			}
+		}
+	}
+	if s.queue.Len() == 0 {
+		s.finished = true
+	}
+}

@@ -1,0 +1,257 @@
+package core
+
+// Top-k TNN: return the k pairs with the smallest transitive distances.
+// The estimate phase generalizes Double-NN: run a k-nearest-neighbor
+// search from p on each channel in parallel, pair the i-th neighbors, and
+// use d = max_i [dis(p,s_i) + dis(s_i,r_i)] as the radius. The k paired
+// routes are realizable and distinct, so the true k-th best distance is at
+// most d; every object of every top-k pair then lies within d of p by the
+// triangle inequality, and the circle(p,d) range queries cover the join.
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+
+	"tnnbcast/internal/client"
+	"tnnbcast/internal/geom"
+	"tnnbcast/internal/rtree"
+)
+
+// knnSearch is a backtrack-free k-nearest-neighbor search over the
+// broadcast image of an R-tree: like nnSearch but the pruning bound is the
+// k-th best actual point distance seen so far (point-backed only — the
+// face property guarantees one point per node, not k, so MinMaxDist cannot
+// bound a k-NN). It implements client.Process.
+type knnSearch struct {
+	rx       *client.Receiver
+	q        geom.Point
+	k        int
+	queue    client.ArrivalQueue
+	dists    []float64 // sorted distances of the best ≤ k points seen
+	entries  []rtree.Entry
+	started  bool
+	finished bool
+}
+
+func newKNNSearch(rx *client.Receiver, q geom.Point, k int) *knnSearch {
+	s := &knnSearch{rx: rx, q: q, k: k}
+	if rx.Channel().Program().Tree.Count == 0 || k <= 0 {
+		s.finished = true
+	}
+	return s
+}
+
+// bound returns the current pruning bound: the k-th best point distance,
+// or +Inf while fewer than k points have been seen.
+func (s *knnSearch) bound() float64 {
+	if len(s.dists) < s.k {
+		return math.Inf(1)
+	}
+	return s.dists[s.k-1]
+}
+
+// Peek implements client.Process.
+func (s *knnSearch) Peek() (int64, bool) {
+	if s.finished {
+		return 0, true
+	}
+	if !s.started {
+		return s.rx.NextRootArrival(), false
+	}
+	if s.queue.Len() == 0 {
+		s.finished = true
+		return 0, true
+	}
+	return s.queue.Peek().Arrival, false
+}
+
+// Step implements client.Process.
+func (s *knnSearch) Step() {
+	var node *rtree.Node
+	if !s.started {
+		s.started = true
+		node = s.rx.DownloadNode(s.rx.NextRootArrival())
+	} else {
+		c := s.queue.Pop()
+		if c.Node.MBR.MinDist(s.q) > s.bound() {
+			if s.queue.Len() == 0 {
+				s.finished = true
+			}
+			return
+		}
+		node = s.rx.DownloadNode(c.Arrival)
+	}
+	if node.Leaf() {
+		for _, e := range node.Entries {
+			s.offer(e)
+		}
+	} else {
+		for _, ch := range node.Children {
+			s.queue.Push(client.Candidate{Node: ch, Arrival: s.rx.NextNodeArrival(ch.ID)})
+		}
+	}
+	if s.queue.Len() == 0 {
+		s.finished = true
+	}
+}
+
+// offer inserts a point into the running top-k.
+func (s *knnSearch) offer(e rtree.Entry) {
+	d := geom.Dist(s.q, e.Point)
+	i := sort.SearchFloat64s(s.dists, d)
+	if i >= s.k {
+		return
+	}
+	s.dists = append(s.dists, 0)
+	copy(s.dists[i+1:], s.dists[i:])
+	s.dists[i] = d
+	s.entries = append(s.entries, rtree.Entry{})
+	copy(s.entries[i+1:], s.entries[i:])
+	s.entries[i] = e
+	if len(s.dists) > s.k {
+		s.dists = s.dists[:s.k]
+		s.entries = s.entries[:s.k]
+	}
+}
+
+// results returns the ≤ k nearest entries in ascending distance order.
+func (s *knnSearch) results() []rtree.Entry { return s.entries }
+
+// pairHeap is a max-heap of pairs by distance (so the worst of the best k
+// sits on top).
+type pairHeap []Pair
+
+func (h pairHeap) Len() int            { return len(h) }
+func (h pairHeap) Less(i, j int) bool  { return h[i].Dist > h[j].Dist }
+func (h pairHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *pairHeap) Push(x interface{}) { *h = append(*h, x.(Pair)) }
+func (h *pairHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	p := old[n-1]
+	*h = old[:n-1]
+	return p
+}
+
+// TopKResult reports a top-k TNN query.
+type TopKResult struct {
+	// Pairs are the k best (s, r) pairs in ascending transitive-distance
+	// order (fewer if the datasets are smaller than k).
+	Pairs   []Pair
+	Found   bool
+	Metrics client.Metrics
+	Radius  float64
+}
+
+// TopKTNN answers the top-k transitive nearest-neighbor query with the
+// parallel (Double-NN) strategy. The final data retrieval downloads only
+// the best pair's attributes (the usual interactive pattern: the list is
+// shown, one result is opened).
+func TopKTNN(env Env, p geom.Point, k int, opt Options) TopKResult {
+	if k <= 0 {
+		return TopKResult{}
+	}
+	rxS := client.NewReceiver(env.ChS, opt.Issue)
+	rxR := client.NewReceiver(env.ChR, opt.Issue)
+	opt.applyTrace(rxS, rxR)
+
+	ks := newKNNSearch(rxS, p, k)
+	kr := newKNNSearch(rxR, p, k)
+	client.RunParallel(ks, kr)
+	ss, rs := ks.results(), kr.results()
+	if len(ss) == 0 || len(rs) == 0 {
+		return TopKResult{Metrics: client.Collect(rxS, rxR)}
+	}
+
+	// Pair i-th with i-th (padding with the last when sizes differ); the
+	// max of these realizable routes bounds the k-th best distance.
+	d := 0.0
+	n := len(ss)
+	if len(rs) > n {
+		n = len(rs)
+	}
+	for i := 0; i < n; i++ {
+		s := ss[min(i, len(ss)-1)]
+		r := rs[min(i, len(rs)-1)]
+		if t := geom.TransDist(p, s.Point, r.Point); t > d {
+			d = t
+		}
+	}
+
+	t := rxS.Now()
+	if rxR.Now() > t {
+		t = rxR.Now()
+	}
+	rxS.WaitUntil(t)
+	rxR.WaitUntil(t)
+	w := geom.Circle{Center: p, R: d}
+	qs := newRangeSearch(rxS, w)
+	qr := newRangeSearch(rxR, w)
+	client.RunParallel(qs, qr)
+
+	// k-bounded join: keep the k best pairs in a max-heap.
+	var h pairHeap
+	kth := math.Inf(1)
+	for _, si := range qs.found {
+		if geom.Dist(p, si.Point) >= kth {
+			continue
+		}
+		for _, rj := range qr.found {
+			t := geom.TransDist(p, si.Point, rj.Point)
+			if len(h) < k {
+				heap.Push(&h, Pair{S: si, R: rj, Dist: t})
+				if len(h) == k {
+					kth = h[0].Dist
+				}
+			} else if t < kth {
+				h[0] = Pair{S: si, R: rj, Dist: t}
+				heap.Fix(&h, 0)
+				kth = h[0].Dist
+			}
+		}
+	}
+	pairs := make([]Pair, len(h))
+	copy(pairs, h)
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].Dist < pairs[j].Dist })
+	if len(pairs) == 0 {
+		return TopKResult{Metrics: client.Collect(rxS, rxR)}
+	}
+
+	if !opt.SkipDataRetrieval {
+		t = rxS.Now()
+		if rxR.Now() > t {
+			t = rxR.Now()
+		}
+		rxS.WaitUntil(t)
+		rxR.WaitUntil(t)
+		rxS.DownloadObject(pairs[0].S.ID)
+		rxR.DownloadObject(pairs[0].R.ID)
+	}
+
+	return TopKResult{
+		Pairs:   pairs,
+		Found:   true,
+		Metrics: client.Collect(rxS, rxR),
+		Radius:  d,
+	}
+}
+
+// OracleTopK computes the exact top-k pairs by exhaustive join (tests
+// only).
+func OracleTopK(p geom.Point, treeS, treeR *rtree.Tree, k int) []Pair {
+	var ss, rs []rtree.Entry
+	treeS.Preorder(func(n *rtree.Node) { ss = append(ss, n.Entries...) })
+	treeR.Preorder(func(n *rtree.Node) { rs = append(rs, n.Entries...) })
+	var all []Pair
+	for _, s := range ss {
+		for _, r := range rs {
+			all = append(all, Pair{S: s, R: r, Dist: geom.TransDist(p, s.Point, r.Point)})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Dist < all[j].Dist })
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}

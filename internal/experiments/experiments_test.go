@@ -1,0 +1,247 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"tnnbcast/internal/dataset"
+)
+
+func smallCfg() Config {
+	return Config{Queries: 25, Seed: 11, PageCap: 64}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.Defaults()
+	if c.Queries != 1000 || c.PageCap != 64 || c.Seed == 0 {
+		t.Errorf("defaults wrong: %+v", c)
+	}
+	// Explicit values are preserved.
+	c = Config{Queries: 7, PageCap: 128, Seed: 3}.Defaults()
+	if c.Queries != 7 || c.PageCap != 128 || c.Seed != 3 {
+		t.Errorf("explicit values clobbered: %+v", c)
+	}
+}
+
+func TestRunPairingDeterministicAndConsistent(t *testing.T) {
+	p := uniformPair(5, 800, 600)
+	p.Name = "test"
+	cfg := smallCfg()
+	cfg.Verify = true
+
+	a := RunPairing(p, ExactAlgos(), cfg)
+	b := RunPairing(p, ExactAlgos(), cfg)
+	for name, sa := range a {
+		sb := b[name]
+		if sa != sb {
+			t.Fatalf("%s: nondeterministic stats: %+v vs %+v", name, sa, sb)
+		}
+		if sa.MeanAccess <= 0 || sa.MeanTuneIn <= 0 {
+			t.Fatalf("%s: non-positive means: %+v", name, sa)
+		}
+		if diff := sa.MeanEstimate + sa.MeanFilter - sa.MeanTuneIn; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("%s: phase split inconsistent: %+v", name, sa)
+		}
+		if sa.Queries != cfg.Queries {
+			t.Fatalf("%s: query count %d", name, sa.Queries)
+		}
+	}
+	// The guaranteed-exact algorithms never fail.
+	for _, name := range []string{AlgoWindow, AlgoDouble, AlgoHybrid} {
+		if a[name].FailRate != 0 {
+			t.Errorf("%s fail rate %v on uniform data", name, a[name].FailRate)
+		}
+	}
+}
+
+func TestHeadlineShapes(t *testing.T) {
+	// Equal moderate sizes: Approximate wins access time, Double/Hybrid
+	// beat Window-Based, and Approximate's tune-in is the worst.
+	p := uniformPair(7, 10000, 10000)
+	p.Name = "headline"
+	stats := RunPairing(p, ExactAlgos(), Config{Queries: 60, Seed: 13, PageCap: 64})
+
+	if !(stats[AlgoApproximate].MeanAccess < stats[AlgoDouble].MeanAccess) {
+		t.Errorf("Approximate access %v not below Double %v",
+			stats[AlgoApproximate].MeanAccess, stats[AlgoDouble].MeanAccess)
+	}
+	if !(stats[AlgoDouble].MeanAccess < stats[AlgoWindow].MeanAccess) {
+		t.Errorf("Double access %v not below Window %v",
+			stats[AlgoDouble].MeanAccess, stats[AlgoWindow].MeanAccess)
+	}
+	// Double and Hybrid have (essentially) the same access time.
+	d, h := stats[AlgoDouble].MeanAccess, stats[AlgoHybrid].MeanAccess
+	if rel := (d - h) / d; rel > 0.01 || rel < -0.01 {
+		t.Errorf("Double %v vs Hybrid %v access differ by more than 1%%", d, h)
+	}
+	if !(stats[AlgoApproximate].MeanTuneIn > stats[AlgoWindow].MeanTuneIn) {
+		t.Errorf("Approximate tune-in %v not above Window %v",
+			stats[AlgoApproximate].MeanTuneIn, stats[AlgoWindow].MeanTuneIn)
+	}
+}
+
+func TestFigureRunnersShape(t *testing.T) {
+	cfg := Config{Queries: 5, Seed: 3}
+	cases := []struct {
+		id   string
+		rows int
+		cols int
+	}{
+		{"fig9a", 15, 4},
+		{"fig9c", 8, 4},
+		{"fig11a", 8, 3},
+		{"fig11d", 8, 4},
+		{"fig12a", 8, 4},
+		{"fig12b", 5, 4},
+		{"fig12c", 5, 4},
+		{"fig13a", 8, 3},
+	}
+	for _, c := range cases {
+		tab := Registry[c.id](cfg)
+		if tab.ID != c.id {
+			t.Errorf("%s: table ID %q", c.id, tab.ID)
+		}
+		if len(tab.Rows) != c.rows {
+			t.Errorf("%s: %d rows, want %d", c.id, len(tab.Rows), c.rows)
+		}
+		if len(tab.Columns) != c.cols {
+			t.Errorf("%s: %d columns, want %d", c.id, len(tab.Columns), c.cols)
+		}
+		for _, r := range tab.Rows {
+			if len(r.Values) != len(tab.Columns) {
+				t.Fatalf("%s: ragged row %q", c.id, r.X)
+			}
+			for _, v := range r.Values {
+				if v <= 0 {
+					t.Fatalf("%s: non-positive cell in row %q", c.id, r.X)
+				}
+			}
+		}
+	}
+}
+
+func TestRegistryCompleteness(t *testing.T) {
+	if len(Order) != len(Registry) {
+		t.Errorf("Order (%d) and Registry (%d) disagree", len(Order), len(Registry))
+	}
+	for _, id := range Order {
+		if Registry[id] == nil {
+			t.Errorf("experiment %q in Order but not in Registry", id)
+		}
+	}
+}
+
+func TestTableFormatAndCSV(t *testing.T) {
+	tab := &Table{
+		ID: "t", Title: "demo", XLabel: "x", Metric: "pages",
+		Columns: []string{"A", "B"},
+	}
+	tab.AddRow("r1", 1, 2.5)
+	tab.AddRow("r2", 100000, 0.1234)
+
+	text := tab.Format()
+	for _, want := range []string{"t — demo", "metric: pages", "A", "B", "r1", "100000", "0.1234"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Format missing %q in:\n%s", want, text)
+		}
+	}
+	csv := tab.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV lines = %d", len(lines))
+	}
+	if lines[0] != "x,A,B" {
+		t.Errorf("CSV header = %q", lines[0])
+	}
+	if lines[1] != "r1,1,2.5" {
+		t.Errorf("CSV row = %q", lines[1])
+	}
+}
+
+func TestTableAddRowPanicsOnRagged(t *testing.T) {
+	tab := &Table{Columns: []string{"A", "B"}}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for ragged row")
+		}
+	}()
+	tab.AddRow("bad", 1)
+}
+
+func TestBuildUsesPageCap(t *testing.T) {
+	p := uniformPair(1, 300, 300)
+	b64 := build(p, 64, 0, 0)
+	b256 := build(p, 256, 0, 0)
+	if b64.progS.PagesPerObject() != 16 || b256.progS.PagesPerObject() != 4 {
+		t.Errorf("pages per object: %d/%d", b64.progS.PagesPerObject(), b256.progS.PagesPerObject())
+	}
+	// Larger pages → shallower tree.
+	if b256.treeS.Height >= b64.treeS.Height {
+		t.Errorf("height with 256B pages (%d) not below 64B (%d)",
+			b256.treeS.Height, b64.treeS.Height)
+	}
+}
+
+func TestDensitySeriesPointsSizes(t *testing.T) {
+	pts := densitySeriesPoints(Config{Seed: 1}, -5.0, dataset.DensityExponents)
+	if len(pts) != 8 {
+		t.Fatalf("len = %d", len(pts))
+	}
+	if n := len(pts[0].pair.R); n != 152 {
+		t.Errorf("first R size %d, want 152", n)
+	}
+	if n := len(pts[7].pair.R); n != 95969 {
+		t.Errorf("last R size %d, want 95969", n)
+	}
+	for _, pt := range pts {
+		if len(pt.pair.S) != 15210 {
+			t.Errorf("S size %d, want 15210", len(pt.pair.S))
+		}
+	}
+}
+
+func TestAblationRunnersShape(t *testing.T) {
+	cfg := Config{Queries: 5, Seed: 3}
+	packing := AblationPacking(cfg)
+	if len(packing.Rows) != 3 || len(packing.Columns) != 4 {
+		t.Errorf("packing table %dx%d", len(packing.Rows), len(packing.Columns))
+	}
+	inter := AblationInterleave(cfg)
+	if len(inter.Rows) != 8 { // 7 explicit m values + auto
+		t.Errorf("interleave rows = %d", len(inter.Rows))
+	}
+	pages := AblationPageSize(cfg)
+	if len(pages.Rows) != 4 || len(pages.Columns) != 4 {
+		t.Errorf("pagesize table %dx%d", len(pages.Rows), len(pages.Columns))
+	}
+}
+
+func TestSingleVsMultiChannelShape(t *testing.T) {
+	tab := SingleVsMultiChannel(Config{Queries: 15, Seed: 3})
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Single-channel access must exceed multi-channel access for every
+	// algorithm (the combined cycle is longer and nothing overlaps).
+	multi, single := tab.Rows[0], tab.Rows[1]
+	for i := range multi.Values {
+		if single.Values[i] <= multi.Values[i] {
+			t.Errorf("col %d: single access %v not above multi %v",
+				i, single.Values[i], multi.Values[i])
+		}
+	}
+	// Tune-in is (near) identical: the same pages get downloaded.
+	mt, st := tab.Rows[2], tab.Rows[3]
+	for i := range mt.Values {
+		rel := (st.Values[i] - mt.Values[i]) / mt.Values[i]
+		if rel > 0.05 || rel < -0.05 {
+			t.Errorf("col %d: tune-in differs by %.1f%%", i, rel*100)
+		}
+	}
+	// The access ratio row is > 1 everywhere.
+	for i, v := range tab.Rows[4].Values {
+		if v <= 1 {
+			t.Errorf("col %d: access ratio %v not above 1", i, v)
+		}
+	}
+}

@@ -1,0 +1,197 @@
+// Package experiments reproduces the paper's evaluation (Section 6): every
+// figure and table has a runner that generates the workload, executes the
+// TNN algorithms over randomized broadcast phases and query points, and
+// reports the same series the paper plots. Results are averages over
+// cfg.Queries random query points (the paper uses 1,000).
+package experiments
+
+import (
+	"math"
+	"math/rand"
+
+	"tnnbcast/internal/broadcast"
+	"tnnbcast/internal/core"
+	"tnnbcast/internal/dataset"
+	"tnnbcast/internal/geom"
+	"tnnbcast/internal/rtree"
+)
+
+// Config controls an experiment run.
+type Config struct {
+	// Queries is the number of random query points per data configuration
+	// (paper: 1,000).
+	Queries int
+	// Seed drives all randomness (datasets, query points, channel phases).
+	Seed int64
+	// PageCap is the broadcast page capacity in bytes (paper default 64).
+	PageCap int
+	// Verify additionally computes the exact answer for every query to
+	// measure fail rates. It is always on for Table 3.
+	Verify bool
+	// Packing selects the R-tree bulk-loading algorithm (default STR, the
+	// paper's choice). Used by the packing ablation.
+	Packing rtree.Packing
+	// M overrides the (1, m) interleaving factor (0 = Imielinski-optimal).
+	// Used by the interleaving ablation.
+	M int
+}
+
+// Defaults fills unset fields with the paper's defaults.
+func (c Config) Defaults() Config {
+	if c.Queries == 0 {
+		c.Queries = 1000
+	}
+	if c.PageCap == 0 {
+		c.PageCap = 64
+	}
+	if c.Seed == 0 {
+		c.Seed = 20080325 // EDBT'08 opening day
+	}
+	return c
+}
+
+// Algorithm names used across all experiments.
+const (
+	AlgoWindow      = "Window-Based"
+	AlgoDouble      = "Double-NN"
+	AlgoHybrid      = "Hybrid-NN"
+	AlgoApproximate = "Approximate-TNN"
+)
+
+// AlgoSpec is one algorithm variant under test (an algorithm plus an ANN
+// configuration).
+type AlgoSpec struct {
+	Name string
+	Run  func(core.Env, geom.Point, core.Options) core.Result
+	ANN  core.ANNConfig
+}
+
+// ExactAlgos returns the four algorithms with exact search, in the paper's
+// presentation order.
+func ExactAlgos() []AlgoSpec {
+	return []AlgoSpec{
+		{Name: AlgoWindow, Run: core.WindowBased},
+		{Name: AlgoDouble, Run: core.DoubleNN},
+		{Name: AlgoHybrid, Run: core.HybridNN},
+		{Name: AlgoApproximate, Run: core.ApproximateTNN},
+	}
+}
+
+// Stats aggregates one algorithm's performance over a query workload.
+type Stats struct {
+	MeanAccess   float64 // mean access time, pages
+	MeanTuneIn   float64 // mean tune-in time, pages
+	MeanEstimate float64 // mean estimate-phase tune-in, pages
+	MeanFilter   float64 // mean filter-phase tune-in, pages
+	FailRate     float64 // fraction of queries whose answer was not the exact TNN
+	Queries      int
+}
+
+// Pairing is one (S, R) dataset configuration on air.
+type Pairing struct {
+	Name   string
+	S, R   []geom.Point
+	Region geom.Rect
+}
+
+// built carries the broadcast programs for a pairing.
+type built struct {
+	progS, progR *broadcast.Program
+	treeS, treeR *rtree.Tree
+	region       geom.Rect
+}
+
+// build constructs the packed R-trees and broadcast programs for a pairing
+// under the configured page capacity, packing algorithm, and interleaving.
+func build(p Pairing, pageCap int, packing rtree.Packing, m int) built {
+	params := broadcast.DefaultParams()
+	params.PageCap = pageCap
+	params.M = m
+	rcfg := rtree.Config{LeafCap: params.LeafCap(), NodeCap: params.NodeCap(), Packing: packing}
+	treeS := rtree.Build(p.S, rcfg)
+	treeR := rtree.Build(p.R, rcfg)
+	return built{
+		progS:  broadcast.BuildProgram(treeS, params),
+		progR:  broadcast.BuildProgram(treeR, params),
+		treeS:  treeS,
+		treeR:  treeR,
+		region: p.Region,
+	}
+}
+
+// RunPairing executes every algorithm over cfg.Queries random query points
+// on the pairing. All algorithms see identical query points and channel
+// phases, so their metrics are directly comparable (paired design, as in
+// the paper).
+func RunPairing(p Pairing, algos []AlgoSpec, cfg Config) map[string]Stats {
+	cfg = cfg.Defaults()
+	b := build(p, cfg.PageCap, cfg.Packing, cfg.M)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	sums := make(map[string]*Stats, len(algos))
+	for _, a := range algos {
+		sums[a.Name] = &Stats{Queries: cfg.Queries}
+	}
+
+	for q := 0; q < cfg.Queries; q++ {
+		qp := geom.Pt(
+			p.Region.Lo.X+rng.Float64()*p.Region.Width(),
+			p.Region.Lo.Y+rng.Float64()*p.Region.Height(),
+		)
+		// Independent random phases model the random waiting times for the
+		// two roots ("two random numbers are generated to simulate the
+		// waiting time to get the two roots").
+		offS := rng.Int63n(b.progS.CycleLen())
+		offR := rng.Int63n(b.progR.CycleLen())
+		env := core.Env{
+			ChS:    broadcast.NewChannel(b.progS, offS),
+			ChR:    broadcast.NewChannel(b.progR, offR),
+			Region: p.Region,
+		}
+
+		var oracle core.Pair
+		var oracleOK bool
+		if cfg.Verify {
+			oracle, oracleOK = core.OracleTNN(qp, b.treeS, b.treeR)
+		}
+
+		for _, a := range algos {
+			res := a.Run(env, qp, core.Options{ANN: a.ANN})
+			st := sums[a.Name]
+			st.MeanAccess += float64(res.Metrics.AccessTime)
+			st.MeanTuneIn += float64(res.Metrics.TuneIn)
+			st.MeanEstimate += float64(res.EstimateTuneIn)
+			st.MeanFilter += float64(res.FilterTuneIn)
+			if cfg.Verify && oracleOK {
+				if !res.Found || math.Abs(res.Pair.Dist-oracle.Dist) > 1e-9*(1+oracle.Dist) {
+					st.FailRate++
+				}
+			}
+		}
+	}
+
+	out := make(map[string]Stats, len(algos))
+	for name, st := range sums {
+		n := float64(cfg.Queries)
+		out[name] = Stats{
+			MeanAccess:   st.MeanAccess / n,
+			MeanTuneIn:   st.MeanTuneIn / n,
+			MeanEstimate: st.MeanEstimate / n,
+			MeanFilter:   st.MeanFilter / n,
+			FailRate:     st.FailRate / n,
+			Queries:      cfg.Queries,
+		}
+	}
+	return out
+}
+
+// uniformPair builds a UNIF(S)×UNIF(R) pairing by dataset sizes over the
+// paper region. Seeds are derived from cfg.Seed so that every pairing in a
+// series uses distinct but reproducible data.
+func uniformPair(seed int64, sizeS, sizeR int) Pairing {
+	return Pairing{
+		S:      dataset.Uniform(seed+1, sizeS, dataset.PaperRegion),
+		R:      dataset.Uniform(seed+2, sizeR, dataset.PaperRegion),
+		Region: dataset.PaperRegion,
+	}
+}

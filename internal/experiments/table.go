@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one reproduced figure or table: a labelled x-axis and one column
+// of values per algorithm variant, mirroring the series the paper plots.
+type Table struct {
+	ID      string // experiment id, e.g. "fig9a"
+	Title   string
+	XLabel  string
+	Metric  string // what the cells hold, e.g. "access time (pages)"
+	Columns []string
+	Rows    []Row
+}
+
+// Row is one x-position of a figure.
+type Row struct {
+	X      string
+	Values []float64
+}
+
+// AddRow appends a row; the number of values must match Columns.
+func (t *Table) AddRow(x string, values ...float64) {
+	if len(values) != len(t.Columns) {
+		panic(fmt.Sprintf("experiments: row %q has %d values for %d columns",
+			x, len(values), len(t.Columns)))
+	}
+	t.Rows = append(t.Rows, Row{X: x, Values: values})
+}
+
+// Format renders the table as aligned text.
+func (t *Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	fmt.Fprintf(&b, "metric: %s\n", t.Metric)
+
+	widths := make([]int, len(t.Columns)+1)
+	widths[0] = len(t.XLabel)
+	for _, r := range t.Rows {
+		if len(r.X) > widths[0] {
+			widths[0] = len(r.X)
+		}
+	}
+	cells := make([][]string, len(t.Rows))
+	for i, r := range t.Rows {
+		cells[i] = make([]string, len(r.Values))
+		for j, v := range r.Values {
+			cells[i][j] = formatValue(v)
+		}
+	}
+	for j, c := range t.Columns {
+		widths[j+1] = len(c)
+		for i := range t.Rows {
+			if len(cells[i][j]) > widths[j+1] {
+				widths[j+1] = len(cells[i][j])
+			}
+		}
+	}
+
+	fmt.Fprintf(&b, "%-*s", widths[0], t.XLabel)
+	for j, c := range t.Columns {
+		fmt.Fprintf(&b, "  %*s", widths[j+1], c)
+	}
+	b.WriteByte('\n')
+	for i, r := range t.Rows {
+		fmt.Fprintf(&b, "%-*s", widths[0], r.X)
+		for j := range r.Values {
+			fmt.Fprintf(&b, "  %*s", widths[j+1], cells[i][j])
+		}
+		_ = i
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values with a header row.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(t.XLabel)
+	for _, c := range t.Columns {
+		b.WriteByte(',')
+		b.WriteString(c)
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		b.WriteString(r.X)
+		for _, v := range r.Values {
+			fmt.Fprintf(&b, ",%s", formatValue(v))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func formatValue(v float64) string {
+	switch {
+	case v == float64(int64(v)) && v < 1e15:
+		return fmt.Sprintf("%.0f", v)
+	case v < 1:
+		return fmt.Sprintf("%.4f", v)
+	default:
+		return fmt.Sprintf("%.1f", v)
+	}
+}

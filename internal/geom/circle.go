@@ -1,0 +1,129 @@
+package geom
+
+import "math"
+
+// Circle is a disk given by center and radius. TNN search ranges are
+// circles centered at the query point.
+type Circle struct {
+	Center Point
+	R      float64
+}
+
+// Contains reports whether p lies inside the disk (boundary inclusive).
+func (c Circle) Contains(p Point) bool {
+	return DistSq(c.Center, p) <= c.R*c.R+Eps
+}
+
+// IntersectsRect reports whether the disk and the solid rectangle share at
+// least one point.
+func (c Circle) IntersectsRect(r Rect) bool {
+	return r.MinDist(c.Center) <= c.R+Eps
+}
+
+// ContainsRect reports whether the rectangle lies entirely inside the disk.
+func (c Circle) ContainsRect(r Rect) bool {
+	return r.MaxDist(c.Center) <= c.R+Eps
+}
+
+// Area returns the area of the disk.
+func (c Circle) Area() float64 { return math.Pi * c.R * c.R }
+
+// sectorArea returns the signed area of the circular sector of radius r
+// swept from direction u to direction v (shorter way, sign by cross
+// product). u and v need not be normalized.
+func sectorArea(u, v Point, r float64) float64 {
+	ang := math.Atan2(u.Cross(v), u.Dot(v))
+	return r * r * ang / 2
+}
+
+// segCircleIntersections returns the parameters t ∈ [0,1] at which the
+// segment a + t(b-a) crosses the circle of radius r centered at the origin,
+// in increasing order. Zero, one, or two values.
+func segCircleIntersections(a, b Point, r float64) []float64 {
+	d := b.Sub(a)
+	A := d.Dot(d)
+	if A == 0 {
+		return nil
+	}
+	B := 2 * a.Dot(d)
+	C := a.Dot(a) - r*r
+	disc := B*B - 4*A*C
+	if disc <= 0 {
+		return nil // tangency contributes zero area; treat as no crossing
+	}
+	sq := math.Sqrt(disc)
+	t1 := (-B - sq) / (2 * A)
+	t2 := (-B + sq) / (2 * A)
+	var out []float64
+	if t1 > Eps && t1 < 1-Eps {
+		out = append(out, t1)
+	}
+	if t2 > Eps && t2 < 1-Eps {
+		out = append(out, t2)
+	}
+	return out
+}
+
+// triCircleArea returns the signed area of the intersection of the disk of
+// radius r centered at the origin with the triangle (origin, a, b). The
+// sign follows the orientation of (a, b).
+func triCircleArea(a, b Point, r float64) float64 {
+	inA := a.Norm() <= r+Eps
+	inB := b.Norm() <= r+Eps
+	switch {
+	case inA && inB:
+		return a.Cross(b) / 2
+	case inA && !inB:
+		ts := segCircleIntersections(a, b, r)
+		if len(ts) == 0 {
+			// a is (numerically) on the boundary: whole wedge is a sector.
+			return sectorArea(a, b, r)
+		}
+		q := Lerp(a, b, ts[len(ts)-1])
+		return a.Cross(q)/2 + sectorArea(q, b, r)
+	case !inA && inB:
+		ts := segCircleIntersections(a, b, r)
+		if len(ts) == 0 {
+			return sectorArea(a, b, r)
+		}
+		q := Lerp(a, b, ts[0])
+		return sectorArea(a, q, r) + q.Cross(b)/2
+	default:
+		ts := segCircleIntersections(a, b, r)
+		if len(ts) == 2 {
+			q1 := Lerp(a, b, ts[0])
+			q2 := Lerp(a, b, ts[1])
+			return sectorArea(a, q1, r) + q1.Cross(q2)/2 + sectorArea(q2, b, r)
+		}
+		return sectorArea(a, b, r)
+	}
+}
+
+// CirclePolygonArea returns the area of the intersection of the disk c with
+// the simple polygon poly (any orientation; the absolute overlap area is
+// returned). The computation is exact up to floating point: it decomposes
+// the polygon into origin-anchored triangles and clips each against the
+// disk analytically.
+func CirclePolygonArea(c Circle, poly []Point) float64 {
+	if len(poly) < 3 || c.R <= 0 {
+		return 0
+	}
+	total := 0.0
+	for i := range poly {
+		a := poly[i].Sub(c.Center)
+		b := poly[(i+1)%len(poly)].Sub(c.Center)
+		total += triCircleArea(a, b, c.R)
+	}
+	return math.Abs(total)
+}
+
+// CircleRectOverlap returns the exact area of the intersection of the disk
+// c with the solid rectangle r. This drives the paper's Heuristic 1
+// (circle–rectangle overlap) for approximate-NN pruning.
+func CircleRectOverlap(c Circle, r Rect) float64 {
+	if r.IsEmpty() || c.R <= 0 {
+		return 0
+	}
+	v := r.Vertices()
+	return CirclePolygonArea(c, v[:])
+}

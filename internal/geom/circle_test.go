@@ -1,0 +1,160 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// monteCarloOverlap estimates the overlap area of an arbitrary inside
+// predicate with rectangle r by uniform sampling.
+func monteCarloOverlap(rng *rand.Rand, r Rect, n int, inside func(Point) bool) float64 {
+	if r.Area() == 0 {
+		return 0
+	}
+	hit := 0
+	for i := 0; i < n; i++ {
+		if inside(randPointIn(rng, r)) {
+			hit++
+		}
+	}
+	return r.Area() * float64(hit) / float64(n)
+}
+
+func TestCircleContains(t *testing.T) {
+	c := Circle{Center: Pt(3, 4), R: 5}
+	if !c.Contains(Pt(3, 4)) || !c.Contains(Pt(6, 8)) || !c.Contains(Pt(0, 0)) {
+		t.Error("containment failed")
+	}
+	if c.Contains(Pt(9, 4.1)) {
+		t.Error("outside point contained")
+	}
+}
+
+func TestCircleIntersectsRect(t *testing.T) {
+	c := Circle{Center: Pt(0, 0), R: 2}
+	if !c.IntersectsRect(RectOf(Pt(1, 1), Pt(3, 3))) {
+		t.Error("overlapping rect not detected")
+	}
+	if c.IntersectsRect(RectOf(Pt(2, 2), Pt(3, 3))) {
+		t.Error("corner at distance 2*sqrt2 should not intersect")
+	}
+	if !c.IntersectsRect(RectOf(Pt(-1, -1), Pt(1, 1))) {
+		t.Error("contained rect not detected")
+	}
+	if !c.ContainsRect(RectOf(Pt(-1, -1), Pt(1, 1))) {
+		t.Error("ContainsRect failed for inner rect")
+	}
+	if c.ContainsRect(RectOf(Pt(-3, -3), Pt(3, 3))) {
+		t.Error("ContainsRect true for bigger rect")
+	}
+}
+
+func TestCirclePolygonAreaExactCases(t *testing.T) {
+	unit := Circle{Center: Pt(0, 0), R: 1}
+
+	// Polygon entirely containing the circle: area = π.
+	big := []Point{Pt(-5, -5), Pt(5, -5), Pt(5, 5), Pt(-5, 5)}
+	if got := CirclePolygonArea(unit, big); !almostEq(got, math.Pi, 1e-9) {
+		t.Errorf("contained circle: got %v, want π", got)
+	}
+
+	// Polygon entirely inside the circle: area = polygon area.
+	small := []Point{Pt(-0.3, -0.3), Pt(0.3, -0.3), Pt(0.3, 0.3), Pt(-0.3, 0.3)}
+	if got := CirclePolygonArea(unit, small); !almostEq(got, 0.36, 1e-9) {
+		t.Errorf("contained polygon: got %v, want 0.36", got)
+	}
+
+	// Clockwise orientation gives the same absolute area.
+	cw := []Point{Pt(-0.3, -0.3), Pt(-0.3, 0.3), Pt(0.3, 0.3), Pt(0.3, -0.3)}
+	if got := CirclePolygonArea(unit, cw); !almostEq(got, 0.36, 1e-9) {
+		t.Errorf("clockwise polygon: got %v, want 0.36", got)
+	}
+
+	// Half-plane: rectangle covering exactly the right half of the circle.
+	half := []Point{Pt(0, -3), Pt(3, -3), Pt(3, 3), Pt(0, 3)}
+	if got := CirclePolygonArea(unit, half); !almostEq(got, math.Pi/2, 1e-9) {
+		t.Errorf("half circle: got %v, want π/2", got)
+	}
+
+	// Quarter plane.
+	quarter := []Point{Pt(0, 0), Pt(3, 0), Pt(3, 3), Pt(0, 3)}
+	if got := CirclePolygonArea(unit, quarter); !almostEq(got, math.Pi/4, 1e-9) {
+		t.Errorf("quarter circle: got %v, want π/4", got)
+	}
+
+	// Disjoint.
+	far := []Point{Pt(10, 10), Pt(11, 10), Pt(11, 11), Pt(10, 11)}
+	if got := CirclePolygonArea(unit, far); !almostEq(got, 0, 1e-9) {
+		t.Errorf("disjoint: got %v, want 0", got)
+	}
+
+	// Degenerate inputs.
+	if got := CirclePolygonArea(unit, big[:2]); got != 0 {
+		t.Errorf("two-point polygon: got %v", got)
+	}
+	if got := CirclePolygonArea(Circle{Center: Pt(0, 0), R: 0}, big); got != 0 {
+		t.Errorf("zero radius: got %v", got)
+	}
+}
+
+func TestCircleRectOverlapKnown(t *testing.T) {
+	// Circle radius 2 centered at origin vs unit square in the first
+	// quadrant far corner-clipped: rect fully inside circle.
+	c := Circle{Center: Pt(0, 0), R: 2}
+	r := RectOf(Pt(0, 0), Pt(1, 1))
+	if got := CircleRectOverlap(c, r); !almostEq(got, 1, 1e-9) {
+		t.Errorf("rect inside circle: got %v, want 1", got)
+	}
+	// Circular segment: circle centered left of a tall rectangle whose left
+	// edge cuts the circle at x=1 (r=2 → segment area = r²·acos(d/r) − d·sqrt(r²−d²)).
+	tall := RectOf(Pt(1, -10), Pt(10, 10))
+	d := 1.0
+	want := c.R*c.R*math.Acos(d/c.R) - d*math.Sqrt(c.R*c.R-d*d)
+	if got := CircleRectOverlap(c, tall); !almostEq(got, want, 1e-9) {
+		t.Errorf("circular segment: got %v, want %v", got, want)
+	}
+}
+
+func TestCircleRectOverlapMonteCarlo(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for i := 0; i < 40; i++ {
+		c := Circle{
+			Center: Pt(rng.Float64()*20-10, rng.Float64()*20-10),
+			R:      rng.Float64()*8 + 0.5,
+		}
+		r := randRect(rng, 20)
+		if r.Area() < 1e-6 {
+			continue
+		}
+		got := CircleRectOverlap(c, r)
+		want := monteCarloOverlap(rng, r, 40000, c.Contains)
+		tol := 0.02*r.Area() + 0.05*want + 1e-6
+		if math.Abs(got-want) > tol {
+			t.Fatalf("overlap mismatch: exact %v vs MC %v (c=%+v r=%+v)", got, want, c, r)
+		}
+	}
+}
+
+// Overlap area can never exceed either the circle area or the rect area.
+func TestCircleRectOverlapBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(88))
+	for i := 0; i < 500; i++ {
+		c := Circle{
+			Center: Pt(rng.Float64()*20-10, rng.Float64()*20-10),
+			R:      rng.Float64() * 8,
+		}
+		r := randRect(rng, 20)
+		got := CircleRectOverlap(c, r)
+		if got < -1e-9 {
+			t.Fatalf("negative overlap %v", got)
+		}
+		if got > c.Area()+1e-9 || got > r.Area()+1e-9 {
+			t.Fatalf("overlap %v exceeds circle %v or rect %v", got, c.Area(), r.Area())
+		}
+		// Consistency with the boolean predicate.
+		if got > 1e-6 && !c.IntersectsRect(r) {
+			t.Fatalf("positive overlap but IntersectsRect false")
+		}
+	}
+}

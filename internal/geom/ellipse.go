@@ -1,0 +1,99 @@
+package geom
+
+import "math"
+
+// Ellipse is the locus of points whose summed distance to the two foci is
+// at most Major (the full major-axis length). In TNN query processing the
+// ellipse with foci (p, r) and major axis equal to the current transitive
+// upper bound is exactly the region that can still improve the answer:
+// a point s improves the bound iff dis(p,s)+dis(s,r) < Major, i.e. iff s is
+// strictly inside the ellipse. Heuristic 2 (ellipse–rectangle overlap)
+// prunes R-tree nodes whose MBR barely overlaps this ellipse.
+type Ellipse struct {
+	F1, F2 Point   // foci
+	Major  float64 // full major-axis length (the transitive-distance bound)
+}
+
+// Valid reports whether the ellipse is non-degenerate: the major axis must
+// be at least the focal distance, otherwise no point satisfies the sum
+// constraint.
+func (e Ellipse) Valid() bool { return e.Major >= Dist(e.F1, e.F2) }
+
+// Center returns the midpoint of the foci.
+func (e Ellipse) Center() Point {
+	return Point{(e.F1.X + e.F2.X) / 2, (e.F1.Y + e.F2.Y) / 2}
+}
+
+// SemiMajor returns a = Major/2.
+func (e Ellipse) SemiMajor() float64 { return e.Major / 2 }
+
+// SemiMinor returns b = sqrt(a² − c²) where c is half the focal distance;
+// zero for degenerate ellipses.
+func (e Ellipse) SemiMinor() float64 {
+	a := e.SemiMajor()
+	c := Dist(e.F1, e.F2) / 2
+	if a <= c {
+		return 0
+	}
+	return math.Sqrt(a*a - c*c)
+}
+
+// Area returns πab, or zero when degenerate.
+func (e Ellipse) Area() float64 {
+	if !e.Valid() {
+		return 0
+	}
+	return math.Pi * e.SemiMajor() * e.SemiMinor()
+}
+
+// Contains reports whether p lies inside the ellipse (boundary inclusive).
+func (e Ellipse) Contains(p Point) bool {
+	return Dist(p, e.F1)+Dist(p, e.F2) <= e.Major+Eps
+}
+
+// normalize maps a point of the plane into the coordinate frame in which
+// the ellipse becomes the unit disk at the origin: translate to the center,
+// rotate the major axis onto +X, scale the axes by (1/a, 1/b).
+func (e Ellipse) normalize(p Point, cosT, sinT, a, b float64) Point {
+	c := e.Center()
+	d := p.Sub(c)
+	// Rotate by -θ.
+	x := d.X*cosT + d.Y*sinT
+	y := -d.X*sinT + d.Y*cosT
+	return Point{x / a, y / b}
+}
+
+// axisAngle returns the cosine and sine of the major-axis direction. For
+// coincident foci (a circle) the axis is arbitrary; +X is used.
+func (e Ellipse) axisAngle() (cosT, sinT float64) {
+	d := e.F2.Sub(e.F1)
+	n := d.Norm()
+	if n == 0 {
+		return 1, 0
+	}
+	return d.X / n, d.Y / n
+}
+
+// EllipseRectOverlap returns the exact area of the intersection of the
+// ellipse e with the solid rectangle r. The rectangle is mapped by the
+// affine transform that turns e into the unit disk; under an affine map
+// areas scale uniformly by the determinant (1/(ab)), and the rectangle
+// becomes a (possibly rotated) parallelogram, so the overlap is an exact
+// circle–polygon intersection scaled back by ab.
+func EllipseRectOverlap(e Ellipse, r Rect) float64 {
+	if r.IsEmpty() || !e.Valid() {
+		return 0
+	}
+	a, b := e.SemiMajor(), e.SemiMinor()
+	if a <= 0 || b <= 0 {
+		return 0
+	}
+	cosT, sinT := e.axisAngle()
+	v := r.Vertices()
+	poly := make([]Point, 4)
+	for i, p := range v {
+		poly[i] = e.normalize(p, cosT, sinT, a, b)
+	}
+	unit := Circle{Center: Point{0, 0}, R: 1}
+	return CirclePolygonArea(unit, poly) * a * b
+}

@@ -1,0 +1,153 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestEllipseBasics(t *testing.T) {
+	// Foci (-3,0),(3,0), major 10 → a=5, c=3, b=4.
+	e := Ellipse{F1: Pt(-3, 0), F2: Pt(3, 0), Major: 10}
+	if !e.Valid() {
+		t.Fatal("ellipse should be valid")
+	}
+	if got := e.SemiMajor(); !almostEq(got, 5, 1e-12) {
+		t.Errorf("SemiMajor = %v", got)
+	}
+	if got := e.SemiMinor(); !almostEq(got, 4, 1e-12) {
+		t.Errorf("SemiMinor = %v", got)
+	}
+	if got := e.Center(); got != Pt(0, 0) {
+		t.Errorf("Center = %v", got)
+	}
+	if got := e.Area(); !almostEq(got, math.Pi*20, 1e-9) {
+		t.Errorf("Area = %v", got)
+	}
+	// Vertices of the ellipse.
+	for _, p := range []Point{Pt(5, 0), Pt(-5, 0), Pt(0, 4), Pt(0, -4)} {
+		if !e.Contains(p) {
+			t.Errorf("vertex %v should be contained", p)
+		}
+	}
+	if e.Contains(Pt(5.01, 0)) || e.Contains(Pt(0, 4.01)) {
+		t.Error("outside point contained")
+	}
+}
+
+func TestEllipseDegenerate(t *testing.T) {
+	// Major axis shorter than focal distance: invalid, empty.
+	e := Ellipse{F1: Pt(0, 0), F2: Pt(10, 0), Major: 5}
+	if e.Valid() {
+		t.Error("should be invalid")
+	}
+	if e.Area() != 0 {
+		t.Error("invalid ellipse area should be 0")
+	}
+	if got := EllipseRectOverlap(e, RectOf(Pt(-100, -100), Pt(100, 100))); got != 0 {
+		t.Errorf("invalid ellipse overlap = %v", got)
+	}
+	// Major exactly focal distance: a segment, zero area.
+	seg := Ellipse{F1: Pt(0, 0), F2: Pt(10, 0), Major: 10}
+	if got := seg.Area(); got != 0 {
+		t.Errorf("segment ellipse area = %v", got)
+	}
+	if got := EllipseRectOverlap(seg, RectOf(Pt(-1, -1), Pt(11, 1))); got != 0 {
+		t.Errorf("segment ellipse overlap = %v", got)
+	}
+}
+
+func TestEllipseCircleSpecialCase(t *testing.T) {
+	// Coincident foci: the ellipse is a circle; overlap must match
+	// CircleRectOverlap exactly.
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 100; i++ {
+		c := Pt(rng.Float64()*20-10, rng.Float64()*20-10)
+		rad := rng.Float64()*6 + 0.5
+		e := Ellipse{F1: c, F2: c, Major: 2 * rad}
+		r := randRect(rng, 20)
+		got := EllipseRectOverlap(e, r)
+		want := CircleRectOverlap(Circle{Center: c, R: rad}, r)
+		if !almostEq(got, want, 1e-9) {
+			t.Fatalf("circle special case mismatch: %v vs %v", got, want)
+		}
+	}
+}
+
+func TestEllipseRectOverlapKnown(t *testing.T) {
+	e := Ellipse{F1: Pt(-3, 0), F2: Pt(3, 0), Major: 10} // a=5, b=4
+	// Rectangle containing the whole ellipse.
+	if got := EllipseRectOverlap(e, RectOf(Pt(-6, -5), Pt(6, 5))); !almostEq(got, e.Area(), 1e-9) {
+		t.Errorf("containing rect: got %v, want %v", got, e.Area())
+	}
+	// Right half-plane rectangle: half the ellipse.
+	if got := EllipseRectOverlap(e, RectOf(Pt(0, -10), Pt(10, 10))); !almostEq(got, e.Area()/2, 1e-9) {
+		t.Errorf("half: got %v, want %v", got, e.Area()/2)
+	}
+	// Quarter.
+	if got := EllipseRectOverlap(e, RectOf(Pt(0, 0), Pt(10, 10))); !almostEq(got, e.Area()/4, 1e-9) {
+		t.Errorf("quarter: got %v, want %v", got, e.Area()/4)
+	}
+	// Disjoint.
+	if got := EllipseRectOverlap(e, RectOf(Pt(10, 10), Pt(20, 20))); !almostEq(got, 0, 1e-9) {
+		t.Errorf("disjoint: got %v", got)
+	}
+}
+
+func TestEllipseRectOverlapRotatedMonteCarlo(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	for i := 0; i < 30; i++ {
+		f1 := Pt(rng.Float64()*20-10, rng.Float64()*20-10)
+		f2 := Pt(rng.Float64()*20-10, rng.Float64()*20-10)
+		major := Dist(f1, f2) + rng.Float64()*10 + 0.5
+		e := Ellipse{F1: f1, F2: f2, Major: major}
+		r := randRect(rng, 24)
+		if r.Area() < 1e-6 {
+			continue
+		}
+		got := EllipseRectOverlap(e, r)
+		want := monteCarloOverlap(rng, r, 40000, e.Contains)
+		tol := 0.02*r.Area() + 0.05*want + 1e-6
+		if math.Abs(got-want) > tol {
+			t.Fatalf("rotated ellipse overlap mismatch: exact %v vs MC %v (e=%+v r=%+v)",
+				got, want, e, r)
+		}
+	}
+}
+
+func TestEllipseRectOverlapBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	for i := 0; i < 500; i++ {
+		f1 := Pt(rng.Float64()*20-10, rng.Float64()*20-10)
+		f2 := Pt(rng.Float64()*20-10, rng.Float64()*20-10)
+		major := Dist(f1, f2) * (0.5 + rng.Float64())
+		e := Ellipse{F1: f1, F2: f2, Major: major}
+		r := randRect(rng, 24)
+		got := EllipseRectOverlap(e, r)
+		if got < -1e-9 {
+			t.Fatalf("negative overlap %v", got)
+		}
+		if got > e.Area()+1e-9 || got > r.Area()+1e-9 {
+			t.Fatalf("overlap %v exceeds ellipse %v or rect %v", got, e.Area(), r.Area())
+		}
+	}
+}
+
+// The TNN-pruning semantics: a point s improves a transitive bound
+// d = Major iff it is inside the ellipse with foci (p, r).
+func TestEllipseTransitiveSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(65))
+	for i := 0; i < 300; i++ {
+		p := Pt(rng.Float64()*40-20, rng.Float64()*40-20)
+		r := Pt(rng.Float64()*40-20, rng.Float64()*40-20)
+		d := Dist(p, r) * (1 + rng.Float64())
+		e := Ellipse{F1: p, F2: r, Major: d}
+		s := Pt(rng.Float64()*40-20, rng.Float64()*40-20)
+		inside := e.Contains(s)
+		improves := TransDist(p, s, r) <= d+Eps
+		if inside != improves {
+			t.Fatalf("ellipse semantics mismatch: inside=%v improves=%v (p=%v r=%v s=%v d=%v)",
+				inside, improves, p, r, s, d)
+		}
+	}
+}

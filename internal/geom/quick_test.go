@@ -1,0 +1,163 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// This file holds testing/quick property tests over the geometric
+// primitives: every property is an algebraic fact the query algorithms
+// rely on for correctness.
+
+// mkRect builds a canonical rectangle from four arbitrary floats, folding
+// NaN/Inf inputs to finite values.
+func mkRect(a, b, c, d float64) Rect {
+	f := func(x float64) float64 {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return 0
+		}
+		return math.Mod(x, 1000)
+	}
+	return RectOf(Pt(f(a), f(b)), Pt(f(c), f(d)))
+}
+
+func mkPt(x, y float64) Point {
+	f := func(v float64) float64 {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return 0
+		}
+		return math.Mod(v, 1000)
+	}
+	return Pt(f(x), f(y))
+}
+
+func TestQuickDistanceOrdering(t *testing.T) {
+	// MinDist ≤ MinMaxDist ≤ MaxDist for every point/rectangle pair.
+	f := func(px, py, a, b, c, d float64) bool {
+		p := mkPt(px, py)
+		r := mkRect(a, b, c, d)
+		lo, mid, hi := r.MinDist(p), r.MinMaxDist(p), r.MaxDist(p)
+		return lo <= mid+1e-9 && mid <= hi+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickUnionContains(t *testing.T) {
+	f := func(a, b, c, d, e, g, h, i float64) bool {
+		r1 := mkRect(a, b, c, d)
+		r2 := mkRect(e, g, h, i)
+		u := r1.Union(r2)
+		return u.ContainsRect(r1) && u.ContainsRect(r2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickIntersectWithin(t *testing.T) {
+	f := func(a, b, c, d, e, g, h, i float64) bool {
+		r1 := mkRect(a, b, c, d)
+		r2 := mkRect(e, g, h, i)
+		x := r1.Intersect(r2)
+		if x.IsEmpty() {
+			return true
+		}
+		return r1.ContainsRect(x) && r2.ContainsRect(x)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMinTransDistLowerBounds(t *testing.T) {
+	// MinTransDist dominates both obvious lower bounds: the straight-line
+	// distance dis(p,r) and MinDist(p,M) + MinDist(r,M).
+	f := func(px, py, rx, ry, a, b, c, d float64) bool {
+		p, r := mkPt(px, py), mkPt(rx, ry)
+		m := mkRect(a, b, c, d)
+		v := MinTransDist(p, m, r)
+		if v < Dist(p, r)-1e-9 {
+			return false
+		}
+		return v >= m.MinDist(p)+m.MinDist(r)-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickTransDistSandwich(t *testing.T) {
+	// MinTransDist ≤ transitive distance via the rectangle center ≤
+	// p-to-farthest-corner + farthest-corner-to-r (a crude upper bound).
+	f := func(px, py, rx, ry, a, b, c, d float64) bool {
+		p, r := mkPt(px, py), mkPt(rx, ry)
+		m := mkRect(a, b, c, d)
+		via := TransDist(p, m.Center(), r)
+		return MinTransDist(p, m, r) <= via+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickOverlapMonotoneInRadius(t *testing.T) {
+	// Growing the circle can only grow the overlap.
+	f := func(cx, cy, r1, r2, a, b, c, d float64) bool {
+		center := mkPt(cx, cy)
+		m := mkRect(a, b, c, d)
+		lo := math.Min(math.Abs(math.Mod(r1, 500)), math.Abs(math.Mod(r2, 500)))
+		hi := math.Max(math.Abs(math.Mod(r1, 500)), math.Abs(math.Mod(r2, 500)))
+		small := CircleRectOverlap(Circle{Center: center, R: lo}, m)
+		big := CircleRectOverlap(Circle{Center: center, R: hi}, m)
+		return small <= big+1e-6*(1+big)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickEllipseOverlapBounded(t *testing.T) {
+	f := func(ax, ay, bx, by, extra, a, b, c, d float64) bool {
+		f1, f2 := mkPt(ax, ay), mkPt(bx, by)
+		e := Ellipse{F1: f1, F2: f2, Major: Dist(f1, f2) + math.Abs(math.Mod(extra, 500))}
+		m := mkRect(a, b, c, d)
+		v := EllipseRectOverlap(e, m)
+		return v >= -1e-9 && v <= e.Area()+1e-6*(1+e.Area()) && v <= m.Area()+1e-6*(1+m.Area())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickReflectPreservesDistanceToLine(t *testing.T) {
+	f := func(px, py, ax, ay, bx, by float64) bool {
+		p := mkPt(px, py)
+		a, b := mkPt(ax, ay), mkPt(bx, by)
+		if a == b {
+			return true
+		}
+		q := ReflectAcrossLine(p, a, b)
+		// Both have the same distance to the line through a,b.
+		num := math.Abs(b.Sub(a).Cross(p.Sub(a)))
+		num2 := math.Abs(b.Sub(a).Cross(q.Sub(a)))
+		return math.Abs(num-num2) <= 1e-6*(1+num)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSegMaxDistSymmetry(t *testing.T) {
+	// MaxDist is symmetric in the segment endpoints.
+	f := func(px, py, ax, ay, bx, by, rx, ry float64) bool {
+		p, r := mkPt(px, py), mkPt(rx, ry)
+		a, b := mkPt(ax, ay), mkPt(bx, by)
+		return SegMaxDist(p, a, b, r) == SegMaxDist(p, b, a, r)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

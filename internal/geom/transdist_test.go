@@ -1,0 +1,218 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// sampleBoundary returns n points distributed along the boundary of r.
+func sampleBoundary(r Rect, n int) []Point {
+	out := make([]Point, 0, 4*n)
+	for _, s := range r.Sides() {
+		for i := 0; i <= n; i++ {
+			out = append(out, Lerp(s[0], s[1], float64(i)/float64(n)))
+		}
+	}
+	return out
+}
+
+// bruteMinTrans approximates the true minimum transitive distance through
+// the solid rectangle by dense sampling of the boundary and, when the
+// straight segment crosses the rectangle, the straight-line distance.
+func bruteMinTrans(p Point, m Rect, r Point) float64 {
+	best := math.Inf(1)
+	if m.IntersectsSegment(p, r) {
+		best = Dist(p, r)
+	}
+	for _, s := range sampleBoundary(m, 400) {
+		if d := TransDist(p, s, r); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+func TestMinTransDistCase1(t *testing.T) {
+	m := RectOf(Pt(2, 2), Pt(6, 6))
+	// Segment passes straight through the rectangle.
+	p, r := Pt(0, 4), Pt(8, 4)
+	if got := MinTransDist(p, m, r); !almostEq(got, 8, 1e-9) {
+		t.Errorf("case 1: got %v, want 8", got)
+	}
+	// p inside the rectangle: s = p is admissible, distance is dis(p,r).
+	p2 := Pt(3, 3)
+	if got := MinTransDist(p2, m, r); !almostEq(got, Dist(p2, r), 1e-9) {
+		t.Errorf("p inside: got %v, want %v", got, Dist(p2, r))
+	}
+}
+
+func TestMinTransDistCase2(t *testing.T) {
+	// Both points above the top side; shortest bounce path reflects off the
+	// top edge (the classic mirror construction).
+	m := RectOf(Pt(0, 0), Pt(10, 2))
+	p, r := Pt(2, 5), Pt(8, 5)
+	// Reflect r across y=2: (8, -1). dist((2,5),(8,-1)) = sqrt(36+36).
+	want := math.Sqrt(72)
+	if got := MinTransDist(p, m, r); !almostEq(got, want, 1e-9) {
+		t.Errorf("case 2: got %v, want %v", got, want)
+	}
+}
+
+func TestMinTransDistCase3(t *testing.T) {
+	// p to the left, r below: the shortest detour goes around the
+	// lower-left corner.
+	m := RectOf(Pt(2, 2), Pt(6, 6))
+	p, r := Pt(0, 3), Pt(3, 0)
+	want := Dist(p, Pt(2, 2)) + Dist(Pt(2, 2), r)
+	if got := MinTransDist(p, m, r); !almostEq(got, want, 1e-9) {
+		t.Errorf("case 3: got %v, want %v", got, want)
+	}
+}
+
+func TestMinTransDistDegenerate(t *testing.T) {
+	if got := MinTransDist(Pt(0, 0), EmptyRect(), Pt(1, 1)); !math.IsInf(got, 1) {
+		t.Errorf("empty rect: got %v, want +Inf", got)
+	}
+	// Point rectangle behaves like a single waypoint.
+	m := Rect{Lo: Pt(3, 4), Hi: Pt(3, 4)}
+	p, r := Pt(0, 0), Pt(6, 8)
+	want := Dist(p, Pt(3, 4)) + Dist(Pt(3, 4), r)
+	if got := MinTransDist(p, m, r); !almostEq(got, want, 1e-9) {
+		t.Errorf("point rect: got %v, want %v", got, want)
+	}
+	// p == r outside the rectangle: shortest round trip to the rectangle
+	// and back is twice MinDist.
+	m2 := RectOf(Pt(2, 2), Pt(6, 6))
+	q := Pt(0, 4)
+	if got := MinTransDist(q, m2, q); !almostEq(got, 2*m2.MinDist(q), 1e-9) {
+		t.Errorf("p==r: got %v, want %v", got, 2*m2.MinDist(q))
+	}
+}
+
+// Property: MinTransDist agrees with dense boundary/interior sampling.
+func TestMinTransDistAgainstSampling(t *testing.T) {
+	rng := rand.New(rand.NewSource(314))
+	for i := 0; i < 300; i++ {
+		m := randRect(rng, 40)
+		p := Pt(rng.Float64()*80-20, rng.Float64()*80-20)
+		r := Pt(rng.Float64()*80-20, rng.Float64()*80-20)
+		got := MinTransDist(p, m, r)
+		want := bruteMinTrans(p, m, r)
+		// Sampling can only overestimate the true minimum.
+		if got > want+1e-6*(1+want) {
+			t.Fatalf("MinTransDist %v exceeds sampled minimum %v (m=%+v p=%v r=%v)",
+				got, want, m, p, r)
+		}
+		// And it must not undercut the sampled minimum by more than the
+		// sampling resolution allows.
+		diag := math.Hypot(m.Width(), m.Height())
+		if got < want-diag/100-1e-6 {
+			t.Fatalf("MinTransDist %v far below sampled minimum %v (m=%+v p=%v r=%v)",
+				got, want, m, p, r)
+		}
+	}
+}
+
+// Property: MinTransDist is a lower bound for the transitive distance via
+// any point inside the rectangle.
+func TestMinTransDistLowerBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(2718))
+	for i := 0; i < 300; i++ {
+		m := randRect(rng, 40)
+		p := Pt(rng.Float64()*80-20, rng.Float64()*80-20)
+		r := Pt(rng.Float64()*80-20, rng.Float64()*80-20)
+		lo := MinTransDist(p, m, r)
+		for j := 0; j < 20; j++ {
+			s := randPointIn(rng, m)
+			if d := TransDist(p, s, r); d < lo-1e-9*(1+d) {
+				t.Fatalf("point %v in %+v has transitive distance %v < MinTransDist %v",
+					s, m, d, lo)
+			}
+		}
+	}
+}
+
+func TestSegMaxDist(t *testing.T) {
+	p, r := Pt(0, 0), Pt(10, 0)
+	a, b := Pt(3, 4), Pt(7, 4)
+	want := math.Max(TransDist(p, a, r), TransDist(p, b, r))
+	if got := SegMaxDist(p, a, b, r); !almostEq(got, want, 1e-12) {
+		t.Errorf("SegMaxDist = %v, want %v", got, want)
+	}
+}
+
+// Lemma 2: MaxDist is an upper bound over every point of the segment, and
+// tight (attained at an endpoint).
+func TestSegMaxDistUpperBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(16180))
+	for i := 0; i < 300; i++ {
+		p := Pt(rng.Float64()*40-20, rng.Float64()*40-20)
+		r := Pt(rng.Float64()*40-20, rng.Float64()*40-20)
+		a := Pt(rng.Float64()*40-20, rng.Float64()*40-20)
+		b := Pt(rng.Float64()*40-20, rng.Float64()*40-20)
+		ub := SegMaxDist(p, a, b, r)
+		for j := 0; j <= 50; j++ {
+			v := Lerp(a, b, float64(j)/50)
+			if d := TransDist(p, v, r); d > ub+1e-9*(1+d) {
+				t.Fatalf("segment point %v exceeds MaxDist: %v > %v", v, d, ub)
+			}
+		}
+		// Tightness.
+		attained := math.Max(TransDist(p, a, r), TransDist(p, b, r))
+		if !almostEq(attained, ub, 1e-12) {
+			t.Fatalf("MaxDist not attained at an endpoint")
+		}
+	}
+}
+
+// Lemma 3: for any rectangle with points on all four faces, at least one
+// point has transitive distance ≤ MinMaxTransDist.
+func TestMinMaxTransDistFaceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for i := 0; i < 300; i++ {
+		m := randRect(rng, 40)
+		if m.Width() < 1e-6 || m.Height() < 1e-6 {
+			continue
+		}
+		p := Pt(rng.Float64()*80-20, rng.Float64()*80-20)
+		r := Pt(rng.Float64()*80-20, rng.Float64()*80-20)
+		ub := MinMaxTransDist(p, m, r)
+		facePts := []Point{
+			{m.Lo.X, m.Lo.Y + rng.Float64()*m.Height()},
+			{m.Hi.X, m.Lo.Y + rng.Float64()*m.Height()},
+			{m.Lo.X + rng.Float64()*m.Width(), m.Lo.Y},
+			{m.Lo.X + rng.Float64()*m.Width(), m.Hi.Y},
+		}
+		best := math.Inf(1)
+		for _, s := range facePts {
+			if d := TransDist(p, s, r); d < best {
+				best = d
+			}
+		}
+		if best > ub+1e-9*(1+ub) {
+			t.Fatalf("no face point within MinMaxTransDist: best=%v ub=%v", best, ub)
+		}
+	}
+}
+
+// Ordering: MinTransDist ≤ MinMaxTransDist always.
+func TestTransDistOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(555))
+	for i := 0; i < 500; i++ {
+		m := randRect(rng, 40)
+		p := Pt(rng.Float64()*80-20, rng.Float64()*80-20)
+		r := Pt(rng.Float64()*80-20, rng.Float64()*80-20)
+		lo := MinTransDist(p, m, r)
+		hi := MinMaxTransDist(p, m, r)
+		if lo > hi+1e-9*(1+hi) {
+			t.Fatalf("MinTransDist %v > MinMaxTransDist %v (m=%+v p=%v r=%v)", lo, hi, m, p, r)
+		}
+	}
+}
+
+func TestMinMaxTransDistEmpty(t *testing.T) {
+	if got := MinMaxTransDist(Pt(0, 0), EmptyRect(), Pt(1, 1)); !math.IsInf(got, 1) {
+		t.Errorf("empty rect: got %v, want +Inf", got)
+	}
+}

@@ -1,0 +1,89 @@
+package rtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"tnnbcast/internal/geom"
+)
+
+func TestHilbertDOrder1(t *testing.T) {
+	// Order-1 curve over the 2×2 grid visits (0,0),(0,1),(1,1),(1,0).
+	want := map[[2]uint32]uint64{
+		{0, 0}: 0, {0, 1}: 1, {1, 1}: 2, {1, 0}: 3,
+	}
+	for xy, d := range want {
+		if got := hilbertD(xy[0], xy[1], 1); got != d {
+			t.Errorf("hilbertD(%v) = %d, want %d", xy, got, d)
+		}
+	}
+}
+
+func TestHilbertDBijective(t *testing.T) {
+	// Order-4 curve: all 256 cells map to distinct distances in [0,256).
+	const order = 4
+	seen := make(map[uint64]bool)
+	for x := uint32(0); x < 16; x++ {
+		for y := uint32(0); y < 16; y++ {
+			d := hilbertD(x, y, order)
+			if d >= 256 {
+				t.Fatalf("distance %d out of range", d)
+			}
+			if seen[d] {
+				t.Fatalf("duplicate distance %d", d)
+			}
+			seen[d] = true
+		}
+	}
+}
+
+func TestHilbertDLocality(t *testing.T) {
+	// Adjacent cells along the curve are adjacent in the grid (the defining
+	// property of the Hilbert curve).
+	const order = 5
+	size := uint32(1) << order
+	inv := make(map[uint64][2]uint32)
+	for x := uint32(0); x < size; x++ {
+		for y := uint32(0); y < size; y++ {
+			inv[hilbertD(x, y, order)] = [2]uint32{x, y}
+		}
+	}
+	total := uint64(size) * uint64(size)
+	for d := uint64(0); d+1 < total; d++ {
+		a, b := inv[d], inv[d+1]
+		dx := int(a[0]) - int(b[0])
+		dy := int(a[1]) - int(b[1])
+		if dx*dx+dy*dy != 1 {
+			t.Fatalf("curve jump between d=%d (%v) and d=%d (%v)", d, a, d+1, b)
+		}
+	}
+}
+
+func TestHilbertKeyDegenerateMBR(t *testing.T) {
+	// Zero-extent MBR must not divide by zero.
+	mbr := geom.Rect{Lo: geom.Pt(5, 5), Hi: geom.Pt(5, 5)}
+	_ = hilbertKey(geom.Pt(5, 5), mbr) // must not panic
+}
+
+func TestHilbertPackingClusters(t *testing.T) {
+	// Hilbert packing should usually put near points in the same leaf:
+	// check that average leaf MBR area is much smaller than the domain.
+	rng := rand.New(rand.NewSource(10))
+	pts := randPoints(rng, 2000, 1000)
+	tr := Build(pts, Config{LeafCap: 8, NodeCap: 4, Packing: HilbertSort})
+	if msg := tr.Validate(); msg != "" {
+		t.Fatalf("invalid: %s", msg)
+	}
+	var totalArea float64
+	leaves := 0
+	tr.Preorder(func(n *Node) {
+		if n.Leaf() {
+			totalArea += n.MBR.Area()
+			leaves++
+		}
+	})
+	avg := totalArea / float64(leaves)
+	if avg > 1000*1000/50 {
+		t.Errorf("hilbert leaves too large on average: %v", avg)
+	}
+}

@@ -1,0 +1,204 @@
+package rtree
+
+import (
+	"math"
+	"sort"
+
+	"tnnbcast/internal/geom"
+)
+
+// This file implements the three bulk-loading (packing) strategies. All of
+// them fill leaves to capacity; they differ only in the ordering that
+// decides which points share a leaf.
+
+// chunkEntries slices es into runs of at most cap entries and wraps each
+// run in a leaf node.
+func chunkEntries(es []Entry, cap int) []*Node {
+	leaves := make([]*Node, 0, (len(es)+cap-1)/cap)
+	for i := 0; i < len(es); i += cap {
+		j := i + cap
+		if j > len(es) {
+			j = len(es)
+		}
+		run := make([]Entry, j-i)
+		copy(run, es[i:j])
+		leaves = append(leaves, &Node{MBR: mbrOfEntries(run), Entries: run})
+	}
+	return leaves
+}
+
+// chunkNodes groups ns into runs of at most cap children under new parents.
+func chunkNodes(ns []*Node, cap int) []*Node {
+	parents := make([]*Node, 0, (len(ns)+cap-1)/cap)
+	for i := 0; i < len(ns); i += cap {
+		j := i + cap
+		if j > len(ns) {
+			j = len(ns)
+		}
+		run := make([]*Node, j-i)
+		copy(run, ns[i:j])
+		parents = append(parents, &Node{MBR: mbrOfNodes(run), Children: run})
+	}
+	return parents
+}
+
+// packLeavesSTR is the leaf step of Sort-Tile-Recursive: sort by x, cut
+// into ⌈sqrt(P)⌉ vertical slabs of ⌈sqrt(P)⌉·cap points, sort each slab by
+// y, and pack runs of cap.
+func packLeavesSTR(es []Entry, cap int) []*Node {
+	n := len(es)
+	p := (n + cap - 1) / cap                   // number of leaves
+	s := int(math.Ceil(math.Sqrt(float64(p)))) // slabs
+	slabSize := s * cap
+
+	sorted := make([]Entry, n)
+	copy(sorted, es)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Point.X != sorted[j].Point.X {
+			return sorted[i].Point.X < sorted[j].Point.X
+		}
+		return sorted[i].Point.Y < sorted[j].Point.Y
+	})
+
+	var leaves []*Node
+	for i := 0; i < n; i += slabSize {
+		j := i + slabSize
+		if j > n {
+			j = n
+		}
+		slab := sorted[i:j]
+		sort.Slice(slab, func(a, b int) bool {
+			if slab[a].Point.Y != slab[b].Point.Y {
+				return slab[a].Point.Y < slab[b].Point.Y
+			}
+			return slab[a].Point.X < slab[b].Point.X
+		})
+		leaves = append(leaves, chunkEntries(slab, cap)...)
+	}
+	return leaves
+}
+
+// packNodesSTR applies the same tiling to node centers for the upper
+// levels.
+func packNodesSTR(ns []*Node, cap int) []*Node {
+	n := len(ns)
+	p := (n + cap - 1) / cap
+	s := int(math.Ceil(math.Sqrt(float64(p))))
+	slabSize := s * cap
+
+	sorted := make([]*Node, n)
+	copy(sorted, ns)
+	sort.Slice(sorted, func(i, j int) bool {
+		ci, cj := sorted[i].MBR.Center(), sorted[j].MBR.Center()
+		if ci.X != cj.X {
+			return ci.X < cj.X
+		}
+		return ci.Y < cj.Y
+	})
+
+	var parents []*Node
+	for i := 0; i < n; i += slabSize {
+		j := i + slabSize
+		if j > n {
+			j = n
+		}
+		slab := sorted[i:j]
+		sort.Slice(slab, func(a, b int) bool {
+			ca, cb := slab[a].MBR.Center(), slab[b].MBR.Center()
+			if ca.Y != cb.Y {
+				return ca.Y < cb.Y
+			}
+			return ca.X < cb.X
+		})
+		parents = append(parents, chunkNodes(slab, cap)...)
+	}
+	return parents
+}
+
+// packLeavesHilbert packs points in Hilbert-curve order of their position
+// within the dataset MBR, quantized to a 2^hilbertOrder grid.
+func packLeavesHilbert(es []Entry, cap int) []*Node {
+	mbr := mbrOfEntries(es)
+	type keyed struct {
+		e Entry
+		k uint64
+	}
+	ks := make([]keyed, len(es))
+	for i, e := range es {
+		ks[i] = keyed{e: e, k: hilbertKey(e.Point, mbr)}
+	}
+	sort.SliceStable(ks, func(i, j int) bool { return ks[i].k < ks[j].k })
+	sorted := make([]Entry, len(es))
+	for i, ke := range ks {
+		sorted[i] = ke.e
+	}
+	return chunkEntries(sorted, cap)
+}
+
+// packLeavesNearestX packs points sorted by x-coordinate only.
+func packLeavesNearestX(es []Entry, cap int) []*Node {
+	sorted := make([]Entry, len(es))
+	copy(sorted, es)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Point.X != sorted[j].Point.X {
+			return sorted[i].Point.X < sorted[j].Point.X
+		}
+		return sorted[i].Point.Y < sorted[j].Point.Y
+	})
+	return chunkEntries(sorted, cap)
+}
+
+// packNodesLinear groups nodes in their existing (curve) order.
+func packNodesLinear(ns []*Node, cap int) []*Node {
+	return chunkNodes(ns, cap)
+}
+
+// hilbertOrder is the recursion depth of the Hilbert curve used for
+// ordering; 16 gives a 65536×65536 grid, ample for datasets of ~10^5
+// points.
+const hilbertOrder = 16
+
+// hilbertKey maps p (quantized within mbr) to its distance along the
+// Hilbert curve.
+func hilbertKey(p geom.Point, mbr geom.Rect) uint64 {
+	side := uint32(1) << hilbertOrder
+	fx, fy := 0.0, 0.0
+	if mbr.Width() > 0 {
+		fx = (p.X - mbr.Lo.X) / mbr.Width()
+	}
+	if mbr.Height() > 0 {
+		fy = (p.Y - mbr.Lo.Y) / mbr.Height()
+	}
+	x := uint32(fx * float64(side-1))
+	y := uint32(fy * float64(side-1))
+	return hilbertD(x, y, hilbertOrder)
+}
+
+// hilbertD converts grid coordinates to the distance along a Hilbert curve
+// of the given order (standard bit-twiddling formulation).
+func hilbertD(x, y uint32, order uint) uint64 {
+	var rx, ry uint32
+	var d uint64
+	for s := uint32(1) << (order - 1); s > 0; s >>= 1 {
+		if x&s > 0 {
+			rx = 1
+		} else {
+			rx = 0
+		}
+		if y&s > 0 {
+			ry = 1
+		} else {
+			ry = 0
+		}
+		d += uint64(s) * uint64(s) * uint64((3*rx)^ry)
+		// Rotate quadrant.
+		if ry == 0 {
+			if rx == 1 {
+				x = s - 1 - x
+				y = s - 1 - y
+			}
+			x, y = y, x
+		}
+	}
+	return d
+}

@@ -1,0 +1,192 @@
+// Package rtree implements static, bulk-loaded (packed) R-trees over 2-D
+// points, as used by the paper for air indexing: the point sets are known a
+// priori and never updated, so packing algorithms (STR, Hilbert sort,
+// Nearest-X) build a tree with full nodes and near-optimal overlap.
+//
+// The trees here are plain in-memory structures. The broadcast substrate
+// (internal/broadcast) serializes them into fixed-size pages in depth-first
+// order; the query algorithms in internal/core then traverse the *broadcast
+// image* of the tree under the linear-access constraint. The in-memory
+// query methods in this package (window, circular range, best-first NN) are
+// the disk/memory reference implementations, used as correctness oracles
+// and for the client-side join.
+package rtree
+
+import (
+	"fmt"
+
+	"tnnbcast/internal/geom"
+)
+
+// Entry is a leaf-level entry: one data point and the identifier of the
+// object it locates (its index in the original dataset slice).
+type Entry struct {
+	Point geom.Point
+	ID    int
+}
+
+// Node is an R-tree node. Exactly one of Children and Entries is non-empty
+// (except for a degenerate empty tree). Nodes carry their preorder ID and
+// depth, assigned at build time; the broadcast layer keys its page schedule
+// on the preorder ID.
+type Node struct {
+	MBR      geom.Rect
+	Children []*Node // internal nodes: child subtrees, in packing order
+	Entries  []Entry // leaf nodes: data points
+	ID       int     // preorder (depth-first) index within the tree
+	Depth    int     // root has depth 0
+}
+
+// Leaf reports whether n is a leaf node.
+func (n *Node) Leaf() bool { return len(n.Children) == 0 }
+
+// Packing selects the bulk-loading algorithm.
+type Packing int
+
+const (
+	// STR is the Sort-Tile-Recursive packing of Leutenegger et al. —
+	// the algorithm the paper uses ("we use STR packing algorithm to
+	// build the R-tree in order to achieve the best performance").
+	STR Packing = iota
+	// HilbertSort packs points in Hilbert-curve order (Kamel–Faloutsos).
+	HilbertSort
+	// NearestX packs points sorted by x-coordinate only
+	// (Roussopoulos–Leifker); the weakest but simplest packer.
+	NearestX
+)
+
+func (p Packing) String() string {
+	switch p {
+	case STR:
+		return "STR"
+	case HilbertSort:
+		return "Hilbert"
+	case NearestX:
+		return "NearestX"
+	default:
+		return fmt.Sprintf("Packing(%d)", int(p))
+	}
+}
+
+// Config controls tree construction.
+type Config struct {
+	// LeafCap is the maximum number of point entries per leaf.
+	LeafCap int
+	// NodeCap is the maximum number of children per internal node.
+	NodeCap int
+	// Packing selects the bulk-loading algorithm; default STR.
+	Packing Packing
+}
+
+// Tree is a packed, immutable R-tree.
+type Tree struct {
+	Root    *Node
+	Nodes   []*Node // all nodes in preorder; Nodes[i].ID == i
+	Height  int     // number of levels (a single leaf root has height 1)
+	Count   int     // number of data points
+	LeafCap int
+	NodeCap int
+	Packing Packing
+}
+
+// Build bulk-loads a packed R-tree over pts. Entry IDs are the indices into
+// pts. Build panics if the capacities are below 2 (below 1 for LeafCap),
+// since such trees cannot exist.
+func Build(pts []geom.Point, cfg Config) *Tree {
+	if cfg.LeafCap < 1 {
+		panic("rtree: LeafCap must be >= 1")
+	}
+	if cfg.NodeCap < 2 {
+		panic("rtree: NodeCap must be >= 2")
+	}
+	t := &Tree{LeafCap: cfg.LeafCap, NodeCap: cfg.NodeCap, Packing: cfg.Packing, Count: len(pts)}
+	if len(pts) == 0 {
+		t.Root = &Node{MBR: geom.EmptyRect()}
+		t.Height = 1
+		t.index()
+		return t
+	}
+
+	entries := make([]Entry, len(pts))
+	for i, p := range pts {
+		entries[i] = Entry{Point: p, ID: i}
+	}
+
+	var leaves []*Node
+	switch cfg.Packing {
+	case HilbertSort:
+		leaves = packLeavesHilbert(entries, cfg.LeafCap)
+	case NearestX:
+		leaves = packLeavesNearestX(entries, cfg.LeafCap)
+	default:
+		leaves = packLeavesSTR(entries, cfg.LeafCap)
+	}
+
+	level := leaves
+	height := 1
+	for len(level) > 1 {
+		switch cfg.Packing {
+		case HilbertSort, NearestX:
+			level = packNodesLinear(level, cfg.NodeCap)
+		default:
+			level = packNodesSTR(level, cfg.NodeCap)
+		}
+		height++
+	}
+	t.Root = level[0]
+	t.Height = height
+	t.index()
+	return t
+}
+
+// index assigns preorder IDs and depths and fills t.Nodes.
+func (t *Tree) index() {
+	t.Nodes = t.Nodes[:0]
+	var walk func(n *Node, depth int)
+	walk = func(n *Node, depth int) {
+		n.ID = len(t.Nodes)
+		n.Depth = depth
+		t.Nodes = append(t.Nodes, n)
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	walk(t.Root, 0)
+}
+
+// Preorder calls fn for every node in depth-first preorder (the broadcast
+// order the paper uses).
+func (t *Tree) Preorder(fn func(n *Node)) {
+	for _, n := range t.Nodes {
+		fn(n)
+	}
+}
+
+// NumLeaves returns the number of leaf nodes.
+func (t *Tree) NumLeaves() int {
+	c := 0
+	for _, n := range t.Nodes {
+		if n.Leaf() {
+			c++
+		}
+	}
+	return c
+}
+
+// mbrOfEntries returns the bounding rectangle of a run of entries.
+func mbrOfEntries(es []Entry) geom.Rect {
+	r := geom.EmptyRect()
+	for _, e := range es {
+		r = r.Extend(e.Point)
+	}
+	return r
+}
+
+// mbrOfNodes returns the bounding rectangle of a run of nodes.
+func mbrOfNodes(ns []*Node) geom.Rect {
+	r := geom.EmptyRect()
+	for _, n := range ns {
+		r = r.Union(n.MBR)
+	}
+	return r
+}

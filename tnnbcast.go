@@ -1,0 +1,355 @@
+// Package tnnbcast is a library for processing transitive nearest-neighbor
+// (TNN) queries in multi-channel wireless broadcast environments,
+// reproducing Zhang, Lee, Mitra and Zheng, "Processing Transitive
+// Nearest-Neighbor Queries in Multi-Channel Access Environments"
+// (EDBT 2008).
+//
+// A TNN query asks, for a query point p and two datasets S and R (say post
+// offices and restaurants), for the pair (s, r) minimizing the two-leg trip
+// dis(p,s) + dis(s,r). In the broadcast setting the datasets are not stored
+// locally: a server cyclically transmits each dataset on its own channel as
+// a packed R-tree air index interleaved with the data pages ((1,m) scheme),
+// and the mobile client — which can listen to both channels at once —
+// answers the query by choosing which pages to download and when. Two
+// costs matter: access time (elapsed pages until the answer is complete)
+// and tune-in time (pages actually downloaded; the energy proxy).
+//
+// Basic use:
+//
+//	sys, err := tnnbcast.New(postOffices, restaurants)
+//	if err != nil { ... }
+//	res := sys.Query(tnnbcast.Pt(x, y), tnnbcast.Double)
+//	fmt.Println(res.S, res.R, res.Dist, res.AccessTime, res.TuneIn)
+//
+// The package exposes the paper's four algorithms (Window, Double, Hybrid,
+// Approximate) and the approximate-NN energy optimization (WithANN,
+// WithDensityAwareANN). See the examples directory for runnable scenarios
+// and cmd/tnnbench for the full evaluation harness.
+package tnnbcast
+
+import (
+	"fmt"
+
+	"tnnbcast/internal/broadcast"
+	"tnnbcast/internal/core"
+	"tnnbcast/internal/dataset"
+	"tnnbcast/internal/geom"
+	"tnnbcast/internal/rtree"
+)
+
+// Point is a location in the plane.
+type Point = geom.Point
+
+// Rect is an axis-aligned rectangle.
+type Rect = geom.Rect
+
+// Pt constructs a Point.
+func Pt(x, y float64) Point { return geom.Pt(x, y) }
+
+// RectOf constructs the rectangle spanned by two corner points.
+func RectOf(a, b Point) Rect { return geom.RectOf(a, b) }
+
+// Algorithm selects a TNN query-processing algorithm.
+type Algorithm int
+
+const (
+	// Window is the Window-Based-TNN-Search baseline (sequential NN
+	// queries: s = p.NN(S), then r = s.NN(R)).
+	Window Algorithm = iota
+	// Double is the Double-NN-Search algorithm: both NN queries run in
+	// parallel on the two channels.
+	Double
+	// Hybrid is the Hybrid-NN-Search algorithm: parallel NN queries where
+	// the first to finish redirects the other (query-point switch or
+	// transitive-metric switch).
+	Hybrid
+	// Approximate is the Approximate-TNN-Search baseline: no estimate
+	// phase; the search radius comes from a uniform-density formula and
+	// is not guaranteed to contain the answer.
+	Approximate
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case Window:
+		return "Window-Based"
+	case Double:
+		return "Double-NN"
+	case Hybrid:
+		return "Hybrid-NN"
+	case Approximate:
+		return "Approximate-TNN"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// System is a two-channel broadcast of datasets S and R, ready to answer
+// TNN queries. It is immutable and safe for concurrent queries.
+type System struct {
+	env          core.Env
+	progS, progR *broadcast.Program
+	treeS, treeR *rtree.Tree
+	params       broadcast.Params
+	region       Rect
+}
+
+// Option configures New.
+type Option func(*config)
+
+type config struct {
+	params  broadcast.Params
+	region  Rect
+	hasReg  bool
+	offS    int64
+	offR    int64
+	oneChan bool
+}
+
+// WithPageCap sets the broadcast page capacity in bytes (default 64; the
+// paper evaluates 64–512). The R-tree fanout follows from it.
+func WithPageCap(bytes int) Option {
+	return func(c *config) { c.params.PageCap = bytes }
+}
+
+// WithInterleave fixes the (1,m) interleaving factor instead of the
+// Imielinski-optimal default.
+func WithInterleave(m int) Option {
+	return func(c *config) { c.params.M = m }
+}
+
+// WithRegion declares the common service region. By default it is the
+// bounding box of both datasets. Approximate-TNN scales its radius
+// estimate by the region's area.
+func WithRegion(r Rect) Option {
+	return func(c *config) { c.region, c.hasReg = r, true }
+}
+
+// WithPhases sets the two channels' phase offsets (the slot at which each
+// channel's cycle begins). Defaults are zero; experiments randomize them
+// per query to model the random waiting time for the index roots.
+func WithPhases(offS, offR int64) Option {
+	return func(c *config) { c.offS, c.offR = offS, offR }
+}
+
+// WithSingleChannel time-multiplexes both datasets on ONE physical channel
+// — the predecessor environment of Zheng–Lee–Lee (SUTC 2006) that the
+// paper's multi-channel setting improves on. All algorithms run unchanged;
+// access times grow because the combined cycle is longer and the two
+// searches cannot overlap in time. Only the S phase offset applies.
+func WithSingleChannel() Option {
+	return func(c *config) { c.oneChan = true }
+}
+
+// New builds the packed R-trees and broadcast programs for datasets S and
+// R and returns a query-ready System.
+func New(s, r []Point, opts ...Option) (*System, error) {
+	cfg := config{params: broadcast.DefaultParams()}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if err := cfg.params.Validate(); err != nil {
+		return nil, err
+	}
+	region := cfg.region
+	if !cfg.hasReg {
+		mbr := geom.EmptyRect()
+		for _, p := range s {
+			mbr = mbr.Extend(p)
+		}
+		for _, p := range r {
+			mbr = mbr.Extend(p)
+		}
+		region = mbr
+	}
+
+	rcfg := rtree.Config{
+		LeafCap: cfg.params.LeafCap(),
+		NodeCap: cfg.params.NodeCap(),
+		Packing: rtree.STR,
+	}
+	treeS := rtree.Build(s, rcfg)
+	treeR := rtree.Build(r, rcfg)
+	progS := broadcast.BuildProgram(treeS, cfg.params)
+	progR := broadcast.BuildProgram(treeR, cfg.params)
+
+	var chS, chR broadcast.Feed
+	if cfg.oneChan {
+		dual := broadcast.NewDualChannel(progS, progR, cfg.offS)
+		chS, chR = dual.FeedS(), dual.FeedR()
+	} else {
+		chS = broadcast.NewChannel(progS, cfg.offS)
+		chR = broadcast.NewChannel(progR, cfg.offR)
+	}
+
+	return &System{
+		env:   core.Env{ChS: chS, ChR: chR, Region: region},
+		progS: progS, progR: progR,
+		treeS: treeS, treeR: treeR,
+		params: cfg.params,
+		region: region,
+	}, nil
+}
+
+// Result is the outcome of one TNN query.
+type Result struct {
+	// S and R are the answer pair's locations; SID and RID index into the
+	// original dataset slices.
+	S, R     Point
+	SID, RID int
+	// Dist is the transitive distance dis(p,S) + dis(S,R).
+	Dist float64
+	// Found is false when the algorithm could not produce an answer
+	// (possible only for Approximate on skewed data, or empty datasets).
+	Found bool
+	// AccessTime is the paper's access time in pages: elapsed broadcast
+	// slots from query issue until the answer (including its data pages)
+	// is complete, maximized over the two channels.
+	AccessTime int64
+	// TuneIn is the number of pages downloaded on both channels — the
+	// energy-consumption proxy.
+	TuneIn int64
+	// EstimateTuneIn and FilterTuneIn split TuneIn by query phase.
+	EstimateTuneIn, FilterTuneIn int64
+	// Radius is the search-range radius the estimate phase determined.
+	Radius float64
+}
+
+// QueryOption configures a single query.
+type QueryOption func(*core.Options)
+
+// WithANN enables the approximate-NN optimization with the given
+// adjustment factor on both channels. FactorWindowDouble and FactorHybrid
+// are the calibrated defaults for the respective algorithms.
+func WithANN(factor float64) QueryOption {
+	return func(o *core.Options) { o.ANN = core.UniformANN(factor) }
+}
+
+// WithANNFactors sets per-channel ANN factors (0 = exact search on that
+// channel).
+func WithANNFactors(factorS, factorR float64) QueryOption {
+	return func(o *core.Options) {
+		o.ANN = core.ANNConfig{FactorS: factorS, FactorR: factorR}
+	}
+}
+
+// WithIssue sets the slot at which the query is issued (default 0).
+func WithIssue(slot int64) QueryOption {
+	return func(o *core.Options) { o.Issue = slot }
+}
+
+// WithoutDataRetrieval excludes the final answer-attribute download from
+// the metrics.
+func WithoutDataRetrieval() QueryOption {
+	return func(o *core.Options) { o.SkipDataRetrieval = true }
+}
+
+// FactorWindowDouble is the calibrated ANN factor for Window and Double.
+const FactorWindowDouble = core.FactorWindowDouble
+
+// FactorHybrid is the calibrated ANN factor for Hybrid.
+const FactorHybrid = core.FactorHybrid
+
+// DensityAwareANN returns the per-channel factors of the paper's density
+// rule for this system's datasets: exact search on the sparser dataset,
+// the given factor on the denser one.
+func (sys *System) DensityAwareANN(factor float64) QueryOption {
+	cfg := core.DensityAwareANN(sys.treeS.Count, sys.treeR.Count, factor)
+	return func(o *core.Options) { o.ANN = cfg }
+}
+
+// Query answers the TNN query at p with the selected algorithm over the
+// broadcast channels.
+func (sys *System) Query(p Point, algo Algorithm, opts ...QueryOption) Result {
+	var o core.Options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	var res core.Result
+	switch algo {
+	case Window:
+		res = core.WindowBased(sys.env, p, o)
+	case Hybrid:
+		res = core.HybridNN(sys.env, p, o)
+	case Approximate:
+		res = core.ApproximateTNN(sys.env, p, o)
+	default:
+		res = core.DoubleNN(sys.env, p, o)
+	}
+	return fromCore(res)
+}
+
+// Exact returns the true TNN answer computed with full random access (no
+// broadcast costs) — the ground truth the broadcast algorithms are
+// measured against.
+func (sys *System) Exact(p Point) (Result, bool) {
+	pair, ok := core.OracleTNN(p, sys.treeS, sys.treeR)
+	if !ok {
+		return Result{}, false
+	}
+	return Result{
+		S: pair.S.Point, R: pair.R.Point,
+		SID: pair.S.ID, RID: pair.R.ID,
+		Dist: pair.Dist, Found: true,
+	}, true
+}
+
+// Stats describes the broadcast layout of one channel.
+type Stats struct {
+	Points       int
+	IndexPages   int
+	DataPages    int
+	Interleave   int   // the (1,m) factor
+	CycleLen     int64 // slots per broadcast cycle
+	TreeHeight   int
+	Fanout       int
+	LeafCapacity int
+}
+
+// ChannelStats returns the broadcast layout of the S and R channels.
+func (sys *System) ChannelStats() (s, r Stats) {
+	mk := func(pr *broadcast.Program, t *rtree.Tree) Stats {
+		return Stats{
+			Points:       t.Count,
+			IndexPages:   pr.NumIndexPages(),
+			DataPages:    pr.NumDataPages(),
+			Interleave:   pr.M(),
+			CycleLen:     pr.CycleLen(),
+			TreeHeight:   t.Height,
+			Fanout:       t.NodeCap,
+			LeafCapacity: t.LeafCap,
+		}
+	}
+	return mk(sys.progS, sys.treeS), mk(sys.progR, sys.treeR)
+}
+
+// Region returns the service region the system assumes.
+func (sys *System) Region() Rect { return sys.region }
+
+// Convenience re-exports of the dataset generators, so downstream users
+// can reproduce the paper's workloads without importing internals.
+
+// UniformDataset returns n points uniform over region (deterministic in
+// seed).
+func UniformDataset(seed int64, n int, region Rect) []Point {
+	return dataset.Uniform(seed, n, region)
+}
+
+// ClusteredDataset returns n Gaussian-mixture points over region.
+func ClusteredDataset(seed int64, n, clusters int, region Rect) []Point {
+	return dataset.Clustered(seed, n, clusters, 0.02, region)
+}
+
+// CityDataset returns the CITY real-data substitute (≈6,000 settlement
+// locations with large empty areas, in PaperRegion).
+func CityDataset(seed int64) []Point { return dataset.City(seed) }
+
+// PostDataset returns the POST real-data substitute (≈100,000 corridor-
+// clustered locations in a 10⁶×10⁶ region), rescaled to the given region.
+func PostDataset(seed int64, region Rect) []Point {
+	return dataset.Scale(dataset.Post(seed), dataset.PostRegion, region)
+}
+
+// PaperRegion is the 39,000×39,000 region of the paper's synthetic
+// datasets.
+var PaperRegion = dataset.PaperRegion

@@ -1,0 +1,204 @@
+package tnnbcast_test
+
+import (
+	"math"
+	"testing"
+
+	"tnnbcast"
+)
+
+func buildSystem(t *testing.T, opts ...tnnbcast.Option) *tnnbcast.System {
+	t.Helper()
+	region := tnnbcast.RectOf(tnnbcast.Pt(0, 0), tnnbcast.Pt(1000, 1000))
+	s := tnnbcast.UniformDataset(1, 500, region)
+	r := tnnbcast.UniformDataset(2, 400, region)
+	sys, err := tnnbcast.New(s, r, append([]tnnbcast.Option{tnnbcast.WithRegion(region)}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestQueryAllAlgorithmsExact(t *testing.T) {
+	sys := buildSystem(t)
+	for _, algo := range []tnnbcast.Algorithm{
+		tnnbcast.Window, tnnbcast.Double, tnnbcast.Hybrid,
+	} {
+		for _, q := range []tnnbcast.Point{
+			tnnbcast.Pt(500, 500), tnnbcast.Pt(10, 990), tnnbcast.Pt(777, 123),
+		} {
+			res := sys.Query(q, algo)
+			if !res.Found {
+				t.Fatalf("%v: no answer", algo)
+			}
+			want, ok := sys.Exact(q)
+			if !ok {
+				t.Fatal("oracle failed")
+			}
+			if math.Abs(res.Dist-want.Dist) > 1e-9*(1+want.Dist) {
+				t.Fatalf("%v: dist %v, oracle %v", algo, res.Dist, want.Dist)
+			}
+			if res.TuneIn <= 0 || res.AccessTime <= 0 {
+				t.Fatalf("%v: bad metrics %+v", algo, res)
+			}
+		}
+	}
+}
+
+func TestQueryOptions(t *testing.T) {
+	sys := buildSystem(t)
+	q := tnnbcast.Pt(300, 700)
+
+	base := sys.Query(q, tnnbcast.Double)
+	ann := sys.Query(q, tnnbcast.Double, tnnbcast.WithANN(tnnbcast.FactorWindowDouble))
+	if !ann.Found || math.Abs(ann.Dist-base.Dist) > 1e-9 {
+		t.Fatal("ANN changed the answer")
+	}
+	if ann.EstimateTuneIn >= base.EstimateTuneIn {
+		t.Errorf("ANN estimate %d not below exact %d", ann.EstimateTuneIn, base.EstimateTuneIn)
+	}
+
+	noData := sys.Query(q, tnnbcast.Double, tnnbcast.WithoutDataRetrieval())
+	if noData.TuneIn >= base.TuneIn {
+		t.Error("WithoutDataRetrieval did not reduce tune-in")
+	}
+
+	issued := sys.Query(q, tnnbcast.Double, tnnbcast.WithIssue(99999))
+	if !issued.Found {
+		t.Error("issue offset broke the query")
+	}
+
+	da := sys.Query(q, tnnbcast.Double, sys.DensityAwareANN(tnnbcast.FactorWindowDouble))
+	if !da.Found || math.Abs(da.Dist-base.Dist) > 1e-9 {
+		t.Error("density-aware ANN changed the answer")
+	}
+
+	perChan := sys.Query(q, tnnbcast.Double, tnnbcast.WithANNFactors(0.1, 0))
+	if !perChan.Found || math.Abs(perChan.Dist-base.Dist) > 1e-9 {
+		t.Error("per-channel ANN changed the answer")
+	}
+}
+
+func TestApproximateMayDeviate(t *testing.T) {
+	// On uniform data Approximate normally matches the oracle.
+	sys := buildSystem(t)
+	q := tnnbcast.Pt(400, 400)
+	res := sys.Query(q, tnnbcast.Approximate)
+	want, _ := sys.Exact(q)
+	if !res.Found {
+		t.Fatal("approximate found nothing on uniform data")
+	}
+	if math.Abs(res.Dist-want.Dist) > 1e-9*(1+want.Dist) {
+		t.Fatalf("approximate deviated on uniform data: %v vs %v", res.Dist, want.Dist)
+	}
+}
+
+func TestNewOptions(t *testing.T) {
+	region := tnnbcast.RectOf(tnnbcast.Pt(0, 0), tnnbcast.Pt(1000, 1000))
+	s := tnnbcast.UniformDataset(1, 200, region)
+	r := tnnbcast.UniformDataset(2, 200, region)
+
+	sys, err := tnnbcast.New(s, r,
+		tnnbcast.WithPageCap(128),
+		tnnbcast.WithInterleave(4),
+		tnnbcast.WithRegion(region),
+		tnnbcast.WithPhases(17, 33),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, rr := sys.ChannelStats()
+	if ss.Interleave != 4 || rr.Interleave != 4 {
+		t.Errorf("interleave = %d/%d, want 4", ss.Interleave, rr.Interleave)
+	}
+	// 128-byte pages: fanout 7, leaf capacity 12.
+	if ss.Fanout != 7 || ss.LeafCapacity != 12 {
+		t.Errorf("fanout/leaf = %d/%d, want 7/12", ss.Fanout, ss.LeafCapacity)
+	}
+	if ss.Points != 200 || ss.CycleLen != int64(4*ss.IndexPages+ss.DataPages) {
+		t.Errorf("stats inconsistent: %+v", ss)
+	}
+	if sys.Region() != region {
+		t.Error("region not retained")
+	}
+
+	// Invalid page capacity errors out.
+	if _, err := tnnbcast.New(s, r, tnnbcast.WithPageCap(10)); err == nil {
+		t.Error("expected error for tiny page capacity")
+	}
+}
+
+func TestDefaultRegionIsBoundingBox(t *testing.T) {
+	s := []tnnbcast.Point{tnnbcast.Pt(10, 10), tnnbcast.Pt(20, 30)}
+	r := []tnnbcast.Point{tnnbcast.Pt(5, 40)}
+	sys, err := tnnbcast.New(s, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tnnbcast.RectOf(tnnbcast.Pt(5, 10), tnnbcast.Pt(20, 40))
+	if sys.Region() != want {
+		t.Errorf("region = %+v, want %+v", sys.Region(), want)
+	}
+}
+
+func TestAlgorithmString(t *testing.T) {
+	cases := map[tnnbcast.Algorithm]string{
+		tnnbcast.Window:      "Window-Based",
+		tnnbcast.Double:      "Double-NN",
+		tnnbcast.Hybrid:      "Hybrid-NN",
+		tnnbcast.Approximate: "Approximate-TNN",
+	}
+	for a, want := range cases {
+		if a.String() != want {
+			t.Errorf("%d.String() = %q", int(a), a.String())
+		}
+	}
+	if tnnbcast.Algorithm(99).String() != "Algorithm(99)" {
+		t.Error("unknown algorithm string")
+	}
+}
+
+func TestDatasetHelpers(t *testing.T) {
+	region := tnnbcast.PaperRegion
+	city := tnnbcast.CityDataset(3)
+	if len(city) == 0 {
+		t.Fatal("empty CITY")
+	}
+	post := tnnbcast.PostDataset(3, region)
+	for _, p := range post[:100] {
+		if p.X < region.Lo.X || p.X > region.Hi.X || p.Y < region.Lo.Y || p.Y > region.Hi.Y {
+			t.Fatal("POST point outside target region after rescale")
+		}
+	}
+	clu := tnnbcast.ClusteredDataset(4, 300, 5, region)
+	if len(clu) != 300 {
+		t.Fatal("clustered size wrong")
+	}
+}
+
+func TestSingleChannelMode(t *testing.T) {
+	region := tnnbcast.RectOf(tnnbcast.Pt(0, 0), tnnbcast.Pt(1000, 1000))
+	s := tnnbcast.UniformDataset(1, 400, region)
+	r := tnnbcast.UniformDataset(2, 400, region)
+	multi, err := tnnbcast.New(s, r, tnnbcast.WithRegion(region))
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := tnnbcast.New(s, r, tnnbcast.WithRegion(region), tnnbcast.WithSingleChannel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []tnnbcast.Point{tnnbcast.Pt(200, 800), tnnbcast.Pt(650, 340)} {
+		rm := multi.Query(q, tnnbcast.Double)
+		rs := single.Query(q, tnnbcast.Double)
+		// Same exact answer in both environments.
+		if !rm.Found || !rs.Found || math.Abs(rm.Dist-rs.Dist) > 1e-9 {
+			t.Fatalf("answers differ: multi %v vs single %v", rm.Dist, rs.Dist)
+		}
+		// The single channel serializes both datasets: strictly slower.
+		if rs.AccessTime <= rm.AccessTime {
+			t.Errorf("single-channel access %d not above multi-channel %d",
+				rs.AccessTime, rm.AccessTime)
+		}
+	}
+}
