@@ -39,6 +39,7 @@ func benchQueries() int {
 // configuration) for its first and last columns.
 func benchFigure(b *testing.B, id string) {
 	cfg := experiments.Config{Queries: benchQueries(), Seed: 17}
+	b.ReportAllocs()
 	var tab *experiments.Table
 	for i := 0; i < b.N; i++ {
 		tab = experiments.Registry[id](cfg)
@@ -109,6 +110,7 @@ func benchSystem(b *testing.B) *tnnbcast.System {
 func benchQuery(b *testing.B, algo tnnbcast.Algorithm, opts ...tnnbcast.QueryOption) {
 	sys := benchSystem(b)
 	qs := tnnbcast.UniformDataset(3, 256, tnnbcast.PaperRegion)
+	b.ReportAllocs()
 	b.ResetTimer()
 	var access, tunein int64
 	for i := 0; i < b.N; i++ {

@@ -30,6 +30,7 @@ func main() {
 		queries = flag.Int("queries", 1000, "random query points per configuration")
 		seed    = flag.Int64("seed", 0, "random seed (0 = default)")
 		pageCap = flag.Int("page", 64, "page capacity in bytes (64, 128, 256, 512)")
+		workers = flag.Int("workers", 0, "parallel query workers per experiment (0 = GOMAXPROCS, 1 = sequential; results are identical for any value)")
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text")
 		list    = flag.Bool("list", false, "list experiment IDs and exit")
 	)
@@ -50,7 +51,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	cfg := experiments.Config{Queries: *queries, Seed: *seed, PageCap: *pageCap}
+	cfg := experiments.Config{Queries: *queries, Seed: *seed, PageCap: *pageCap, Workers: *workers}
 
 	var ids []string
 	if *exp == "all" {
@@ -68,11 +69,24 @@ func main() {
 
 	for _, id := range ids {
 		start := time.Now()
+		beforeN := experiments.QueriesExecuted.Load()
+		beforeT := experiments.QueryNanos.Load()
 		table := experiments.Registry[id](cfg)
+		elapsed := time.Since(start)
+		nq := experiments.QueriesExecuted.Load() - beforeN
+		qt := time.Duration(experiments.QueryNanos.Load() - beforeT)
 		if *csv {
 			fmt.Printf("# %s — %s\n%s\n", table.ID, table.Title, table.CSV())
 		} else {
-			fmt.Printf("%s(elapsed %s)\n\n", table.Format(), time.Since(start).Round(time.Millisecond))
+			perQuery := "n/a"
+			if nq > 0 {
+				// Mean algorithm execution time: oracle verification,
+				// dataset generation, R-tree packing, and program builds
+				// are all excluded.
+				perQuery = (qt / time.Duration(nq)).Round(time.Microsecond).String()
+			}
+			fmt.Printf("%s(elapsed %s, %d queries, avg %s/query)\n\n",
+				table.Format(), elapsed.Round(time.Millisecond), nq, perQuery)
 		}
 	}
 }

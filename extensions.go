@@ -81,6 +81,9 @@ func (cs *ChainSystem) Query(p Point, opts ...QueryOption) ChainResult {
 	for _, opt := range opts {
 		opt(&o)
 	}
+	sc := scratchPool.Get().(*core.Scratch)
+	defer scratchPool.Put(sc)
+	o.Scratch = sc
 	res := core.ChainTNN(cs.env, p, o)
 	out := ChainResult{
 		Dist:       res.Dist,
@@ -117,6 +120,9 @@ func (sys *System) QueryUnordered(p Point, opts ...QueryOption) (res Result, sFi
 	for _, opt := range opts {
 		opt(&o)
 	}
+	sc := scratchPool.Get().(*core.Scratch)
+	defer scratchPool.Put(sc)
+	o.Scratch = sc
 	r, first := core.UnorderedTNN(sys.env, p, o)
 	return fromCore(r), first
 }
@@ -128,6 +134,9 @@ func (sys *System) QueryRoundTrip(p Point, opts ...QueryOption) Result {
 	for _, opt := range opts {
 		opt(&o)
 	}
+	sc := scratchPool.Get().(*core.Scratch)
+	defer scratchPool.Put(sc)
+	o.Scratch = sc
 	return fromCore(core.RoundTripTNN(sys.env, p, o))
 }
 
@@ -139,6 +148,9 @@ func (sys *System) QueryTopK(p Point, k int, opts ...QueryOption) ([]Result, boo
 	for _, opt := range opts {
 		opt(&o)
 	}
+	sc := scratchPool.Get().(*core.Scratch)
+	defer scratchPool.Put(sc)
+	o.Scratch = sc
 	res := core.TopKTNN(sys.env, p, k, o)
 	if !res.Found {
 		return nil, false

@@ -1,0 +1,3 @@
+module tnnbcast
+
+go 1.24

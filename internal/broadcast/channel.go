@@ -22,12 +22,22 @@ type Channel struct {
 // (i.e. the first index root of a cycle is on air at offset, modulo the
 // cycle length). Any offset, including negative, is accepted.
 func NewChannel(prog *Program, offset int64) *Channel {
+	ch := new(Channel)
+	ch.Reset(prog, offset)
+	return ch
+}
+
+// Reset reinitializes the channel in place for a new program and phase
+// offset, equivalent to NewChannel but reusing the allocation. Workloads
+// that re-phase a channel per query (the experiment harness) reuse one
+// Channel per worker instead of allocating per query.
+func (ch *Channel) Reset(prog *Program, offset int64) {
 	c := prog.CycleLen()
 	off := offset % c
 	if off < 0 {
 		off += c
 	}
-	return &Channel{prog: prog, offset: off}
+	ch.prog, ch.offset = prog, off
 }
 
 // Program returns the underlying broadcast program.

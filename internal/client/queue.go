@@ -1,8 +1,7 @@
 package client
 
 import (
-	"container/heap"
-
+	"tnnbcast/internal/heapx"
 	"tnnbcast/internal/rtree"
 )
 
@@ -19,15 +18,37 @@ type Candidate struct {
 // nodes sorted by ascending arrival time on the broadcast channel. Ordering
 // by arrival rather than by distance is what makes the traversal
 // backtrack-free on the linear medium.
+//
+// The heap is a concrete []Candidate driven by heapx — no container/heap,
+// no boxing — and the sift order matches container/heap exactly, so the
+// pop sequence (and therefore every downstream metric) is unchanged from
+// the boxed implementation. Reset keeps the backing storage, making the
+// queue reusable across queries without allocation.
 type ArrivalQueue struct {
-	h candHeap
+	h []Candidate
+}
+
+// candLess orders candidates by ascending arrival time. Arrival ties
+// cannot happen within one channel (one page per slot); break
+// deterministically anyway for cross-channel stability.
+func candLess(a, b Candidate) bool {
+	if a.Arrival != b.Arrival {
+		return a.Arrival < b.Arrival
+	}
+	return a.Node.ID < b.Node.ID
 }
 
 // Len returns the number of queued candidates.
 func (q *ArrivalQueue) Len() int { return len(q.h) }
 
+// Reset empties the queue, retaining the backing storage for reuse.
+func (q *ArrivalQueue) Reset() {
+	clear(q.h) // drop *rtree.Node references held past the live region
+	q.h = q.h[:0]
+}
+
 // Push enqueues a candidate.
-func (q *ArrivalQueue) Push(c Candidate) { heap.Push(&q.h, c) }
+func (q *ArrivalQueue) Push(c Candidate) { heapx.Push(&q.h, c, candLess) }
 
 // Peek returns the earliest-arriving candidate without removing it.
 // It must not be called on an empty queue.
@@ -35,7 +56,12 @@ func (q *ArrivalQueue) Peek() Candidate { return q.h[0] }
 
 // Pop removes and returns the earliest-arriving candidate.
 // It must not be called on an empty queue.
-func (q *ArrivalQueue) Pop() Candidate { return heap.Pop(&q.h).(Candidate) }
+func (q *ArrivalQueue) Pop() Candidate { return heapx.Pop(&q.h, candLess) }
+
+// At returns the i-th candidate in heap (unspecified) order, 0 <= i < Len.
+// Indexed iteration replaces Snapshot on the query hot path (Hybrid-NN's
+// queue scans), where the per-call copy dominated allocation.
+func (q *ArrivalQueue) At(i int) Candidate { return q.h[i] }
 
 // Drain removes all candidates and returns them in arrival order.
 func (q *ArrivalQueue) Drain() []Candidate {
@@ -47,31 +73,11 @@ func (q *ArrivalQueue) Drain() []Candidate {
 }
 
 // Snapshot returns the queued candidates in heap (unspecified) order
-// without modifying the queue. Used by Hybrid-NN's initial upper-bound
-// update, which scans MBR_queue.
+// without modifying the queue. It allocates; hot paths iterate with At
+// instead.
 func (q *ArrivalQueue) Snapshot() []Candidate {
 	out := make([]Candidate, len(q.h))
 	copy(out, q.h)
 	return out
 }
 
-type candHeap []Candidate
-
-func (h candHeap) Len() int      { return len(h) }
-func (h candHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h candHeap) Less(i, j int) bool {
-	if h[i].Arrival != h[j].Arrival {
-		return h[i].Arrival < h[j].Arrival
-	}
-	// Arrival ties cannot happen within one channel (one page per slot);
-	// break deterministically anyway for cross-channel stability.
-	return h[i].Node.ID < h[j].Node.ID
-}
-func (h *candHeap) Push(x interface{}) { *h = append(*h, x.(Candidate)) }
-func (h *candHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	c := old[n-1]
-	*h = old[:n-1]
-	return c
-}

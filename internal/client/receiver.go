@@ -45,6 +45,12 @@ func NewReceiver(ch broadcast.Feed, issue int64) *Receiver {
 	return &Receiver{ch: ch, issue: issue, now: issue, last: issue - 1}
 }
 
+// Reset reinitializes the receiver in place for a new query, equivalent to
+// NewReceiver but reusing the allocation. Any installed trace is removed.
+func (r *Receiver) Reset(ch broadcast.Feed, issue int64) {
+	*r = Receiver{ch: ch, issue: issue, now: issue, last: issue - 1}
+}
+
 // Channel returns the underlying broadcast feed.
 func (r *Receiver) Channel() broadcast.Feed { return r.ch }
 

@@ -36,6 +36,12 @@ type Options struct {
 	// SkipDataRetrieval excludes the final download of the answer pair's
 	// data pages from the metrics (it is identical for all algorithms).
 	SkipDataRetrieval bool
+	// Scratch, when non-nil, provides reusable per-query search state
+	// (receivers, search processes, candidate queues, entry buffers) so
+	// steady-state queries allocate (almost) nothing. It never changes a
+	// query's answer or metrics. A Scratch must not be shared between
+	// concurrent queries.
+	Scratch *Scratch
 	// Trace, when non-nil, is invoked once per downloaded page with the
 	// channel tag ("S" or "R"), the slot, and the page content. Used for
 	// page-level query traces.
@@ -134,8 +140,8 @@ func finish(env Env, p geom.Point, radius float64, incumbent Pair, haveIncumbent
 	rxR.WaitUntil(t)
 
 	w := geom.Circle{Center: p, R: radius}
-	qs := newRangeSearch(rxS, w)
-	qr := newRangeSearch(rxR, w)
+	qs := opt.Scratch.rangeSearch(rxS, w)
+	qr := opt.Scratch.rangeSearch(rxR, w)
 	client.RunParallel(qs, qr)
 
 	pair, ok := join(p, incumbent, haveIncumbent, qs.found, qr.found)
@@ -171,12 +177,13 @@ func finish(env Env, p geom.Point, radius float64, incumbent Pair, haveIncumbent
 // d = dis(p,s) + dis(s,r) as the search radius, then run the two range
 // queries in parallel and join.
 func DoubleNN(env Env, p geom.Point, opt Options) Result {
-	rxS := client.NewReceiver(env.ChS, opt.Issue)
-	rxR := client.NewReceiver(env.ChR, opt.Issue)
+	opt.Scratch.reset()
+	rxS := opt.Scratch.receiver(env.ChS, opt.Issue)
+	rxR := opt.Scratch.receiver(env.ChR, opt.Issue)
 	opt.applyTrace(rxS, rxR)
 
-	ns := newNNSearch(rxS, p, opt.ANN.FactorS)
-	nr := newNNSearch(rxR, p, opt.ANN.FactorR)
+	ns := opt.Scratch.nnSearch(rxS, p, opt.ANN.FactorS)
+	nr := opt.Scratch.nnSearch(rxR, p, opt.ANN.FactorR)
 	client.RunParallel(ns, nr)
 
 	s, _, okS := ns.result()
@@ -195,11 +202,12 @@ func DoubleNN(env Env, p geom.Point, opt Options) Result {
 // point is s, finds r = s.NN(R); the radius is d = dis(p,s) + dis(s,r).
 // The filter-phase range queries do run in parallel on both channels.
 func WindowBased(env Env, p geom.Point, opt Options) Result {
-	rxS := client.NewReceiver(env.ChS, opt.Issue)
-	rxR := client.NewReceiver(env.ChR, opt.Issue)
+	opt.Scratch.reset()
+	rxS := opt.Scratch.receiver(env.ChS, opt.Issue)
+	rxR := opt.Scratch.receiver(env.ChR, opt.Issue)
 	opt.applyTrace(rxS, rxR)
 
-	ns := newNNSearch(rxS, p, opt.ANN.FactorS)
+	ns := opt.Scratch.nnSearch(rxS, p, opt.ANN.FactorS)
 	client.RunSequential(ns)
 	s, _, okS := ns.result()
 	if !okS {
@@ -208,7 +216,7 @@ func WindowBased(env Env, p geom.Point, opt Options) Result {
 
 	// The second NN query starts only after the first finishes.
 	rxR.WaitUntil(rxS.Now())
-	nr := newNNSearch(rxR, s.Point, opt.ANN.FactorR)
+	nr := opt.Scratch.nnSearch(rxR, s.Point, opt.ANN.FactorR)
 	client.RunSequential(nr)
 	r, _, okR := nr.result()
 	if !okR {
@@ -227,12 +235,13 @@ func WindowBased(env Env, p geom.Point, opt Options) Result {
 // using MinTransDist and MinMaxTransDist. Delayed pruning (children are
 // enqueued unpruned and tested at pop) keeps the redirects correct.
 func HybridNN(env Env, p geom.Point, opt Options) Result {
-	rxS := client.NewReceiver(env.ChS, opt.Issue)
-	rxR := client.NewReceiver(env.ChR, opt.Issue)
+	opt.Scratch.reset()
+	rxS := opt.Scratch.receiver(env.ChS, opt.Issue)
+	rxR := opt.Scratch.receiver(env.ChR, opt.Issue)
 	opt.applyTrace(rxS, rxR)
 
-	ns := newNNSearch(rxS, p, opt.ANN.FactorS)
-	nr := newNNSearch(rxR, p, opt.ANN.FactorR)
+	ns := opt.Scratch.nnSearch(rxS, p, opt.ANN.FactorS)
+	nr := opt.Scratch.nnSearch(rxR, p, opt.ANN.FactorR)
 
 	caseTag := CaseNone
 	for {
@@ -291,8 +300,9 @@ func ApproxRadius(n, k int, area float64) float64 {
 // contains the answer pair; on skewed datasets it can return a non-optimal
 // pair or nothing at all (Found == false). Table 3 measures this fail rate.
 func ApproximateTNN(env Env, p geom.Point, opt Options) Result {
-	rxS := client.NewReceiver(env.ChS, opt.Issue)
-	rxR := client.NewReceiver(env.ChR, opt.Issue)
+	opt.Scratch.reset()
+	rxS := opt.Scratch.receiver(env.ChS, opt.Issue)
+	rxR := opt.Scratch.receiver(env.ChR, opt.Issue)
 	opt.applyTrace(rxS, rxR)
 
 	area := env.Region.Area()

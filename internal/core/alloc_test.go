@@ -1,0 +1,78 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"tnnbcast/internal/geom"
+)
+
+// Steady-state allocation guards for the query hot path. With a Scratch
+// the per-query cost must stay at a small constant: the candidate queues,
+// seen/found buffers, receivers, and search structs are all reused, and the
+// pruning heuristics (queue-min scan, circle/ellipse overlap) are
+// allocation-free. A regression here means boxing or copying crept back
+// into nnSearch/rangeSearch.
+func TestQuerySteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	ptsS := uniformPts(rng, 1500, testRegion)
+	ptsR := uniformPts(rng, 1500, testRegion)
+	te := makeEnv(t, ptsS, ptsR, testRegion, 7919, 104729)
+	qs := uniformPts(rng, 32, testRegion)
+
+	// The per-query allocation budget. Zero in the common case; a small
+	// slack absorbs rare buffer growth when a later query point needs a
+	// deeper traversal than any before it.
+	const budget = 4.0
+
+	cases := []struct {
+		name string
+		run  func(Env, geom.Point, Options) Result
+		ann  ANNConfig
+	}{
+		{"DoubleNN", DoubleNN, ANNConfig{}},
+		{"WindowBased", WindowBased, ANNConfig{}},
+		{"HybridNN", HybridNN, ANNConfig{}},
+		{"ApproximateTNN", ApproximateTNN, ANNConfig{}},
+		{"DoubleNN/ANN", DoubleNN, UniformANN(FactorWindowDouble)},
+		{"HybridNN/ANN", HybridNN, UniformANN(FactorHybrid)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			sc := NewScratch()
+			opt := Options{ANN: c.ann, Scratch: sc}
+			// Warm the scratch buffers over the whole query set so
+			// AllocsPerRun measures the steady state, not first-touch
+			// growth.
+			for _, q := range qs {
+				c.run(te.env, q, opt)
+			}
+			i := 0
+			allocs := testing.AllocsPerRun(64, func() {
+				c.run(te.env, qs[i%len(qs)], opt)
+				i++
+			})
+			if allocs > budget {
+				t.Errorf("%s: %.1f allocs per steady-state query, budget %.0f",
+					c.name, allocs, budget)
+			}
+		})
+	}
+}
+
+// Without a scratch the algorithms still work (Scratch is optional), and
+// the per-query footprint stays bounded — this pins the nil-scratch path.
+func TestQueryNilScratch(t *testing.T) {
+	rng := rand.New(rand.NewSource(98))
+	ptsS := uniformPts(rng, 400, testRegion)
+	ptsR := uniformPts(rng, 400, testRegion)
+	te := makeEnv(t, ptsS, ptsR, testRegion, 11, 13)
+	q := geom.Pt(500, 500)
+
+	withSc := NewScratch()
+	a := DoubleNN(te.env, q, Options{Scratch: withSc})
+	b := DoubleNN(te.env, q, Options{})
+	if a.Metrics != b.Metrics || a.Pair.Dist != b.Pair.Dist || a.Found != b.Found {
+		t.Fatalf("scratch changed the answer: %+v vs %+v", a, b)
+	}
+}

@@ -56,16 +56,17 @@ func ChainTNN(env MultiEnv, p geom.Point, opt Options) ChainResult {
 	if k == 0 {
 		return ChainResult{}
 	}
+	opt.Scratch.reset()
 	rxs := make([]*client.Receiver, k)
 	searches := make([]client.Process, k)
 	nns := make([]*nnSearch, k)
 	for i, ch := range env.Chs {
-		rxs[i] = client.NewReceiver(ch, opt.Issue)
+		rxs[i] = opt.Scratch.receiver(ch, opt.Issue)
 		factor := opt.ANN.FactorS
 		if i > 0 {
 			factor = opt.ANN.FactorR
 		}
-		nns[i] = newNNSearch(rxs[i], p, factor)
+		nns[i] = opt.Scratch.nnSearch(rxs[i], p, factor)
 		searches[i] = nns[i]
 	}
 	client.RunParallel(searches...)
@@ -93,7 +94,7 @@ func ChainTNN(env MultiEnv, p geom.Point, opt Options) ChainResult {
 	procs := make([]client.Process, k)
 	for i, rx := range rxs {
 		rx.WaitUntil(t)
-		ranges[i] = newRangeSearch(rx, w)
+		ranges[i] = opt.Scratch.rangeSearch(rx, w)
 		procs[i] = ranges[i]
 	}
 	client.RunParallel(procs...)
@@ -209,12 +210,13 @@ func chainJoin(p geom.Point, layers [][]rtree.Entry, incumbent []rtree.Entry, bo
 //
 // The returned First reports true when the S-object is visited first.
 func UnorderedTNN(env Env, p geom.Point, opt Options) (Result, bool) {
-	rxS := client.NewReceiver(env.ChS, opt.Issue)
-	rxR := client.NewReceiver(env.ChR, opt.Issue)
+	opt.Scratch.reset()
+	rxS := opt.Scratch.receiver(env.ChS, opt.Issue)
+	rxR := opt.Scratch.receiver(env.ChR, opt.Issue)
 	opt.applyTrace(rxS, rxR)
 
-	ns := newNNSearch(rxS, p, opt.ANN.FactorS)
-	nr := newNNSearch(rxR, p, opt.ANN.FactorR)
+	ns := opt.Scratch.nnSearch(rxS, p, opt.ANN.FactorS)
+	nr := opt.Scratch.nnSearch(rxR, p, opt.ANN.FactorR)
 	client.RunParallel(ns, nr)
 	s, _, okS := ns.result()
 	r, _, okR := nr.result()
@@ -233,8 +235,8 @@ func UnorderedTNN(env Env, p geom.Point, opt Options) (Result, bool) {
 	rxS.WaitUntil(t)
 	rxR.WaitUntil(t)
 	w := geom.Circle{Center: p, R: d}
-	qs := newRangeSearch(rxS, w)
-	qr := newRangeSearch(rxR, w)
+	qs := opt.Scratch.rangeSearch(rxS, w)
+	qr := opt.Scratch.rangeSearch(rxR, w)
 	client.RunParallel(qs, qr)
 
 	sFirstIncumbent := Pair{S: s, R: r, Dist: dSR}
@@ -277,12 +279,13 @@ func UnorderedTNN(env Env, p geom.Point, opt Options) (Result, bool) {
 // realizable tour whose length bounds the range queries (every object on a
 // better tour lies within that distance of p).
 func RoundTripTNN(env Env, p geom.Point, opt Options) Result {
-	rxS := client.NewReceiver(env.ChS, opt.Issue)
-	rxR := client.NewReceiver(env.ChR, opt.Issue)
+	opt.Scratch.reset()
+	rxS := opt.Scratch.receiver(env.ChS, opt.Issue)
+	rxR := opt.Scratch.receiver(env.ChR, opt.Issue)
 	opt.applyTrace(rxS, rxR)
 
-	ns := newNNSearch(rxS, p, opt.ANN.FactorS)
-	nr := newNNSearch(rxR, p, opt.ANN.FactorR)
+	ns := opt.Scratch.nnSearch(rxS, p, opt.ANN.FactorS)
+	nr := opt.Scratch.nnSearch(rxR, p, opt.ANN.FactorR)
 	client.RunParallel(ns, nr)
 	s, _, okS := ns.result()
 	r, _, okR := nr.result()
@@ -302,8 +305,8 @@ func RoundTripTNN(env Env, p geom.Point, opt Options) Result {
 	rxS.WaitUntil(t)
 	rxR.WaitUntil(t)
 	w := geom.Circle{Center: p, R: d}
-	qs := newRangeSearch(rxS, w)
-	qr := newRangeSearch(rxR, w)
+	qs := opt.Scratch.rangeSearch(rxS, w)
+	qr := opt.Scratch.rangeSearch(rxR, w)
 	client.RunParallel(qs, qr)
 
 	best := Pair{S: s, R: r, Dist: d}

@@ -15,6 +15,7 @@ package core
 import (
 	"math"
 
+	"tnnbcast/internal/broadcast"
 	"tnnbcast/internal/client"
 	"tnnbcast/internal/geom"
 	"tnnbcast/internal/rtree"
@@ -30,6 +31,71 @@ const (
 	// Hybrid-NN Case 3, driven by MinTransDist / MinMaxTransDist.
 	modeTrans
 )
+
+// Scratch holds reusable per-query search state: the search process
+// structs, their candidate queues' backing storage, and the seen/found
+// entry buffers. Passing one via Options.Scratch makes steady-state queries
+// allocate (almost) nothing — the buffers grow to the query working-set
+// size once and are then reused. A Scratch must not be shared between
+// concurrent queries; each worker owns its own.
+type Scratch struct {
+	rx  [2]client.Receiver
+	nn  [2]nnSearch
+	rg  [2]rangeSearch
+	rxN int
+	nnN int
+	rgN int
+}
+
+// NewScratch returns an empty scratch space for query execution.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// reset reclaims all scratch slots for a new query. Nil-safe.
+func (sc *Scratch) reset() {
+	if sc != nil {
+		sc.rxN, sc.nnN, sc.rgN = 0, 0, 0
+	}
+}
+
+// receiver returns a receiver for ch, reusing a scratch slot when one is
+// free and falling back to allocation otherwise (nil-safe).
+func (sc *Scratch) receiver(ch broadcast.Feed, issue int64) *client.Receiver {
+	if sc == nil || sc.rxN >= len(sc.rx) {
+		return client.NewReceiver(ch, issue)
+	}
+	r := &sc.rx[sc.rxN]
+	sc.rxN++
+	r.Reset(ch, issue)
+	return r
+}
+
+// nnSearch returns an initialized NN search, reusing a scratch slot when
+// one is free (nil-safe).
+func (sc *Scratch) nnSearch(rx *client.Receiver, q geom.Point, factor float64) *nnSearch {
+	var s *nnSearch
+	if sc != nil && sc.nnN < len(sc.nn) {
+		s = &sc.nn[sc.nnN]
+		sc.nnN++
+	} else {
+		s = new(nnSearch)
+	}
+	s.init(rx, q, factor)
+	return s
+}
+
+// rangeSearch returns an initialized range search, reusing a scratch slot
+// when one is free (nil-safe).
+func (sc *Scratch) rangeSearch(rx *client.Receiver, c geom.Circle) *rangeSearch {
+	var s *rangeSearch
+	if sc != nil && sc.rgN < len(sc.rg) {
+		s = &sc.rg[sc.rgN]
+		sc.rgN++
+	} else {
+		s = new(rangeSearch)
+	}
+	s.init(rx, c)
+	return s
+}
 
 // nnSearch is a backtrack-free nearest-neighbor search over the broadcast
 // image of an R-tree. Candidates are popped in arrival order; pruning is
@@ -53,6 +119,20 @@ type nnSearch struct {
 	// ANN pruning (Heuristics 1 and 2). factor == 0 means exact search.
 	factor float64
 
+	// qmin caches the smallest metric lower bound among the queued
+	// candidates (valid while qminOK). Maintained incrementally: pushes
+	// lower it, a pop that reaches it invalidates, metric switches
+	// invalidate. Only ANN pruning consults it, so exact searches never
+	// pay for the bookkeeping.
+	qmin   float64
+	qminOK bool
+
+	// frame caches the ellipse normalization for Heuristic 2: the foci
+	// (q, rEnd) are fixed for the lifetime of a transitive search while
+	// the major axis (ub) shrinks, so the rotation is derived once per
+	// metric switch instead of per pruning decision.
+	frame geom.EllipseFrame
+
 	height   int
 	started  bool
 	finished bool
@@ -62,19 +142,31 @@ type nnSearch struct {
 // on the channel behind rx. factor is the ANN adjustment of Eq. 4 (0 for
 // exact search).
 func newNNSearch(rx *client.Receiver, q geom.Point, factor float64) *nnSearch {
-	s := &nnSearch{
-		rx:     rx,
-		mode:   modeNN,
-		q:      q,
-		ub:     math.Inf(1),
-		bestD:  math.Inf(1),
-		factor: factor,
-		height: rx.Channel().Program().Tree.Height,
-	}
-	if rx.Channel().Program().Tree.Count == 0 {
-		s.finished = true
-	}
+	s := new(nnSearch)
+	s.init(rx, q, factor)
 	return s
+}
+
+// init (re)initializes the search in place, retaining the queue's backing
+// storage and the seen buffer's capacity across queries.
+func (s *nnSearch) init(rx *client.Receiver, q geom.Point, factor float64) {
+	s.rx = rx
+	s.mode = modeNN
+	s.q = q
+	s.rEnd = geom.Point{}
+	s.queue.Reset()
+	s.ub = math.Inf(1)
+	s.seen = s.seen[:0]
+	s.best = rtree.Entry{}
+	s.bestD = math.Inf(1)
+	s.bestOK = false
+	s.factor = factor
+	s.qmin = 0
+	s.qminOK = false
+	s.frame = geom.EllipseFrame{}
+	s.height = rx.Channel().Program().Tree.Height
+	s.started = false
+	s.finished = rx.Channel().Program().Tree.Count == 0
 }
 
 // Peek implements client.Process.
@@ -161,8 +253,7 @@ func (s *nnSearch) overlapRatio(m geom.Rect) float64 {
 		return 1
 	}
 	if s.mode == modeTrans {
-		e := geom.Ellipse{F1: s.q, F2: s.rEnd, Major: s.ub}
-		return geom.EllipseRectOverlap(e, m) / area
+		return s.frame.RectOverlap(s.ub, m) / area
 	}
 	c := geom.Circle{Center: s.q, R: s.ub}
 	return geom.CircleRectOverlap(c, m) / area
@@ -179,6 +270,11 @@ func (s *nnSearch) overlapRatio(m geom.Rect) float64 {
 // least one full branch to real data points.
 func (s *nnSearch) pruned(c client.Candidate) bool {
 	lb := s.lower(c.Node.MBR)
+	if s.qminOK && lb <= s.qmin {
+		// The popped candidate may have defined the cached queue minimum;
+		// recompute lazily on the next queueMinLower call.
+		s.qminOK = false
+	}
 	if lb > s.ub && (s.factor <= 0 || s.bestOK) {
 		// Exact pruning. In ANN mode it is deferred until a real point
 		// backs the bound: face-property promises alone could otherwise
@@ -196,17 +292,21 @@ func (s *nnSearch) pruned(c client.Candidate) bool {
 }
 
 // queueMinLower returns the smallest metric lower bound among the queued
-// candidates (+Inf when the queue is empty). The queue is small — delayed
-// pruning bounds it by roughly (height−1)×(fanout−1) live nodes — so the
-// scan is cheap.
+// candidates (+Inf when the queue is empty). The cached value is reused
+// while valid; otherwise one in-place scan over the queue recomputes it —
+// no Snapshot copy, no allocation.
 func (s *nnSearch) queueMinLower() float64 {
-	min := math.Inf(1)
-	for _, c := range s.queue.Snapshot() {
-		if lb := s.lower(c.Node.MBR); lb < min {
-			min = lb
+	if !s.qminOK {
+		min := math.Inf(1)
+		for i, n := 0, s.queue.Len(); i < n; i++ {
+			if lb := s.lower(s.queue.At(i).Node.MBR); lb < min {
+				min = lb
+			}
 		}
+		s.qmin = min
+		s.qminOK = true
 	}
-	return min
+	return s.qmin
 }
 
 // visit consumes a downloaded node's page content: child references for
@@ -234,6 +334,11 @@ func (s *nnSearch) visit(n *rtree.Node) {
 		// Delayed pruning: enqueue every child; pruning happens at pop so
 		// that a later metric change can still reach any subtree.
 		s.queue.Push(client.Candidate{Node: ch, Arrival: s.rx.NextNodeArrival(ch.ID)})
+		if s.qminOK {
+			if lb := s.lower(ch.MBR); lb < s.qmin {
+				s.qmin = lb
+			}
+		}
 	}
 }
 
@@ -259,8 +364,8 @@ func (s *nnSearch) rescore() {
 // 4.2.3 after a redirect: scan MBR_queue and lower the sound bound to the
 // smallest guaranteed (face-property) distance among the queued MBRs.
 func (s *nnSearch) queueBoundUpdate() {
-	for _, c := range s.queue.Snapshot() {
-		if z := s.upper(c.Node.MBR); z < s.ub {
+	for i, n := 0, s.queue.Len(); i < n; i++ {
+		if z := s.upper(s.queue.At(i).Node.MBR); z < s.ub {
 			s.ub = z
 		}
 	}
@@ -272,6 +377,7 @@ func (s *nnSearch) queueBoundUpdate() {
 func (s *nnSearch) retarget(newQ geom.Point) {
 	s.q = newQ
 	s.mode = modeNN
+	s.qminOK = false // lower bounds change with the query point
 	s.rescore()
 	s.queueBoundUpdate()
 	if s.finished && s.queue.Len() > 0 {
@@ -286,6 +392,8 @@ func (s *nnSearch) retarget(newQ geom.Point) {
 func (s *nnSearch) switchTransitive(r geom.Point) {
 	s.rEnd = r
 	s.mode = modeTrans
+	s.qminOK = false // lower bounds change with the metric
+	s.frame = geom.NewEllipseFrame(s.q, s.rEnd)
 	s.rescore()
 	s.queueBoundUpdate()
 	if s.finished && s.queue.Len() > 0 {
@@ -310,11 +418,20 @@ type rangeSearch struct {
 }
 
 func newRangeSearch(rx *client.Receiver, c geom.Circle) *rangeSearch {
-	s := &rangeSearch{rx: rx, circle: c}
-	if rx.Channel().Program().Tree.Count == 0 {
-		s.finished = true
-	}
+	s := new(rangeSearch)
+	s.init(rx, c)
 	return s
+}
+
+// init (re)initializes the search in place, retaining the queue's backing
+// storage and the found buffer's capacity across queries.
+func (s *rangeSearch) init(rx *client.Receiver, c geom.Circle) {
+	s.rx = rx
+	s.circle = c
+	s.queue.Reset()
+	s.found = s.found[:0]
+	s.started = false
+	s.finished = rx.Channel().Program().Tree.Count == 0
 }
 
 // Peek implements client.Process.

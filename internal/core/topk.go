@@ -9,12 +9,12 @@ package core
 // triangle inequality, and the circle(p,d) range queries cover the join.
 
 import (
-	"container/heap"
 	"math"
 	"sort"
 
 	"tnnbcast/internal/client"
 	"tnnbcast/internal/geom"
+	"tnnbcast/internal/heapx"
 	"tnnbcast/internal/rtree"
 )
 
@@ -118,21 +118,17 @@ func (s *knnSearch) offer(e rtree.Entry) {
 // results returns the ≤ k nearest entries in ascending distance order.
 func (s *knnSearch) results() []rtree.Entry { return s.entries }
 
-// pairHeap is a max-heap of pairs by distance (so the worst of the best k
-// sits on top).
+// pairHeap is a concrete max-heap of pairs by distance (so the worst of
+// the best k sits on top), driven by heapx.
 type pairHeap []Pair
 
-func (h pairHeap) Len() int            { return len(h) }
-func (h pairHeap) Less(i, j int) bool  { return h[i].Dist > h[j].Dist }
-func (h pairHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *pairHeap) Push(x interface{}) { *h = append(*h, x.(Pair)) }
-func (h *pairHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	p := old[n-1]
-	*h = old[:n-1]
-	return p
-}
+func pairLess(a, b Pair) bool { return a.Dist > b.Dist }
+
+func (h *pairHeap) push(p Pair) { heapx.Push((*[]Pair)(h), p, pairLess) }
+
+// fixTop restores the heap property after the root was replaced in place —
+// the concrete equivalent of container/heap.Fix(h, 0).
+func (h pairHeap) fixTop() { heapx.Down(h, 0, len(h), pairLess) }
 
 // TopKResult reports a top-k TNN query.
 type TopKResult struct {
@@ -152,8 +148,9 @@ func TopKTNN(env Env, p geom.Point, k int, opt Options) TopKResult {
 	if k <= 0 {
 		return TopKResult{}
 	}
-	rxS := client.NewReceiver(env.ChS, opt.Issue)
-	rxR := client.NewReceiver(env.ChR, opt.Issue)
+	opt.Scratch.reset()
+	rxS := opt.Scratch.receiver(env.ChS, opt.Issue)
+	rxR := opt.Scratch.receiver(env.ChR, opt.Issue)
 	opt.applyTrace(rxS, rxR)
 
 	ks := newKNNSearch(rxS, p, k)
@@ -186,8 +183,8 @@ func TopKTNN(env Env, p geom.Point, k int, opt Options) TopKResult {
 	rxS.WaitUntil(t)
 	rxR.WaitUntil(t)
 	w := geom.Circle{Center: p, R: d}
-	qs := newRangeSearch(rxS, w)
-	qr := newRangeSearch(rxR, w)
+	qs := opt.Scratch.rangeSearch(rxS, w)
+	qr := opt.Scratch.rangeSearch(rxR, w)
 	client.RunParallel(qs, qr)
 
 	// k-bounded join: keep the k best pairs in a max-heap.
@@ -200,13 +197,13 @@ func TopKTNN(env Env, p geom.Point, k int, opt Options) TopKResult {
 		for _, rj := range qr.found {
 			t := geom.TransDist(p, si.Point, rj.Point)
 			if len(h) < k {
-				heap.Push(&h, Pair{S: si, R: rj, Dist: t})
+				h.push(Pair{S: si, R: rj, Dist: t})
 				if len(h) == k {
 					kth = h[0].Dist
 				}
 			} else if t < kth {
 				h[0] = Pair{S: si, R: rj, Dist: t}
-				heap.Fix(&h, 0)
+				h.fixTop()
 				kth = h[0].Dist
 			}
 		}

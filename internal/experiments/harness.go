@@ -8,6 +8,10 @@ package experiments
 import (
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"tnnbcast/internal/broadcast"
 	"tnnbcast/internal/core"
@@ -34,6 +38,14 @@ type Config struct {
 	// M overrides the (1, m) interleaving factor (0 = Imielinski-optimal).
 	// Used by the interleaving ablation.
 	M int
+	// Workers is the number of goroutines RunPairing fans the query loop
+	// across (0 = GOMAXPROCS, 1 = strictly sequential). The reported Stats
+	// are bit-identical for every worker count: all per-query randomness
+	// is pre-drawn from the seeded RNG in sequential order, per-query
+	// results are recorded by query index, and the final reduction folds
+	// them in query order — the exact float64 summation order of the
+	// sequential loop.
+	Workers int
 }
 
 // Defaults fills unset fields with the paper's defaults.
@@ -119,61 +131,113 @@ func build(p Pairing, pageCap int, packing rtree.Packing, m int) built {
 	}
 }
 
+// QueriesExecuted counts every algorithm execution the harness performs,
+// across all pairings; QueryNanos accumulates the summed execution time of
+// those algorithm runs alone — oracle verification, dataset generation,
+// R-tree packing, and program builds are all excluded — so
+// QueryNanos / QueriesExecuted is the mean per-query algorithm time
+// regardless of worker count. cmd/tnnbench reads the deltas around an
+// experiment. The counters are process-global: deltas are only meaningful
+// when one experiment runs at a time.
+var (
+	QueriesExecuted atomic.Int64
+	QueryNanos      atomic.Int64
+)
+
+// queryDraw is one query's pre-drawn randomness: the query point and the
+// two channel phase offsets. Drawing everything up front in the sequential
+// RNG order is what lets the query loop fan out across workers without
+// changing a single reported number.
+type queryDraw struct {
+	qp         geom.Point
+	offS, offR int64
+}
+
+// queryCell is one (query, algorithm) measurement. Workers write disjoint
+// cells by index; the reduction reads them in query order.
+type queryCell struct {
+	access, tunein, estimate, filter int64
+	fail                             bool
+}
+
 // RunPairing executes every algorithm over cfg.Queries random query points
 // on the pairing. All algorithms see identical query points and channel
 // phases, so their metrics are directly comparable (paired design, as in
 // the paper).
+//
+// The query loop runs on cfg.Workers goroutines (default GOMAXPROCS). The
+// simulator state touched per query — channels, receivers, searches — is
+// per-worker; the built programs and R-trees are immutable and shared. The
+// returned Stats are bit-identical for every worker count.
 func RunPairing(p Pairing, algos []AlgoSpec, cfg Config) map[string]Stats {
 	cfg = cfg.Defaults()
 	b := build(p, cfg.PageCap, cfg.Packing, cfg.M)
-	rng := rand.New(rand.NewSource(cfg.Seed))
 
-	sums := make(map[string]*Stats, len(algos))
-	for _, a := range algos {
-		sums[a.Name] = &Stats{Queries: cfg.Queries}
+	// Pre-draw all per-query randomness in the exact order the sequential
+	// loop consumed it: query point (x, then y), then the two phases.
+	// "Two random numbers are generated to simulate the waiting time to
+	// get the two roots."
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	draws := make([]queryDraw, cfg.Queries)
+	for q := range draws {
+		x := p.Region.Lo.X + rng.Float64()*p.Region.Width()
+		y := p.Region.Lo.Y + rng.Float64()*p.Region.Height()
+		draws[q] = queryDraw{
+			qp:   geom.Pt(x, y),
+			offS: rng.Int63n(b.progS.CycleLen()),
+			offR: rng.Int63n(b.progR.CycleLen()),
+		}
 	}
 
+	cells := make([]queryCell, cfg.Queries*len(algos))
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.Queries {
+		workers = cfg.Queries
+	}
+
+	if workers <= 1 {
+		var next atomic.Int64
+		runPairingWorker(&next, p, algos, cfg, b, draws, cells)
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				runPairingWorker(&next, p, algos, cfg, b, draws, cells)
+			}()
+		}
+		wg.Wait()
+	}
+	QueriesExecuted.Add(int64(len(draws) * len(algos)))
+
+	// Fold the cells in query order: the same float64 summation order as
+	// the sequential loop, so means match bit for bit regardless of which
+	// worker produced which cell.
+	sums := make([]Stats, len(algos))
 	for q := 0; q < cfg.Queries; q++ {
-		qp := geom.Pt(
-			p.Region.Lo.X+rng.Float64()*p.Region.Width(),
-			p.Region.Lo.Y+rng.Float64()*p.Region.Height(),
-		)
-		// Independent random phases model the random waiting times for the
-		// two roots ("two random numbers are generated to simulate the
-		// waiting time to get the two roots").
-		offS := rng.Int63n(b.progS.CycleLen())
-		offR := rng.Int63n(b.progR.CycleLen())
-		env := core.Env{
-			ChS:    broadcast.NewChannel(b.progS, offS),
-			ChR:    broadcast.NewChannel(b.progR, offR),
-			Region: p.Region,
-		}
-
-		var oracle core.Pair
-		var oracleOK bool
-		if cfg.Verify {
-			oracle, oracleOK = core.OracleTNN(qp, b.treeS, b.treeR)
-		}
-
-		for _, a := range algos {
-			res := a.Run(env, qp, core.Options{ANN: a.ANN})
-			st := sums[a.Name]
-			st.MeanAccess += float64(res.Metrics.AccessTime)
-			st.MeanTuneIn += float64(res.Metrics.TuneIn)
-			st.MeanEstimate += float64(res.EstimateTuneIn)
-			st.MeanFilter += float64(res.FilterTuneIn)
-			if cfg.Verify && oracleOK {
-				if !res.Found || math.Abs(res.Pair.Dist-oracle.Dist) > 1e-9*(1+oracle.Dist) {
-					st.FailRate++
-				}
+		for i := range algos {
+			c := cells[q*len(algos)+i]
+			st := &sums[i]
+			st.MeanAccess += float64(c.access)
+			st.MeanTuneIn += float64(c.tunein)
+			st.MeanEstimate += float64(c.estimate)
+			st.MeanFilter += float64(c.filter)
+			if c.fail {
+				st.FailRate++
 			}
 		}
 	}
 
 	out := make(map[string]Stats, len(algos))
-	for name, st := range sums {
-		n := float64(cfg.Queries)
-		out[name] = Stats{
+	n := float64(cfg.Queries)
+	for i, a := range algos {
+		st := sums[i]
+		out[a.Name] = Stats{
 			MeanAccess:   st.MeanAccess / n,
 			MeanTuneIn:   st.MeanTuneIn / n,
 			MeanEstimate: st.MeanEstimate / n,
@@ -183,6 +247,50 @@ func RunPairing(p Pairing, algos []AlgoSpec, cfg Config) map[string]Stats {
 		}
 	}
 	return out
+}
+
+// runPairingWorker claims query indices from next and executes every
+// algorithm on them, writing results into the claimed cells. Each worker
+// owns one core.Scratch and two reusable channels, so a steady-state query
+// allocates (almost) nothing.
+func runPairingWorker(next *atomic.Int64, p Pairing, algos []AlgoSpec, cfg Config,
+	b built, draws []queryDraw, cells []queryCell) {
+
+	scratch := core.NewScratch()
+	var chS, chR broadcast.Channel
+	var nanos int64
+	defer func() { QueryNanos.Add(nanos) }()
+	for {
+		q := int(next.Add(1)) - 1
+		if q >= len(draws) {
+			return
+		}
+		d := draws[q]
+		chS.Reset(b.progS, d.offS)
+		chR.Reset(b.progR, d.offR)
+		env := core.Env{ChS: &chS, ChR: &chR, Region: p.Region}
+
+		var oracle core.Pair
+		var oracleOK bool
+		if cfg.Verify {
+			oracle, oracleOK = core.OracleTNN(d.qp, b.treeS, b.treeR)
+		}
+
+		started := time.Now()
+		for i, a := range algos {
+			res := a.Run(env, d.qp, core.Options{ANN: a.ANN, Scratch: scratch})
+			cell := &cells[q*len(algos)+i]
+			cell.access = res.Metrics.AccessTime
+			cell.tunein = res.Metrics.TuneIn
+			cell.estimate = res.EstimateTuneIn
+			cell.filter = res.FilterTuneIn
+			if cfg.Verify && oracleOK {
+				cell.fail = !res.Found ||
+					math.Abs(res.Pair.Dist-oracle.Dist) > 1e-9*(1+oracle.Dist)
+			}
+		}
+		nanos += time.Since(started).Nanoseconds()
+	}
 }
 
 // uniformPair builds a UNIF(S)×UNIF(R) pairing by dataset sizes over the

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"math/rand"
+	"time"
 
 	"tnnbcast/internal/broadcast"
 	"tnnbcast/internal/core"
@@ -41,6 +42,8 @@ func SingleVsMultiChannel(cfg Config) *Table {
 	pair := uniformPair(cfg.Seed, 15210, 15210)
 	b := build(pair, cfg.PageCap, cfg.Packing, cfg.M)
 	rng := rand.New(rand.NewSource(cfg.Seed))
+	scratch := core.NewScratch()
+	var nanos int64
 
 	type accum struct{ access, tunein float64 }
 	multi := map[string]*accum{}
@@ -70,15 +73,19 @@ func SingleVsMultiChannel(cfg Config) *Table {
 			Region: pair.Region,
 		}
 
+		started := time.Now()
 		for _, a := range algos {
-			rm := a.Run(envMulti, qp, core.Options{ANN: a.ANN})
+			rm := a.Run(envMulti, qp, core.Options{ANN: a.ANN, Scratch: scratch})
 			multi[a.Name].access += float64(rm.Metrics.AccessTime)
 			multi[a.Name].tunein += float64(rm.Metrics.TuneIn)
-			rs := a.Run(envSingle, qp, core.Options{ANN: a.ANN})
+			rs := a.Run(envSingle, qp, core.Options{ANN: a.ANN, Scratch: scratch})
 			single[a.Name].access += float64(rs.Metrics.AccessTime)
 			single[a.Name].tunein += float64(rs.Metrics.TuneIn)
 		}
+		nanos += time.Since(started).Nanoseconds()
 	}
+	QueryNanos.Add(nanos)
+	QueriesExecuted.Add(int64(2 * len(algos) * cfg.Queries))
 
 	n := float64(cfg.Queries)
 	row := func(label string, src map[string]*accum, f func(*accum) float64) {

@@ -38,30 +38,35 @@ func sectorArea(u, v Point, r float64) float64 {
 
 // segCircleIntersections returns the parameters t ∈ [0,1] at which the
 // segment a + t(b-a) crosses the circle of radius r centered at the origin,
-// in increasing order. Zero, one, or two values.
-func segCircleIntersections(a, b Point, r float64) []float64 {
+// in increasing order: n crossings (0, 1, or 2) in (ta, tb). The fixed
+// return shape keeps the overlap heuristics allocation-free.
+func segCircleIntersections(a, b Point, r float64) (ta, tb float64, n int) {
 	d := b.Sub(a)
 	A := d.Dot(d)
 	if A == 0 {
-		return nil
+		return 0, 0, 0
 	}
 	B := 2 * a.Dot(d)
 	C := a.Dot(a) - r*r
 	disc := B*B - 4*A*C
 	if disc <= 0 {
-		return nil // tangency contributes zero area; treat as no crossing
+		return 0, 0, 0 // tangency contributes zero area; treat as no crossing
 	}
 	sq := math.Sqrt(disc)
 	t1 := (-B - sq) / (2 * A)
 	t2 := (-B + sq) / (2 * A)
-	var out []float64
 	if t1 > Eps && t1 < 1-Eps {
-		out = append(out, t1)
+		ta, n = t1, 1
 	}
 	if t2 > Eps && t2 < 1-Eps {
-		out = append(out, t2)
+		if n == 0 {
+			ta = t2
+		} else {
+			tb = t2
+		}
+		n++
 	}
-	return out
+	return ta, tb, n
 }
 
 // triCircleArea returns the signed area of the intersection of the disk of
@@ -74,25 +79,29 @@ func triCircleArea(a, b Point, r float64) float64 {
 	case inA && inB:
 		return a.Cross(b) / 2
 	case inA && !inB:
-		ts := segCircleIntersections(a, b, r)
-		if len(ts) == 0 {
+		ta, tb, n := segCircleIntersections(a, b, r)
+		if n == 0 {
 			// a is (numerically) on the boundary: whole wedge is a sector.
 			return sectorArea(a, b, r)
 		}
-		q := Lerp(a, b, ts[len(ts)-1])
+		last := ta
+		if n == 2 {
+			last = tb
+		}
+		q := Lerp(a, b, last)
 		return a.Cross(q)/2 + sectorArea(q, b, r)
 	case !inA && inB:
-		ts := segCircleIntersections(a, b, r)
-		if len(ts) == 0 {
+		ta, _, n := segCircleIntersections(a, b, r)
+		if n == 0 {
 			return sectorArea(a, b, r)
 		}
-		q := Lerp(a, b, ts[0])
+		q := Lerp(a, b, ta)
 		return sectorArea(a, q, r) + q.Cross(b)/2
 	default:
-		ts := segCircleIntersections(a, b, r)
-		if len(ts) == 2 {
-			q1 := Lerp(a, b, ts[0])
-			q2 := Lerp(a, b, ts[1])
+		ta, tb, n := segCircleIntersections(a, b, r)
+		if n == 2 {
+			q1 := Lerp(a, b, ta)
+			q2 := Lerp(a, b, tb)
 			return sectorArea(a, q1, r) + q1.Cross(q2)/2 + sectorArea(q2, b, r)
 		}
 		return sectorArea(a, b, r)

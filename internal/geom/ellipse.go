@@ -51,49 +51,81 @@ func (e Ellipse) Contains(p Point) bool {
 	return Dist(p, e.F1)+Dist(p, e.F2) <= e.Major+Eps
 }
 
+// EllipseFrame caches the focus-dependent part of the ellipse–rectangle
+// overlap computation: the center, the rotation that maps the major axis
+// onto +X, and the half focal distance. During a transitive search the foci
+// (p, r) are fixed while the major axis (the transitive upper bound)
+// shrinks on every improvement, so a search precomputes the frame once and
+// evaluates RectOverlap per pruning decision without re-deriving the
+// rotation or allocating.
+type EllipseFrame struct {
+	center     Point
+	cosT, sinT float64
+	c          float64 // half the focal distance
+}
+
+// NewEllipseFrame precomputes the overlap frame for the ellipse family with
+// foci (f1, f2). For coincident foci (a circle) the axis is arbitrary; +X
+// is used.
+func NewEllipseFrame(f1, f2 Point) EllipseFrame {
+	fr := EllipseFrame{
+		center: Point{(f1.X + f2.X) / 2, (f1.Y + f2.Y) / 2},
+		cosT:   1,
+	}
+	d := f2.Sub(f1)
+	n := d.Norm()
+	fr.c = n / 2
+	if n != 0 {
+		fr.cosT, fr.sinT = d.X/n, d.Y/n
+	}
+	return fr
+}
+
 // normalize maps a point of the plane into the coordinate frame in which
 // the ellipse becomes the unit disk at the origin: translate to the center,
 // rotate the major axis onto +X, scale the axes by (1/a, 1/b).
-func (e Ellipse) normalize(p Point, cosT, sinT, a, b float64) Point {
-	c := e.Center()
-	d := p.Sub(c)
+func (fr EllipseFrame) normalize(p Point, a, b float64) Point {
+	d := p.Sub(fr.center)
 	// Rotate by -θ.
-	x := d.X*cosT + d.Y*sinT
-	y := -d.X*sinT + d.Y*cosT
+	x := d.X*fr.cosT + d.Y*fr.sinT
+	y := -d.X*fr.sinT + d.Y*fr.cosT
 	return Point{x / a, y / b}
 }
 
-// axisAngle returns the cosine and sine of the major-axis direction. For
-// coincident foci (a circle) the axis is arbitrary; +X is used.
-func (e Ellipse) axisAngle() (cosT, sinT float64) {
-	d := e.F2.Sub(e.F1)
-	n := d.Norm()
-	if n == 0 {
-		return 1, 0
+// RectOverlap returns the exact area of the intersection of the solid
+// rectangle r with the frame's ellipse of the given full major-axis length.
+// The rectangle is mapped by the affine transform that turns the ellipse
+// into the unit disk; under an affine map areas scale uniformly by the
+// determinant (1/(ab)), and the rectangle becomes a (possibly rotated)
+// parallelogram, so the overlap is an exact circle–polygon intersection
+// scaled back by ab.
+func (fr EllipseFrame) RectOverlap(major float64, r Rect) float64 {
+	if r.IsEmpty() {
+		return 0
 	}
-	return d.X / n, d.Y / n
+	a := major / 2
+	if a <= fr.c || a <= 0 {
+		// Degenerate: the major axis does not exceed the focal distance
+		// (no interior), or is not positive.
+		return 0
+	}
+	b := math.Sqrt(a*a - fr.c*fr.c)
+	if b <= 0 {
+		return 0
+	}
+	v := r.Vertices()
+	var poly [4]Point
+	for i, p := range v {
+		poly[i] = fr.normalize(p, a, b)
+	}
+	unit := Circle{Center: Point{0, 0}, R: 1}
+	return CirclePolygonArea(unit, poly[:]) * a * b
 }
 
 // EllipseRectOverlap returns the exact area of the intersection of the
-// ellipse e with the solid rectangle r. The rectangle is mapped by the
-// affine transform that turns e into the unit disk; under an affine map
-// areas scale uniformly by the determinant (1/(ab)), and the rectangle
-// becomes a (possibly rotated) parallelogram, so the overlap is an exact
-// circle–polygon intersection scaled back by ab.
+// ellipse e with the solid rectangle r. Callers evaluating many rectangles
+// against ellipses with fixed foci should build an EllipseFrame once and
+// use RectOverlap directly.
 func EllipseRectOverlap(e Ellipse, r Rect) float64 {
-	if r.IsEmpty() || !e.Valid() {
-		return 0
-	}
-	a, b := e.SemiMajor(), e.SemiMinor()
-	if a <= 0 || b <= 0 {
-		return 0
-	}
-	cosT, sinT := e.axisAngle()
-	v := r.Vertices()
-	poly := make([]Point, 4)
-	for i, p := range v {
-		poly[i] = e.normalize(p, cosT, sinT, a, b)
-	}
-	unit := Circle{Center: Point{0, 0}, R: 1}
-	return CirclePolygonArea(unit, poly) * a * b
+	return NewEllipseFrame(e.F1, e.F2).RectOverlap(e.Major, r)
 }

@@ -1,0 +1,63 @@
+// Package heapx provides the container/heap sift primitives as generic,
+// allocation-free helpers over concrete slices. The loop structure mirrors
+// container/heap's up/down exactly, so a heap driven through these helpers
+// produces the same element order as one driven through container/heap
+// with the same less relation — including tie behavior — while avoiding
+// the interface{} boxing of the stdlib API. Every queue on the query hot
+// path (the client arrival queue, the R-tree best-first queue, the top-k
+// pair heap) shares these two loops.
+package heapx
+
+// Up restores the heap property after the element at index j changed
+// (typically: was just appended). Mirrors container/heap's up.
+func Up[T any](h []T, j int, less func(a, b T) bool) {
+	for {
+		i := (j - 1) / 2 // parent
+		if i == j || !less(h[j], h[i]) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
+}
+
+// Down restores the heap property for the subtree rooted at i0, treating
+// only h[:n] as live. Mirrors container/heap's down.
+func Down[T any](h []T, i0, n int, less func(a, b T) bool) {
+	i := i0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 { // j1 < 0 after int overflow
+			break
+		}
+		j := j1 // left child
+		if j2 := j1 + 1; j2 < n && less(h[j2], h[j1]) {
+			j = j2 // right child
+		}
+		if !less(h[j], h[i]) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+}
+
+// Push appends x and sifts it up.
+func Push[T any](h *[]T, x T, less func(a, b T) bool) {
+	*h = append(*h, x)
+	Up(*h, len(*h)-1, less)
+}
+
+// Pop removes and returns the top element. The vacated slot is zeroed so
+// reusable backing arrays do not retain references past the live region.
+func Pop[T any](h *[]T, less func(a, b T) bool) T {
+	s := *h
+	n := len(s) - 1
+	s[0], s[n] = s[n], s[0]
+	Down(s, 0, n, less)
+	x := s[n]
+	var zero T
+	s[n] = zero
+	*h = s[:n]
+	return x
+}

@@ -1,10 +1,10 @@
 package rtree
 
 import (
-	"container/heap"
 	"math"
 
 	"tnnbcast/internal/geom"
+	"tnnbcast/internal/heapx"
 )
 
 // This file provides the classic in-memory (random-access) query
@@ -76,19 +76,16 @@ type bfItem struct {
 	leafE bool
 }
 
+// bfQueue is a concrete min-heap of bfItems ordered by dist, driven by
+// heapx — traversal order is identical to the previous container/heap
+// implementation (ties between equal distances resolve the same way) while
+// pushes and pops stay allocation-free.
 type bfQueue []bfItem
 
-func (q bfQueue) Len() int            { return len(q) }
-func (q bfQueue) Less(i, j int) bool  { return q[i].dist < q[j].dist }
-func (q bfQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *bfQueue) Push(x interface{}) { *q = append(*q, x.(bfItem)) }
-func (q *bfQueue) Pop() interface{} {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	*q = old[:n-1]
-	return it
-}
+func bfLess(a, b bfItem) bool { return a.dist < b.dist }
+
+func (q *bfQueue) push(it bfItem) { heapx.Push((*[]bfItem)(q), it, bfLess) }
+func (q *bfQueue) pop() bfItem    { return heapx.Pop((*[]bfItem)(q), bfLess) }
 
 // NN returns the nearest entry to q using the Best-First algorithm of
 // Hjaltason–Samet, together with the number of nodes visited. ok is false
@@ -108,11 +105,10 @@ func (t *Tree) KNN(q geom.Point, k int) ([]Entry, int) {
 		return nil, 0
 	}
 	pq := bfQueue{{dist: t.Root.MBR.MinDist(q), node: t.Root}}
-	heap.Init(&pq)
 	var out []Entry
 	visited := 0
-	for pq.Len() > 0 && len(out) < k {
-		it := heap.Pop(&pq).(bfItem)
+	for len(pq) > 0 && len(out) < k {
+		it := pq.pop()
 		if it.leafE {
 			out = append(out, it.entry)
 			continue
@@ -121,12 +117,12 @@ func (t *Tree) KNN(q geom.Point, k int) ([]Entry, int) {
 		n := it.node
 		if n.Leaf() {
 			for _, e := range n.Entries {
-				heap.Push(&pq, bfItem{dist: geom.Dist(q, e.Point), entry: e, leafE: true})
+				pq.push(bfItem{dist: geom.Dist(q, e.Point), entry: e, leafE: true})
 			}
 			continue
 		}
 		for _, c := range n.Children {
-			heap.Push(&pq, bfItem{dist: c.MBR.MinDist(q), node: c})
+			pq.push(bfItem{dist: c.MBR.MinDist(q), node: c})
 		}
 	}
 	return out, visited
@@ -141,21 +137,20 @@ func (t *Tree) TransNN(p, r geom.Point) (Entry, bool) {
 		return Entry{}, false
 	}
 	pq := bfQueue{{dist: geom.MinTransDist(p, t.Root.MBR, r), node: t.Root}}
-	heap.Init(&pq)
-	for pq.Len() > 0 {
-		it := heap.Pop(&pq).(bfItem)
+	for len(pq) > 0 {
+		it := pq.pop()
 		if it.leafE {
 			return it.entry, true
 		}
 		n := it.node
 		if n.Leaf() {
 			for _, e := range n.Entries {
-				heap.Push(&pq, bfItem{dist: geom.TransDist(p, e.Point, r), entry: e, leafE: true})
+				pq.push(bfItem{dist: geom.TransDist(p, e.Point, r), entry: e, leafE: true})
 			}
 			continue
 		}
 		for _, c := range n.Children {
-			heap.Push(&pq, bfItem{dist: geom.MinTransDist(p, c.MBR, r), node: c})
+			pq.push(bfItem{dist: geom.MinTransDist(p, c.MBR, r), node: c})
 		}
 	}
 	return Entry{}, false

@@ -29,6 +29,7 @@ package tnnbcast
 
 import (
 	"fmt"
+	"sync"
 
 	"tnnbcast/internal/broadcast"
 	"tnnbcast/internal/core"
@@ -36,6 +37,12 @@ import (
 	"tnnbcast/internal/geom"
 	"tnnbcast/internal/rtree"
 )
+
+// scratchPool recycles per-query search state (candidate queues, entry
+// buffers, search structs) across Query calls, so steady-state queries
+// through the public API allocate (almost) nothing. Queries stay safe to
+// run concurrently: each call checks out its own scratch.
+var scratchPool = sync.Pool{New: func() any { return core.NewScratch() }}
 
 // Point is a location in the plane.
 type Point = geom.Point
@@ -265,6 +272,9 @@ func (sys *System) Query(p Point, algo Algorithm, opts ...QueryOption) Result {
 	for _, opt := range opts {
 		opt(&o)
 	}
+	sc := scratchPool.Get().(*core.Scratch)
+	defer scratchPool.Put(sc)
+	o.Scratch = sc
 	var res core.Result
 	switch algo {
 	case Window:
