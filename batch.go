@@ -1,0 +1,135 @@
+package tnnbcast
+
+// Shared-cycle multi-client sessions. A broadcast's defining property is
+// that one transmission serves arbitrarily many listeners; Session and
+// QueryBatch put that property in the API. All clients of one session run
+// against the SAME broadcast cycles — the System's channels with their
+// configured phases — each with its own query point, algorithm, issue
+// slot, and options, advanced together in global slot order by
+// internal/session's event loop.
+//
+// Determinism guarantees:
+//
+//   - Per-client Results are bit-identical to calling System.Query once
+//     per client with the same arguments, regardless of batch size, batch
+//     composition, or worker count (clients share only the immutable
+//     broadcast, so they cannot perturb each other).
+//   - With WithBatchWorkers(1) the slot-level interleaving is
+//     deterministic as well: one global event loop, equal-slot ties
+//     resolved by client admission index. With more workers, clients are
+//     sharded round-robin and each shard's loop is internally
+//     deterministic, but the shards execute concurrently — Results are
+//     unaffected, only the cross-shard step order varies.
+//
+// When batch beats sequential: in broadcast time, always — N overlapped
+// clients complete within roughly one access-time span instead of N of
+// them, which is the paper's million-user scaling argument. In wall-clock
+// simulation time, QueryBatch additionally fans clients across CPUs
+// (WithBatchWorkers), whereas sequential Query calls serialize.
+
+import (
+	"runtime"
+
+	"tnnbcast/internal/core"
+	"tnnbcast/internal/session"
+)
+
+// ClientQuery describes one client's query within a batch.
+type ClientQuery struct {
+	// Point is the client's location (the TNN query point).
+	Point Point
+	// Algo selects the processing algorithm for this client.
+	Algo Algorithm
+	// Opts are the client's per-query options (WithIssue, WithANN, …).
+	Opts []QueryOption
+}
+
+// BatchOption configures a Session or QueryBatch call.
+type BatchOption func(*batchConfig)
+
+type batchConfig struct {
+	workers int
+}
+
+// WithBatchWorkers sets how many goroutines the session fans its clients
+// across (default GOMAXPROCS; 1 forces the strictly sequential global
+// event loop). Per-client Results are identical for every value.
+func WithBatchWorkers(n int) BatchOption {
+	return func(c *batchConfig) { c.workers = n }
+}
+
+// Session is an open shared-cycle multi-client session: admit any number
+// of clients with Add, then execute them concurrently against the
+// System's broadcast with Run. A Session is not safe for concurrent use;
+// run one per goroutine (they may share the System).
+type Session struct {
+	sys     *System
+	workers int
+	queries []session.Query
+}
+
+// NewSession opens a session over the system's broadcast.
+func (sys *System) NewSession(opts ...BatchOption) *Session {
+	cfg := batchConfig{workers: runtime.GOMAXPROCS(0)}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return &Session{sys: sys, workers: cfg.workers}
+}
+
+// Add admits one client and returns its index — the position of its
+// Result in the slice Run returns, and its tie-break rank in the slot-
+// ordered event loop.
+func (s *Session) Add(p Point, algo Algorithm, opts ...QueryOption) int {
+	var o core.Options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	s.queries = append(s.queries, session.Query{Point: p, Algo: coreAlgo(algo), Opt: o})
+	return len(s.queries) - 1
+}
+
+// Len returns the number of admitted clients not yet run.
+func (s *Session) Len() int { return len(s.queries) }
+
+// Run executes every admitted client to completion against the shared
+// cycles and returns their Results in admission order. The admitted set is
+// cleared; the session can be reused for a new batch.
+func (s *Session) Run() []Result {
+	queries := s.queries
+	s.queries = nil
+	eng := session.New(s.sys.env, s.workers)
+	out := make([]Result, len(queries))
+	for i, res := range eng.Run(queries) {
+		out[i] = fromCore(res)
+	}
+	return out
+}
+
+// QueryBatch answers many clients' TNN queries as one shared-cycle
+// session and returns their Results in input order. It is equivalent to —
+// and bit-identical with — calling Query once per client, but all clients
+// overlap on the same broadcast cycles and the simulation parallelizes
+// across workers.
+func (sys *System) QueryBatch(queries []ClientQuery, opts ...BatchOption) []Result {
+	s := sys.NewSession(opts...)
+	for _, q := range queries {
+		s.Add(q.Point, q.Algo, q.Opts...)
+	}
+	return s.Run()
+}
+
+// coreAlgo maps the public Algorithm to the internal executor's Algo with
+// the same defaulting rule as Query: unknown values run Double-NN.
+func coreAlgo(a Algorithm) core.Algo {
+	switch a {
+	case Window:
+		return core.AlgoWindow
+	case Hybrid:
+		return core.AlgoHybrid
+	case Approximate:
+		return core.AlgoApprox
+	default:
+		return core.AlgoDouble
+	}
+}

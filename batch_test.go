@@ -1,0 +1,132 @@
+package tnnbcast_test
+
+// Golden equivalence for the shared-cycle session API: a batch of K
+// queries must produce bit-identical Results to K independent Query calls
+// with the same points, issue slots, and options — for all four
+// algorithms, any batch composition, and any worker count. This is the
+// contract that makes QueryBatch a drop-in for the sequential loop.
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"tnnbcast"
+)
+
+// batchWorkload builds K mixed clients over the region: all four
+// algorithms, random issue slots spread over several cycles, a sprinkle of
+// ANN and no-retrieval options.
+func batchWorkload(seed int64, k int, region tnnbcast.Rect) []tnnbcast.ClientQuery {
+	rng := rand.New(rand.NewSource(seed))
+	algos := []tnnbcast.Algorithm{
+		tnnbcast.Window, tnnbcast.Double, tnnbcast.Hybrid, tnnbcast.Approximate,
+	}
+	qs := make([]tnnbcast.ClientQuery, k)
+	for i := range qs {
+		q := tnnbcast.ClientQuery{
+			Point: tnnbcast.Pt(
+				region.Lo.X+rng.Float64()*(region.Hi.X-region.Lo.X),
+				region.Lo.Y+rng.Float64()*(region.Hi.Y-region.Lo.Y),
+			),
+			Algo: algos[i%len(algos)],
+			Opts: []tnnbcast.QueryOption{tnnbcast.WithIssue(rng.Int63n(200000))},
+		}
+		switch rng.Intn(4) {
+		case 0:
+			q.Opts = append(q.Opts, tnnbcast.WithANN(tnnbcast.FactorWindowDouble))
+		case 1:
+			q.Opts = append(q.Opts, tnnbcast.WithoutDataRetrieval())
+		}
+		qs[i] = q
+	}
+	return qs
+}
+
+func TestGoldenBatchEquivalence(t *testing.T) {
+	region := tnnbcast.PaperRegion
+	s := tnnbcast.UniformDataset(2001, 3000, region)
+	r := tnnbcast.UniformDataset(2002, 2000, region)
+	sys, err := tnnbcast.New(s, r, tnnbcast.WithRegion(region), tnnbcast.WithPhases(977, 51721))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	queries := batchWorkload(5, 96, region)
+
+	// The sequential reference: one Query call per client.
+	want := make([]tnnbcast.Result, len(queries))
+	for i, q := range queries {
+		want[i] = sys.Query(q.Point, q.Algo, q.Opts...)
+	}
+	// Every algorithm must appear and answer, or the test proves nothing.
+	found := 0
+	for _, w := range want {
+		if w.Found {
+			found++
+		}
+	}
+	if found < len(want)*3/4 {
+		t.Fatalf("only %d/%d reference queries answered", found, len(want))
+	}
+
+	for _, workers := range []int{1, 3, 0} {
+		got := sys.QueryBatch(queries, tnnbcast.WithBatchWorkers(workers))
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d results for %d clients", workers, len(got), len(want))
+		}
+		for i := range got {
+			if !reflect.DeepEqual(got[i], want[i]) {
+				t.Fatalf("workers=%d client %d (%v): batch result diverges\n batch: %+v\n query: %+v",
+					workers, i, queries[i].Algo, got[i], want[i])
+			}
+		}
+	}
+
+	// The incremental Session API is the same engine: admission order is
+	// result order.
+	sess := sys.NewSession(tnnbcast.WithBatchWorkers(2))
+	for _, q := range queries {
+		sess.Add(q.Point, q.Algo, q.Opts...)
+	}
+	if sess.Len() != len(queries) {
+		t.Fatalf("Len = %d, want %d", sess.Len(), len(queries))
+	}
+	got := sess.Run()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("Session.Run diverges from sequential Query calls")
+	}
+	if sess.Len() != 0 {
+		t.Fatalf("Len = %d after Run, want 0", sess.Len())
+	}
+
+	// A session is reusable after Run, and a partial re-batch still
+	// matches its sequential counterparts.
+	for _, q := range queries[:10] {
+		sess.Add(q.Point, q.Algo, q.Opts...)
+	}
+	if got := sess.Run(); !reflect.DeepEqual(got, want[:10]) {
+		t.Fatal("reused Session diverges from sequential Query calls")
+	}
+}
+
+// TestBatchSingleChannel: the session engine also runs over the
+// time-multiplexed single-channel environment.
+func TestBatchSingleChannel(t *testing.T) {
+	region := tnnbcast.PaperRegion
+	s := tnnbcast.UniformDataset(2003, 800, region)
+	r := tnnbcast.UniformDataset(2004, 600, region)
+	sys, err := tnnbcast.New(s, r, tnnbcast.WithRegion(region),
+		tnnbcast.WithSingleChannel(), tnnbcast.WithPhases(4242, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := batchWorkload(6, 24, region)
+	want := make([]tnnbcast.Result, len(queries))
+	for i, q := range queries {
+		want[i] = sys.Query(q.Point, q.Algo, q.Opts...)
+	}
+	if got := sys.QueryBatch(queries); !reflect.DeepEqual(got, want) {
+		t.Fatal("single-channel batch diverges from sequential Query calls")
+	}
+}

@@ -6,6 +6,7 @@
 //	tnnbench -exp fig9a                # one experiment, paper defaults
 //	tnnbench -exp all -queries 200     # everything, reduced query count
 //	tnnbench -exp tab3 -csv            # CSV output
+//	tnnbench -clients 100,1000,4000    # multi-client session scaling ladder
 //	tnnbench -list                     # list experiment IDs
 //
 // The paper averages 1,000 random query points per configuration; -queries
@@ -18,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -31,6 +33,7 @@ func main() {
 		seed    = flag.Int64("seed", 0, "random seed (0 = default)")
 		pageCap = flag.Int("page", 64, "page capacity in bytes (64, 128, 256, 512)")
 		workers = flag.Int("workers", 0, "parallel query workers per experiment (0 = GOMAXPROCS, 1 = sequential; results are identical for any value)")
+		clients = flag.String("clients", "", "run the multi-client session experiment with this comma-separated concurrent-client ladder (e.g. 100,1000,4000)")
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text")
 		list    = flag.Bool("list", false, "list experiment IDs and exit")
 	)
@@ -45,13 +48,28 @@ func main() {
 		fmt.Println(strings.Join(ids, "\n"))
 		return
 	}
+	cfg := experiments.Config{Queries: *queries, Seed: *seed, PageCap: *pageCap, Workers: *workers}
+
+	// -clients is shorthand for the "clients" experiment with an explicit
+	// concurrent-client ladder.
+	if *clients != "" {
+		for _, f := range strings.Split(*clients, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || n <= 0 {
+				fmt.Fprintf(os.Stderr, "tnnbench: bad -clients value %q\n", f)
+				os.Exit(2)
+			}
+			cfg.Clients = append(cfg.Clients, n)
+		}
+		if *exp == "" {
+			*exp = "clients"
+		}
+	}
 	if *exp == "" {
 		fmt.Fprintln(os.Stderr, "tnnbench: -exp is required (use -list to see IDs)")
 		flag.Usage()
 		os.Exit(2)
 	}
-
-	cfg := experiments.Config{Queries: *queries, Seed: *seed, PageCap: *pageCap, Workers: *workers}
 
 	var ids []string
 	if *exp == "all" {

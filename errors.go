@@ -1,0 +1,78 @@
+package tnnbcast
+
+import (
+	"fmt"
+	"math"
+)
+
+// InvalidPointError reports a dataset point with a NaN or infinite
+// coordinate passed to New (or NewChain). Such points cannot be indexed —
+// they break the R-tree sort order and poison every distance computation —
+// so they are rejected up front instead of silently corrupting the
+// broadcast program.
+type InvalidPointError struct {
+	// Dataset names the offending input ("S", "R", or the chain position
+	// "datasets[i]").
+	Dataset string
+	// Index is the point's position within the dataset slice.
+	Index int
+	// Point is the offending value.
+	Point Point
+}
+
+func (e *InvalidPointError) Error() string {
+	return fmt.Sprintf("tnnbcast: %s[%d] has non-finite coordinates (%g, %g)",
+		e.Dataset, e.Index, e.Point.X, e.Point.Y)
+}
+
+// InvalidRegionError reports a WithRegion rectangle with NaN or infinite
+// bounds, or with inverted bounds (Hi < Lo on either axis).
+// Approximate-TNN scales its radius estimate by the region's area, so
+// either defect zeroes the area and silently disables that algorithm.
+type InvalidRegionError struct {
+	Region Rect
+}
+
+func (e *InvalidRegionError) Error() string {
+	return fmt.Sprintf("tnnbcast: service region has non-finite or inverted bounds %v", e.Region)
+}
+
+func finite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}
+
+func finitePoint(p Point) bool { return finite(p.X) && finite(p.Y) }
+
+// validatePoints returns a typed error for the first non-finite point in
+// pts, or nil.
+func validatePoints(name string, pts []Point) error {
+	for i, p := range pts {
+		if !finitePoint(p) {
+			return &InvalidPointError{Dataset: name, Index: i, Point: p}
+		}
+	}
+	return nil
+}
+
+// validateRegion returns a typed error when an explicitly configured
+// service region has non-finite or inverted bounds, or nil.
+func validateRegion(r Rect) error {
+	if !finitePoint(r.Lo) || !finitePoint(r.Hi) || r.Hi.X < r.Lo.X || r.Hi.Y < r.Lo.Y {
+		return &InvalidRegionError{Region: r}
+	}
+	return nil
+}
+
+// normalizePhase reduces a phase offset into [0, cycle): phase offsets are
+// cyclic by definition, so any int64 — negative or beyond one cycle — maps
+// onto a canonical slot instead of being rejected or misread.
+func normalizePhase(off, cycle int64) int64 {
+	if cycle <= 0 {
+		return 0
+	}
+	off %= cycle
+	if off < 0 {
+		off += cycle
+	}
+	return off
+}

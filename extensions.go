@@ -5,6 +5,8 @@ package tnnbcast
 // queries, and complete round trips.
 
 import (
+	"fmt"
+
 	"tnnbcast/internal/broadcast"
 	"tnnbcast/internal/core"
 	"tnnbcast/internal/geom"
@@ -31,7 +33,17 @@ func NewChain(datasets [][]Point, opts ...Option) (*ChainSystem, error) {
 	if err := cfg.params.Validate(); err != nil {
 		return nil, err
 	}
+	for i, set := range datasets {
+		if err := validatePoints(fmt.Sprintf("datasets[%d]", i), set); err != nil {
+			return nil, err
+		}
+	}
 	region := cfg.region
+	if cfg.hasReg {
+		if err := validateRegion(region); err != nil {
+			return nil, err
+		}
+	}
 	if !cfg.hasReg {
 		mbr := geom.EmptyRect()
 		for _, set := range datasets {

@@ -80,20 +80,24 @@ func (ch *Channel) nextOccurrence(want, after int64) int64 {
 }
 
 // NextNodeArrival returns the first slot >= after at which index page
-// nodeID is on air. The index is replicated m times per cycle, so the
-// earliest of the m candidate positions is returned.
+// nodeID is on air. The index is replicated m times per cycle; the
+// replicas' cycle-relative slots segStart[f]+nodeID are ascending in f, so
+// the earliest upcoming one is the first with segStart[f] >= rel(after) -
+// nodeID (wrapping to replica 0 of the next cycle when none qualifies).
+// One rel() computation serves all m replicas — this sits on the query hot
+// path, once per enqueued candidate.
 func (ch *Channel) NextNodeArrival(nodeID int, after int64) int64 {
 	if nodeID < 0 || nodeID >= ch.prog.indexPages {
 		panic(fmt.Sprintf("broadcast: node %d out of range [0,%d)", nodeID, ch.prog.indexPages))
 	}
-	best := int64(-1)
-	for f := 0; f < ch.prog.m; f++ {
-		t := ch.nextOccurrence(ch.prog.nodeSlotInCycle(nodeID, f), after)
-		if best < 0 || t < best {
-			best = t
+	r := ch.rel(after)
+	base := r - int64(nodeID)
+	for _, s := range ch.prog.segStart[:ch.prog.m] {
+		if s >= base {
+			return after + s + int64(nodeID) - r
 		}
 	}
-	return best
+	return after + ch.prog.CycleLen() + int64(nodeID) - r
 }
 
 // NextRootArrival returns the first slot >= after carrying the index root.

@@ -122,20 +122,22 @@ func (f *dualFeed) nextOccurrence(want, after int64) int64 {
 	return after + d
 }
 
-// NextNodeArrival implements Feed.
+// NextNodeArrival implements Feed. As in Channel.NextNodeArrival, the
+// replica slots segStart()+pr.segStart[rep]+nodeID ascend with rep, so one
+// rel() computation and a forward scan find the earliest upcoming one.
 func (f *dualFeed) NextNodeArrival(nodeID int, after int64) int64 {
 	pr := f.prog()
 	if nodeID < 0 || nodeID >= pr.NumIndexPages() {
 		panic("broadcast: node out of range")
 	}
-	best := int64(-1)
-	for rep := 0; rep < pr.M(); rep++ {
-		t := f.nextOccurrence(f.segStart()+pr.nodeSlotInCycle(nodeID, rep), after)
-		if best < 0 || t < best {
-			best = t
+	r := f.rel(after)
+	base := r - f.segStart() - int64(nodeID)
+	for _, s := range pr.segStart[:pr.M()] {
+		if s >= base {
+			return after + f.segStart() + s + int64(nodeID) - r
 		}
 	}
-	return best
+	return after + f.d.CycleLen() + f.segStart() + int64(nodeID) - r
 }
 
 // NextRootArrival implements Feed.

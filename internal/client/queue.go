@@ -80,4 +80,3 @@ func (q *ArrivalQueue) Snapshot() []Candidate {
 	copy(out, q.h)
 	return out
 }
-

@@ -1,5 +1,7 @@
 package client
 
+import "tnnbcast/internal/heapx"
+
 // Process is one stepwise search running on one channel. The lockstep
 // scheduler drives processes in global broadcast-time order, which models a
 // client whose radios on all channels share one timeline.
@@ -29,6 +31,16 @@ func RunParallel(procs ...Process) {
 // next-action slot. It returns false (taking no step) when every process is
 // done. Callers that need to interleave their own logic between steps —
 // such as Hybrid-NN's finished-first redirects — drive this directly.
+//
+// Tie-break contract: when several processes want to act at the same slot,
+// the one at the LOWEST SLICE INDEX steps first. This is deliberate and
+// relied upon — within one query the S-channel process is always passed
+// before the R-channel process, so equal-slot races resolve in channel
+// order, identically on every run. Callers composing processes from
+// several sources (several queries, several clients) must therefore pass
+// them in a canonical order; when the set is assembled dynamically, use
+// Sched, whose explicit registration keys make the tie-break independent
+// of insertion order.
 func StepEarliest(procs ...Process) bool {
 	bestIdx := -1
 	var bestSlot int64
@@ -37,6 +49,8 @@ func StepEarliest(procs ...Process) bool {
 		if done {
 			continue
 		}
+		// Strict < keeps the first (lowest-index) process on equal slots:
+		// the documented deterministic tie-break.
 		if bestIdx == -1 || slot < bestSlot {
 			bestIdx, bestSlot = i, slot
 		}
@@ -62,4 +76,89 @@ func RunSequential(procs ...Process) {
 			p.Step()
 		}
 	}
+}
+
+// schedEntry is one registered process with its cached next-action slot.
+type schedEntry struct {
+	slot int64
+	key  int64
+	p    Process
+}
+
+// schedLess orders entries by (slot, key): earliest slot first, and on
+// equal slots the smallest registration key — the scheduler's documented,
+// insertion-order-independent tie-break.
+func schedLess(a, b schedEntry) bool {
+	if a.slot != b.slot {
+		return a.slot < b.slot
+	}
+	return a.key < b.key
+}
+
+// Sched is a slot-ordered multi-process scheduler for dynamically
+// assembled process sets — many clients sharing one broadcast timeline.
+// Unlike StepEarliest, whose equal-slot tie-break is the argument position,
+// Sched resolves ties by an EXPLICIT per-process key supplied at Add time
+// (client index, channel number, …), so the step sequence is a pure
+// function of the registered (key, process) set: permuting the Add order
+// changes nothing. It also replaces StepEarliest's O(n) scan per step with
+// a heap, which matters once n is thousands of concurrent clients rather
+// than the two channels of a single query.
+//
+// Contract: stepping one registered process must not change another's
+// Peek result. Independent clients satisfy this trivially (they share only
+// the immutable broadcast); processes that mutate each other — such as the
+// two redirecting searches inside one Hybrid-NN query — must be wrapped in
+// a single composite Process before registration.
+type Sched struct {
+	h []schedEntry
+}
+
+// Add registers p under the given tie-break key. A process that is already
+// done is not enqueued. Keys should be unique; equal keys fall back to
+// insertion order (heapx ties), which is exactly the instability Sched
+// exists to avoid.
+func (s *Sched) Add(key int64, p Process) {
+	slot, done := p.Peek()
+	if done {
+		return
+	}
+	heapx.Push(&s.h, schedEntry{slot: slot, key: key, p: p}, schedLess)
+}
+
+// Len returns the number of processes still scheduled.
+func (s *Sched) Len() int { return len(s.h) }
+
+// StepEarliest advances by one step the scheduled process with the
+// smallest (slot, key) and reschedules it at its new next-action slot. It
+// returns false (taking no step) when every process is done.
+func (s *Sched) StepEarliest() bool {
+	if len(s.h) == 0 {
+		return false
+	}
+	e := s.h[0]
+	e.p.Step()
+	slot, done := e.p.Peek()
+	if done {
+		heapx.Pop(&s.h, schedLess)
+		return true
+	}
+	// Re-key the root in place and sift down. Down alone restores the
+	// heap: a smaller key at the root keeps it the minimum, a larger one
+	// only needs to sink.
+	s.h[0].slot = slot
+	heapx.Down(s.h, 0, len(s.h), schedLess)
+	return true
+}
+
+// Run drives the scheduled processes until all are done.
+func (s *Sched) Run() {
+	for s.StepEarliest() {
+	}
+}
+
+// Reset empties the scheduler, retaining the backing storage for reuse.
+func (s *Sched) Reset() {
+	clear(s.h)
+	s.h = s.h[:0]
 }

@@ -1,0 +1,129 @@
+package client
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// scriptProc is a fake Process acting at a fixed sequence of slots,
+// recording each step into a shared log. Equal slots across processes are
+// the interesting case: they exercise the schedulers' tie-breaks.
+type scriptProc struct {
+	name  string
+	slots []int64
+	next  int
+	log   *[]string
+}
+
+func (p *scriptProc) Peek() (int64, bool) {
+	if p.next >= len(p.slots) {
+		return 0, true
+	}
+	return p.slots[p.next], false
+}
+
+func (p *scriptProc) Step() {
+	*p.log = append(*p.log, fmt.Sprintf("%s@%d", p.name, p.slots[p.next]))
+	p.next++
+}
+
+// TestStepEarliestTieBreak pins the documented StepEarliest contract: on
+// equal slots the lowest slice index steps first, every time.
+func TestStepEarliestTieBreak(t *testing.T) {
+	var log []string
+	a := &scriptProc{name: "a", slots: []int64{5, 5, 9}, log: &log}
+	b := &scriptProc{name: "b", slots: []int64{5, 7, 9}, log: &log}
+	RunParallel(a, b)
+	want := []string{"a@5", "a@5", "b@5", "b@7", "a@9", "b@9"}
+	if !reflect.DeepEqual(log, want) {
+		t.Fatalf("step sequence %v, want %v", log, want)
+	}
+}
+
+// TestSchedPermutationInvariance is the regression test for the latent
+// tie-break nondeterminism: StepEarliest resolves equal slots by argument
+// position, so assembling the same process set in a different order used
+// to yield a different step interleaving. Sched keys the tie-break
+// explicitly; the step sequence must be identical under every permutation
+// of the Add order.
+func TestSchedPermutationInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+
+	// Slot scripts with plenty of deliberate collisions.
+	mkProcs := func(log *[]string) []*scriptProc {
+		scripts := [][]int64{
+			{3, 3, 8, 12, 12},
+			{3, 5, 8, 12},
+			{1, 3, 8, 9, 12, 12},
+			{3, 8, 8, 12},
+			{2, 3, 8, 12, 15},
+		}
+		ps := make([]*scriptProc, len(scripts))
+		for i, s := range scripts {
+			ps[i] = &scriptProc{name: fmt.Sprintf("p%d", i), slots: s, log: log}
+		}
+		return ps
+	}
+
+	runPermuted := func(order []int) []string {
+		var log []string
+		ps := mkProcs(&log)
+		var sched Sched
+		for _, i := range order {
+			sched.Add(int64(i), ps[i]) // key = process identity, not insertion order
+		}
+		sched.Run()
+		return log
+	}
+
+	base := runPermuted([]int{0, 1, 2, 3, 4})
+	for trial := 0; trial < 20; trial++ {
+		order := rng.Perm(5)
+		got := runPermuted(order)
+		if !reflect.DeepEqual(got, base) {
+			t.Fatalf("Add order %v changed the step sequence:\n got %v\nwant %v",
+				order, got, base)
+		}
+	}
+
+	// And the keyed sequence matches StepEarliest's canonical-order run,
+	// so Sched is a drop-in for correctly ordered argument lists.
+	var log []string
+	ps := mkProcs(&log)
+	procs := make([]Process, len(ps))
+	for i, p := range ps {
+		procs[i] = p
+	}
+	RunParallel(procs...)
+	if !reflect.DeepEqual(log, base) {
+		t.Fatalf("Sched sequence diverges from canonical StepEarliest order:\n got %v\nwant %v",
+			base, log)
+	}
+}
+
+// TestSchedSkipsDoneAndDrains covers Add of already-done processes and the
+// empty scheduler.
+func TestSchedSkipsDoneAndDrains(t *testing.T) {
+	var log []string
+	done := &scriptProc{name: "done", slots: nil, log: &log}
+	live := &scriptProc{name: "live", slots: []int64{4}, log: &log}
+	var s Sched
+	s.Add(0, done)
+	s.Add(1, live)
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d after adding one done and one live process", s.Len())
+	}
+	s.Run()
+	if s.StepEarliest() {
+		t.Fatal("StepEarliest on drained scheduler reported a step")
+	}
+	if !reflect.DeepEqual(log, []string{"live@4"}) {
+		t.Fatalf("log = %v", log)
+	}
+	s.Reset()
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d after Reset", s.Len())
+	}
+}

@@ -121,79 +121,13 @@ func join(p geom.Point, incumbent Pair, haveIncumbent bool, ss, rs []rtree.Entry
 	return best, ok
 }
 
-// finish runs the shared tail of every algorithm: synchronize the channels
-// to the filter phase, run the two circular range queries in parallel, join
-// locally, optionally download the answer pair's data pages, and collect
-// metrics.
-func finish(env Env, p geom.Point, radius float64, incumbent Pair, haveIncumbent bool,
-	rxS, rxR *client.Receiver, opt Options, caseTag HybridCase) Result {
-
-	estimate := rxS.Pages() + rxR.Pages()
-
-	// The filter phase starts once the estimate phase has finished on both
-	// channels (the radius depends on both results).
-	t := rxS.Now()
-	if rxR.Now() > t {
-		t = rxR.Now()
-	}
-	rxS.WaitUntil(t)
-	rxR.WaitUntil(t)
-
-	w := geom.Circle{Center: p, R: radius}
-	qs := opt.Scratch.rangeSearch(rxS, w)
-	qr := opt.Scratch.rangeSearch(rxR, w)
-	client.RunParallel(qs, qr)
-
-	pair, ok := join(p, incumbent, haveIncumbent, qs.found, qr.found)
-
-	if ok && !opt.SkipDataRetrieval {
-		// The client dozes until the answer objects' data pages are on air
-		// and downloads the associated attributes, one object per channel.
-		t = rxS.Now()
-		if rxR.Now() > t {
-			t = rxR.Now()
-		}
-		rxS.WaitUntil(t)
-		rxR.WaitUntil(t)
-		rxS.DownloadObject(pair.S.ID)
-		rxR.DownloadObject(pair.R.ID)
-	}
-
-	m := client.Collect(rxS, rxR)
-	return Result{
-		Pair:           pair,
-		Found:          ok,
-		Metrics:        m,
-		EstimateTuneIn: estimate,
-		FilterTuneIn:   m.TuneIn - estimate,
-		Radius:         radius,
-		Case:           caseTag,
-	}
-}
-
 // DoubleNN is the Double-NN-Search algorithm (Algorithm 1): issue the two
 // nearest-neighbor queries p.NN(S) and p.NN(R) in parallel on the two
 // channels as soon as the index roots appear, use
 // d = dis(p,s) + dis(s,r) as the search radius, then run the two range
 // queries in parallel and join.
 func DoubleNN(env Env, p geom.Point, opt Options) Result {
-	opt.Scratch.reset()
-	rxS := opt.Scratch.receiver(env.ChS, opt.Issue)
-	rxR := opt.Scratch.receiver(env.ChR, opt.Issue)
-	opt.applyTrace(rxS, rxR)
-
-	ns := opt.Scratch.nnSearch(rxS, p, opt.ANN.FactorS)
-	nr := opt.Scratch.nnSearch(rxR, p, opt.ANN.FactorR)
-	client.RunParallel(ns, nr)
-
-	s, _, okS := ns.result()
-	r, _, okR := nr.result()
-	if !okS || !okR {
-		return Result{Metrics: client.Collect(rxS, rxR)}
-	}
-	d := geom.TransDist(p, s.Point, r.Point)
-	incumbent := Pair{S: s, R: r, Dist: d}
-	return finish(env, p, d, incumbent, true, rxS, rxR, opt, CaseNone)
+	return runExec(env, AlgoDouble, p, opt)
 }
 
 // WindowBased is the Window-Based-TNN-Search algorithm of Zheng–Lee–Lee,
@@ -202,30 +136,7 @@ func DoubleNN(env Env, p geom.Point, opt Options) Result {
 // point is s, finds r = s.NN(R); the radius is d = dis(p,s) + dis(s,r).
 // The filter-phase range queries do run in parallel on both channels.
 func WindowBased(env Env, p geom.Point, opt Options) Result {
-	opt.Scratch.reset()
-	rxS := opt.Scratch.receiver(env.ChS, opt.Issue)
-	rxR := opt.Scratch.receiver(env.ChR, opt.Issue)
-	opt.applyTrace(rxS, rxR)
-
-	ns := opt.Scratch.nnSearch(rxS, p, opt.ANN.FactorS)
-	client.RunSequential(ns)
-	s, _, okS := ns.result()
-	if !okS {
-		return Result{Metrics: client.Collect(rxS, rxR)}
-	}
-
-	// The second NN query starts only after the first finishes.
-	rxR.WaitUntil(rxS.Now())
-	nr := opt.Scratch.nnSearch(rxR, s.Point, opt.ANN.FactorR)
-	client.RunSequential(nr)
-	r, _, okR := nr.result()
-	if !okR {
-		return Result{Metrics: client.Collect(rxS, rxR)}
-	}
-
-	d := geom.Dist(p, s.Point) + geom.Dist(s.Point, r.Point)
-	incumbent := Pair{S: s, R: r, Dist: d}
-	return finish(env, p, d, incumbent, true, rxS, rxR, opt, CaseNone)
+	return runExec(env, AlgoWindow, p, opt)
 }
 
 // HybridNN is the Hybrid-NN-Search algorithm: both NN searches start in
@@ -235,52 +146,7 @@ func WindowBased(env Env, p geom.Point, opt Options) Result {
 // using MinTransDist and MinMaxTransDist. Delayed pruning (children are
 // enqueued unpruned and tested at pop) keeps the redirects correct.
 func HybridNN(env Env, p geom.Point, opt Options) Result {
-	opt.Scratch.reset()
-	rxS := opt.Scratch.receiver(env.ChS, opt.Issue)
-	rxR := opt.Scratch.receiver(env.ChR, opt.Issue)
-	opt.applyTrace(rxS, rxR)
-
-	ns := opt.Scratch.nnSearch(rxS, p, opt.ANN.FactorS)
-	nr := opt.Scratch.nnSearch(rxR, p, opt.ANN.FactorR)
-
-	caseTag := CaseNone
-	for {
-		_, sDone := ns.Peek()
-		_, rDone := nr.Peek()
-		if sDone && rDone {
-			break
-		}
-		// Redirect exactly once, at the moment one search finishes while
-		// the other still runs.
-		if caseTag == CaseNone {
-			if sDone && !rDone {
-				if s, _, ok := ns.result(); ok {
-					nr.retarget(s.Point)
-					caseTag = Case2
-				}
-			} else if rDone && !sDone {
-				if r, _, ok := nr.result(); ok {
-					ns.switchTransitive(r.Point)
-					caseTag = Case3
-				}
-			}
-		}
-		client.StepEarliest(ns, nr)
-	}
-
-	s, _, okS := ns.result()
-	r, _, okR := nr.result()
-	if !okS || !okR {
-		return Result{Metrics: client.Collect(rxS, rxR)}
-	}
-
-	// The search radius is the transitive distance of the pair the
-	// estimate phase produced. In Case 3 the S-side search already
-	// minimized exactly this quantity; in Case 2 the R-side minimized
-	// dis(s, ·), which is the variable part of it.
-	d := geom.TransDist(p, s.Point, r.Point)
-	incumbent := Pair{S: s, R: r, Dist: d}
-	return finish(env, p, d, incumbent, true, rxS, rxR, opt, caseTag)
+	return runExec(env, AlgoHybrid, p, opt)
 }
 
 // ApproxRadius is Eq. 1 of the paper: for n points uniformly distributed in
@@ -300,15 +166,5 @@ func ApproxRadius(n, k int, area float64) float64 {
 // contains the answer pair; on skewed datasets it can return a non-optimal
 // pair or nothing at all (Found == false). Table 3 measures this fail rate.
 func ApproximateTNN(env Env, p geom.Point, opt Options) Result {
-	opt.Scratch.reset()
-	rxS := opt.Scratch.receiver(env.ChS, opt.Issue)
-	rxR := opt.Scratch.receiver(env.ChR, opt.Issue)
-	opt.applyTrace(rxS, rxR)
-
-	area := env.Region.Area()
-	nS := env.ChS.Program().Tree.Count
-	nR := env.ChR.Program().Tree.Count
-	d := ApproxRadius(nS, 1, area) + ApproxRadius(nR, 1, area)
-
-	return finish(env, p, d, Pair{}, false, rxS, rxR, opt, CaseNone)
+	return runExec(env, AlgoApprox, p, opt)
 }

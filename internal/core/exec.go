@@ -1,0 +1,373 @@
+package core
+
+// This file makes one TNN query a RESUMABLE process. The four algorithm
+// functions in algorithms.go used to drive their searches to completion in
+// one call, which welds a query to its own private event loop — fine for a
+// single client, useless for a session where thousands of clients share
+// one broadcast timeline and must interleave at slot granularity.
+// QueryExec is the same estimate–filter execution unrolled into an
+// explicit state machine: Peek reports the next slot at which the query
+// wants to act, Step performs exactly one action. A query driven by the
+// trivial peek/step loop performs the identical sequence of receiver
+// operations as the old monolithic functions — the golden metrics prove it
+// bit-for-bit — and a query driven by a multi-client scheduler interleaves
+// with other clients without changing its own trajectory, because clients
+// share only the immutable broadcast programs.
+
+import (
+	"tnnbcast/internal/client"
+	"tnnbcast/internal/geom"
+)
+
+// Algo identifies one of the paper's four TNN algorithms. It mirrors the
+// public tnnbcast.Algorithm values so the session layer can carry the
+// choice without importing the root package.
+type Algo int
+
+const (
+	// AlgoWindow is the adapted Window-Based-TNN-Search baseline.
+	AlgoWindow Algo = iota
+	// AlgoDouble is the Double-NN-Search algorithm.
+	AlgoDouble
+	// AlgoHybrid is the Hybrid-NN-Search algorithm.
+	AlgoHybrid
+	// AlgoApprox is the Approximate-TNN-Search baseline.
+	AlgoApprox
+)
+
+func (a Algo) String() string {
+	switch a {
+	case AlgoWindow:
+		return "Window-Based"
+	case AlgoDouble:
+		return "Double-NN"
+	case AlgoHybrid:
+		return "Hybrid-NN"
+	case AlgoApprox:
+		return "Approximate-TNN"
+	default:
+		return "Algo(?)"
+	}
+}
+
+// execPhase is the coarse position of a query execution.
+type execPhase int
+
+const (
+	// phWinS: Window-Based, first NN search (p.NN(S)) running alone.
+	phWinS execPhase = iota
+	// phWinR: Window-Based, second NN search (s.NN(R)) running alone.
+	phWinR
+	// phEstimate: Double/Hybrid, both NN searches running in parallel.
+	phEstimate
+	// phFilter: the two circular range queries running in parallel.
+	phFilter
+	// phJoin: ranges done; the local join and the optional answer-object
+	// retrieval are the one remaining action.
+	phJoin
+	// phDone: the Result is final.
+	phDone
+)
+
+// QueryExec is one TNN query as a stepwise process. It implements
+// client.Process, so a single query can be driven by RunParallel and a
+// whole session of queries by client.Sched. Obtain one with Reset; when
+// Peek reports done, Result holds the outcome.
+//
+// A QueryExec holds its Options.Scratch for the lifetime of the query, so
+// concurrently live executions (a session) need one Scratch each — unlike
+// sequential queries, which can recycle a single scratch.
+type QueryExec struct {
+	env  Env
+	p    geom.Point
+	algo Algo
+	opt  Options
+
+	rxS, rxR *client.Receiver
+	ns, nr   *nnSearch
+	qs, qr   *rangeSearch
+
+	phase   execPhase
+	caseTag HybridCase
+
+	radius    float64
+	incumbent Pair
+	haveInc   bool
+	estimate  int64 // estimate-phase tune-in, captured at filter start
+
+	res Result
+}
+
+// Reset (re)initializes the execution in place for a new query, exactly as
+// the corresponding algorithm function would start it: scratch reclaimed,
+// receivers issued, estimate-phase searches created. The previous
+// execution's state is discarded.
+func (ex *QueryExec) Reset(env Env, algo Algo, p geom.Point, opt Options) {
+	opt.Scratch.reset()
+	*ex = QueryExec{env: env, p: p, algo: algo, opt: opt}
+	ex.rxS = opt.Scratch.receiver(env.ChS, opt.Issue)
+	ex.rxR = opt.Scratch.receiver(env.ChR, opt.Issue)
+	opt.applyTrace(ex.rxS, ex.rxR)
+	switch algo {
+	case AlgoWindow:
+		ex.ns = opt.Scratch.nnSearch(ex.rxS, p, opt.ANN.FactorS)
+		ex.phase = phWinS
+	case AlgoHybrid, AlgoDouble:
+		ex.ns = opt.Scratch.nnSearch(ex.rxS, p, opt.ANN.FactorS)
+		ex.nr = opt.Scratch.nnSearch(ex.rxR, p, opt.ANN.FactorR)
+		ex.phase = phEstimate
+	case AlgoApprox:
+		// No estimate phase: the radius comes from Eq. 1 directly.
+		area := env.Region.Area()
+		nS := env.ChS.Program().Tree.Count
+		nR := env.ChR.Program().Tree.Count
+		ex.radius = ApproxRadius(nS, 1, area) + ApproxRadius(nR, 1, area)
+		ex.startFilter()
+	default:
+		panic("core: unknown algorithm")
+	}
+	ex.advance()
+}
+
+// Done reports whether the execution has produced its final Result.
+func (ex *QueryExec) Done() bool { return ex.phase == phDone }
+
+// Result returns the query outcome; valid once Done.
+func (ex *QueryExec) Result() Result { return ex.res }
+
+// clockMax returns the later of the two receivers' local clocks — the slot
+// at which client-local work (phase sync, join) conceptually happens.
+func (ex *QueryExec) clockMax() int64 {
+	t := ex.rxS.Now()
+	if ex.rxR.Now() > t {
+		t = ex.rxR.Now()
+	}
+	return t
+}
+
+// Peek implements client.Process: the next slot at which this query acts.
+// advance() guarantees the current phase has runnable work (or is phDone),
+// so Peek never reports a stale sub-process slot.
+func (ex *QueryExec) Peek() (int64, bool) {
+	switch ex.phase {
+	case phWinS:
+		slot, _ := ex.ns.Peek()
+		return slot, false
+	case phWinR:
+		slot, _ := ex.nr.Peek()
+		return slot, false
+	case phEstimate:
+		return ex.earliest(ex.ns, ex.nr), false
+	case phFilter:
+		return ex.earliest(ex.qs, ex.qr), false
+	case phJoin:
+		return ex.clockMax(), false
+	default:
+		return 0, true
+	}
+}
+
+// earliest returns the smaller next-action slot of two processes, at least
+// one of which is not done (advance's invariant). Equal slots resolve to
+// the S-channel process, which is always passed first — the same
+// channel-order tie-break StepEarliest applies.
+func (ex *QueryExec) earliest(a, b client.Process) int64 {
+	sa, da := a.Peek()
+	sb, db := b.Peek()
+	switch {
+	case da:
+		return sb
+	case db:
+		return sa
+	case sb < sa:
+		return sb
+	default:
+		return sa
+	}
+}
+
+// Step implements client.Process: perform exactly one action — download or
+// prune one candidate during the searches, or the terminal join+retrieval
+// — then fold any completed sub-phase into the next one.
+func (ex *QueryExec) Step() {
+	switch ex.phase {
+	case phWinS:
+		ex.ns.Step()
+	case phWinR:
+		ex.nr.Step()
+	case phEstimate:
+		if ex.algo == AlgoHybrid {
+			// Redirect exactly once, at the moment one search finishes
+			// while the other still runs (Hybrid-NN Cases 2 and 3).
+			ex.hybridRedirect()
+		}
+		client.StepEarliest(ex.ns, ex.nr)
+	case phFilter:
+		client.StepEarliest(ex.qs, ex.qr)
+	case phJoin:
+		ex.joinAndRetrieve()
+	case phDone:
+		panic("core: Step on a finished query execution")
+	}
+	ex.advance()
+}
+
+// hybridRedirect applies the one-time Hybrid-NN redirect when exactly one
+// of the two searches has finished with a result.
+func (ex *QueryExec) hybridRedirect() {
+	if ex.caseTag != CaseNone {
+		return
+	}
+	_, sDone := ex.ns.Peek()
+	_, rDone := ex.nr.Peek()
+	if sDone && !rDone {
+		if s, _, ok := ex.ns.result(); ok {
+			ex.nr.retarget(s.Point)
+			ex.caseTag = Case2
+		}
+	} else if rDone && !sDone {
+		if r, _, ok := ex.nr.result(); ok {
+			ex.ns.switchTransitive(r.Point)
+			ex.caseTag = Case3
+		}
+	}
+}
+
+// advance folds completed sub-phases into their successors until the
+// execution either has a runnable next action or is done. It performs only
+// client-local work (result checks, phase synchronization, search
+// creation) — never a download — so it is safe to run eagerly after Reset
+// and after every Step. The loop re-evaluates because a transition can
+// complete instantly (an empty dataset finishes its searches at creation).
+func (ex *QueryExec) advance() {
+	for {
+		switch ex.phase {
+		case phWinS:
+			if _, done := ex.ns.Peek(); !done {
+				return
+			}
+			s, _, ok := ex.ns.result()
+			if !ok {
+				ex.fail()
+				return
+			}
+			// The second NN query starts only after the first finishes,
+			// because its query point is the first one's result.
+			ex.rxR.WaitUntil(ex.rxS.Now())
+			ex.nr = ex.opt.Scratch.nnSearch(ex.rxR, s.Point, ex.opt.ANN.FactorR)
+			ex.phase = phWinR
+
+		case phWinR:
+			if _, done := ex.nr.Peek(); !done {
+				return
+			}
+			r, _, okR := ex.nr.result()
+			if !okR {
+				ex.fail()
+				return
+			}
+			s, _, _ := ex.ns.result()
+			d := geom.Dist(ex.p, s.Point) + geom.Dist(s.Point, r.Point)
+			ex.radius = d
+			ex.incumbent = Pair{S: s, R: r, Dist: d}
+			ex.haveInc = true
+			ex.startFilter()
+
+		case phEstimate:
+			_, sDone := ex.ns.Peek()
+			_, rDone := ex.nr.Peek()
+			if !sDone || !rDone {
+				return
+			}
+			s, _, okS := ex.ns.result()
+			r, _, okR := ex.nr.result()
+			if !okS || !okR {
+				ex.fail()
+				return
+			}
+			// The search radius is the transitive distance of the pair the
+			// estimate phase produced. For Hybrid, in Case 3 the S-side
+			// search already minimized exactly this quantity; in Case 2 the
+			// R-side minimized dis(s, ·), its variable part.
+			d := geom.TransDist(ex.p, s.Point, r.Point)
+			ex.radius = d
+			ex.incumbent = Pair{S: s, R: r, Dist: d}
+			ex.haveInc = true
+			ex.startFilter()
+
+		case phFilter:
+			_, sDone := ex.qs.Peek()
+			_, rDone := ex.qr.Peek()
+			if !sDone || !rDone {
+				return
+			}
+			ex.phase = phJoin
+			return // the join is a real Step, not a transition
+
+		default: // phJoin pending a Step, or phDone
+			return
+		}
+	}
+}
+
+// startFilter opens the filter phase: capture the estimate-phase tune-in,
+// synchronize the channels (the radius depends on both estimate results),
+// and create the two circular range searches.
+func (ex *QueryExec) startFilter() {
+	ex.estimate = ex.rxS.Pages() + ex.rxR.Pages()
+	t := ex.clockMax()
+	ex.rxS.WaitUntil(t)
+	ex.rxR.WaitUntil(t)
+	w := geom.Circle{Center: ex.p, R: ex.radius}
+	ex.qs = ex.opt.Scratch.rangeSearch(ex.rxS, w)
+	ex.qr = ex.opt.Scratch.rangeSearch(ex.rxR, w)
+	ex.phase = phFilter
+}
+
+// fail finalizes a query whose estimate phase produced no result (possible
+// only on empty datasets): metrics are whatever was spent, Found is false.
+func (ex *QueryExec) fail() {
+	ex.res = Result{Metrics: client.Collect(ex.rxS, ex.rxR)}
+	ex.phase = phDone
+}
+
+// joinAndRetrieve is the terminal action: the client-side nested-loop join
+// over the filtered candidates, the optional download of the answer pair's
+// data pages, and the metric collection.
+func (ex *QueryExec) joinAndRetrieve() {
+	pair, ok := join(ex.p, ex.incumbent, ex.haveInc, ex.qs.found, ex.qr.found)
+
+	if ok && !ex.opt.SkipDataRetrieval {
+		// The client dozes until the answer objects' data pages are on air
+		// and downloads the associated attributes, one object per channel.
+		t := ex.clockMax()
+		ex.rxS.WaitUntil(t)
+		ex.rxR.WaitUntil(t)
+		ex.rxS.DownloadObject(pair.S.ID)
+		ex.rxR.DownloadObject(pair.R.ID)
+	}
+
+	m := client.Collect(ex.rxS, ex.rxR)
+	ex.res = Result{
+		Pair:           pair,
+		Found:          ok,
+		Metrics:        m,
+		EstimateTuneIn: ex.estimate,
+		FilterTuneIn:   m.TuneIn - ex.estimate,
+		Radius:         ex.radius,
+		Case:           ex.caseTag,
+	}
+	ex.phase = phDone
+}
+
+// runExec drives one query execution to completion with the trivial
+// peek/step loop — the single-client event loop the algorithm functions
+// expose.
+func runExec(env Env, algo Algo, p geom.Point, opt Options) Result {
+	var ex QueryExec
+	ex.Reset(env, algo, p, opt)
+	for !ex.Done() {
+		ex.Step()
+	}
+	return ex.Result()
+}

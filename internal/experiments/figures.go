@@ -17,22 +17,23 @@ type Runner func(Config) *Table
 // Registry maps experiment IDs (the paper's figure/table numbers) to their
 // runners.
 var Registry = map[string]Runner{
-	"fig9a":  Fig9a,
-	"fig9b":  Fig9b,
-	"fig9c":  Fig9c,
-	"fig9d":  Fig9d,
-	"fig11a": Fig11a,
-	"fig11b": Fig11b,
-	"fig11c": Fig11c,
-	"fig11d": Fig11d,
-	"fig12a": Fig12a,
-	"fig12b": Fig12b,
-	"fig12c": Fig12c,
-	"fig12d": Fig12d,
-	"fig13a": Fig13a,
-	"fig13b": Fig13b,
-	"tab3":   Table3,
-	"grid":   Grid,
+	"fig9a":   Fig9a,
+	"fig9b":   Fig9b,
+	"fig9c":   Fig9c,
+	"fig9d":   Fig9d,
+	"fig11a":  Fig11a,
+	"fig11b":  Fig11b,
+	"fig11c":  Fig11c,
+	"fig11d":  Fig11d,
+	"fig12a":  Fig12a,
+	"fig12b":  Fig12b,
+	"fig12c":  Fig12c,
+	"fig12d":  Fig12d,
+	"fig13a":  Fig13a,
+	"fig13b":  Fig13b,
+	"tab3":    Table3,
+	"grid":    Grid,
+	"clients": MultiClient,
 }
 
 // Order lists the experiment IDs in the paper's order.
@@ -41,7 +42,7 @@ var Order = []string{
 	"fig11a", "fig11b", "fig11c", "fig11d",
 	"fig12a", "fig12b", "fig12c", "fig12d",
 	"fig13a", "fig13b",
-	"tab3", "grid",
+	"tab3", "grid", "clients",
 }
 
 // seriesPoint is one x-position of a figure: a label and the dataset

@@ -46,6 +46,9 @@ type Config struct {
 	// them in query order — the exact float64 summation order of the
 	// sequential loop.
 	Workers int
+	// Clients is the concurrent-client ladder of the multi-client session
+	// experiment ("clients"). Empty selects the default ladder.
+	Clients []int
 }
 
 // Defaults fills unset fields with the paper's defaults.

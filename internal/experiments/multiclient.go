@@ -1,0 +1,197 @@
+package experiments
+
+// The multi-client scaling experiment: the paper's broadcast model exists
+// so that ONE transmission serves arbitrarily many listeners, and the
+// ROADMAP's north star is "heavy traffic from millions of users". This
+// runner puts N concurrent clients — a mix of all four algorithms, each
+// with its own query point and issue slot — on one shared pair of channel
+// feeds via the session engine, and compares against the sequential
+// baseline of N independent Query calls.
+//
+// Two throughput notions are reported, and they must not be conflated:
+//
+//   - Air throughput (the paper's): queries completed per broadcast slot.
+//     The batch overlaps all clients on the same cycles, so the batch
+//     occupies max(issue+access) − min(issue) slots of air time, while a
+//     lone client running the same queries back-to-back occupies the SUM
+//     of the access times. This ratio grows roughly linearly with N — the
+//     broadcast scalability argument itself.
+//
+//   - Wall-clock throughput (simulator speed): queries simulated per
+//     second. Clients are independent, so the session fans them across
+//     cfg.Workers CPUs; the sequential loop cannot.
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"tnnbcast/internal/broadcast"
+	"tnnbcast/internal/core"
+	"tnnbcast/internal/geom"
+	"tnnbcast/internal/session"
+)
+
+// defaultClientCounts is the N ladder when Config.Clients is unset.
+var defaultClientCounts = []int{100, 1000, 4000}
+
+// clientWorkload is one generated multi-client batch plus its per-client
+// algorithm assignment (round-robin over the paper's four).
+type clientWorkload struct {
+	queries []session.Query
+	algoIx  []int
+}
+
+// multiClientWorkload draws N clients over the pairing: uniform query
+// points, issue slots uniform over one full S cycle (clients tune in all
+// across the cycle, as a live population would), algorithms round-robin.
+func multiClientWorkload(rng *rand.Rand, p Pairing, b built, n int) clientWorkload {
+	var w clientWorkload
+	w.queries = make([]session.Query, n)
+	w.algoIx = make([]int, n)
+	cycle := b.progS.CycleLen()
+	algoOf := []core.Algo{core.AlgoWindow, core.AlgoDouble, core.AlgoHybrid, core.AlgoApprox}
+	for i := 0; i < n; i++ {
+		x := p.Region.Lo.X + rng.Float64()*p.Region.Width()
+		y := p.Region.Lo.Y + rng.Float64()*p.Region.Height()
+		ai := i % len(algoOf)
+		w.algoIx[i] = ai
+		w.queries[i] = session.Query{
+			Point: geom.Pt(x, y),
+			Algo:  algoOf[ai],
+		}
+		w.queries[i].Opt.Issue = rng.Int63n(cycle)
+	}
+	return w
+}
+
+// multiClientRun holds one ladder point's measurements.
+type multiClientRun struct {
+	n                  int
+	seqResults         []core.Result
+	batchResults       []core.Result
+	seqSecs, batchSecs float64
+	seqSlots           int64 // air slots a lone back-to-back client needs
+	batchSlots         int64 // air slots the overlapped batch spans
+}
+
+// runMultiClient executes one ladder point: the sequential baseline (one
+// Query per client, one recycled scratch — exactly the pre-session usage
+// pattern) and the shared-cycle batch, over identical workloads.
+func runMultiClient(env core.Env, w clientWorkload, workers int) multiClientRun {
+	r := multiClientRun{n: len(w.queries)}
+
+	// Sequential loop: N independent executions, recycled scratch.
+	sc := core.NewScratch()
+	r.seqResults = make([]core.Result, len(w.queries))
+	start := time.Now()
+	for i, q := range w.queries {
+		opt := q.Opt
+		opt.Scratch = sc
+		switch q.Algo {
+		case core.AlgoWindow:
+			r.seqResults[i] = core.WindowBased(env, q.Point, opt)
+		case core.AlgoHybrid:
+			r.seqResults[i] = core.HybridNN(env, q.Point, opt)
+		case core.AlgoApprox:
+			r.seqResults[i] = core.ApproximateTNN(env, q.Point, opt)
+		default:
+			r.seqResults[i] = core.DoubleNN(env, q.Point, opt)
+		}
+	}
+	r.seqSecs = time.Since(start).Seconds()
+
+	// Shared-cycle batch over the same feeds.
+	eng := session.New(env, workers)
+	start = time.Now()
+	r.batchResults = eng.Run(w.queries)
+	r.batchSecs = time.Since(start).Seconds()
+
+	QueriesExecuted.Add(int64(2 * len(w.queries)))
+	QueryNanos.Add(int64((r.seqSecs + r.batchSecs) * 1e9))
+
+	// Air-time accounting.
+	minIssue, maxEnd := int64(-1), int64(0)
+	for i, res := range r.batchResults {
+		issue := w.queries[i].Opt.Issue
+		if minIssue < 0 || issue < minIssue {
+			minIssue = issue
+		}
+		if end := issue + res.Metrics.AccessTime; end > maxEnd {
+			maxEnd = end
+		}
+	}
+	if minIssue < 0 {
+		minIssue = 0
+	}
+	r.batchSlots = maxEnd - minIssue
+	for _, res := range r.seqResults {
+		r.seqSlots += res.Metrics.AccessTime
+	}
+	return r
+}
+
+// MultiClient is the "clients" experiment: the N ladder × four algorithms,
+// aggregate access/tune-in per algorithm, and the two throughput ratios.
+func MultiClient(cfg Config) *Table {
+	cfg = cfg.Defaults()
+	counts := cfg.Clients
+	if len(counts) == 0 {
+		counts = defaultClientCounts
+	}
+
+	p := uniformPair(cfg.Seed, 10000, 10000)
+	b := build(p, cfg.PageCap, cfg.Packing, cfg.M)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	env := core.Env{
+		ChS:    broadcast.NewChannel(b.progS, rng.Int63n(b.progS.CycleLen())),
+		ChR:    broadcast.NewChannel(b.progR, rng.Int63n(b.progR.CycleLen())),
+		Region: p.Region,
+	}
+
+	t := &Table{
+		ID:     "clients",
+		Title:  "Shared-cycle sessions: N concurrent clients vs. N sequential queries (UNIF 10k×10k)",
+		XLabel: "clients",
+		Metric: "AT/TI = mean access/tune-in pages per algorithm; q/s wall-clock; air-x = broadcast-slot speedup",
+		Columns: []string{
+			"AT(W)", "AT(D)", "AT(H)", "AT(A)",
+			"TI(W)", "TI(D)", "TI(H)", "TI(A)",
+			"Seq-q/s", "Batch-q/s", "Wall-x", "Air-x",
+		},
+	}
+
+	for _, n := range counts {
+		w := multiClientWorkload(rng, p, b, n)
+		run := runMultiClient(env, w, cfg.Workers)
+
+		// Aggregate per-algorithm means from the batch results.
+		var at, ti [4]float64
+		var cnt [4]int
+		for i, res := range run.batchResults {
+			ai := w.algoIx[i]
+			at[ai] += float64(res.Metrics.AccessTime)
+			ti[ai] += float64(res.Metrics.TuneIn)
+			cnt[ai]++
+		}
+		for a := 0; a < 4; a++ {
+			if cnt[a] > 0 {
+				at[a] /= float64(cnt[a])
+				ti[a] /= float64(cnt[a])
+			}
+		}
+
+		seqQPS := float64(n) / run.seqSecs
+		batchQPS := float64(n) / run.batchSecs
+		airX := 0.0
+		if run.batchSlots > 0 {
+			airX = float64(run.seqSlots) / float64(run.batchSlots)
+		}
+		t.AddRow(fmt.Sprintf("%d", n),
+			at[0], at[1], at[2], at[3],
+			ti[0], ti[1], ti[2], ti[3],
+			seqQPS, batchQPS, batchQPS/seqQPS, airX,
+		)
+	}
+	return t
+}

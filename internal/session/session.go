@@ -1,0 +1,118 @@
+// Package session is the shared-cycle multi-client engine: it advances
+// many concurrent TNN query executions against ONE pair of broadcast
+// channel feeds, in global slot order. This is the operational meaning of
+// the paper's system model — a broadcast cycle costs the server the same
+// whether one client or a million are tuned in, so the simulator must be
+// able to put thousands of concurrent searches on the same slot timeline,
+// not replay the cycles once per query.
+//
+// Determinism. Every client owns its receivers, searches, and scratch;
+// clients share only the immutable broadcast programs. One client's step
+// therefore never changes another client's trajectory, and the engine's
+// per-client Results are bit-identical to running the same queries one at
+// a time through the algorithm functions — for every worker count. With
+// one worker the interleaving is deterministic too: the event loop uses
+// client.Sched, whose equal-slot tie-break is the explicit client index,
+// so the global step sequence is a pure function of the admitted queries.
+// With several workers each shard's loop is internally deterministic but
+// the shards run concurrently: only the cross-shard step order varies,
+// never any Result.
+//
+// Cost model. A session keeps every admitted client's state live until
+// Run returns: one core.Scratch (receivers, candidate queues, buffers) per
+// client. That is the price of concurrency — a sequential loop can recycle
+// one scratch, a session cannot.
+package session
+
+import (
+	"runtime"
+	"sync"
+
+	"tnnbcast/internal/client"
+	"tnnbcast/internal/core"
+	"tnnbcast/internal/geom"
+)
+
+// Query is one client's TNN query in a session: its query point, the
+// algorithm it runs, and its per-client options (issue slot, ANN
+// configuration, data-retrieval choice, trace). The Options' Scratch field
+// is engine-owned and ignored if set.
+type Query struct {
+	Point geom.Point
+	Algo  core.Algo
+	Opt   core.Options
+}
+
+// Engine runs batches of concurrent client queries over one broadcast
+// environment. It is immutable and safe for concurrent Run calls.
+type Engine struct {
+	env     core.Env
+	workers int
+}
+
+// New creates an engine over the environment. workers is the number of
+// goroutines a Run fans its clients across (0 = GOMAXPROCS, 1 = strictly
+// sequential); because clients are independent, the per-client Results are
+// identical for every worker count.
+func New(env core.Env, workers int) *Engine {
+	return &Engine{env: env, workers: workers}
+}
+
+// Run advances all queries against the shared feeds until every one has
+// completed, and returns their Results in input order. Clients are
+// interleaved in global slot order (ties: lower client index first); with
+// more than one worker, the client set is sharded round-robin and each
+// worker runs the slot-ordered loop over its shard.
+func (e *Engine) Run(queries []Query) []core.Result {
+	n := len(queries)
+	results := make([]core.Result, n)
+	if n == 0 {
+		return results
+	}
+	workers := e.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		runShard(e.env, queries, results, 0, 1)
+		return results
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			runShard(e.env, queries, results, w, workers)
+		}(w)
+	}
+	wg.Wait()
+	return results
+}
+
+// runShard drives the clients whose index ≡ w (mod stride): it admits each
+// with its own scratch, runs the slot-ordered event loop to completion,
+// and records Results by client index.
+func runShard(env core.Env, queries []Query, results []core.Result, w, stride int) {
+	type cl struct {
+		idx int
+		ex  *core.QueryExec
+	}
+	clients := make([]cl, 0, (len(queries)-w+stride-1)/stride)
+	var sched client.Sched
+	for i := w; i < len(queries); i += stride {
+		q := queries[i]
+		opt := q.Opt
+		opt.Scratch = core.NewScratch() // one live scratch per concurrent client
+		ex := new(core.QueryExec)
+		ex.Reset(env, q.Algo, q.Point, opt)
+		clients = append(clients, cl{idx: i, ex: ex})
+		sched.Add(int64(i), ex) // tie-break: global client index
+	}
+	sched.Run()
+	for _, c := range clients {
+		results[c.idx] = c.ex.Result()
+	}
+}

@@ -1,0 +1,152 @@
+package session
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"tnnbcast/internal/broadcast"
+	"tnnbcast/internal/core"
+	"tnnbcast/internal/dataset"
+	"tnnbcast/internal/geom"
+	"tnnbcast/internal/rtree"
+)
+
+func makeEnv(t *testing.T, nS, nR int, offS, offR int64) core.Env {
+	t.Helper()
+	region := geom.RectOf(geom.Pt(0, 0), geom.Pt(1000, 1000))
+	p := broadcast.DefaultParams()
+	cfg := rtree.Config{LeafCap: p.LeafCap(), NodeCap: p.NodeCap()}
+	treeS := rtree.Build(dataset.Uniform(31, nS, region), cfg)
+	treeR := rtree.Build(dataset.Uniform(32, nR, region), cfg)
+	return core.Env{
+		ChS:    broadcast.NewChannel(broadcast.BuildProgram(treeS, p), offS),
+		ChR:    broadcast.NewChannel(broadcast.BuildProgram(treeR, p), offR),
+		Region: region,
+	}
+}
+
+// mixedQueries builds a deterministic workload mixing all four algorithms,
+// random issue slots, ANN options, and retrieval choices.
+func mixedQueries(seed int64, n int) []Query {
+	rng := rand.New(rand.NewSource(seed))
+	algos := []core.Algo{core.AlgoWindow, core.AlgoDouble, core.AlgoHybrid, core.AlgoApprox}
+	qs := make([]Query, n)
+	for i := range qs {
+		q := Query{
+			Point: geom.Pt(rng.Float64()*1000, rng.Float64()*1000),
+			Algo:  algos[rng.Intn(len(algos))],
+		}
+		q.Opt.Issue = rng.Int63n(5000)
+		if rng.Intn(3) == 0 {
+			q.Opt.ANN = core.UniformANN(core.FactorWindowDouble)
+		}
+		if rng.Intn(4) == 0 {
+			q.Opt.SkipDataRetrieval = true
+		}
+		qs[i] = q
+	}
+	return qs
+}
+
+// run each query alone through the monolithic algorithm functions — the
+// sequential reference the session must match bit for bit.
+func sequentialReference(env core.Env, queries []Query) []core.Result {
+	sc := core.NewScratch()
+	out := make([]core.Result, len(queries))
+	for i, q := range queries {
+		opt := q.Opt
+		opt.Scratch = sc
+		switch q.Algo {
+		case core.AlgoWindow:
+			out[i] = core.WindowBased(env, q.Point, opt)
+		case core.AlgoHybrid:
+			out[i] = core.HybridNN(env, q.Point, opt)
+		case core.AlgoApprox:
+			out[i] = core.ApproximateTNN(env, q.Point, opt)
+		default:
+			out[i] = core.DoubleNN(env, q.Point, opt)
+		}
+	}
+	return out
+}
+
+// TestSessionMatchesSequential: a shared-cycle session of mixed concurrent
+// clients produces bit-identical per-client Results to running each query
+// alone, for several worker counts.
+func TestSessionMatchesSequential(t *testing.T) {
+	env := makeEnv(t, 900, 700, 123, 4567)
+	queries := mixedQueries(7, 120)
+	want := sequentialReference(env, queries)
+
+	for _, workers := range []int{1, 2, 3, 8, 0} {
+		got := New(env, workers).Run(queries)
+		if !reflect.DeepEqual(got, want) {
+			for i := range got {
+				if !reflect.DeepEqual(got[i], want[i]) {
+					t.Fatalf("workers=%d client %d (%v): session %+v\nsequential %+v",
+						workers, i, queries[i].Algo, got[i], want[i])
+				}
+			}
+			t.Fatalf("workers=%d: results diverge", workers)
+		}
+	}
+}
+
+// TestSessionEmptyAndDegenerate: sessions over empty datasets and empty
+// batches complete without panicking and report Found=false.
+func TestSessionEmptyAndDegenerate(t *testing.T) {
+	if got := New(makeEnv(t, 50, 50, 0, 0), 1).Run(nil); len(got) != 0 {
+		t.Fatalf("empty batch returned %d results", len(got))
+	}
+
+	env := makeEnv(t, 0, 0, 0, 0)
+	queries := mixedQueries(9, 16)
+	res := New(env, 2).Run(queries)
+	for i, r := range res {
+		if r.Found {
+			t.Fatalf("client %d found an answer on empty datasets: %+v", i, r)
+		}
+	}
+	if !reflect.DeepEqual(res, sequentialReference(env, queries)) {
+		t.Fatal("empty-dataset session diverges from sequential reference")
+	}
+
+	// One-sided empty dataset: estimate phases fail or filter finds no
+	// pair, but nothing panics and metrics stay consistent.
+	env = makeEnv(t, 0, 300, 11, 22)
+	queries = mixedQueries(10, 16)
+	res = New(env, 1).Run(queries)
+	for i, r := range res {
+		if r.Found {
+			t.Fatalf("client %d found a pair with S empty: %+v", i, r)
+		}
+	}
+	if !reflect.DeepEqual(res, sequentialReference(env, queries)) {
+		t.Fatal("one-sided-empty session diverges from sequential reference")
+	}
+}
+
+// TestSessionSharedCycleOverlap pins the scalability story: all clients of
+// one session live on the SAME broadcast cycles, so the slot span the
+// whole batch occupies is far smaller than the sum of the individual
+// access times (which is what a single client running the queries
+// back-to-back would need).
+func TestSessionSharedCycleOverlap(t *testing.T) {
+	env := makeEnv(t, 900, 700, 123, 4567)
+	queries := mixedQueries(11, 64)
+	cycle := env.ChS.Program().CycleLen() // issue slots were drawn below this
+	res := New(env, 1).Run(queries)
+
+	var sum, maxEnd int64
+	for i, r := range res {
+		sum += r.Metrics.AccessTime
+		if end := queries[i].Opt.Issue + r.Metrics.AccessTime; end > maxEnd {
+			maxEnd = end
+		}
+	}
+	if sum < 2*(maxEnd+cycle) {
+		t.Fatalf("expected heavy overlap: summed access %d vs batch span bound %d",
+			sum, maxEnd+cycle)
+	}
+}

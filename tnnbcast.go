@@ -99,6 +99,7 @@ type System struct {
 	treeS, treeR *rtree.Tree
 	params       broadcast.Params
 	region       Rect
+	offS, offR   int64 // normalized phase offsets, see Phases
 }
 
 // Option configures New.
@@ -135,6 +136,12 @@ func WithRegion(r Rect) Option {
 // WithPhases sets the two channels' phase offsets (the slot at which each
 // channel's cycle begins). Defaults are zero; experiments randomize them
 // per query to model the random waiting time for the index roots.
+//
+// Phase offsets are cyclic: New normalizes any value — negative or beyond
+// one cycle length — into [0, cycle) before the broadcast starts, so
+// WithPhases(-3, 0) and WithPhases(cycleLen-3, 0) configure the identical
+// channel. The normalized values are reported by Phases. (Under
+// WithSingleChannel only the S offset applies, modulo the combined cycle.)
 func WithPhases(offS, offR int64) Option {
 	return func(c *config) { c.offS, c.offR = offS, offR }
 }
@@ -150,6 +157,11 @@ func WithSingleChannel() Option {
 
 // New builds the packed R-trees and broadcast programs for datasets S and
 // R and returns a query-ready System.
+//
+// Inputs are validated up front: a point with a NaN or infinite coordinate
+// yields an *InvalidPointError, an explicitly configured non-finite region
+// an *InvalidRegionError. Empty datasets are accepted — queries over them
+// complete normally with Found == false.
 func New(s, r []Point, opts ...Option) (*System, error) {
 	cfg := config{params: broadcast.DefaultParams()}
 	for _, o := range opts {
@@ -158,7 +170,18 @@ func New(s, r []Point, opts ...Option) (*System, error) {
 	if err := cfg.params.Validate(); err != nil {
 		return nil, err
 	}
+	if err := validatePoints("S", s); err != nil {
+		return nil, err
+	}
+	if err := validatePoints("R", r); err != nil {
+		return nil, err
+	}
 	region := cfg.region
+	if cfg.hasReg {
+		if err := validateRegion(region); err != nil {
+			return nil, err
+		}
+	}
 	if !cfg.hasReg {
 		mbr := geom.EmptyRect()
 		for _, p := range s {
@@ -180,13 +203,20 @@ func New(s, r []Point, opts ...Option) (*System, error) {
 	progS := broadcast.BuildProgram(treeS, cfg.params)
 	progR := broadcast.BuildProgram(treeR, cfg.params)
 
+	// Phase offsets are cyclic; reduce them to canonical slots in
+	// [0, cycle) so Phases reports exactly what is on air and equivalent
+	// offsets build identical systems.
 	var chS, chR broadcast.Feed
+	var offS, offR int64
 	if cfg.oneChan {
-		dual := broadcast.NewDualChannel(progS, progR, cfg.offS)
+		offS = normalizePhase(cfg.offS, progS.CycleLen()+progR.CycleLen())
+		dual := broadcast.NewDualChannel(progS, progR, offS)
 		chS, chR = dual.FeedS(), dual.FeedR()
 	} else {
-		chS = broadcast.NewChannel(progS, cfg.offS)
-		chR = broadcast.NewChannel(progR, cfg.offR)
+		offS = normalizePhase(cfg.offS, progS.CycleLen())
+		offR = normalizePhase(cfg.offR, progR.CycleLen())
+		chS = broadcast.NewChannel(progS, offS)
+		chR = broadcast.NewChannel(progR, offR)
 	}
 
 	return &System{
@@ -195,8 +225,15 @@ func New(s, r []Point, opts ...Option) (*System, error) {
 		treeS: treeS, treeR: treeR,
 		params: cfg.params,
 		region: region,
+		offS:   offS, offR: offR,
 	}, nil
 }
+
+// Phases returns the normalized phase offsets the two channels broadcast
+// with (the canonical [0, cycle) equivalents of the WithPhases values).
+// Under WithSingleChannel the first value is the combined-cycle offset and
+// the second is zero.
+func (sys *System) Phases() (offS, offR int64) { return sys.offS, sys.offR }
 
 // Result is the outcome of one TNN query.
 type Result struct {
