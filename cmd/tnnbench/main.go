@@ -7,7 +7,13 @@
 //	tnnbench -exp all -queries 200     # everything, reduced query count
 //	tnnbench -exp tab3 -csv            # CSV output
 //	tnnbench -clients 100,1000,4000    # multi-client session scaling ladder
+//	tnnbench -exp fig9a -index distributed   # swap the air-index family
+//	tnnbench -exp fig9a -sched skewed        # broadcast-disks data schedule
 //	tnnbench -list                     # list experiment IDs
+//
+// -index/-cut and -sched/-disks/-ratio select the air-index family and the
+// data schedule for EVERY experiment run; the ablation-index, ablation-cut,
+// and ablation-sched experiments compare the families directly.
 //
 // The paper averages 1,000 random query points per configuration; -queries
 // trades accuracy for speed. All randomness is seeded, so runs are
@@ -32,6 +38,11 @@ func main() {
 		queries = flag.Int("queries", 1000, "random query points per configuration")
 		seed    = flag.Int64("seed", 0, "random seed (0 = default)")
 		pageCap = flag.Int("page", 64, "page capacity in bytes (64, 128, 256, 512)")
+		index   = flag.String("index", "preorder", "air-index family: preorder (the paper's (1,m) scheme) or distributed (replicated upper levels)")
+		cut     = flag.Int("cut", 0, "distributed index: number of replicated upper levels (0 = half the tree height)")
+		sched   = flag.String("sched", "flat", "data schedule: flat (every object once per cycle) or skewed (broadcast-disks)")
+		disks   = flag.Int("disks", 2, "skewed schedule: number of frequency classes")
+		ratio   = flag.Int("ratio", 2, "skewed schedule: integer frequency ratio between adjacent classes")
 		workers = flag.Int("workers", 0, "parallel query workers per experiment (0 = GOMAXPROCS, 1 = sequential; results are identical for any value)")
 		clients = flag.String("clients", "", "run the multi-client session experiment with this comma-separated concurrent-client ladder (e.g. 100,1000,4000)")
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text")
@@ -48,7 +59,31 @@ func main() {
 		fmt.Println(strings.Join(ids, "\n"))
 		return
 	}
-	cfg := experiments.Config{Queries: *queries, Seed: *seed, PageCap: *pageCap, Workers: *workers}
+	switch *index {
+	case "preorder", "distributed":
+	default:
+		fmt.Fprintf(os.Stderr, "tnnbench: unknown -index %q (preorder or distributed)\n", *index)
+		os.Exit(2)
+	}
+	cfg := experiments.Config{Queries: *queries, Seed: *seed, PageCap: *pageCap, Workers: *workers,
+		Scheme: *index, Cut: *cut}
+	switch *sched {
+	case "flat":
+	case "skewed":
+		// The same bounds the public API enforces (tnnbcast.WithSkewedSchedule).
+		if *disks < 1 || *disks > 16 {
+			fmt.Fprintf(os.Stderr, "tnnbench: -disks must be in 1..16, got %d\n", *disks)
+			os.Exit(2)
+		}
+		if *ratio < 2 || *ratio > 16 {
+			fmt.Fprintf(os.Stderr, "tnnbench: -ratio must be in 2..16, got %d\n", *ratio)
+			os.Exit(2)
+		}
+		cfg.SkewDisks, cfg.SkewRatio = *disks, *ratio
+	default:
+		fmt.Fprintf(os.Stderr, "tnnbench: unknown -sched %q (flat or skewed)\n", *sched)
+		os.Exit(2)
+	}
 
 	// -clients is shorthand for the "clients" experiment with an explicit
 	// concurrent-client ladder.

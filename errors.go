@@ -54,6 +54,44 @@ func validatePoints(name string, pts []Point) error {
 	return nil
 }
 
+// InvalidWeightError reports a WithAccessWeights vector that does not
+// match its dataset or contains a negative or non-finite weight.
+type InvalidWeightError struct {
+	// Dataset names the offending input ("S" or "R").
+	Dataset string
+	// Index is the offending weight's position, or -1 for a length
+	// mismatch.
+	Index int
+	// Weight is the offending value (length mismatch: the slice length).
+	Weight float64
+}
+
+func (e *InvalidWeightError) Error() string {
+	if e.Index < 0 {
+		return fmt.Sprintf("tnnbcast: %d access weights do not match dataset %s",
+			int(e.Weight), e.Dataset)
+	}
+	return fmt.Sprintf("tnnbcast: access weight %s[%d] = %g is negative or non-finite",
+		e.Dataset, e.Index, e.Weight)
+}
+
+// validateWeights returns a typed error for a malformed access-weight
+// vector, or nil. A nil vector is valid (uniform weights).
+func validateWeights(name string, w []float64, n int) error {
+	if w == nil {
+		return nil
+	}
+	if len(w) != n {
+		return &InvalidWeightError{Dataset: name, Index: -1, Weight: float64(len(w))}
+	}
+	for i, v := range w {
+		if !finite(v) || v < 0 {
+			return &InvalidWeightError{Dataset: name, Index: i, Weight: v}
+		}
+	}
+	return nil
+}
+
 // validateRegion returns a typed error when an explicitly configured
 // service region has non-finite or inverted bounds, or nil.
 func validateRegion(r Rect) error {

@@ -22,19 +22,29 @@ type ChainSystem struct {
 }
 
 // NewChain builds a broadcast system over the datasets in visiting order.
-// The same options as New apply (page capacity, interleaving, region);
-// phase offsets are assigned per channel from WithPhases' two values by
-// alternating them.
+// The same options as New apply (page capacity, interleaving, region,
+// index scheme, data schedule); phase offsets — and, for a skewed
+// schedule, WithAccessWeights' two weight vectors — are assigned per
+// channel from the options' two values by alternating them.
 func NewChain(datasets [][]Point, opts ...Option) (*ChainSystem, error) {
 	cfg := config{params: broadcast.DefaultParams()}
 	for _, o := range opts {
 		o(&cfg)
 	}
+	if err := cfg.validateScheme(); err != nil {
+		return nil, err
+	}
 	if err := cfg.params.Validate(); err != nil {
 		return nil, err
 	}
 	for i, set := range datasets {
+		if err := cfg.params.ValidateFor(len(set)); err != nil {
+			return nil, err
+		}
 		if err := validatePoints(fmt.Sprintf("datasets[%d]", i), set); err != nil {
+			return nil, err
+		}
+		if err := validateWeights(fmt.Sprintf("datasets[%d]", i), cfg.chainWeights(i), len(set)); err != nil {
 			return nil, err
 		}
 	}
@@ -61,13 +71,13 @@ func NewChain(datasets [][]Point, opts ...Option) (*ChainSystem, error) {
 	cs := &ChainSystem{env: core.MultiEnv{Region: region}}
 	for i, set := range datasets {
 		tree := rtree.Build(set, rcfg)
-		prog := broadcast.BuildProgram(tree, cfg.params)
+		idx := broadcast.BuildIndex(tree, cfg.params, cfg.indexSpec(cfg.chainWeights(i)))
 		off := cfg.offS
 		if i%2 == 1 {
 			off = cfg.offR
 		}
 		cs.trees = append(cs.trees, tree)
-		cs.env.Chs = append(cs.env.Chs, broadcast.NewChannel(prog, off))
+		cs.env.Chs = append(cs.env.Chs, broadcast.NewChannel(idx, off))
 	}
 	return cs, nil
 }

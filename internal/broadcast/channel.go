@@ -6,24 +6,25 @@ import (
 	"tnnbcast/internal/rtree"
 )
 
-// Channel is one wireless broadcast channel transmitting a Program in a
-// loop, shifted by a phase offset. Slot t of the channel carries the
-// program's cycle-relative page (t - Offset) mod CycleLen.
+// Channel is one wireless broadcast channel transmitting an AirIndex
+// (a broadcast program of any index family) in a loop, shifted by a phase
+// offset. Slot t of the channel carries the program's cycle-relative page
+// (t - Offset) mod CycleLen.
 //
 // A Channel exposes only what a real receiver could do: ask when a page
 // will next be on air (pointers in a broadcast R-tree are arrival times)
 // and read the page during its slot. There is no random access.
 type Channel struct {
-	prog   *Program
+	idx    AirIndex
 	offset int64
 }
 
-// NewChannel wraps prog on a channel whose cycle starts at slot offset
-// (i.e. the first index root of a cycle is on air at offset, modulo the
-// cycle length). Any offset, including negative, is accepted.
-func NewChannel(prog *Program, offset int64) *Channel {
+// NewChannel wraps idx on a channel whose cycle starts at slot offset
+// (i.e. the first page of a cycle is on air at offset, modulo the cycle
+// length). Any offset, including negative, is accepted.
+func NewChannel(idx AirIndex, offset int64) *Channel {
 	ch := new(Channel)
-	ch.Reset(prog, offset)
+	ch.Reset(idx, offset)
 	return ch
 }
 
@@ -31,21 +32,21 @@ func NewChannel(prog *Program, offset int64) *Channel {
 // offset, equivalent to NewChannel but reusing the allocation. Workloads
 // that re-phase a channel per query (the experiment harness) reuse one
 // Channel per worker instead of allocating per query.
-func (ch *Channel) Reset(prog *Program, offset int64) {
-	c := prog.CycleLen()
+func (ch *Channel) Reset(idx AirIndex, offset int64) {
+	c := idx.CycleLen()
 	off := offset % c
 	if off < 0 {
 		off += c
 	}
-	ch.prog, ch.offset = prog, off
+	ch.idx, ch.offset = idx, off
 }
 
-// Program returns the underlying broadcast program.
-func (ch *Channel) Program() *Program { return ch.prog }
+// Index returns the underlying broadcast program.
+func (ch *Channel) Index() AirIndex { return ch.idx }
 
 // rel converts channel slot t to a cycle-relative slot.
 func (ch *Channel) rel(t int64) int64 {
-	c := ch.prog.CycleLen()
+	c := ch.idx.CycleLen()
 	r := (t - ch.offset) % c
 	if r < 0 {
 		r += c
@@ -54,7 +55,7 @@ func (ch *Channel) rel(t int64) int64 {
 }
 
 // PageAt returns the page on air at channel slot t.
-func (ch *Channel) PageAt(t int64) Page { return ch.prog.PageAt(ch.rel(t)) }
+func (ch *Channel) PageAt(t int64) Page { return ch.idx.PageAt(ch.rel(t)) }
 
 // ReadNode returns the R-tree node broadcast at slot t. It panics if slot t
 // carries a data page — callers must only read index pages at their
@@ -64,40 +65,15 @@ func (ch *Channel) ReadNode(t int64) *rtree.Node {
 	if p.Kind != IndexPage {
 		panic(fmt.Sprintf("broadcast: slot %d carries %v, not an index page", t, p.Kind))
 	}
-	return ch.prog.Tree.Nodes[p.NodeID]
-}
-
-// nextOccurrence returns the smallest channel slot t >= after such that the
-// cycle-relative slot of t equals want.
-func (ch *Channel) nextOccurrence(want, after int64) int64 {
-	c := ch.prog.CycleLen()
-	r := ch.rel(after)
-	d := want - r
-	if d < 0 {
-		d += c
-	}
-	return after + d
+	return ch.idx.Tree().Nodes[p.NodeID]
 }
 
 // NextNodeArrival returns the first slot >= after at which index page
-// nodeID is on air. The index is replicated m times per cycle; the
-// replicas' cycle-relative slots segStart[f]+nodeID are ascending in f, so
-// the earliest upcoming one is the first with segStart[f] >= rel(after) -
-// nodeID (wrapping to replica 0 of the next cycle when none qualifies).
-// One rel() computation serves all m replicas — this sits on the query hot
-// path, once per enqueued candidate.
+// nodeID is on air: one rel() computation plus the index's cycle-relative
+// answer — this sits on the query hot path, once per enqueued candidate.
 func (ch *Channel) NextNodeArrival(nodeID int, after int64) int64 {
-	if nodeID < 0 || nodeID >= ch.prog.indexPages {
-		panic(fmt.Sprintf("broadcast: node %d out of range [0,%d)", nodeID, ch.prog.indexPages))
-	}
 	r := ch.rel(after)
-	base := r - int64(nodeID)
-	for _, s := range ch.prog.segStart[:ch.prog.m] {
-		if s >= base {
-			return after + s + int64(nodeID) - r
-		}
-	}
-	return after + ch.prog.CycleLen() + int64(nodeID) - r
+	return after + ch.idx.NextNodeSlot(nodeID, r) - r
 }
 
 // NextRootArrival returns the first slot >= after carrying the index root.
@@ -109,9 +85,6 @@ func (ch *Channel) NextRootArrival(after int64) int64 {
 // page of objectID is on air. The object's PagesPerObject pages occupy
 // consecutive slots from the returned value.
 func (ch *Channel) NextObjectArrival(objectID int, after int64) int64 {
-	if objectID < 0 || objectID >= len(ch.prog.objPos) {
-		panic(fmt.Sprintf("broadcast: object %d out of range [0,%d)", objectID, len(ch.prog.objPos)))
-	}
-	pos := ch.prog.objPos[objectID]
-	return ch.nextOccurrence(ch.prog.objectSlotInCycle(pos), after)
+	r := ch.rel(after)
+	return after + ch.idx.NextObjectSlot(objectID, r) - r
 }

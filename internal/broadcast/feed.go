@@ -8,8 +8,8 @@ import "tnnbcast/internal/rtree"
 // (DualChannel), which is how the original single-channel environment of
 // Zheng–Lee–Lee is modelled.
 type Feed interface {
-	// Program returns the broadcast program this feed transmits.
-	Program() *Program
+	// Index returns the broadcast program this feed transmits.
+	Index() AirIndex
 	// PageAt returns the page on air at slot t. For multiplexed feeds the
 	// slot must belong to this feed's share of the channel.
 	PageAt(t int64) Page
@@ -34,25 +34,26 @@ var _ Feed = (*Channel)(nil)
 // channel: each combined cycle transmits program S's full cycle followed
 // by program R's full cycle. A client with a single radio experiences the
 // two datasets exactly as two Feeds whose slots never collide — which is
-// why the multi-channel algorithms run unchanged on it, just slower.
+// why the multi-channel algorithms run unchanged on it, just slower. Any
+// AirIndex family can ride either half.
 type DualChannel struct {
-	progS, progR *Program
-	offset       int64
+	idxS, idxR AirIndex
+	offset     int64
 }
 
 // NewDualChannel multiplexes the two programs with the given phase offset.
-func NewDualChannel(progS, progR *Program, offset int64) *DualChannel {
-	l := progS.CycleLen() + progR.CycleLen()
+func NewDualChannel(idxS, idxR AirIndex, offset int64) *DualChannel {
+	l := idxS.CycleLen() + idxR.CycleLen()
 	off := offset % l
 	if off < 0 {
 		off += l
 	}
-	return &DualChannel{progS: progS, progR: progR, offset: off}
+	return &DualChannel{idxS: idxS, idxR: idxR, offset: off}
 }
 
 // CycleLen returns the combined cycle length.
 func (d *DualChannel) CycleLen() int64 {
-	return d.progS.CycleLen() + d.progR.CycleLen()
+	return d.idxS.CycleLen() + d.idxR.CycleLen()
 }
 
 // FeedS returns the S dataset's view of the channel.
@@ -67,22 +68,22 @@ type dualFeed struct {
 	second bool // false: S segment [0, lenS); true: R segment [lenS, lenS+lenR)
 }
 
-func (f *dualFeed) prog() *Program {
+func (f *dualFeed) idx() AirIndex {
 	if f.second {
-		return f.d.progR
+		return f.d.idxR
 	}
-	return f.d.progS
+	return f.d.idxS
 }
 
 func (f *dualFeed) segStart() int64 {
 	if f.second {
-		return f.d.progS.CycleLen()
+		return f.d.idxS.CycleLen()
 	}
 	return 0
 }
 
-// Program implements Feed.
-func (f *dualFeed) Program() *Program { return f.prog() }
+// Index implements Feed.
+func (f *dualFeed) Index() AirIndex { return f.idx() }
 
 // rel converts a channel slot to a combined-cycle-relative slot.
 func (f *dualFeed) rel(t int64) int64 {
@@ -97,7 +98,7 @@ func (f *dualFeed) rel(t int64) int64 {
 // PageAt implements Feed.
 func (f *dualFeed) PageAt(t int64) Page {
 	r := f.rel(t) - f.segStart()
-	return f.prog().PageAt(r) // panics when the slot is outside this segment
+	return f.idx().PageAt(r) // panics when the slot is outside this segment
 }
 
 // ReadNode implements Feed.
@@ -106,38 +107,45 @@ func (f *dualFeed) ReadNode(t int64) *rtree.Node {
 	if p.Kind != IndexPage {
 		panic("broadcast: slot carries a data page, not an index page")
 	}
-	return f.prog().Tree.Nodes[p.NodeID]
+	return f.idx().Tree().Nodes[p.NodeID]
 }
 
-// nextOccurrence returns the first channel slot >= after whose combined-
-// cycle-relative position equals want (which must lie inside this feed's
-// segment).
-func (f *dualFeed) nextOccurrence(want, after int64) int64 {
-	l := f.d.CycleLen()
-	r := f.rel(after)
-	d := want - r
-	if d < 0 {
-		d += l
-	}
-	return after + d
-}
-
-// NextNodeArrival implements Feed. As in Channel.NextNodeArrival, the
-// replica slots segStart()+pr.segStart[rep]+nodeID ascend with rep, so one
-// rel() computation and a forward scan find the earliest upcoming one.
-func (f *dualFeed) NextNodeArrival(nodeID int, after int64) int64 {
-	pr := f.prog()
-	if nodeID < 0 || nodeID >= pr.NumIndexPages() {
-		panic("broadcast: node out of range")
-	}
-	r := f.rel(after)
-	base := r - f.segStart() - int64(nodeID)
-	for _, s := range pr.segStart[:pr.M()] {
-		if s >= base {
-			return after + f.segStart() + s + int64(nodeID) - r
+// delayTo translates a program-cycle-relative next-occurrence query into a
+// combined-cycle delay from channel position r. next answers the index's
+// NextNodeSlot/NextObjectSlot contract for a program-relative position in
+// [0, L).
+func (f *dualFeed) delayTo(r int64, next func(rel int64) int64) int64 {
+	idx := f.idx()
+	L := idx.CycleLen()
+	C := f.d.CycleLen()
+	pRel := r - f.segStart()
+	switch {
+	case pRel < 0:
+		// Still before this feed's segment: wait for the segment, then the
+		// page's first occurrence of the program cycle.
+		return -pRel + next(0)
+	case pRel >= L:
+		// Past this feed's segment: wait for the next combined cycle's
+		// segment, then the first occurrence.
+		return (C - pRel) + next(0)
+	default:
+		t := next(pRel)
+		d := t - pRel
+		if t >= L {
+			// The occurrence wrapped into the next program cycle, which in
+			// combined time starts after the other program's segment.
+			d += C - L
 		}
+		return d
 	}
-	return after + f.d.CycleLen() + f.segStart() + int64(nodeID) - r
+}
+
+// NextNodeArrival implements Feed.
+func (f *dualFeed) NextNodeArrival(nodeID int, after int64) int64 {
+	r := f.rel(after)
+	return after + f.delayTo(r, func(rel int64) int64 {
+		return f.idx().NextNodeSlot(nodeID, rel)
+	})
 }
 
 // NextRootArrival implements Feed.
@@ -147,10 +155,8 @@ func (f *dualFeed) NextRootArrival(after int64) int64 {
 
 // NextObjectArrival implements Feed.
 func (f *dualFeed) NextObjectArrival(objectID int, after int64) int64 {
-	pr := f.prog()
-	if objectID < 0 || objectID >= len(pr.objPos) {
-		panic("broadcast: object out of range")
-	}
-	pos := pr.objPos[objectID]
-	return f.nextOccurrence(f.segStart()+pr.objectSlotInCycle(pos), after)
+	r := f.rel(after)
+	return after + f.delayTo(r, func(rel int64) int64 {
+		return f.idx().NextObjectSlot(objectID, rel)
+	})
 }

@@ -94,7 +94,7 @@ func TestDualFeedArrivalsAgreeWithScan(t *testing.T) {
 func TestDualFeedObjectRunsConsecutive(t *testing.T) {
 	d, _, _ := buildDual(t)
 	fs := d.FeedS()
-	ppo := int64(fs.Program().PagesPerObject())
+	ppo := int64(fs.Index().PagesPerObject())
 	for obj := 0; obj < 30; obj += 6 {
 		start := fs.NextObjectArrival(obj, 3)
 		for k := int64(0); k < ppo; k++ {

@@ -54,6 +54,27 @@ func (p Params) Validate() error {
 	return nil
 }
 
+// ValidateFor reports a configuration error for a broadcast over numObjects
+// data objects, or nil. Beyond Validate, it rejects an explicit (1, m)
+// factor larger than the number of data pages: such a program cannot give
+// every fraction a data page, so the "interleaving" would degenerate into
+// back-to-back index copies. (BuildProgram additionally clamps M to the
+// object count, which is the stricter bound whenever objects span several
+// pages.)
+func (p Params) ValidateFor(numObjects int) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if numObjects < 0 {
+		return fmt.Errorf("broadcast: negative object count %d", numObjects)
+	}
+	if dataPages := numObjects * p.PagesPerObject(); p.M > dataPages && p.M > 1 {
+		return fmt.Errorf("broadcast: explicit M = %d exceeds the %d data pages of %d objects",
+			p.M, dataPages, numObjects)
+	}
+	return nil
+}
+
 // IndexEntrySize returns the bytes one internal-node entry occupies: an MBR
 // (4 coordinates) plus a child pointer.
 func (p Params) IndexEntrySize() int { return 4*p.CoordSize + p.PtrSize }

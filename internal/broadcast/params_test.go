@@ -1,6 +1,10 @@
 package broadcast
 
-import "testing"
+import (
+	"testing"
+
+	"tnnbcast/internal/rtree"
+)
 
 func TestParamsCapacities(t *testing.T) {
 	cases := []struct {
@@ -39,6 +43,53 @@ func TestParamsEntrySizes(t *testing.T) {
 	}
 	if p.LeafEntrySize() != 10 {
 		t.Errorf("LeafEntrySize = %d, want 10", p.LeafEntrySize())
+	}
+}
+
+func TestParamsValidateFor(t *testing.T) {
+	p := DefaultParams() // 16 pages per object
+
+	// M within the data-page budget is fine; so is auto selection.
+	for _, m := range []int{0, 1, 16, 32} {
+		p.M = m
+		if err := p.ValidateFor(2); err != nil {
+			t.Errorf("M=%d over 2 objects (32 data pages): unexpected error %v", m, err)
+		}
+	}
+	// An explicit M beyond the data pages is the degenerate configuration
+	// the builder used to accept silently.
+	p.M = 33
+	if err := p.ValidateFor(2); err == nil {
+		t.Error("M=33 over 32 data pages: expected error")
+	}
+	p.M = 5
+	if err := p.ValidateFor(0); err == nil {
+		t.Error("explicit M over an empty dataset: expected error")
+	}
+	if err := p.ValidateFor(-1); err == nil {
+		t.Error("negative object count: expected error")
+	}
+	// ValidateFor subsumes Validate.
+	bad := Params{PageCap: 64, PtrSize: 2, CoordSize: 4, DataSize: 1024, M: -3}
+	if err := bad.ValidateFor(100); err == nil {
+		t.Error("ValidateFor must reject what Validate rejects")
+	}
+}
+
+// TestBuildProgramClampsEmptyDatasetM is the regression test for the
+// degenerate program BuildProgram used to emit: an empty dataset with an
+// explicit M built M back-to-back index copies per cycle.
+func TestBuildProgramClampsEmptyDatasetM(t *testing.T) {
+	p := DefaultParams()
+	p.M = 7
+	tree := rtree.Build(nil, rtree.Config{LeafCap: p.LeafCap(), NodeCap: p.NodeCap()})
+	prog := BuildProgram(tree, p)
+	if prog.M() != 1 {
+		t.Fatalf("empty dataset: M = %d, want clamp to 1", prog.M())
+	}
+	if prog.CycleLen() != int64(prog.NumIndexPages()) {
+		t.Fatalf("empty dataset cycle %d, want one index copy (%d pages)",
+			prog.CycleLen(), prog.NumIndexPages())
 	}
 }
 

@@ -34,9 +34,11 @@ type Page struct {
 	Seq      int // for DataPage: fragment number within the object
 }
 
-// Program is the broadcast program for one dataset on one channel: a packed
-// R-tree serialized in depth-first (preorder) order, (1, m)-interleaved
-// with the data objects, repeated cyclically.
+// Program is the paper's broadcast program for one dataset on one channel:
+// a packed R-tree serialized in depth-first (preorder) order,
+// (1, m)-interleaved with the data objects, repeated cyclically. It is the
+// preorder implementation of the AirIndex interface; BuildDistributed
+// builds the alternative distributed-index family.
 //
 // Layout of one cycle (m fractions):
 //
@@ -47,8 +49,8 @@ type Page struct {
 // consecutive data pages. Objects appear in the order their entries occur
 // in the preorder leaf walk, so data order follows index order.
 type Program struct {
-	Tree   *rtree.Tree
-	Params Params
+	tree   *rtree.Tree
+	params Params
 
 	m          int     // resolved interleaving factor
 	indexPages int     // number of index pages (= number of R-tree nodes)
@@ -58,6 +60,9 @@ type Program struct {
 	segStart   []int64 // segStart[f] = cycle slot where replication f's index begins; len m+1 (last = cycle length)
 	ppo        int     // pages per object
 }
+
+// Program implements AirIndex.
+var _ AirIndex = (*Program)(nil)
 
 // BuildProgram serializes tree into a broadcast program. It panics on
 // invalid Params (use Params.Validate to check first) and on trees whose
@@ -72,8 +77,8 @@ func BuildProgram(tree *rtree.Tree, p Params) *Program {
 	}
 
 	pr := &Program{
-		Tree:       tree,
-		Params:     p,
+		tree:       tree,
+		params:     p,
 		indexPages: len(tree.Nodes),
 		ppo:        p.PagesPerObject(),
 	}
@@ -91,19 +96,7 @@ func BuildProgram(tree *rtree.Tree, p Params) *Program {
 	}
 
 	n := len(pr.objOrder)
-	dataPages := n * pr.ppo
-
-	m := p.M
-	if m == 0 {
-		// Imielinski-optimal interleaving: m* ≈ sqrt(data/index).
-		m = int(math.Round(math.Sqrt(float64(dataPages) / float64(pr.indexPages))))
-	}
-	if m < 1 {
-		m = 1
-	}
-	if n > 0 && m > n {
-		m = n // at least one object per fraction
-	}
+	m := resolveM(p, pr.indexPages, n)
 	pr.m = m
 
 	// Balanced object partition: fraction f gets n/m objects plus one of
@@ -130,11 +123,48 @@ func BuildProgram(tree *rtree.Tree, p Params) *Program {
 	return pr
 }
 
+// resolveM resolves the (1, m) interleaving factor for a preorder program
+// of indexPages index pages over n objects: the explicit Params.M, or the
+// Imielinski-optimal value, clamped so every fraction holds at least one
+// object (and to 1 for an empty dataset, which needs no replication).
+// BuildProgram and BuildScheduled share this so the two preorder layouts
+// cannot drift.
+func resolveM(p Params, indexPages, n int) int {
+	dataPages := n * p.PagesPerObject()
+	m := p.M
+	if m == 0 {
+		// Imielinski-optimal interleaving: m* ≈ sqrt(data/index).
+		m = int(math.Round(math.Sqrt(float64(dataPages) / float64(indexPages))))
+	}
+	if m < 1 {
+		m = 1
+	}
+	if n > 0 && m > n {
+		m = n // at least one object per fraction
+	}
+	if n == 0 {
+		m = 1
+	}
+	return m
+}
+
+// Scheme implements AirIndex.
+func (pr *Program) Scheme() string { return "preorder" }
+
+// Tree implements AirIndex.
+func (pr *Program) Tree() *rtree.Tree { return pr.tree }
+
+// Params implements AirIndex.
+func (pr *Program) Params() Params { return pr.params }
+
 // CycleLen returns the number of slots in one broadcast cycle.
 func (pr *Program) CycleLen() int64 { return pr.segStart[pr.m] }
 
 // M returns the resolved (1, m) interleaving factor.
 func (pr *Program) M() int { return pr.m }
+
+// Replication implements AirIndex: the root airs once per replication.
+func (pr *Program) Replication() int { return pr.m }
 
 // NumIndexPages returns the number of index pages (one per R-tree node).
 func (pr *Program) NumIndexPages() int { return pr.indexPages }
@@ -169,6 +199,38 @@ func (pr *Program) PageAt(s int64) Page {
 	}
 }
 
+// NextNodeSlot implements AirIndex. The index is replicated m times per
+// cycle; the replicas' cycle-relative slots segStart[f]+nodeID are
+// ascending in f, so the earliest at-or-after rel is the first with
+// segStart[f] >= rel - nodeID (wrapping to replica 0 of the next cycle
+// when none qualifies). This sits on the query hot path, once per
+// enqueued candidate.
+func (pr *Program) NextNodeSlot(nodeID int, rel int64) int64 {
+	if nodeID < 0 || nodeID >= pr.indexPages {
+		panic(fmt.Sprintf("broadcast: node %d out of range [0,%d)", nodeID, pr.indexPages))
+	}
+	base := rel - int64(nodeID)
+	for _, s := range pr.segStart[:pr.m] {
+		if s >= base {
+			return s + int64(nodeID)
+		}
+	}
+	return pr.CycleLen() + int64(nodeID)
+}
+
+// NextObjectSlot implements AirIndex: each object airs once per cycle at a
+// fixed slot.
+func (pr *Program) NextObjectSlot(objectID int, rel int64) int64 {
+	if objectID < 0 || objectID >= len(pr.objPos) {
+		panic(fmt.Sprintf("broadcast: object %d out of range [0,%d)", objectID, len(pr.objPos)))
+	}
+	want := pr.objectSlotInCycle(pr.objPos[objectID])
+	if want < rel {
+		want += pr.CycleLen()
+	}
+	return want
+}
+
 // objFraction returns which fraction the object at broadcast position pos
 // belongs to.
 func (pr *Program) objFraction(pos int) int {
@@ -183,12 +245,6 @@ func (pr *Program) objFraction(pos int) int {
 		}
 	}
 	return lo
-}
-
-// nodeSlotInCycle returns the cycle-relative slot of index page nodeID in
-// replication f.
-func (pr *Program) nodeSlotInCycle(nodeID, f int) int64 {
-	return pr.segStart[f] + int64(nodeID)
 }
 
 // objectSlotInCycle returns the cycle-relative slot of the first data page

@@ -1,0 +1,373 @@
+package broadcast
+
+import (
+	"math/rand"
+	"testing"
+
+	"tnnbcast/internal/geom"
+	"tnnbcast/internal/rtree"
+)
+
+func buildTestTree(n int, params Params) *rtree.Tree {
+	rng := rand.New(rand.NewSource(int64(n)))
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Pt(rng.Float64()*1000, rng.Float64()*1000)
+	}
+	return rtree.Build(pts, rtree.Config{
+		LeafCap: params.LeafCap(), NodeCap: params.NodeCap(),
+	})
+}
+
+// nextOccByScan is the brute-force AirIndex arrival oracle: scan forward
+// from rel until match airs.
+func nextOccByScan(idx AirIndex, rel int64, match func(Page) bool) int64 {
+	c := idx.CycleLen()
+	for d := int64(0); d < 2*c; d++ {
+		if match(idx.PageAt((rel + d) % c)) {
+			return rel + d
+		}
+	}
+	return -1
+}
+
+// checkArrivalContract verifies NextNodeSlot/NextObjectSlot against the
+// brute-force scan for a sample of positions.
+func checkArrivalContract(t *testing.T, idx AirIndex, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	c := idx.CycleLen()
+	tree := idx.Tree()
+	for trial := 0; trial < 200; trial++ {
+		rel := rng.Int63n(c)
+		id := rng.Intn(len(tree.Nodes))
+		got := idx.NextNodeSlot(id, rel)
+		if got < rel || got >= rel+c {
+			t.Fatalf("NextNodeSlot(%d, %d) = %d outside [rel, rel+cycle)", id, rel, got)
+		}
+		want := nextOccByScan(idx, rel, func(p Page) bool {
+			return p.Kind == IndexPage && p.NodeID == id
+		})
+		if got != want {
+			t.Fatalf("NextNodeSlot(%d, %d) = %d, scan says %d", id, rel, got, want)
+		}
+		if tree.Count > 0 {
+			obj := rng.Intn(tree.Count)
+			got := idx.NextObjectSlot(obj, rel)
+			want := nextOccByScan(idx, rel, func(p Page) bool {
+				return p.Kind == DataPage && p.ObjectID == obj && p.Seq == 0
+			})
+			if got != want {
+				t.Fatalf("NextObjectSlot(%d, %d) = %d, scan says %d", obj, rel, got, want)
+			}
+		}
+	}
+}
+
+func TestScheduledFlatMatchesProgram(t *testing.T) {
+	p := DefaultParams()
+	for _, n := range []int{0, 1, 7, 150} {
+		tree := buildTestTree(n, p)
+		prog := BuildProgram(tree, p)
+		seg := BuildScheduled(tree, p, FlatScheduler{}, nil)
+
+		if prog.CycleLen() != seg.CycleLen() {
+			t.Fatalf("n=%d: cycle %d vs %d", n, prog.CycleLen(), seg.CycleLen())
+		}
+		if prog.Replication() != seg.Replication() {
+			t.Fatalf("n=%d: replication %d vs %d", n, prog.Replication(), seg.Replication())
+		}
+		for s := int64(0); s < prog.CycleLen(); s++ {
+			if prog.PageAt(s) != seg.PageAt(s) {
+				t.Fatalf("n=%d: PageAt(%d) = %+v vs %+v", n, s, prog.PageAt(s), seg.PageAt(s))
+			}
+		}
+		// Arrival queries agree everywhere, not just where pages air.
+		rng := rand.New(rand.NewSource(int64(n) + 42))
+		for trial := 0; trial < 300; trial++ {
+			rel := rng.Int63n(prog.CycleLen())
+			id := rng.Intn(len(tree.Nodes))
+			if a, b := prog.NextNodeSlot(id, rel), seg.NextNodeSlot(id, rel); a != b {
+				t.Fatalf("n=%d: NextNodeSlot(%d,%d) = %d vs %d", n, id, rel, a, b)
+			}
+			if tree.Count > 0 {
+				obj := rng.Intn(tree.Count)
+				if a, b := prog.NextObjectSlot(obj, rel), seg.NextObjectSlot(obj, rel); a != b {
+					t.Fatalf("n=%d: NextObjectSlot(%d,%d) = %d vs %d", n, obj, rel, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestProgramArrivalContract(t *testing.T) {
+	p := DefaultParams()
+	checkArrivalContract(t, BuildProgram(buildTestTree(120, p), p), 7)
+}
+
+func TestDistributedStructure(t *testing.T) {
+	p := DefaultParams()
+	for _, n := range []int{0, 1, 5, 40, 300} {
+		tree := buildTestTree(n, p)
+		di := BuildDistributed(tree, p, 0, FlatScheduler{}, nil)
+
+		cut := tree.Height / 2
+		if cut > tree.Height-1 {
+			cut = tree.Height - 1
+		}
+		branches := 1
+		if cut >= 1 {
+			branches = len(tree.NodesAtDepth(cut))
+		}
+		if di.Replication() != branches {
+			t.Fatalf("n=%d: replication %d, want %d branches", n, di.Replication(), branches)
+		}
+		if di.NumSegments() != branches {
+			t.Fatalf("n=%d: %d segments, want %d", n, di.NumSegments(), branches)
+		}
+
+		// Scan the cycle: node at depth d < cut airs once per branch below
+		// it; deeper nodes air exactly once; every object airs exactly once
+		// with complete consecutive fragments.
+		nodeCount := make([]int, len(tree.Nodes))
+		objCount := make([]int, tree.Count)
+		for s := int64(0); s < di.CycleLen(); s++ {
+			pg := di.PageAt(s)
+			if pg.Kind == IndexPage {
+				nodeCount[pg.NodeID]++
+			} else if pg.Seq == 0 {
+				objCount[pg.ObjectID]++
+			}
+		}
+		for id, node := range tree.Nodes {
+			want := 1
+			if node.Depth < cut {
+				// One occurrence per branch in the node's subtree.
+				want = 0
+				for _, b := range tree.NodesAtDepth(cut) {
+					if b.ID >= id && b.ID < tree.SubtreeEnd(id) {
+						want++
+					}
+				}
+			}
+			if nodeCount[id] != want {
+				t.Fatalf("n=%d: node %d (depth %d) airs %d times, want %d",
+					n, id, node.Depth, nodeCount[id], want)
+			}
+		}
+		for obj, cnt := range objCount {
+			if cnt != 1 {
+				t.Fatalf("n=%d: object %d airs %d times", n, obj, cnt)
+			}
+		}
+
+		// Index slots: the nodes below the cut air once each; the nodes
+		// above it air only inside the per-branch paths (cut pages per
+		// branch).
+		above := 0
+		for _, node := range tree.Nodes {
+			if node.Depth < cut {
+				above++
+			}
+		}
+		wantCycle := int64(len(tree.Nodes)-above) + int64(tree.Count)*int64(p.PagesPerObject())
+		if cut >= 1 {
+			wantCycle += int64(branches * cut)
+		}
+		if di.CycleLen() != wantCycle {
+			t.Fatalf("n=%d: cycle %d, want %d", n, di.CycleLen(), wantCycle)
+		}
+
+		if n > 0 {
+			checkArrivalContract(t, di, int64(n))
+		}
+	}
+}
+
+func TestDistributedCutClamping(t *testing.T) {
+	p := DefaultParams()
+	tree := buildTestTree(100, p)
+	// Absurd cut clamps to Height-1; the result still airs everything.
+	di := BuildDistributed(tree, p, 99, FlatScheduler{}, nil)
+	if di.Replication() < 1 {
+		t.Fatal("clamped cut produced no entry points")
+	}
+	checkArrivalContract(t, di, 5)
+}
+
+func TestSkewedSchedulerSequence(t *testing.T) {
+	sched := SkewedScheduler{Disks: 3, Ratio: 2}
+	n := 40
+	part := make([]int, n)
+	weights := make([]float64, n)
+	for i := range part {
+		part[i] = i
+		weights[i] = float64(n - i) // object 0 hottest
+	}
+	seq := sched.Sequence(part, weights)
+
+	count := make([]int, n)
+	for _, id := range seq {
+		count[id]++
+	}
+	for id, c := range count {
+		if c < 1 {
+			t.Fatalf("object %d missing from skewed sequence", id)
+		}
+		if c > 4 {
+			t.Fatalf("object %d airs %d times, max is ratio^(disks-1) = 4", id, c)
+		}
+	}
+	// The hottest object must air at the top frequency, the coldest once.
+	if count[0] != 4 {
+		t.Errorf("hottest object airs %d times, want 4", count[0])
+	}
+	if count[n-1] != 1 {
+		t.Errorf("coldest object airs %d times, want 1", count[n-1])
+	}
+	// Deterministic.
+	again := sched.Sequence(part, weights)
+	if len(again) != len(seq) {
+		t.Fatal("nondeterministic sequence length")
+	}
+	for i := range seq {
+		if seq[i] != again[i] {
+			t.Fatal("nondeterministic sequence")
+		}
+	}
+}
+
+func TestSkewedSchedulerMassSizing(t *testing.T) {
+	// One overwhelmingly hot object: the hot disk should be tiny, so the
+	// cycle stretch stays small while the hot object repeats at full rate.
+	n := 100
+	part := make([]int, n)
+	weights := make([]float64, n)
+	for i := range part {
+		part[i] = i
+		weights[i] = 0.001
+	}
+	weights[37] = 1000
+	seq := SkewedScheduler{Disks: 2, Ratio: 4}.Sequence(part, weights)
+	count := make(map[int]int)
+	for _, id := range seq {
+		count[id]++
+	}
+	if count[37] != 4 {
+		t.Errorf("hot object airs %d times, want 4", count[37])
+	}
+	if len(seq) > n+3*4 {
+		t.Errorf("skewed cycle has %d data entries for %d objects — hot disk not small", len(seq), n)
+	}
+}
+
+// TestSkewedSchedulerExtremeConfig is the regression test for the chunk
+// overflow: absurd disk counts must saturate (every object still airs, the
+// hot disk repeats at most maxDiskRepetitions times) instead of wrapping
+// the chunk arithmetic and emitting an empty schedule.
+func TestSkewedSchedulerExtremeConfig(t *testing.T) {
+	n := 100
+	part := make([]int, n)
+	weights := make([]float64, n)
+	for i := range part {
+		part[i] = i
+		weights[i] = float64(n - i)
+	}
+	for _, cfg := range []SkewedScheduler{
+		{Disks: 70, Ratio: 2},
+		{Disks: 80, Ratio: 2},
+		{Disks: 16, Ratio: 16},
+	} {
+		seq := cfg.Sequence(part, weights)
+		count := make([]int, n)
+		for _, id := range seq {
+			count[id]++
+		}
+		for id, c := range count {
+			if c < 1 {
+				t.Fatalf("%+v: object %d missing", cfg, id)
+			}
+			if c > maxDiskRepetitions {
+				t.Fatalf("%+v: object %d airs %d times", cfg, id, c)
+			}
+		}
+	}
+	// The overflow repro end to end: the build must not panic.
+	p := DefaultParams()
+	tree := buildTestTree(200, p)
+	BuildDistributed(tree, p, 1, SkewedScheduler{Disks: 80, Ratio: 2}, nil)
+}
+
+func TestSkewedIndexArrivals(t *testing.T) {
+	p := DefaultParams()
+	tree := buildTestTree(60, p)
+	weights := make([]float64, tree.Count)
+	rng := rand.New(rand.NewSource(99))
+	for i := range weights {
+		weights[i] = rng.Float64()
+	}
+	sk := SkewedScheduler{Disks: 2, Ratio: 2}
+	for _, idx := range []AirIndex{
+		BuildScheduled(tree, p, sk, weights),
+		BuildDistributed(tree, p, 0, sk, weights),
+	} {
+		if idx.NumDataPages() <= tree.Count*p.PagesPerObject()-1 {
+			t.Fatalf("%s: no repetitions scheduled", idx.Scheme())
+		}
+		checkArrivalContract(t, idx, 3)
+	}
+}
+
+func TestChannelOverDistributed(t *testing.T) {
+	p := DefaultParams()
+	tree := buildTestTree(80, p)
+	di := BuildDistributed(tree, p, 0, FlatScheduler{}, nil)
+	ch := NewChannel(di, 12345)
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		after := rng.Int63n(3 * di.CycleLen())
+		id := rng.Intn(len(tree.Nodes))
+		got := ch.NextNodeArrival(id, after)
+		if got < after {
+			t.Fatalf("arrival %d before after %d", got, after)
+		}
+		if pg := ch.PageAt(got); pg.Kind != IndexPage || pg.NodeID != id {
+			t.Fatalf("slot %d carries %+v, want node %d", got, pg, id)
+		}
+		// No earlier occurrence.
+		for s := after; s < got; s++ {
+			if pg := ch.PageAt(s); pg.Kind == IndexPage && pg.NodeID == id {
+				t.Fatalf("node %d already on air at %d < %d", id, s, got)
+			}
+		}
+	}
+}
+
+func TestDualChannelOverDistributed(t *testing.T) {
+	p := DefaultParams()
+	treeS := buildTestTree(50, p)
+	treeR := buildTestTree(31, p)
+	diS := BuildDistributed(treeS, p, 0, FlatScheduler{}, nil)
+	diR := BuildDistributed(treeR, p, 0, FlatScheduler{}, nil)
+	dual := NewDualChannel(diS, diR, 777)
+	rng := rand.New(rand.NewSource(2))
+	for _, f := range []Feed{dual.FeedS(), dual.FeedR()} {
+		tree := f.Index().Tree()
+		for trial := 0; trial < 150; trial++ {
+			after := rng.Int63n(2 * dual.CycleLen())
+			id := rng.Intn(len(tree.Nodes))
+			got := f.NextNodeArrival(id, after)
+			if got < after || got >= after+dual.CycleLen() {
+				t.Fatalf("arrival %d outside [after, after+cycle)", got)
+			}
+			if n := f.ReadNode(got); n.ID != id {
+				t.Fatalf("slot %d carries node %d, want %d", got, n.ID, id)
+			}
+			obj := rng.Intn(tree.Count)
+			ga := f.NextObjectArrival(obj, after)
+			if pg := f.PageAt(ga); pg.Kind != DataPage || pg.ObjectID != obj || pg.Seq != 0 {
+				t.Fatalf("slot %d carries %+v, want object %d start", ga, pg, obj)
+			}
+		}
+	}
+}

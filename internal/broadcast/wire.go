@@ -54,7 +54,7 @@ func pointerUnit(cycleLen int64) int64 {
 // the node's entries do not fit the page capacity.
 func EncodeNode(ch *Channel, n *rtree.Node, carrySlot int64, params Params) ([]byte, error) {
 	buf := make([]byte, 0, params.PageCap)
-	unit := pointerUnit(ch.Program().CycleLen())
+	unit := pointerUnit(ch.Index().CycleLen())
 
 	relPtr := func(target int64) (uint16, error) {
 		d := target - carrySlot
@@ -179,14 +179,14 @@ func DecodeNode(img []byte, params Params, cycleLen int64) (WirePage, error) {
 // (all m replications) and returns the images keyed by slot. It validates
 // that every node of the tree fits its page.
 func EncodeCycleIndex(ch *Channel, params Params) (map[int64][]byte, error) {
-	prog := ch.Program()
+	idx := ch.Index()
 	out := make(map[int64][]byte)
-	for s := int64(0); s < prog.CycleLen(); s++ {
+	for s := int64(0); s < idx.CycleLen(); s++ {
 		pg := ch.PageAt(s)
 		if pg.Kind != IndexPage {
 			continue
 		}
-		img, err := EncodeNode(ch, prog.Tree.Nodes[pg.NodeID], s, params)
+		img, err := EncodeNode(ch, idx.Tree().Nodes[pg.NodeID], s, params)
 		if err != nil {
 			return nil, fmt.Errorf("slot %d (node %d): %w", s, pg.NodeID, err)
 		}

@@ -1,0 +1,127 @@
+package broadcast
+
+import (
+	"math/rand"
+	"testing"
+
+	"tnnbcast/internal/geom"
+	"tnnbcast/internal/rtree"
+)
+
+// FuzzWireRoundTrip drives EncodeNode/DecodeNode over fuzz-chosen dataset
+// sizes, page capacities, phase offsets, and carrier slots (on both index
+// families) and checks the full wire contract: fixed image size, exact
+// header fields, float32-rounded geometry, and — the part the whole air
+// index stands on — every decoded relative-pointer window containing the
+// true next arrival of its target page.
+func FuzzWireRoundTrip(f *testing.F) {
+	f.Add(uint16(80), uint8(0), int64(13), uint16(5), false)
+	f.Add(uint16(1), uint8(1), int64(0), uint16(0), false)
+	f.Add(uint16(250), uint8(3), int64(-9), uint16(999), true)
+	f.Add(uint16(40), uint8(2), int64(1<<40), uint16(77), true)
+
+	f.Fuzz(func(t *testing.T, nRaw uint16, capSel uint8, offset int64, slotSel uint16, distributed bool) {
+		n := int(nRaw)%400 + 1
+		caps := []int{64, 128, 256, 512}
+		p := DefaultParams()
+		p.PageCap = caps[int(capSel)%len(caps)]
+
+		rng := rand.New(rand.NewSource(int64(n)*31 + int64(capSel)))
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			pts[i] = geom.Pt(rng.Float64()*1000, rng.Float64()*1000)
+		}
+		tree := rtree.Build(pts, rtree.Config{LeafCap: p.LeafCap(), NodeCap: p.NodeCap()})
+		var idx AirIndex
+		if distributed {
+			idx = BuildDistributed(tree, p, 0, FlatScheduler{}, nil)
+		} else {
+			idx = BuildProgram(tree, p)
+		}
+		ch := NewChannel(idx, offset)
+
+		// Pick an index page: the slotSel-th one of the cycle, wrapped.
+		var indexSlots []int64
+		for s := int64(0); s < idx.CycleLen(); s++ {
+			if idx.PageAt(s).Kind == IndexPage {
+				indexSlots = append(indexSlots, s)
+			}
+		}
+		rel := indexSlots[int(slotSel)%len(indexSlots)]
+		// Carrier slot on the channel clock (first occurrence at/after 0).
+		slot := ch.NextNodeArrival(idx.PageAt(rel).NodeID, 0)
+		node := ch.ReadNode(slot)
+
+		img, err := EncodeNode(ch, node, slot, p)
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		if len(img) != p.PageCap+WireHeaderSize {
+			t.Fatalf("image size %d, want %d", len(img), p.PageCap+WireHeaderSize)
+		}
+		dec, err := DecodeNode(img, p, idx.CycleLen())
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if dec.Leaf != node.Leaf() {
+			t.Fatal("leaf flag mismatch")
+		}
+		if want := len(node.Children) + len(node.Entries); len(dec.Entries) != want {
+			t.Fatalf("entry count %d, want %d", len(dec.Entries), want)
+		}
+
+		unit := pointerUnit(idx.CycleLen())
+		if node.Leaf() {
+			for i, e := range node.Entries {
+				w := dec.Entries[i]
+				if float64(float32(e.Point.X)) != w.MBR.Lo.X ||
+					float64(float32(e.Point.Y)) != w.MBR.Lo.Y {
+					t.Fatalf("entry %d: point not float32-exact", i)
+				}
+				// Window recovery: width exactly one pointer unit, true
+				// delay inside.
+				if w.DelayHi-w.DelayLo != unit-1 {
+					t.Fatalf("entry %d: window width %d, unit %d", i, w.DelayHi-w.DelayLo+1, unit)
+				}
+				want := ch.NextObjectArrival(e.ID, slot) - slot
+				if want < w.DelayLo || want > w.DelayHi {
+					t.Fatalf("entry %d: true delay %d outside [%d,%d]",
+						i, want, w.DelayLo, w.DelayHi)
+				}
+			}
+		} else {
+			for i, c := range node.Children {
+				w := dec.Entries[i]
+				for _, pair := range [][2]float64{
+					{c.MBR.Lo.X, w.MBR.Lo.X}, {c.MBR.Lo.Y, w.MBR.Lo.Y},
+					{c.MBR.Hi.X, w.MBR.Hi.X}, {c.MBR.Hi.Y, w.MBR.Hi.Y},
+				} {
+					if float64(float32(pair[0])) != pair[1] {
+						t.Fatalf("child %d: MBR not float32-exact", i)
+					}
+				}
+				if w.DelayHi-w.DelayLo != unit-1 {
+					t.Fatalf("child %d: window width %d, unit %d", i, w.DelayHi-w.DelayLo+1, unit)
+				}
+				want := ch.NextNodeArrival(c.ID, slot+1) - slot
+				if want < w.DelayLo || want > w.DelayHi {
+					t.Fatalf("child %d: true delay %d outside [%d,%d]",
+						i, want, w.DelayLo, w.DelayHi)
+				}
+			}
+		}
+		// Padding must be all zeros: decoders rely on the count byte, but
+		// fixed-size pages must not leak stale bytes.
+		used := WireHeaderSize
+		if node.Leaf() {
+			used += len(node.Entries) * p.LeafEntrySize()
+		} else {
+			used += len(node.Children) * p.IndexEntrySize()
+		}
+		for i := used; i < len(img); i++ {
+			if img[i] != 0 {
+				t.Fatalf("padding byte %d = %#x", i, img[i])
+			}
+		}
+	})
+}

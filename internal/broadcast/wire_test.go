@@ -55,7 +55,7 @@ func TestEncodeLeafPointers(t *testing.T) {
 	var leafSlot int64 = -1
 	for s := int64(0); s < prog.CycleLen(); s++ {
 		pg := ch.PageAt(s)
-		if pg.Kind == IndexPage && prog.Tree.Nodes[pg.NodeID].Leaf() {
+		if pg.Kind == IndexPage && prog.Tree().Nodes[pg.NodeID].Leaf() {
 			leafSlot = s
 			break
 		}

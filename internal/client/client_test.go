@@ -52,7 +52,7 @@ func TestReceiverAccounting(t *testing.T) {
 func TestReceiverDownloadObject(t *testing.T) {
 	ch := testChannel(t, 40, 3)
 	r := NewReceiver(ch, 0)
-	ppo := int64(ch.Program().PagesPerObject())
+	ppo := int64(ch.Index().PagesPerObject())
 	end := r.DownloadObject(5)
 	if r.Pages() != ppo {
 		t.Errorf("pages = %d, want %d", r.Pages(), ppo)

@@ -113,7 +113,7 @@ func (r *Receiver) DownloadNode(slot int64) *rtree.Node {
 // returns the slot after the download completes.
 func (r *Receiver) DownloadObject(objectID int) int64 {
 	start := r.ch.NextObjectArrival(objectID, r.now)
-	ppo := int64(r.ch.Program().PagesPerObject())
+	ppo := int64(r.ch.Index().PagesPerObject())
 	r.pages += ppo
 	r.last = start + ppo - 1
 	r.now = start + ppo

@@ -303,7 +303,7 @@ func TestMetricsConsistency(t *testing.T) {
 		}
 		// SkipDataRetrieval strictly reduces both metrics.
 		res2 := algo(te.env, p, Options{Issue: 42, SkipDataRetrieval: true})
-		ppo := int64(te.env.ChS.Program().PagesPerObject())
+		ppo := int64(te.env.ChS.Index().PagesPerObject())
 		if res2.Metrics.TuneIn != res.Metrics.TuneIn-2*ppo {
 			t.Fatalf("skip retrieval: tune-in %d, want %d",
 				res2.Metrics.TuneIn, res.Metrics.TuneIn-2*ppo)

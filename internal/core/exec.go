@@ -119,8 +119,8 @@ func (ex *QueryExec) Reset(env Env, algo Algo, p geom.Point, opt Options) {
 	case AlgoApprox:
 		// No estimate phase: the radius comes from Eq. 1 directly.
 		area := env.Region.Area()
-		nS := env.ChS.Program().Tree.Count
-		nR := env.ChR.Program().Tree.Count
+		nS := env.ChS.Index().Tree().Count
+		nR := env.ChR.Index().Tree().Count
 		ex.radius = ApproxRadius(nS, 1, area) + ApproxRadius(nR, 1, area)
 		ex.startFilter()
 	default:

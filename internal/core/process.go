@@ -164,9 +164,9 @@ func (s *nnSearch) init(rx *client.Receiver, q geom.Point, factor float64) {
 	s.qmin = 0
 	s.qminOK = false
 	s.frame = geom.EllipseFrame{}
-	s.height = rx.Channel().Program().Tree.Height
+	s.height = rx.Channel().Index().Tree().Height
 	s.started = false
-	s.finished = rx.Channel().Program().Tree.Count == 0
+	s.finished = rx.Channel().Index().Tree().Count == 0
 }
 
 // Peek implements client.Process.
@@ -431,7 +431,7 @@ func (s *rangeSearch) init(rx *client.Receiver, c geom.Circle) {
 	s.queue.Reset()
 	s.found = s.found[:0]
 	s.started = false
-	s.finished = rx.Channel().Program().Tree.Count == 0
+	s.finished = rx.Channel().Index().Tree().Count == 0
 }
 
 // Peek implements client.Process.

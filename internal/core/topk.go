@@ -36,7 +36,7 @@ type knnSearch struct {
 
 func newKNNSearch(rx *client.Receiver, q geom.Point, k int) *knnSearch {
 	s := &knnSearch{rx: rx, q: q, k: k}
-	if rx.Channel().Program().Tree.Count == 0 || k <= 0 {
+	if rx.Channel().Index().Tree().Count == 0 || k <= 0 {
 		s.finished = true
 	}
 	return s

@@ -170,8 +170,8 @@ func TestTableAddRowPanicsOnRagged(t *testing.T) {
 
 func TestBuildUsesPageCap(t *testing.T) {
 	p := uniformPair(1, 300, 300)
-	b64 := build(p, 64, 0, 0)
-	b256 := build(p, 256, 0, 0)
+	b64 := build(p, Config{PageCap: 64}.Defaults())
+	b256 := build(p, Config{PageCap: 256}.Defaults())
 	if b64.progS.PagesPerObject() != 16 || b256.progS.PagesPerObject() != 4 {
 		t.Errorf("pages per object: %d/%d", b64.progS.PagesPerObject(), b256.progS.PagesPerObject())
 	}

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"runtime"
@@ -38,6 +39,23 @@ type Config struct {
 	// M overrides the (1, m) interleaving factor (0 = Imielinski-optimal).
 	// Used by the interleaving ablation.
 	M int
+	// Scheme selects the air-index family: "" or "preorder" for the
+	// paper's (1, m) organization, "distributed" for the replicated-path
+	// distributed index. Used by the index ablation and tnnbench -index.
+	Scheme string
+	// Cut is the distributed index's number of replicated upper levels
+	// (0 = half the tree height).
+	Cut int
+	// SkewDisks enables the broadcast-disks data scheduler with this many
+	// frequency classes (0 = flat); SkewRatio is the integer frequency
+	// ratio between adjacent classes (defaults to 2).
+	SkewDisks int
+	SkewRatio int
+	// HotSpotSigma, when positive, draws query points from a Gaussian
+	// around the region center with this standard deviation as a fraction
+	// of the region width (instead of uniform) — the skewed-access
+	// workload the broadcast-disks scheduler targets.
+	HotSpotSigma float64
 	// Workers is the number of goroutines RunPairing fans the query loop
 	// across (0 = GOMAXPROCS, 1 = strictly sequential). The reported Stats
 	// are bit-identical for every worker count: all per-query randomness
@@ -102,32 +120,55 @@ type Stats struct {
 	Queries      int
 }
 
-// Pairing is one (S, R) dataset configuration on air.
+// Pairing is one (S, R) dataset configuration on air. WeightsS/WeightsR
+// are optional per-object access weights consumed by the skewed data
+// scheduler (nil = uniform).
 type Pairing struct {
-	Name   string
-	S, R   []geom.Point
-	Region geom.Rect
+	Name               string
+	S, R               []geom.Point
+	Region             geom.Rect
+	WeightsS, WeightsR []float64
 }
 
 // built carries the broadcast programs for a pairing.
 type built struct {
-	progS, progR *broadcast.Program
+	progS, progR broadcast.AirIndex
 	treeS, treeR *rtree.Tree
 	region       geom.Rect
 }
 
+// indexSpec translates a Config's scheme fields into the broadcast
+// layer's build specification. An unknown scheme string panics — a typo'd
+// experiment must not silently measure the preorder index under another
+// label.
+func indexSpec(cfg Config, weights []float64) broadcast.IndexSpec {
+	spec := broadcast.IndexSpec{Cut: cfg.Cut, Weights: weights}
+	switch cfg.Scheme {
+	case "", "preorder":
+	case "distributed":
+		spec.Scheme = broadcast.SchemeDistributed
+	default:
+		panic(fmt.Sprintf("experiments: unknown index scheme %q", cfg.Scheme))
+	}
+	if cfg.SkewDisks > 0 {
+		spec.Sched = broadcast.SkewedScheduler{Disks: cfg.SkewDisks, Ratio: cfg.SkewRatio}
+	}
+	return spec
+}
+
 // build constructs the packed R-trees and broadcast programs for a pairing
-// under the configured page capacity, packing algorithm, and interleaving.
-func build(p Pairing, pageCap int, packing rtree.Packing, m int) built {
+// under the configured page capacity, packing algorithm, interleaving, and
+// index scheme.
+func build(p Pairing, cfg Config) built {
 	params := broadcast.DefaultParams()
-	params.PageCap = pageCap
-	params.M = m
-	rcfg := rtree.Config{LeafCap: params.LeafCap(), NodeCap: params.NodeCap(), Packing: packing}
+	params.PageCap = cfg.PageCap
+	params.M = cfg.M
+	rcfg := rtree.Config{LeafCap: params.LeafCap(), NodeCap: params.NodeCap(), Packing: cfg.Packing}
 	treeS := rtree.Build(p.S, rcfg)
 	treeR := rtree.Build(p.R, rcfg)
 	return built{
-		progS:  broadcast.BuildProgram(treeS, params),
-		progR:  broadcast.BuildProgram(treeR, params),
+		progS:  broadcast.BuildIndex(treeS, params, indexSpec(cfg, p.WeightsS)),
+		progR:  broadcast.BuildIndex(treeR, params, indexSpec(cfg, p.WeightsR)),
 		treeS:  treeS,
 		treeR:  treeR,
 		region: p.Region,
@@ -174,7 +215,7 @@ type queryCell struct {
 // returned Stats are bit-identical for every worker count.
 func RunPairing(p Pairing, algos []AlgoSpec, cfg Config) map[string]Stats {
 	cfg = cfg.Defaults()
-	b := build(p, cfg.PageCap, cfg.Packing, cfg.M)
+	b := build(p, cfg)
 
 	// Pre-draw all per-query randomness in the exact order the sequential
 	// loop consumed it: query point (x, then y), then the two phases.
@@ -183,8 +224,19 @@ func RunPairing(p Pairing, algos []AlgoSpec, cfg Config) map[string]Stats {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	draws := make([]queryDraw, cfg.Queries)
 	for q := range draws {
-		x := p.Region.Lo.X + rng.Float64()*p.Region.Width()
-		y := p.Region.Lo.Y + rng.Float64()*p.Region.Height()
+		var x, y float64
+		if cfg.HotSpotSigma > 0 {
+			// Skewed-access workload: queries cluster on the region center.
+			cx := (p.Region.Lo.X + p.Region.Hi.X) / 2
+			cy := (p.Region.Lo.Y + p.Region.Hi.Y) / 2
+			x = clampTo(cx+rng.NormFloat64()*cfg.HotSpotSigma*p.Region.Width(),
+				p.Region.Lo.X, p.Region.Hi.X)
+			y = clampTo(cy+rng.NormFloat64()*cfg.HotSpotSigma*p.Region.Height(),
+				p.Region.Lo.Y, p.Region.Hi.Y)
+		} else {
+			x = p.Region.Lo.X + rng.Float64()*p.Region.Width()
+			y = p.Region.Lo.Y + rng.Float64()*p.Region.Height()
+		}
 		draws[q] = queryDraw{
 			qp:   geom.Pt(x, y),
 			offS: rng.Int63n(b.progS.CycleLen()),
@@ -294,6 +346,17 @@ func runPairingWorker(next *atomic.Int64, p Pairing, algos []AlgoSpec, cfg Confi
 		}
 		nanos += time.Since(started).Nanoseconds()
 	}
+}
+
+// clampTo limits v to [lo, hi].
+func clampTo(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
 }
 
 // uniformPair builds a UNIF(S)×UNIF(R) pairing by dataset sizes over the

@@ -141,7 +141,7 @@ func MultiClient(cfg Config) *Table {
 	}
 
 	p := uniformPair(cfg.Seed, 10000, 10000)
-	b := build(p, cfg.PageCap, cfg.Packing, cfg.M)
+	b := build(p, cfg)
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	env := core.Env{
 		ChS:    broadcast.NewChannel(b.progS, rng.Int63n(b.progS.CycleLen())),

@@ -16,7 +16,7 @@ import (
 func TestMultiClientBatchMatchesSequential(t *testing.T) {
 	cfg := Config{Seed: 99, Queries: 1}.Defaults()
 	p := uniformPair(cfg.Seed, 800, 600)
-	b := build(p, cfg.PageCap, cfg.Packing, cfg.M)
+	b := build(p, cfg)
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	env := core.Env{
 		ChS:    broadcast.NewChannel(b.progS, rng.Int63n(b.progS.CycleLen())),

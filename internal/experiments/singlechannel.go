@@ -40,7 +40,7 @@ func SingleVsMultiChannel(cfg Config) *Table {
 	}
 
 	pair := uniformPair(cfg.Seed, 15210, 15210)
-	b := build(pair, cfg.PageCap, cfg.Packing, cfg.M)
+	b := build(pair, cfg)
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	scratch := core.NewScratch()
 	var nanos int64

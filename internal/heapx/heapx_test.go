@@ -1,0 +1,139 @@
+package heapx
+
+import (
+	"container/heap"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// stdHeap drives container/heap over the same element type so the generic
+// helpers can be checked for exact parity, including tie behavior.
+type stdHeap struct {
+	s    []pair
+	less func(a, b pair) bool
+}
+
+// pair carries a key plus a payload, so equal keys remain distinguishable
+// and tie ordering is observable.
+type pair struct {
+	key     int
+	payload int
+}
+
+func (h *stdHeap) Len() int           { return len(h.s) }
+func (h *stdHeap) Less(i, j int) bool { return h.less(h.s[i], h.s[j]) }
+func (h *stdHeap) Swap(i, j int)      { h.s[i], h.s[j] = h.s[j], h.s[i] }
+func (h *stdHeap) Push(x any)         { h.s = append(h.s, x.(pair)) }
+func (h *stdHeap) Pop() any {
+	n := len(h.s) - 1
+	x := h.s[n]
+	h.s = h.s[:n]
+	return x
+}
+
+func pairLess(a, b pair) bool { return a.key < b.key }
+
+func TestPushPopOrdering(t *testing.T) {
+	var h []pair
+	for _, k := range []int{5, 1, 9, 3, 7, 3, 0, 8} {
+		Push(&h, pair{key: k}, pairLess)
+	}
+	prev := -1
+	for len(h) > 0 {
+		x := Pop(&h, pairLess)
+		if x.key < prev {
+			t.Fatalf("pop order broken: %d after %d", x.key, prev)
+		}
+		prev = x.key
+	}
+}
+
+// TestSiftParityWithContainerHeap interleaves random pushes and pops on
+// the generic heap and on container/heap with the same less relation and
+// checks that every pop returns the identical element — keys AND payloads,
+// so tie resolution matches too.
+func TestSiftParityWithContainerHeap(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		var ours []pair
+		std := &stdHeap{less: pairLess}
+
+		for op := 0; op < 500; op++ {
+			if len(ours) == 0 || rng.Intn(3) != 0 {
+				// Duplicate-heavy keys exercise tie behavior.
+				x := pair{key: rng.Intn(20), payload: op}
+				Push(&ours, x, pairLess)
+				heap.Push(std, x)
+			} else {
+				a := Pop(&ours, pairLess)
+				b := heap.Pop(std).(pair)
+				if a != b {
+					t.Fatalf("seed %d op %d: Pop = %+v, container/heap = %+v", seed, op, a, b)
+				}
+			}
+			if len(ours) != std.Len() {
+				t.Fatalf("seed %d op %d: length %d vs %d", seed, op, len(ours), std.Len())
+			}
+			// The backing arrays must match element-for-element: Up/Down
+			// mirror container/heap's sift loops exactly.
+			for i := range ours {
+				if ours[i] != std.s[i] {
+					t.Fatalf("seed %d op %d: slot %d differs: %+v vs %+v",
+						seed, op, i, ours[i], std.s[i])
+				}
+			}
+		}
+	}
+}
+
+func TestPopDrainsSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var h []pair
+	want := make([]int, 300)
+	for i := range want {
+		want[i] = rng.Intn(1000)
+		Push(&h, pair{key: want[i], payload: i}, pairLess)
+	}
+	sort.Ints(want)
+	for i, w := range want {
+		if got := Pop(&h, pairLess); got.key != w {
+			t.Fatalf("pop %d: key %d, want %d", i, got.key, w)
+		}
+	}
+	if len(h) != 0 {
+		t.Fatalf("%d elements left after drain", len(h))
+	}
+}
+
+// TestPopZeroesVacatedSlot checks the documented no-reference-retention
+// property of Pop.
+func TestPopZeroesVacatedSlot(t *testing.T) {
+	var h []pair
+	Push(&h, pair{key: 1, payload: 11}, pairLess)
+	Push(&h, pair{key: 2, payload: 22}, pairLess)
+	Pop(&h, pairLess)
+	if full := h[:cap(h)]; full[len(h)] != (pair{}) {
+		t.Fatalf("vacated slot not zeroed: %+v", full[len(h)])
+	}
+}
+
+func TestDownOnPrefix(t *testing.T) {
+	// Down with n < len(h) must restore the heap property on the prefix
+	// only — the tail is untouched.
+	h := []pair{{key: 9}, {key: 1}, {key: 2}, {key: 3}, {key: 4}, {key: 0}}
+	tail := h[5]
+	Down(h, 0, 5, pairLess)
+	if h[5] != tail {
+		t.Fatalf("tail touched: %+v", h[5])
+	}
+	for i := range h[:5] {
+		l, r := 2*i+1, 2*i+2
+		if l < 5 && pairLess(h[l], h[i]) {
+			t.Fatalf("heap property violated at %d/%d", i, l)
+		}
+		if r < 5 && pairLess(h[r], h[i]) {
+			t.Fatalf("heap property violated at %d/%d", i, r)
+		}
+	}
+}

@@ -87,6 +87,9 @@ type Tree struct {
 	LeafCap int
 	NodeCap int
 	Packing Packing
+
+	parent []int // parent[i] = preorder ID of Nodes[i]'s parent; -1 for root
+	subEnd []int // subEnd[i] = one past the last preorder ID in Nodes[i]'s subtree
 }
 
 // Build bulk-loads a packed R-tree over pts. Entry IDs are the indices into
@@ -139,19 +142,60 @@ func Build(pts []geom.Point, cfg Config) *Tree {
 	return t
 }
 
-// index assigns preorder IDs and depths and fills t.Nodes.
+// index assigns preorder IDs and depths and fills t.Nodes, t.parent, and
+// t.subEnd.
 func (t *Tree) index() {
 	t.Nodes = t.Nodes[:0]
-	var walk func(n *Node, depth int)
-	walk = func(n *Node, depth int) {
+	t.parent = t.parent[:0]
+	t.subEnd = t.subEnd[:0]
+	var walk func(n *Node, parent, depth int)
+	walk = func(n *Node, parent, depth int) {
 		n.ID = len(t.Nodes)
 		n.Depth = depth
 		t.Nodes = append(t.Nodes, n)
+		t.parent = append(t.parent, parent)
+		t.subEnd = append(t.subEnd, 0)
 		for _, c := range n.Children {
-			walk(c, depth+1)
+			walk(c, n.ID, depth+1)
+		}
+		t.subEnd[n.ID] = len(t.Nodes)
+	}
+	walk(t.Root, -1, 0)
+}
+
+// Parent returns the preorder ID of nodeID's parent, or -1 for the root.
+func (t *Tree) Parent(nodeID int) int { return t.parent[nodeID] }
+
+// SubtreeEnd returns one past the largest preorder ID in nodeID's subtree:
+// preorder IDs are contiguous per subtree, so Nodes[nodeID:SubtreeEnd(nodeID)]
+// is exactly the subtree in broadcast (depth-first) order.
+func (t *Tree) SubtreeEnd(nodeID int) int { return t.subEnd[nodeID] }
+
+// PathTo returns the preorder IDs on the path from the root to nodeID,
+// inclusive, root first. The distributed air index replicates exactly this
+// path (above its cut level) before each branch segment.
+func (t *Tree) PathTo(nodeID int) []int {
+	var path []int
+	for id := nodeID; id >= 0; id = t.parent[id] {
+		path = append(path, id)
+	}
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path
+}
+
+// NodesAtDepth returns the nodes at the given depth, in preorder. Depth 0
+// is the root; depths at or beyond the leaf level return leaves that occur
+// that shallow (in a packed tree, all leaves share one depth).
+func (t *Tree) NodesAtDepth(depth int) []*Node {
+	var out []*Node
+	for _, n := range t.Nodes {
+		if n.Depth == depth {
+			out = append(out, n)
 		}
 	}
-	walk(t.Root, 0)
+	return out
 }
 
 // Preorder calls fn for every node in depth-first preorder (the broadcast

@@ -135,7 +135,7 @@ func TestSessionEmptyAndDegenerate(t *testing.T) {
 func TestSessionSharedCycleOverlap(t *testing.T) {
 	env := makeEnv(t, 900, 700, 123, 4567)
 	queries := mixedQueries(11, 64)
-	cycle := env.ChS.Program().CycleLen() // issue slots were drawn below this
+	cycle := env.ChS.Index().CycleLen() // issue slots were drawn below this
 	res := New(env, 1).Run(queries)
 
 	var sum, maxEnd int64

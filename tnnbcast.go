@@ -91,11 +91,32 @@ func (a Algorithm) String() string {
 	}
 }
 
+// IndexScheme selects the air-index family the broadcast programs use.
+type IndexScheme int
+
+const (
+	// PreorderIndex is the paper's organization: the full packed R-tree in
+	// preorder before each of the m data fractions ((1, m) interleaving).
+	PreorderIndex IndexScheme = iota
+	// DistributedIndex replicates only the upper tree levels, as a
+	// root-to-branch path before each branch's index-and-data segment —
+	// (1, m)-like entry frequency at a fraction of the index overhead, so
+	// cycles are shorter and both metrics drop.
+	DistributedIndex
+)
+
+func (s IndexScheme) String() string {
+	if s == DistributedIndex {
+		return "distributed"
+	}
+	return "preorder"
+}
+
 // System is a two-channel broadcast of datasets S and R, ready to answer
 // TNN queries. It is immutable and safe for concurrent queries.
 type System struct {
 	env          core.Env
-	progS, progR *broadcast.Program
+	idxS, idxR   broadcast.AirIndex
 	treeS, treeR *rtree.Tree
 	params       broadcast.Params
 	region       Rect
@@ -106,12 +127,69 @@ type System struct {
 type Option func(*config)
 
 type config struct {
-	params  broadcast.Params
-	region  Rect
-	hasReg  bool
-	offS    int64
-	offR    int64
-	oneChan bool
+	params    broadcast.Params
+	region    Rect
+	hasReg    bool
+	offS      int64
+	offR      int64
+	oneChan   bool
+	scheme    IndexScheme
+	cut       int
+	skewSet   bool
+	skewDisks int
+	skewRatio int
+	wS, wR    []float64
+}
+
+// maxSkewClasses bounds WithSkewedSchedule's disks and ratio: the hot
+// disk repeats ratio^(disks-1) times per cycle, so anything beyond a
+// handful of classes only stretches the cycle (the broadcast layer
+// additionally saturates repetitions at 1024 per cycle).
+const maxSkewClasses = 16
+
+// validateScheme rejects an IndexScheme value outside the defined enum —
+// so a typo'd or future constant fails loudly instead of silently
+// building the preorder scheme — and a WithSkewedSchedule configuration
+// whose classes or ratio are out of range.
+func (c *config) validateScheme() error {
+	switch c.scheme {
+	case PreorderIndex, DistributedIndex:
+	default:
+		return fmt.Errorf("tnnbcast: unknown index scheme IndexScheme(%d)", int(c.scheme))
+	}
+	if c.skewSet {
+		if c.skewDisks < 1 || c.skewDisks > maxSkewClasses {
+			return fmt.Errorf("tnnbcast: skewed schedule needs 1..%d disks, got %d",
+				maxSkewClasses, c.skewDisks)
+		}
+		if c.skewRatio < 2 || c.skewRatio > maxSkewClasses {
+			return fmt.Errorf("tnnbcast: skewed schedule needs a frequency ratio in 2..%d, got %d",
+				maxSkewClasses, c.skewRatio)
+		}
+	}
+	return nil
+}
+
+// chainWeights maps WithAccessWeights' two vectors onto chain channel i by
+// alternating them, exactly as WithPhases' offsets are assigned.
+func (c *config) chainWeights(i int) []float64 {
+	if i%2 == 1 {
+		return c.wR
+	}
+	return c.wS
+}
+
+// indexSpec translates the configured scheme into the broadcast layer's
+// build specification for one dataset.
+func (c *config) indexSpec(weights []float64) broadcast.IndexSpec {
+	spec := broadcast.IndexSpec{Cut: c.cut, Weights: weights}
+	if c.scheme == DistributedIndex {
+		spec.Scheme = broadcast.SchemeDistributed
+	}
+	if c.skewDisks > 0 {
+		spec.Sched = broadcast.SkewedScheduler{Disks: c.skewDisks, Ratio: c.skewRatio}
+	}
+	return spec
 }
 
 // WithPageCap sets the broadcast page capacity in bytes (default 64; the
@@ -146,6 +224,38 @@ func WithPhases(offS, offR int64) Option {
 	return func(c *config) { c.offS, c.offR = offS, offR }
 }
 
+// WithIndexScheme selects the air-index family (default PreorderIndex,
+// the paper's scheme). All four algorithms run unchanged on any scheme —
+// they consult the broadcast only through arrival-time queries.
+func WithIndexScheme(s IndexScheme) Option {
+	return func(c *config) { c.scheme = s }
+}
+
+// WithReplicatedLevels sets how many upper tree levels the distributed
+// index replicates before each branch segment (the cut level; default 0 =
+// half the tree height). Ignored by PreorderIndex.
+func WithReplicatedLevels(levels int) Option {
+	return func(c *config) { c.cut = levels }
+}
+
+// WithSkewedSchedule replaces the flat data organization with a
+// broadcast-disks schedule: each dataset's objects are ranked by access
+// weight (see WithAccessWeights) into disks frequency classes (1..16),
+// adjacent classes differing by the integer factor ratio (2..16), so hot
+// objects recur with shorter periods at the cost of a longer cycle.
+// Out-of-range values are rejected by New/NewChain.
+func WithSkewedSchedule(disks, ratio int) Option {
+	return func(c *config) { c.skewSet, c.skewDisks, c.skewRatio = true, disks, ratio }
+}
+
+// WithAccessWeights supplies per-object access weights for the skewed
+// schedule, indexed like the dataset slices (nil = uniform on that
+// dataset). Weights must be finite and non-negative, and each non-nil
+// slice must match its dataset's length.
+func WithAccessWeights(wS, wR []float64) Option {
+	return func(c *config) { c.wS, c.wR = wS, wR }
+}
+
 // WithSingleChannel time-multiplexes both datasets on ONE physical channel
 // — the predecessor environment of Zheng–Lee–Lee (SUTC 2006) that the
 // paper's multi-channel setting improves on. All algorithms run unchanged;
@@ -167,13 +277,25 @@ func New(s, r []Point, opts ...Option) (*System, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	if err := cfg.params.Validate(); err != nil {
+	if err := cfg.validateScheme(); err != nil {
+		return nil, err
+	}
+	if err := cfg.params.ValidateFor(len(s)); err != nil {
+		return nil, err
+	}
+	if err := cfg.params.ValidateFor(len(r)); err != nil {
 		return nil, err
 	}
 	if err := validatePoints("S", s); err != nil {
 		return nil, err
 	}
 	if err := validatePoints("R", r); err != nil {
+		return nil, err
+	}
+	if err := validateWeights("S", cfg.wS, len(s)); err != nil {
+		return nil, err
+	}
+	if err := validateWeights("R", cfg.wR, len(r)); err != nil {
 		return nil, err
 	}
 	region := cfg.region
@@ -200,8 +322,8 @@ func New(s, r []Point, opts ...Option) (*System, error) {
 	}
 	treeS := rtree.Build(s, rcfg)
 	treeR := rtree.Build(r, rcfg)
-	progS := broadcast.BuildProgram(treeS, cfg.params)
-	progR := broadcast.BuildProgram(treeR, cfg.params)
+	idxS := broadcast.BuildIndex(treeS, cfg.params, cfg.indexSpec(cfg.wS))
+	idxR := broadcast.BuildIndex(treeR, cfg.params, cfg.indexSpec(cfg.wR))
 
 	// Phase offsets are cyclic; reduce them to canonical slots in
 	// [0, cycle) so Phases reports exactly what is on air and equivalent
@@ -209,19 +331,19 @@ func New(s, r []Point, opts ...Option) (*System, error) {
 	var chS, chR broadcast.Feed
 	var offS, offR int64
 	if cfg.oneChan {
-		offS = normalizePhase(cfg.offS, progS.CycleLen()+progR.CycleLen())
-		dual := broadcast.NewDualChannel(progS, progR, offS)
+		offS = normalizePhase(cfg.offS, idxS.CycleLen()+idxR.CycleLen())
+		dual := broadcast.NewDualChannel(idxS, idxR, offS)
 		chS, chR = dual.FeedS(), dual.FeedR()
 	} else {
-		offS = normalizePhase(cfg.offS, progS.CycleLen())
-		offR = normalizePhase(cfg.offR, progR.CycleLen())
-		chS = broadcast.NewChannel(progS, offS)
-		chR = broadcast.NewChannel(progR, offR)
+		offS = normalizePhase(cfg.offS, idxS.CycleLen())
+		offR = normalizePhase(cfg.offR, idxR.CycleLen())
+		chS = broadcast.NewChannel(idxS, offS)
+		chR = broadcast.NewChannel(idxR, offR)
 	}
 
 	return &System{
-		env:   core.Env{ChS: chS, ChR: chR, Region: region},
-		progS: progS, progR: progR,
+		env:  core.Env{ChS: chS, ChR: chR, Region: region},
+		idxS: idxS, idxR: idxR,
 		treeS: treeS, treeR: treeR,
 		params: cfg.params,
 		region: region,
@@ -344,30 +466,32 @@ func (sys *System) Exact(p Point) (Result, bool) {
 // Stats describes the broadcast layout of one channel.
 type Stats struct {
 	Points       int
-	IndexPages   int
-	DataPages    int
-	Interleave   int   // the (1,m) factor
+	IndexPages   int   // distinct index pages (one per R-tree node)
+	DataPages    int   // data-page slots per cycle, counting repetitions
+	Interleave   int   // index entry points per cycle: m, or the segment count
 	CycleLen     int64 // slots per broadcast cycle
 	TreeHeight   int
 	Fanout       int
 	LeafCapacity int
+	Scheme       string // air-index family on air, e.g. "preorder"
 }
 
 // ChannelStats returns the broadcast layout of the S and R channels.
 func (sys *System) ChannelStats() (s, r Stats) {
-	mk := func(pr *broadcast.Program, t *rtree.Tree) Stats {
+	mk := func(idx broadcast.AirIndex, t *rtree.Tree) Stats {
 		return Stats{
 			Points:       t.Count,
-			IndexPages:   pr.NumIndexPages(),
-			DataPages:    pr.NumDataPages(),
-			Interleave:   pr.M(),
-			CycleLen:     pr.CycleLen(),
+			IndexPages:   idx.NumIndexPages(),
+			DataPages:    idx.NumDataPages(),
+			Interleave:   idx.Replication(),
+			CycleLen:     idx.CycleLen(),
 			TreeHeight:   t.Height,
 			Fanout:       t.NodeCap,
 			LeafCapacity: t.LeafCap,
+			Scheme:       idx.Scheme(),
 		}
 	}
-	return mk(sys.progS, sys.treeS), mk(sys.progR, sys.treeR)
+	return mk(sys.idxS, sys.treeS), mk(sys.idxR, sys.treeR)
 }
 
 // Region returns the service region the system assumes.
