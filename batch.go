@@ -52,8 +52,9 @@ type batchConfig struct {
 }
 
 // WithBatchWorkers sets how many goroutines the session fans its clients
-// across (default GOMAXPROCS; 1 forces the strictly sequential global
-// event loop). Per-client Results are identical for every value.
+// across: any n <= 0 selects GOMAXPROCS (the default), and 1 forces the
+// strictly sequential global event loop. Per-client Results are identical
+// for every value.
 func WithBatchWorkers(n int) BatchOption {
 	return func(c *batchConfig) { c.workers = n }
 }
@@ -79,13 +80,17 @@ func (sys *System) NewSession(opts ...BatchOption) *Session {
 
 // Add admits one client and returns its index — the position of its
 // Result in the slice Run returns, and its tie-break rank in the slot-
-// ordered event loop.
+// ordered event loop. It validates like Do: an unregistered Algorithm
+// panics with *UnknownAlgorithmError (Add's legacy signature has no error
+// result).
 func (s *Session) Add(p Point, algo Algorithm, opts ...QueryOption) int {
-	var o core.Options
-	for _, opt := range opts {
-		opt(&o)
+	if !validAlgorithm(algo) {
+		panic(&UnknownAlgorithmError{Algo: algo})
 	}
-	s.queries = append(s.queries, session.Query{Point: p, Algo: coreAlgo(algo), Opt: o})
+	// The public Algorithm values and the internal core.Algo ids are the
+	// same registry: built-ins by construction, registered strategies
+	// because RegisterAlgorithm returns the core id.
+	s.queries = append(s.queries, session.Query{Point: p, Algo: core.Algo(algo), Opt: applyOptions(opts)})
 	return len(s.queries) - 1
 }
 
@@ -117,19 +122,4 @@ func (sys *System) QueryBatch(queries []ClientQuery, opts ...BatchOption) []Resu
 		s.Add(q.Point, q.Algo, q.Opts...)
 	}
 	return s.Run()
-}
-
-// coreAlgo maps the public Algorithm to the internal executor's Algo with
-// the same defaulting rule as Query: unknown values run Double-NN.
-func coreAlgo(a Algorithm) core.Algo {
-	switch a {
-	case Window:
-		return core.AlgoWindow
-	case Hybrid:
-		return core.AlgoHybrid
-	case Approximate:
-		return core.AlgoApprox
-	default:
-		return core.AlgoDouble
-	}
 }

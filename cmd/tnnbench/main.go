@@ -13,7 +13,11 @@
 //
 // -index/-cut and -sched/-disks/-ratio select the air-index family and the
 // data schedule for EVERY experiment run; the ablation-index, ablation-cut,
-// and ablation-sched experiments compare the families directly.
+// and ablation-sched experiments compare the families directly. -algos
+// restricts (or extends) the algorithm set of the exact-search
+// experiments through the algorithm registry — strategies registered via
+// tnnbcast.RegisterAlgorithm are selectable by name alongside the
+// built-ins.
 //
 // The paper averages 1,000 random query points per configuration; -queries
 // trades accuracy for speed. All randomness is seeded, so runs are
@@ -38,6 +42,7 @@ func main() {
 		queries = flag.Int("queries", 1000, "random query points per configuration")
 		seed    = flag.Int64("seed", 0, "random seed (0 = default)")
 		pageCap = flag.Int("page", 64, "page capacity in bytes (64, 128, 256, 512)")
+		algos   = flag.String("algos", "", "comma-separated algorithm override for the exact-search experiments (canonical names or window/double/hybrid/approx; default: all four)")
 		index   = flag.String("index", "preorder", "air-index family: preorder (the paper's (1,m) scheme) or distributed (replicated upper levels)")
 		cut     = flag.Int("cut", 0, "distributed index: number of replicated upper levels (0 = half the tree height)")
 		sched   = flag.String("sched", "flat", "data schedule: flat (every object once per cycle) or skewed (broadcast-disks)")
@@ -67,6 +72,16 @@ func main() {
 	}
 	cfg := experiments.Config{Queries: *queries, Seed: *seed, PageCap: *pageCap, Workers: *workers,
 		Scheme: *index, Cut: *cut}
+	if *algos != "" {
+		for _, name := range strings.Split(*algos, ",") {
+			cfg.Algos = append(cfg.Algos, strings.TrimSpace(name))
+		}
+		// Validate up front for a friendly error instead of a mid-run panic.
+		if _, err := experiments.AlgosByName(cfg.Algos); err != nil {
+			fmt.Fprintln(os.Stderr, "tnnbench:", err)
+			os.Exit(2)
+		}
+	}
 	switch *sched {
 	case "flat":
 	case "skewed":

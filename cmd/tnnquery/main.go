@@ -5,6 +5,12 @@
 // the client doze between scheduled arrivals and see which index pages each
 // algorithm pays for.
 //
+// tnnquery runs entirely on the public Query API v2: queries go through
+// the unified request pipeline and the trace is the Cursor's typed event
+// stream (PhaseStart / RadiusSet / PageDownloaded), not an internal hook.
+// Any algorithm registered with tnnbcast.RegisterAlgorithm is selectable
+// by name next to the built-ins.
+//
 // Usage:
 //
 //	tnnquery -algo double -s 10000 -r 10000 -x 19500 -y 19500
@@ -17,23 +23,12 @@ import (
 	"fmt"
 	"os"
 
-	"tnnbcast/internal/broadcast"
-	"tnnbcast/internal/core"
-	"tnnbcast/internal/dataset"
-	"tnnbcast/internal/geom"
-	"tnnbcast/internal/rtree"
+	"tnnbcast"
 )
-
-var algos = map[string]func(core.Env, geom.Point, core.Options) core.Result{
-	"window": core.WindowBased,
-	"double": core.DoubleNN,
-	"hybrid": core.HybridNN,
-	"approx": core.ApproximateTNN,
-}
 
 func main() {
 	var (
-		algo    = flag.String("algo", "double", "window | double | hybrid | approx | all")
+		algo    = flag.String("algo", "double", "window | double | hybrid | approx | all, or a registered algorithm name")
 		sizeS   = flag.Int("s", 10000, "size of dataset S")
 		sizeR   = flag.Int("r", 10000, "size of dataset R")
 		x       = flag.Float64("x", 19500, "query point x")
@@ -45,77 +40,88 @@ func main() {
 	)
 	flag.Parse()
 
-	params := broadcast.DefaultParams()
-	params.PageCap = *pageCap
-	if err := params.Validate(); err != nil {
+	region := tnnbcast.PaperRegion
+	ptsS := tnnbcast.UniformDataset(*seed+1, *sizeS, region)
+	ptsR := tnnbcast.UniformDataset(*seed+2, *sizeR, region)
+	// WithPhases normalizes cyclically, so passing the raw products keeps
+	// the pre-v2 offsets (seed*7919 mod cycleS, seed*104729 mod cycleR).
+	sys, err := tnnbcast.New(ptsS, ptsR,
+		tnnbcast.WithRegion(region),
+		tnnbcast.WithPageCap(*pageCap),
+		tnnbcast.WithPhases(*seed*7919, *seed*104729))
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "tnnquery:", err)
 		os.Exit(2)
 	}
 
-	region := dataset.PaperRegion
-	ptsS := dataset.Uniform(*seed+1, *sizeS, region)
-	ptsR := dataset.Uniform(*seed+2, *sizeR, region)
-	rcfg := rtree.Config{LeafCap: params.LeafCap(), NodeCap: params.NodeCap()}
-	treeS := rtree.Build(ptsS, rcfg)
-	treeR := rtree.Build(ptsR, rcfg)
-	progS := broadcast.BuildProgram(treeS, params)
-	progR := broadcast.BuildProgram(treeR, params)
-
-	fmt.Printf("channel S: %d points, %d index pages, %d data pages, (1,%d) interleave, cycle %d slots\n",
-		treeS.Count, progS.NumIndexPages(), progS.NumDataPages(), progS.M(), progS.CycleLen())
-	fmt.Printf("channel R: %d points, %d index pages, %d data pages, (1,%d) interleave, cycle %d slots\n",
-		treeR.Count, progR.NumIndexPages(), progR.NumDataPages(), progR.M(), progR.CycleLen())
-
-	env := core.Env{
-		ChS:    broadcast.NewChannel(progS, *seed*7919%progS.CycleLen()),
-		ChR:    broadcast.NewChannel(progR, *seed*104729%progR.CycleLen()),
-		Region: region,
+	statS, statR := sys.ChannelStats()
+	for _, c := range []struct {
+		name string
+		st   tnnbcast.Stats
+	}{{"S", statS}, {"R", statR}} {
+		fmt.Printf("channel %s: %d points, %d index pages, %d data pages, (1,%d) interleave, cycle %d slots\n",
+			c.name, c.st.Points, c.st.IndexPages, c.st.DataPages, c.st.Interleave, c.st.CycleLen)
 	}
-	p := geom.Pt(*x, *y)
 
-	oracle, oracleOK := core.OracleTNN(p, treeS, treeR)
+	p := tnnbcast.Pt(*x, *y)
+	oracle, oracleOK := sys.Exact(p)
 	if oracleOK {
-		fmt.Printf("exact TNN (oracle): s=%v r=%v dist=%.2f\n\n",
-			oracle.S.Point, oracle.R.Point, oracle.Dist)
+		fmt.Printf("exact TNN (oracle): s=%v r=%v dist=%.2f\n\n", oracle.S, oracle.R, oracle.Dist)
 	}
 
-	names := []string{*algo}
+	var names []string
 	if *algo == "all" {
 		names = []string{"window", "double", "hybrid", "approx"}
+	} else {
+		names = []string{*algo}
 	}
 	for _, name := range names {
-		run, ok := algos[name]
+		a, ok := tnnbcast.AlgorithmByName(name)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "tnnquery: unknown algorithm %q\n", name)
+			fmt.Fprintf(os.Stderr, "tnnquery: unknown algorithm %q (registered: %v)\n",
+				name, tnnbcast.Algorithms())
 			os.Exit(2)
 		}
-		opt := core.Options{ANN: core.UniformANN(*ann)}
+		var res tnnbcast.Result
 		if *trace {
-			opt.Trace = func(ch string, slot int64, pg broadcast.Page) {
-				switch pg.Kind {
-				case broadcast.IndexPage:
-					fmt.Printf("  [%s] slot %8d  index node %d\n", ch, slot, pg.NodeID)
-				case broadcast.DataPage:
-					fmt.Printf("  [%s] slot %8d  data object %d (fragment %d)\n",
-						ch, slot, pg.ObjectID, pg.Seq)
+			fmt.Printf("%s download schedule:\n", name)
+			cur, err := sys.Start(p, a, tnnbcast.WithANN(*ann))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "tnnquery:", err)
+				os.Exit(2)
+			}
+			for ev := range cur.Events() {
+				switch e := ev.(type) {
+				case tnnbcast.PhaseStart:
+					fmt.Printf("  --- %s phase (slot %d)\n", e.Phase, e.Slot)
+				case tnnbcast.RadiusSet:
+					fmt.Printf("  --- search radius %.2f (slot %d)\n", e.Radius, e.Slot)
+				case tnnbcast.PageDownloaded:
+					if e.Kind == tnnbcast.PageIndex {
+						fmt.Printf("  [%s] slot %8d  index node %d\n", e.Channel, e.Slot, e.NodeID)
+					} else {
+						fmt.Printf("  [%s] slot %8d  data object %d (fragment %d)\n",
+							e.Channel, e.Slot, e.ObjectID, e.Seq)
+					}
 				}
 			}
-			fmt.Printf("%s download schedule:\n", name)
+			res = cur.Result()
+		} else {
+			res = sys.Query(p, a, tnnbcast.WithANN(*ann))
 		}
-		res := run(env, p, opt)
 		if !res.Found {
 			fmt.Printf("%-8s NO ANSWER (search range missed the pair)\n", name)
 			continue
 		}
 		status := "exact"
-		if oracleOK && res.Pair.Dist > oracle.Dist*(1+1e-9) {
-			status = fmt.Sprintf("SUBOPTIMAL (+%.1f%%)", 100*(res.Pair.Dist/oracle.Dist-1))
+		if oracleOK && res.Dist > oracle.Dist*(1+1e-9) {
+			status = fmt.Sprintf("SUBOPTIMAL (+%.1f%%)", 100*(res.Dist/oracle.Dist-1))
 		}
-		fmt.Printf("%-8s s=%v r=%v dist=%.2f [%s]\n", name, res.Pair.S.Point, res.Pair.R.Point, res.Pair.Dist, status)
+		fmt.Printf("%-8s s=%v r=%v dist=%.2f [%s]\n", name, res.S, res.R, res.Dist, status)
 		fmt.Printf("         access %d pages, tune-in %d pages (estimate %d + filter %d), radius %.2f",
-			res.Metrics.AccessTime, res.Metrics.TuneIn, res.EstimateTuneIn, res.FilterTuneIn, res.Radius)
-		if res.Case != core.CaseNone {
-			fmt.Printf(", hybrid case %d", res.Case+1)
+			res.AccessTime, res.TuneIn, res.EstimateTuneIn, res.FilterTuneIn, res.Radius)
+		if res.Case != tnnbcast.HybridCaseNone {
+			fmt.Printf(", hybrid case %d", int(res.Case)+1)
 		}
 		fmt.Println()
 	}

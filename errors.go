@@ -25,6 +25,22 @@ func (e *InvalidPointError) Error() string {
 		e.Dataset, e.Index, e.Point.X, e.Point.Y)
 }
 
+// UnknownAlgorithmError reports an Algorithm value that is neither a
+// built-in nor registered via RegisterAlgorithm. Before the v2 API such
+// values silently ran Double-NN — an experiment with a typo'd algorithm
+// would happily measure the wrong thing — so they now fail loudly,
+// matching the index-scheme validation in New: Do and Start return this
+// error; the legacy Query, Session.Add, and QueryBatch signatures have no
+// error result and panic with it instead.
+type UnknownAlgorithmError struct {
+	// Algo is the unregistered value.
+	Algo Algorithm
+}
+
+func (e *UnknownAlgorithmError) Error() string {
+	return fmt.Sprintf("tnnbcast: unknown algorithm Algorithm(%d): not a built-in and not registered", int(e.Algo))
+}
+
 // InvalidRegionError reports a WithRegion rectangle with NaN or infinite
 // bounds, or with inverted bounds (Hi < Lo on either axis).
 // Approximate-TNN scales its radius estimate by the region's area, so

@@ -97,12 +97,13 @@ type ChainResult struct {
 }
 
 // Query answers the chain TNN query at p using all channels in parallel
-// (the generalized Double-NN strategy).
+// (the generalized Double-NN strategy). It shares the pipeline's option
+// application (applyOptions) and scratch-pool checkout, but runs the
+// k-channel engine directly rather than calling System.Do, whose Request
+// shape is two-channel; pipeline-level additions to Do do not reach the
+// chain path automatically.
 func (cs *ChainSystem) Query(p Point, opts ...QueryOption) ChainResult {
-	var o core.Options
-	for _, opt := range opts {
-		opt(&o)
-	}
+	o := applyOptions(opts)
 	sc := scratchPool.Get().(*core.Scratch)
 	defer scratchPool.Put(sc)
 	o.Scratch = sc
@@ -136,56 +137,52 @@ func (cs *ChainSystem) Exact(p Point) (ChainResult, bool) {
 
 // QueryUnordered answers the order-free TNN query: visit one object from
 // each dataset in whichever order is shorter. sFirst reports whether the
-// S-dataset object comes first on the best route.
+// S-dataset object comes first on the best route. It is a thin wrapper
+// over Do with the Unordered variant.
 func (sys *System) QueryUnordered(p Point, opts ...QueryOption) (res Result, sFirst bool) {
-	var o core.Options
-	for _, opt := range opts {
-		opt(&o)
+	resp, err := sys.Do(Request{Point: p, Variant: Unordered, Options: opts})
+	if err != nil {
+		panic(err) // unreachable: Unordered requests cannot fail validation
 	}
-	sc := scratchPool.Get().(*core.Scratch)
-	defer scratchPool.Put(sc)
-	o.Scratch = sc
-	r, first := core.UnorderedTNN(sys.env, p, o)
-	return fromCore(r), first
+	return resp.Result, resp.SFirst
 }
 
 // QueryRoundTrip answers the complete-route query: visit one object from S,
-// one from R, and return to the start, minimizing the tour length.
+// one from R, and return to the start, minimizing the tour length. It is a
+// thin wrapper over Do with the RoundTrip variant.
 func (sys *System) QueryRoundTrip(p Point, opts ...QueryOption) Result {
-	var o core.Options
-	for _, opt := range opts {
-		opt(&o)
+	resp, err := sys.Do(Request{Point: p, Variant: RoundTrip, Options: opts})
+	if err != nil {
+		panic(err) // unreachable: RoundTrip requests cannot fail validation
 	}
-	sc := scratchPool.Get().(*core.Scratch)
-	defer scratchPool.Put(sc)
-	o.Scratch = sc
-	return fromCore(core.RoundTripTNN(sys.env, p, o))
+	return resp.Result
 }
 
 // QueryTopK returns the k best (s, r) pairs in ascending transitive-
 // distance order, using the parallel k-NN estimate strategy. Fewer than k
 // pairs are returned when the datasets are smaller than k.
+//
+// QueryTopK is the legacy wrapper over Do's TopK variant. The returned
+// slice duplicates the WHOLE-QUERY AccessTime, TuneIn, and Radius into
+// every Result — the query downloads its pages once, so summing metrics
+// across the slice overcounts by a factor of len(results). The v2
+// TopKResult shape reports the pairs and one Metrics value instead.
 func (sys *System) QueryTopK(p Point, k int, opts ...QueryOption) ([]Result, bool) {
-	var o core.Options
-	for _, opt := range opts {
-		opt(&o)
-	}
-	sc := scratchPool.Get().(*core.Scratch)
-	defer scratchPool.Put(sc)
-	o.Scratch = sc
-	res := core.TopKTNN(sys.env, p, k, o)
-	if !res.Found {
+	resp, err := sys.Do(Request{Point: p, Variant: TopK, K: k, Options: opts})
+	if err != nil || !resp.TopK.Found {
+		// K < 1 maps to the legacy "nothing found", as before the v2
+		// pipeline existed.
 		return nil, false
 	}
-	out := make([]Result, len(res.Pairs))
-	for i, pr := range res.Pairs {
+	out := make([]Result, len(resp.TopK.Pairs))
+	for i, pr := range resp.TopK.Pairs {
 		out[i] = Result{
-			S: pr.S.Point, R: pr.R.Point,
-			SID: pr.S.ID, RID: pr.R.ID,
+			S: pr.S, R: pr.R,
+			SID: pr.SID, RID: pr.RID,
 			Dist: pr.Dist, Found: true,
-			AccessTime: res.Metrics.AccessTime,
-			TuneIn:     res.Metrics.TuneIn,
-			Radius:     res.Radius,
+			AccessTime: resp.TopK.Metrics.AccessTime,
+			TuneIn:     resp.TopK.Metrics.TuneIn,
+			Radius:     resp.TopK.Radius,
 		}
 	}
 	return out, true
@@ -203,5 +200,6 @@ func fromCore(res core.Result) Result {
 		EstimateTuneIn: res.EstimateTuneIn,
 		FilterTuneIn:   res.FilterTuneIn,
 		Radius:         res.Radius,
+		Case:           HybridCase(res.Case),
 	}
 }

@@ -15,6 +15,8 @@ package core
 // share only the immutable broadcast programs.
 
 import (
+	"fmt"
+
 	"tnnbcast/internal/client"
 	"tnnbcast/internal/geom"
 )
@@ -46,7 +48,39 @@ func (a Algo) String() string {
 	case AlgoApprox:
 		return "Approximate-TNN"
 	default:
-		return "Algo(?)"
+		if spec, ok := Lookup(a); ok {
+			return spec.Name
+		}
+		return fmt.Sprintf("Algo(%d)", int(a))
+	}
+}
+
+// Phase is the coarse, externally observable position of a query
+// execution, the granularity of the paper's estimate/filter tune-in
+// split. The Window variant's two sequential NN searches both count as
+// the estimate phase; the terminal join and answer retrieval count as the
+// filter phase (their data pages are filter tune-in).
+type Phase int
+
+const (
+	// PhaseEstimate covers the NN searches that determine the search
+	// radius. Approximate-TNN skips it entirely.
+	PhaseEstimate Phase = iota
+	// PhaseFilter covers the circular range queries, the local join, and
+	// the answer-object retrieval.
+	PhaseFilter
+	// PhaseDone means the Result is final.
+	PhaseDone
+)
+
+func (p Phase) String() string {
+	switch p {
+	case PhaseEstimate:
+		return "estimate"
+	case PhaseFilter:
+		return "filter"
+	default:
+		return "done"
 	}
 }
 
@@ -134,6 +168,32 @@ func (ex *QueryExec) Done() bool { return ex.phase == phDone }
 
 // Result returns the query outcome; valid once Done.
 func (ex *QueryExec) Result() Result { return ex.res }
+
+// Phase reports the coarse execution phase, for streaming observers.
+func (ex *QueryExec) Phase() Phase {
+	switch ex.phase {
+	case phWinS, phWinR, phEstimate:
+		return PhaseEstimate
+	case phFilter, phJoin:
+		return PhaseFilter
+	default:
+		return PhaseDone
+	}
+}
+
+// Radius returns the search-range radius once the estimate phase has
+// determined it (ok reports availability; Approximate-TNN has it from the
+// start).
+func (ex *QueryExec) Radius() (r float64, ok bool) {
+	if ex.Phase() == PhaseEstimate {
+		return 0, false
+	}
+	return ex.radius, true
+}
+
+// Now returns the later of the two receivers' local clocks — the slot at
+// which client-local transitions (phase sync, join) conceptually happen.
+func (ex *QueryExec) Now() int64 { return ex.clockMax() }
 
 // clockMax returns the later of the two receivers' local clocks — the slot
 // at which client-local work (phase sync, join) conceptually happens.

@@ -89,7 +89,7 @@ func AblationPageSize(cfg Config) *Table {
 		XLabel: "page capacity (bytes)",
 		Metric: "tune-in time (pages)",
 	}
-	algos := ExactAlgos()
+	algos := cfg.resolveAlgos(ExactAlgos())
 	for _, a := range algos {
 		t.Columns = append(t.Columns, a.Name)
 	}

@@ -129,7 +129,7 @@ func Fig9a(cfg Config) *Table {
 	cfg = cfg.Defaults()
 	return seriesTable("fig9a", "Access time, S = 10,000, R varies",
 		"size(R)", "access time (pages)",
-		ExactAlgos(), sizeSeriesPoints(cfg, true), cfg, accessOf)
+		cfg.resolveAlgos(ExactAlgos()), sizeSeriesPoints(cfg, true), cfg, accessOf)
 }
 
 // Fig9b reproduces Figure 9(b): access time with size(R) = 10,000 and
@@ -138,7 +138,7 @@ func Fig9b(cfg Config) *Table {
 	cfg = cfg.Defaults()
 	return seriesTable("fig9b", "Access time, R = 10,000, S varies",
 		"size(S)", "access time (pages)",
-		ExactAlgos(), sizeSeriesPoints(cfg, false), cfg, accessOf)
+		cfg.resolveAlgos(ExactAlgos()), sizeSeriesPoints(cfg, false), cfg, accessOf)
 }
 
 // Fig9c reproduces Figure 9(c): access time with S = UNIF(-5.8) and the
@@ -147,7 +147,7 @@ func Fig9c(cfg Config) *Table {
 	cfg = cfg.Defaults()
 	return seriesTable("fig9c", "Access time, S = UNIF(-5.8), density of R varies",
 		"R", "access time (pages)",
-		ExactAlgos(), densitySeriesPoints(cfg, -5.8, dataset.DensityExponents), cfg, accessOf)
+		cfg.resolveAlgos(ExactAlgos()), densitySeriesPoints(cfg, -5.8, dataset.DensityExponents), cfg, accessOf)
 }
 
 // Fig9d reproduces Figure 9(d): access time with S = UNIF(-5.0).
@@ -155,7 +155,7 @@ func Fig9d(cfg Config) *Table {
 	cfg = cfg.Defaults()
 	return seriesTable("fig9d", "Access time, S = UNIF(-5.0), density of R varies",
 		"R", "access time (pages)",
-		ExactAlgos(), densitySeriesPoints(cfg, -5.0, dataset.DensityExponents), cfg, accessOf)
+		cfg.resolveAlgos(ExactAlgos()), densitySeriesPoints(cfg, -5.0, dataset.DensityExponents), cfg, accessOf)
 }
 
 // tuneInAlgos are the three guaranteed-correct algorithms compared on
@@ -173,7 +173,7 @@ func Fig11a(cfg Config) *Table {
 	cfg = cfg.Defaults()
 	return seriesTable("fig11a", "Tune-in time, S = UNIF(-4.2), density of R varies",
 		"R", "tune-in time (pages)",
-		tuneInAlgos(), densitySeriesPoints(cfg, -4.2, dataset.DensityExponents), cfg, tuneInOf)
+		cfg.resolveAlgos(tuneInAlgos()), densitySeriesPoints(cfg, -4.2, dataset.DensityExponents), cfg, tuneInOf)
 }
 
 // Fig11b reproduces Figure 11(b): tune-in time with S = UNIF(-5.0).
@@ -181,7 +181,7 @@ func Fig11b(cfg Config) *Table {
 	cfg = cfg.Defaults()
 	return seriesTable("fig11b", "Tune-in time, S = UNIF(-5.0), density of R varies",
 		"R", "tune-in time (pages)",
-		tuneInAlgos(), densitySeriesPoints(cfg, -5.0, dataset.DensityExponents), cfg, tuneInOf)
+		cfg.resolveAlgos(tuneInAlgos()), densitySeriesPoints(cfg, -5.0, dataset.DensityExponents), cfg, tuneInOf)
 }
 
 // Fig11c reproduces Figure 11(c): tune-in time with S = UNIF(-7.0).
@@ -189,7 +189,7 @@ func Fig11c(cfg Config) *Table {
 	cfg = cfg.Defaults()
 	return seriesTable("fig11c", "Tune-in time, S = UNIF(-7.0), density of R varies",
 		"R", "tune-in time (pages)",
-		tuneInAlgos(), densitySeriesPoints(cfg, -7.0, dataset.DensityExponents), cfg, tuneInOf)
+		cfg.resolveAlgos(tuneInAlgos()), densitySeriesPoints(cfg, -7.0, dataset.DensityExponents), cfg, tuneInOf)
 }
 
 // Fig11d reproduces Figure 11(d): tune-in time with S = UNIF(-5.0)
@@ -199,7 +199,7 @@ func Fig11d(cfg Config) *Table {
 	cfg = cfg.Defaults()
 	return seriesTable("fig11d", "Tune-in time incl. Approximate-TNN, S = UNIF(-5.0)",
 		"R", "tune-in time (pages)",
-		ExactAlgos(), densitySeriesPoints(cfg, -5.0, dataset.DensityExponents), cfg, tuneInOf)
+		cfg.resolveAlgos(ExactAlgos()), densitySeriesPoints(cfg, -5.0, dataset.DensityExponents), cfg, tuneInOf)
 }
 
 // annCompareAlgos pairs each of Window-Based and Double-NN with its ANN

@@ -56,8 +56,21 @@ type Config struct {
 	// of the region width (instead of uniform) — the skewed-access
 	// workload the broadcast-disks scheduler targets.
 	HotSpotSigma float64
+	// Algos, when non-empty, overrides the algorithm set of the
+	// experiments that compare a default exact-search set: the fig9 and
+	// fig11 series, the page-size and index-family ablations
+	// (ablation-pagesize, ablation-index), and the single-channel
+	// comparison. Names are registry-resolved (canonical names or the
+	// built-in aliases window/double/hybrid/approx; see AlgosByName), so
+	// strategies registered from outside internal/ are selectable — this
+	// is tnnbench -algos end to end. Experiments whose algorithm set IS
+	// the comparison ignore it: the ANN-variant figures (fig10, fig12,
+	// fig13, tab3, grid) and the single-algorithm parameter ablations
+	// (ablation-cut, ablation-sched, clients). An unknown name panics,
+	// like an unknown Scheme.
+	Algos []string
 	// Workers is the number of goroutines RunPairing fans the query loop
-	// across (0 = GOMAXPROCS, 1 = strictly sequential). The reported Stats
+	// across (<= 0 = GOMAXPROCS, 1 = strictly sequential). The reported Stats
 	// are bit-identical for every worker count: all per-query randomness
 	// is pre-drawn from the seeded RNG in sequential order, per-query
 	// results are recorded by query index, and the final reduction folds
@@ -108,6 +121,41 @@ func ExactAlgos() []AlgoSpec {
 		{Name: AlgoHybrid, Run: core.HybridNN},
 		{Name: AlgoApproximate, Run: core.ApproximateTNN},
 	}
+}
+
+// AlgosByName resolves algorithm names through the core registry into
+// exact-search AlgoSpecs — built-ins by canonical name or alias, plus any
+// strategy registered via the public tnnbcast.RegisterAlgorithm. An
+// unknown name is an error (never a silent fallback).
+func AlgosByName(names []string) ([]AlgoSpec, error) {
+	out := make([]AlgoSpec, 0, len(names))
+	for _, name := range names {
+		a, ok := core.AlgoByName(name)
+		if !ok {
+			return nil, fmt.Errorf("experiments: unknown algorithm %q (registered: %v)",
+				name, core.AlgoNames())
+		}
+		spec, _ := core.Lookup(a)
+		algo := a
+		out = append(out, AlgoSpec{Name: spec.Name, Run: func(env core.Env, p geom.Point, opt core.Options) core.Result {
+			res, _ := core.Run(env, algo, p, opt)
+			return res
+		}})
+	}
+	return out, nil
+}
+
+// resolveAlgos applies the Config.Algos override to an experiment's
+// default algorithm set.
+func (c Config) resolveAlgos(algos []AlgoSpec) []AlgoSpec {
+	if len(c.Algos) == 0 {
+		return algos
+	}
+	out, err := AlgosByName(c.Algos)
+	if err != nil {
+		panic(err.Error())
+	}
+	return out
 }
 
 // Stats aggregates one algorithm's performance over a query workload.

@@ -44,7 +44,7 @@ func indexWorkloadPair(seed int64) Pairing {
 // four algorithms, access and tune-in per scheme.
 func AblationIndex(cfg Config) *Table {
 	cfg = cfg.Defaults()
-	algos := ExactAlgos()
+	algos := cfg.resolveAlgos(ExactAlgos())
 	t := &Table{
 		ID:     "ablation-index",
 		Title:  "Air-index family vs TNN cost, S = R = UNIF(-5.0)",

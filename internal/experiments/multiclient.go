@@ -88,16 +88,11 @@ func runMultiClient(env core.Env, w clientWorkload, workers int) multiClientRun 
 	for i, q := range w.queries {
 		opt := q.Opt
 		opt.Scratch = sc
-		switch q.Algo {
-		case core.AlgoWindow:
-			r.seqResults[i] = core.WindowBased(env, q.Point, opt)
-		case core.AlgoHybrid:
-			r.seqResults[i] = core.HybridNN(env, q.Point, opt)
-		case core.AlgoApprox:
-			r.seqResults[i] = core.ApproximateTNN(env, q.Point, opt)
-		default:
-			r.seqResults[i] = core.DoubleNN(env, q.Point, opt)
+		res, ok := core.Run(env, q.Algo, q.Point, opt)
+		if !ok {
+			panic(fmt.Sprintf("experiments: unregistered algorithm %d", q.Algo))
 		}
+		r.seqResults[i] = res
 	}
 	r.seqSecs = time.Since(start).Seconds()
 

@@ -34,7 +34,7 @@ func SingleVsMultiChannel(cfg Config) *Table {
 		XLabel: "environment / metric",
 		Metric: "pages",
 	}
-	algos := ExactAlgos()
+	algos := cfg.resolveAlgos(ExactAlgos())
 	for _, a := range algos {
 		t.Columns = append(t.Columns, a.Name)
 	}

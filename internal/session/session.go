@@ -25,6 +25,7 @@
 package session
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 
@@ -34,7 +35,8 @@ import (
 )
 
 // Query is one client's TNN query in a session: its query point, the
-// algorithm it runs, and its per-client options (issue slot, ANN
+// algorithm it runs (any id registered with the core algorithm registry,
+// built-in or custom), and its per-client options (issue slot, ANN
 // configuration, data-retrieval choice, trace). The Options' Scratch field
 // is engine-owned and ignored if set.
 type Query struct {
@@ -51,9 +53,10 @@ type Engine struct {
 }
 
 // New creates an engine over the environment. workers is the number of
-// goroutines a Run fans its clients across (0 = GOMAXPROCS, 1 = strictly
-// sequential); because clients are independent, the per-client Results are
-// identical for every worker count.
+// goroutines a Run fans its clients across: any value <= 0 means
+// GOMAXPROCS, 1 forces the strictly sequential global event loop; because
+// clients are independent, the per-client Results are identical for every
+// worker count.
 func New(env core.Env, workers int) *Engine {
 	return &Engine{env: env, workers: workers}
 }
@@ -94,11 +97,14 @@ func (e *Engine) Run(queries []Query) []core.Result {
 
 // runShard drives the clients whose index ≡ w (mod stride): it admits each
 // with its own scratch, runs the slot-ordered event loop to completion,
-// and records Results by client index.
+// and records Results by client index. Executors come from the core
+// algorithm registry, so custom strategies interleave with the built-ins
+// on the same timeline; an unregistered Algo panics (the public API
+// validates at admission).
 func runShard(env core.Env, queries []Query, results []core.Result, w, stride int) {
 	type cl struct {
 		idx int
-		ex  *core.QueryExec
+		ex  core.Executor
 	}
 	clients := make([]cl, 0, (len(queries)-w+stride-1)/stride)
 	var sched client.Sched
@@ -106,8 +112,10 @@ func runShard(env core.Env, queries []Query, results []core.Result, w, stride in
 		q := queries[i]
 		opt := q.Opt
 		opt.Scratch = core.NewScratch() // one live scratch per concurrent client
-		ex := new(core.QueryExec)
-		ex.Reset(env, q.Algo, q.Point, opt)
+		ex, ok := core.NewExec(env, q.Algo, q.Point, opt)
+		if !ok {
+			panic(fmt.Sprintf("session: unregistered algorithm %d", q.Algo))
+		}
 		clients = append(clients, cl{idx: i, ex: ex})
 		sched.Add(int64(i), ex) // tie-break: global client index
 	}

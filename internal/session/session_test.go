@@ -150,3 +150,20 @@ func TestSessionSharedCycleOverlap(t *testing.T) {
 			sum, maxEnd+cycle)
 	}
 }
+
+// TestNonPositiveWorkers pins the contract that any workers value <= 0
+// selects GOMAXPROCS: negative counts must behave exactly like 0 and
+// produce the same per-client Results as the sequential loop.
+func TestNonPositiveWorkers(t *testing.T) {
+	env := makeEnv(t, 700, 700, 11, 29)
+	queries := mixedQueries(6, 24)
+	want := New(env, 1).Run(queries)
+	for _, workers := range []int{-8, -1, 0} {
+		got := New(env, workers).Run(queries)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: client %d result differs", workers, i)
+			}
+		}
+	}
+}

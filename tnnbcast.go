@@ -21,10 +21,26 @@
 //	res := sys.Query(tnnbcast.Pt(x, y), tnnbcast.Double)
 //	fmt.Println(res.S, res.R, res.Dist, res.AccessTime, res.TuneIn)
 //
+// Query and its variant siblings are thin wrappers over the v2 request
+// pipeline, which adds typed errors, streaming, and pluggable strategies:
+//
+//	resp, err := sys.Do(tnnbcast.Request{Point: p, Algo: tnnbcast.Hybrid})
+//	if err != nil { ... }                  // e.g. *UnknownAlgorithmError
+//
+//	cur, err := sys.Start(p, tnnbcast.Double)
+//	if err != nil { ... }
+//	for ev := range cur.Events() {         // typed page-level event stream
+//		if pg, ok := ev.(tnnbcast.PageDownloaded); ok {
+//			fmt.Println(pg.Channel, pg.Slot, pg.Kind)
+//		}
+//	}
+//	fmt.Println(cur.Result().TuneIn)
+//
 // The package exposes the paper's four algorithms (Window, Double, Hybrid,
 // Approximate) and the approximate-NN energy optimization (WithANN,
-// WithDensityAwareANN). See the examples directory for runnable scenarios
-// and cmd/tnnbench for the full evaluation harness.
+// WithDensityAwareANN); RegisterAlgorithm adds custom strategies that are
+// selectable through every entry point. See the examples directory for
+// runnable scenarios and cmd/tnnbench for the full evaluation harness.
 package tnnbcast
 
 import (
@@ -56,7 +72,11 @@ func Pt(x, y float64) Point { return geom.Pt(x, y) }
 // RectOf constructs the rectangle spanned by two corner points.
 func RectOf(a, b Point) Rect { return geom.RectOf(a, b) }
 
-// Algorithm selects a TNN query-processing algorithm.
+// Algorithm selects a TNN query-processing algorithm: one of the four
+// built-ins below, or any value returned by RegisterAlgorithm. Values
+// outside the registry are rejected with *UnknownAlgorithmError (Do,
+// Start) or a panic carrying it (the error-less legacy signatures Query,
+// Session.Add, QueryBatch).
 type Algorithm int
 
 const (
@@ -87,6 +107,9 @@ func (a Algorithm) String() string {
 	case Approximate:
 		return "Approximate-TNN"
 	default:
+		if spec, ok := core.Lookup(core.Algo(a)); ok {
+			return spec.Name
+		}
 		return fmt.Sprintf("Algorithm(%d)", int(a))
 	}
 }
@@ -379,7 +402,26 @@ type Result struct {
 	EstimateTuneIn, FilterTuneIn int64
 	// Radius is the search-range radius the estimate phase determined.
 	Radius float64
+	// Case records which Hybrid-NN case the query exercised
+	// (HybridCaseNone for the other algorithms and for a Hybrid run whose
+	// two estimate searches finished together, the paper's Case 1).
+	Case HybridCase
 }
+
+// HybridCase identifies the Hybrid-NN redirect a query performed.
+type HybridCase int
+
+const (
+	// HybridCaseNone: no redirect happened (non-Hybrid algorithms, or
+	// Hybrid-NN Case 1).
+	HybridCaseNone HybridCase = HybridCase(core.CaseNone)
+	// HybridCase2: the S-channel search finished first and the R-channel
+	// search was retargeted to s = p.NN(S).
+	HybridCase2 HybridCase = HybridCase(core.Case2)
+	// HybridCase3: the R-channel search finished first and the S-channel
+	// search switched to the transitive metric.
+	HybridCase3 HybridCase = HybridCase(core.Case3)
+)
 
 // QueryOption configures a single query.
 type QueryOption func(*core.Options)
@@ -425,27 +467,15 @@ func (sys *System) DensityAwareANN(factor float64) QueryOption {
 }
 
 // Query answers the TNN query at p with the selected algorithm over the
-// broadcast channels.
+// broadcast channels. It is a thin wrapper over Do; an unregistered
+// Algorithm panics with *UnknownAlgorithmError (use Do for the error
+// return).
 func (sys *System) Query(p Point, algo Algorithm, opts ...QueryOption) Result {
-	var o core.Options
-	for _, opt := range opts {
-		opt(&o)
+	resp, err := sys.Do(Request{Point: p, Algo: algo, Options: opts})
+	if err != nil {
+		panic(err)
 	}
-	sc := scratchPool.Get().(*core.Scratch)
-	defer scratchPool.Put(sc)
-	o.Scratch = sc
-	var res core.Result
-	switch algo {
-	case Window:
-		res = core.WindowBased(sys.env, p, o)
-	case Hybrid:
-		res = core.HybridNN(sys.env, p, o)
-	case Approximate:
-		res = core.ApproximateTNN(sys.env, p, o)
-	default:
-		res = core.DoubleNN(sys.env, p, o)
-	}
-	return fromCore(res)
+	return resp.Result
 }
 
 // Exact returns the true TNN answer computed with full random access (no
