@@ -28,6 +28,7 @@ package tnnbcast
 // (WithBatchWorkers), whereas sequential Query calls serialize.
 
 import (
+	"errors"
 	"runtime"
 
 	"tnnbcast/internal/core"
@@ -81,16 +82,21 @@ func (sys *System) NewSession(opts ...BatchOption) *Session {
 // Add admits one client and returns its index — the position of its
 // Result in the slice Run returns, and its tie-break rank in the slot-
 // ordered event loop. It validates like Do: an unregistered Algorithm
-// panics with *UnknownAlgorithmError (Add's legacy signature has no error
-// result).
+// panics with *UnknownAlgorithmError, and a negative issue slot (sessions
+// share one timeline starting at slot 0) panics with *InvalidIssueError
+// (Add's legacy signature has no error result).
 func (s *Session) Add(p Point, algo Algorithm, opts ...QueryOption) int {
 	if !validAlgorithm(algo) {
 		panic(&UnknownAlgorithmError{Algo: algo})
 	}
+	opt := applyOptions(opts)
+	if opt.Issue < 0 {
+		panic(&InvalidIssueError{Client: len(s.queries), Issue: opt.Issue})
+	}
 	// The public Algorithm values and the internal core.Algo ids are the
 	// same registry: built-ins by construction, registered strategies
 	// because RegisterAlgorithm returns the core id.
-	s.queries = append(s.queries, session.Query{Point: p, Algo: core.Algo(algo), Opt: applyOptions(opts)})
+	s.queries = append(s.queries, session.Query{Point: p, Algo: core.Algo(algo), Opt: opt})
 	return len(s.queries) - 1
 }
 
@@ -104,8 +110,19 @@ func (s *Session) Run() []Result {
 	queries := s.queries
 	s.queries = nil
 	eng := session.New(s.sys.env, s.workers)
+	results, err := eng.Run(queries)
+	if err != nil {
+		// Unreachable: Add validated every issue slot. Matches Add's
+		// panic-on-invalid contract if a future check lands engine-side,
+		// translated to the public error type callers can recover on.
+		var iss *session.InvalidIssueError
+		if errors.As(err, &iss) {
+			panic(&InvalidIssueError{Client: iss.Client, Issue: iss.Issue})
+		}
+		panic(err)
+	}
 	out := make([]Result, len(queries))
-	for i, res := range eng.Run(queries) {
+	for i, res := range results {
 		out[i] = fromCore(res)
 	}
 	return out

@@ -130,3 +130,35 @@ func TestBatchSingleChannel(t *testing.T) {
 		t.Fatal("single-channel batch diverges from sequential Query calls")
 	}
 }
+
+// TestBatchNegativeIssuePanics: sessions share one timeline starting at
+// slot 0, so Add rejects a negative issue slot with the typed
+// *InvalidIssueError — at admission time, matching Add's panic-on-invalid
+// contract for unknown algorithms.
+func TestBatchNegativeIssuePanics(t *testing.T) {
+	region := tnnbcast.PaperRegion
+	sys, err := tnnbcast.New(
+		tnnbcast.UniformDataset(7001, 60, region),
+		tnnbcast.UniformDataset(7002, 60, region),
+		tnnbcast.WithRegion(region))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := sys.NewSession()
+	sess.Add(tnnbcast.Pt(1, 1), tnnbcast.Double, tnnbcast.WithIssue(0)) // slot 0 is valid
+
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Add accepted a negative issue slot")
+		}
+		iss, ok := r.(*tnnbcast.InvalidIssueError)
+		if !ok {
+			t.Fatalf("panic value %T is not *InvalidIssueError", r)
+		}
+		if iss.Client != 1 || iss.Issue != -3 {
+			t.Fatalf("error identifies client %d issue %d, want 1/-3", iss.Client, iss.Issue)
+		}
+	}()
+	sess.Add(tnnbcast.Pt(2, 2), tnnbcast.Double, tnnbcast.WithIssue(-3))
+}

@@ -170,15 +170,59 @@ func BenchmarkBroadcastProgramBuild(b *testing.B) {
 	}
 }
 
-func BenchmarkNextNodeArrival(b *testing.B) {
+// arrivalChannels builds one channel per air-index family (the paper's
+// preorder (1,m) program, the distributed index with replicated upper
+// levels, and the preorder layout under a skewed broadcast-disks data
+// schedule — arithmetic replica scan vs. occurrence-list binary search),
+// for the arrival-query microbenchmarks. These queries sit on the query
+// hot path — once per enqueued candidate — so each family's cost is
+// guarded separately, plus the session engine's memo layer over the most
+// general one.
+func arrivalChannels(b *testing.B) map[string]broadcast.Feed {
+	b.Helper()
 	pts := dataset.Uniform(5, 15210, dataset.PaperRegion)
 	p := broadcast.DefaultParams()
 	tree := rtree.Build(pts, rtree.Config{LeafCap: p.LeafCap(), NodeCap: p.NodeCap()})
-	ch := broadcast.NewChannel(broadcast.BuildProgram(tree, p), 12345)
-	n := len(tree.Nodes)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		ch.NextNodeArrival(i%n, int64(i)*37)
+	weights := make([]float64, tree.Count)
+	for i := range weights {
+		weights[i] = 1 + float64(i%7)
+	}
+	feeds := map[string]broadcast.Feed{
+		"preorder": broadcast.NewChannel(broadcast.BuildIndex(tree, p, broadcast.IndexSpec{}), 12345),
+		"distributed": broadcast.NewChannel(broadcast.BuildIndex(tree, p,
+			broadcast.IndexSpec{Scheme: broadcast.SchemeDistributed}), 12345),
+		"skewed": broadcast.NewChannel(broadcast.BuildIndex(tree, p,
+			broadcast.IndexSpec{Sched: broadcast.SkewedScheduler{Disks: 2, Ratio: 2}, Weights: weights}), 12345),
+	}
+	feeds["distributed+memo"] = broadcast.NewMemoFeed(feeds["distributed"])
+	return feeds
+}
+
+func BenchmarkNextNodeArrival(b *testing.B) {
+	feeds := arrivalChannels(b)
+	for _, name := range []string{"preorder", "distributed", "skewed", "distributed+memo"} {
+		b.Run(name, func(b *testing.B) {
+			ch := feeds[name]
+			n := ch.Index().NumIndexPages()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ch.NextNodeArrival(i%n, int64(i)*37)
+			}
+		})
+	}
+}
+
+func BenchmarkNextObjectArrival(b *testing.B) {
+	feeds := arrivalChannels(b)
+	for _, name := range []string{"preorder", "distributed", "skewed", "distributed+memo"} {
+		b.Run(name, func(b *testing.B) {
+			ch := feeds[name]
+			n := ch.Index().Tree().Count
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ch.NextObjectArrival(i%n, int64(i)*37)
+			}
+		})
 	}
 }
 

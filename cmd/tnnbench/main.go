@@ -28,6 +28,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -49,7 +51,11 @@ func main() {
 		disks   = flag.Int("disks", 2, "skewed schedule: number of frequency classes")
 		ratio   = flag.Int("ratio", 2, "skewed schedule: integer frequency ratio between adjacent classes")
 		workers = flag.Int("workers", 0, "parallel query workers per experiment (0 = GOMAXPROCS, 1 = sequential; results are identical for any value)")
-		clients = flag.String("clients", "", "run the multi-client session experiment with this comma-separated concurrent-client ladder (e.g. 100,1000,4000)")
+		clients = flag.String("clients", "", "run the multi-client session experiment with this comma-separated concurrent-client ladder (e.g. 100,1000,4000,1000000)")
+		window  = flag.Float64("window", 0, "multi-client arrival window in broadcast cycles (0 = all issue slots inside one cycle; required above 100k clients, where only an arrival process bounds concurrency)")
+		verify  = flag.Bool("verify", false, "re-run the multi-client batch with workers=1 and fail unless every per-client result is bit-identical (worker-count invariance at scale)")
+		cpuprof = flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file (inspect with go tool pprof)")
+		memprof = flag.String("memprofile", "", "write an allocation profile, taken after the experiment runs, to this file")
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text")
 		list    = flag.Bool("list", false, "list experiment IDs and exit")
 	)
@@ -71,7 +77,11 @@ func main() {
 		os.Exit(2)
 	}
 	cfg := experiments.Config{Queries: *queries, Seed: *seed, PageCap: *pageCap, Workers: *workers,
-		Scheme: *index, Cut: *cut}
+		Scheme: *index, Cut: *cut, Window: *window, VerifyWorkers: *verify}
+	if *window < 0 {
+		fmt.Fprintf(os.Stderr, "tnnbench: -window must be >= 0, got %g\n", *window)
+		os.Exit(2)
+	}
 	if *algos != "" {
 		for _, name := range strings.Split(*algos, ",") {
 			cfg.Algos = append(cfg.Algos, strings.TrimSpace(name))
@@ -109,6 +119,10 @@ func main() {
 				fmt.Fprintf(os.Stderr, "tnnbench: bad -clients value %q\n", f)
 				os.Exit(2)
 			}
+			if n > experiments.SeqBaselineCap && *window <= 0 {
+				fmt.Fprintf(os.Stderr, "tnnbench: %d clients need -window W (arrivals over W cycles); with every issue slot inside one cycle the whole population is concurrently live by construction\n", n)
+				os.Exit(2)
+			}
 			cfg.Clients = append(cfg.Clients, n)
 		}
 		if *exp == "" {
@@ -133,6 +147,34 @@ func main() {
 			}
 			ids = append(ids, id)
 		}
+	}
+
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tnnbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "tnnbench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprof != "" {
+		defer func() {
+			f, err := os.Create(*memprof)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "tnnbench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle to reachable memory before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "tnnbench:", err)
+			}
+		}()
 	}
 
 	for _, id := range ids {

@@ -41,6 +41,28 @@ func (e *UnknownAlgorithmError) Error() string {
 	return fmt.Sprintf("tnnbcast: unknown algorithm Algorithm(%d): not a built-in and not registered", int(e.Algo))
 }
 
+// InvalidIssueError reports a session client whose issue slot is negative.
+// Shared-cycle sessions run on one global broadcast timeline that starts
+// at slot 0, and the engine admits each client when the timeline reaches
+// its issue slot — a negative slot has no admission point. (Duplicate and
+// far-future issue slots are both valid: any number of clients may tune in
+// at the same slot, and a far-future client costs nothing until the
+// timeline gets there.) Single-shot Query/Do calls are unaffected: they
+// run on a private timeline and accept any issue slot. Session.Add,
+// QueryBatch, and the batch pipeline panic with this error, matching
+// Add's legacy no-error signature.
+type InvalidIssueError struct {
+	// Client is the offending client's admission index within its batch.
+	Client int
+	// Issue is the rejected issue slot.
+	Issue int64
+}
+
+func (e *InvalidIssueError) Error() string {
+	return fmt.Sprintf("tnnbcast: session client %d has negative issue slot %d (sessions start at slot 0; use WithIssue(i) with i >= 0)",
+		e.Client, e.Issue)
+}
+
 // InvalidRegionError reports a WithRegion rectangle with NaN or infinite
 // bounds, or with inverted bounds (Hi < Lo on either axis).
 // Approximate-TNN scales its radius estimate by the region's area, so

@@ -1,0 +1,91 @@
+package broadcast
+
+import (
+	"math/rand"
+	"testing"
+
+	"tnnbcast/internal/dataset"
+	"tnnbcast/internal/rtree"
+)
+
+// TestMemoFeedEquivalence drives random arrival and page queries — with
+// the repeat-heavy access pattern the memo exists for — through a
+// MemoFeed and its underlying feed, across every index family and both
+// Feed implementations (dedicated channel, multiplexed segment), and
+// requires identical answers. Window reuse must never change a result.
+func TestMemoFeedEquivalence(t *testing.T) {
+	p := DefaultParams()
+	cfg := rtree.Config{LeafCap: p.LeafCap(), NodeCap: p.NodeCap()}
+	tree := rtree.Build(dataset.Uniform(41, 700, dataset.PaperRegion), cfg)
+	treeB := rtree.Build(dataset.Uniform(42, 500, dataset.PaperRegion), cfg)
+
+	weights := make([]float64, tree.Count)
+	rngW := rand.New(rand.NewSource(5))
+	for i := range weights {
+		weights[i] = rngW.Float64()
+	}
+
+	indexes := map[string]AirIndex{
+		"preorder":    BuildIndex(tree, p, IndexSpec{}),
+		"distributed": BuildIndex(tree, p, IndexSpec{Scheme: SchemeDistributed}),
+		"skewed": BuildIndex(tree, p, IndexSpec{
+			Sched: SkewedScheduler{Disks: 3, Ratio: 2}, Weights: weights}),
+		"distributed+skewed": BuildIndex(tree, p, IndexSpec{
+			Scheme: SchemeDistributed, Sched: SkewedScheduler{Disks: 2, Ratio: 2},
+			Weights: weights}),
+	}
+
+	check := func(t *testing.T, name string, feed Feed) {
+		t.Helper()
+		memo := NewMemoFeed(feed)
+		idx := feed.Index()
+		nodes := idx.NumIndexPages()
+		objs := idx.Tree().Count
+		cycle := idx.CycleLen()
+		rng := rand.New(rand.NewSource(int64(len(name)) * 977))
+
+		var lastNode int
+		var lastAfter int64
+		for i := 0; i < 4000; i++ {
+			after := rng.Int63n(4 * cycle)
+			node := rng.Intn(nodes)
+			if i%3 == 0 && i > 0 {
+				// Repeat and near-repeat queries: the cache-hit paths.
+				node = lastNode
+				after = lastAfter + rng.Int63n(3)
+			}
+			lastNode, lastAfter = node, after
+			if got, want := memo.NextNodeArrival(node, after), feed.NextNodeArrival(node, after); got != want {
+				t.Fatalf("%s: NextNodeArrival(%d, %d) = %d, want %d", name, node, after, got, want)
+			}
+			if got, want := memo.NextRootArrival(after), feed.NextRootArrival(after); got != want {
+				t.Fatalf("%s: NextRootArrival(%d) = %d, want %d", name, after, got, want)
+			}
+			obj := rng.Intn(objs)
+			if got, want := memo.NextObjectArrival(obj, after), feed.NextObjectArrival(obj, after); got != want {
+				t.Fatalf("%s: NextObjectArrival(%d, %d) = %d, want %d", name, obj, after, got, want)
+			}
+			slot := memo.NextNodeArrival(node, after)
+			if got, want := memo.PageAt(slot), feed.PageAt(slot); got != want {
+				t.Fatalf("%s: PageAt(%d) = %+v, want %+v", name, slot, got, want)
+			}
+			if got, want := memo.ReadNode(slot), feed.ReadNode(slot); got != want {
+				t.Fatalf("%s: ReadNode(%d) diverges", name, slot)
+			}
+		}
+		if memo.Index() != feed.Index() {
+			t.Fatalf("%s: Index() diverges", name)
+		}
+	}
+
+	for name, idx := range indexes {
+		t.Run(name, func(t *testing.T) {
+			check(t, name, NewChannel(idx, 12345))
+		})
+	}
+	t.Run("dualchannel", func(t *testing.T) {
+		dc := NewDualChannel(indexes["preorder"], BuildIndex(treeB, p, IndexSpec{}), 77)
+		check(t, "dualS", dc.FeedS())
+		check(t, "dualR", dc.FeedR())
+	})
+}

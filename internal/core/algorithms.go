@@ -30,6 +30,10 @@ type ANNConfig struct {
 type Options struct {
 	// Issue is the slot at which the query is issued. Channel phase
 	// offsets relative to Issue model the random root waiting times.
+	// Single-shot queries run on a private timeline and accept any value;
+	// shared-cycle sessions run on one global timeline starting at slot 0
+	// and require Issue >= 0 (see session.Query) — negative issue slots
+	// are rejected with a typed error.
 	Issue int64
 	// ANN configures approximate-NN search in the estimate phase.
 	ANN ANNConfig
@@ -107,11 +111,26 @@ func join(p geom.Point, incumbent Pair, haveIncumbent bool, ss, rs []rtree.Entry
 		d = best.Dist
 	}
 	for _, si := range ss {
-		if geom.Dist(p, si.Point) >= d {
+		// dps is both the skip bound and the fixed term of every inner
+		// transitive distance dis(p,si) + dis(si,rj) — hoisting it halves
+		// the hypot calls of the join without moving a single float op
+		// (TransDist is exactly this sum, in this order).
+		dps := geom.Dist(p, si.Point)
+		if dps >= d {
 			continue
 		}
 		for _, rj := range rs {
-			if t := geom.TransDist(p, si.Point, rj.Point); t < d {
+			// Chebyshev screen: hypot(dx,dy) >= max(|dx|,|dy|) holds in
+			// floating point (hypot never rounds below its larger leg),
+			// and rounding is monotone, so dps+max >= d implies the full
+			// dps+hypot >= d — the pair would be discarded anyway. The
+			// screen eliminates most hypot calls of the O(|S|·|R|) join
+			// without changing a single comparison outcome.
+			m := max(math.Abs(si.Point.X-rj.Point.X), math.Abs(si.Point.Y-rj.Point.Y))
+			if dps+m >= d {
+				continue
+			}
+			if t := dps + geom.Dist(si.Point, rj.Point); t < d {
 				d = t
 				best = Pair{S: si, R: rj, Dist: t}
 				ok = true

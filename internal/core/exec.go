@@ -37,6 +37,12 @@ const (
 	AlgoApprox
 )
 
+// Builtin reports whether a is one of the four built-in paper algorithms —
+// the ones whose executions are plain QueryExec state machines that a
+// session can pool and Reset in place. Registered strategies go through
+// their own factories instead.
+func (a Algo) Builtin() bool { return a >= AlgoWindow && a <= AlgoApprox }
+
 func (a Algo) String() string {
 	switch a {
 	case AlgoWindow:
@@ -166,6 +172,11 @@ func (ex *QueryExec) Reset(env Env, algo Algo, p geom.Point, opt Options) {
 // Done reports whether the execution has produced its final Result.
 func (ex *QueryExec) Done() bool { return ex.phase == phDone }
 
+// Scratch returns the scratch space the execution holds (nil when it runs
+// without one). The session engine uses this to return a finished client's
+// scratch to its pool the moment the client completes.
+func (ex *QueryExec) Scratch() *Scratch { return ex.opt.Scratch }
+
 // Result returns the query outcome; valid once Done.
 func (ex *QueryExec) Result() Result { return ex.res }
 
@@ -261,15 +272,32 @@ func (ex *QueryExec) Step() {
 			// while the other still runs (Hybrid-NN Cases 2 and 3).
 			ex.hybridRedirect()
 		}
-		client.StepEarliest(ex.ns, ex.nr)
+		stepEarlier(ex.ns, ex.nr)
 	case phFilter:
-		client.StepEarliest(ex.qs, ex.qr)
+		stepEarlier(ex.qs, ex.qr)
 	case phJoin:
 		ex.joinAndRetrieve()
 	case phDone:
 		panic("core: Step on a finished query execution")
 	}
 	ex.advance()
+}
+
+// stepEarlier is client.StepEarliest specialized to the two channel
+// processes of one query — identical semantics (smallest slot steps,
+// equal slots resolve to a, the S-channel process, passed first), without
+// the variadic scan. This sits inside every session step, where the two
+// generic Peek rounds were measurable.
+func stepEarlier[P client.Process](a, b P) {
+	sa, da := a.Peek()
+	sb, db := b.Peek()
+	switch {
+	case da && db:
+	case db || (!da && sa <= sb):
+		a.Step()
+	default:
+		b.Step()
+	}
 }
 
 // hybridRedirect applies the one-time Hybrid-NN redirect when exactly one

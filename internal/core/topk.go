@@ -191,11 +191,22 @@ func TopKTNN(env Env, p geom.Point, k int, opt Options) TopKResult {
 	var h pairHeap
 	kth := math.Inf(1)
 	for _, si := range qs.found {
-		if geom.Dist(p, si.Point) >= kth {
+		dps := geom.Dist(p, si.Point)
+		if dps >= kth {
 			continue
 		}
 		for _, rj := range qr.found {
-			t := geom.TransDist(p, si.Point, rj.Point)
+			// Chebyshev screen once the heap is full, as in join():
+			// hypot never rounds below its larger leg and rounding is
+			// monotone, so pairs this bound already excludes are exactly
+			// the pairs the full distance would exclude.
+			if len(h) == k {
+				m := max(math.Abs(si.Point.X-rj.Point.X), math.Abs(si.Point.Y-rj.Point.Y))
+				if dps+m >= kth {
+					continue
+				}
+			}
+			t := dps + geom.Dist(si.Point, rj.Point)
 			if len(h) < k {
 				h.push(Pair{S: si, R: rj, Dist: t})
 				if len(h) == k {

@@ -80,6 +80,21 @@ type Config struct {
 	// Clients is the concurrent-client ladder of the multi-client session
 	// experiment ("clients"). Empty selects the default ladder.
 	Clients []int
+	// VerifyWorkers makes the multi-client session experiment re-run
+	// every ladder point's batch with workers=1 and panic unless each
+	// per-client Result is bit-identical (checksum compare) — the
+	// worker-count-invariance guarantee at scales where storing two
+	// result sets would dwarf the engine's own footprint. Distinct from
+	// Verify, which enables per-query exact-oracle fail-rate checks in
+	// the figure experiments.
+	VerifyWorkers bool
+	// Window shapes the multi-client workload's arrival process: 0 draws
+	// every issue slot uniformly inside one S cycle (the whole population
+	// concurrently live — the original experiment), w > 0 spreads sorted
+	// client arrivals over w cycles, so concurrency is set by arrival
+	// rate × per-client lifetime instead of by N. Ladder points above
+	// 100k clients require a window (see MultiClient).
+	Window float64
 }
 
 // Defaults fills unset fields with the paper's defaults.

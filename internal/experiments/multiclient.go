@@ -20,10 +20,31 @@ package experiments
 //   - Wall-clock throughput (simulator speed): queries simulated per
 //     second. Clients are independent, so the session fans them across
 //     cfg.Workers CPUs; the sequential loop cannot.
+//
+// Workload shapes. With Config.Window == 0 every client's issue slot is
+// an independent uniform draw over one S cycle — the original experiment,
+// where the entire population is concurrently live. With Window = w > 0
+// the clients ARRIVE over w cycles (sorted issue slots with uniformly
+// random gaps): a live population whose concurrency is set by arrival
+// rate × per-client lifetime, not by N. The second shape is the one the
+// engine's streaming admission targets, and it is mandatory above
+// SeqBaselineCap clients — a million always-concurrent clients is a
+// memory wall by construction, a million arriving clients is an evening
+// of traffic.
+//
+// At every ladder point the batch results are checksummed (a
+// position-tagged FNV fold, order-independent); with Config.VerifyWorkers
+// the whole batch is re-run with workers=1 and the checksums must match —
+// the worker-count-invariance guarantee at scales where storing two
+// result sets for DeepEqual would dwarf the engine's own footprint.
 
 import (
 	"fmt"
+	"iter"
+	"math"
 	"math/rand"
+	"runtime"
+	"sync"
 	"time"
 
 	"tnnbcast/internal/broadcast"
@@ -35,104 +56,263 @@ import (
 // defaultClientCounts is the N ladder when Config.Clients is unset.
 var defaultClientCounts = []int{100, 1000, 4000}
 
-// clientWorkload is one generated multi-client batch plus its per-client
-// algorithm assignment (round-robin over the paper's four).
+// SeqBaselineCap is the largest N for which the sequential wall-clock
+// baseline runs (and results are materialized for the batch≡sequential
+// DeepEqual). Above it the air-time baseline is still exact — the summed
+// access times come from the batch's own per-client results, which are
+// bit-identical to sequential execution — but the redundant O(N) replay
+// and the two result arrays are skipped, and a ladder point REQUIRES an
+// arrival window (Config.Window); tnnbench pre-checks the same bound for
+// a friendly error before any work starts.
+const SeqBaselineCap = 100_000
+
+// clientAlgos is the per-client algorithm rotation.
+var clientAlgos = [4]core.Algo{core.AlgoWindow, core.AlgoDouble, core.AlgoHybrid, core.AlgoApprox}
+
+// clientWorkload is one generated multi-client workload: a deterministic
+// query stream plus the issue slots recorded at generation time (the
+// emit-side aggregation needs them to compute batch air-time span).
 type clientWorkload struct {
-	queries []session.Query
-	algoIx  []int
+	n      int
+	issues []int64
+	gen    func() iter.Seq[session.Query]
 }
 
 // multiClientWorkload draws N clients over the pairing: uniform query
-// points, issue slots uniform over one full S cycle (clients tune in all
-// across the cycle, as a live population would), algorithms round-robin.
-func multiClientWorkload(rng *rand.Rand, p Pairing, b built, n int) clientWorkload {
-	var w clientWorkload
-	w.queries = make([]session.Query, n)
-	w.algoIx = make([]int, n)
+// points, algorithms round-robin by client index, and issue slots per the
+// configured shape — independent uniform draws over one S cycle when
+// window == 0 (every client concurrently live), or sorted arrivals spread
+// over window cycles (a live population; required for the engine's
+// bounded-memory admission to bound anything).
+func multiClientWorkload(seed int64, p Pairing, b built, n int, window float64) clientWorkload {
 	cycle := b.progS.CycleLen()
-	algoOf := []core.Algo{core.AlgoWindow, core.AlgoDouble, core.AlgoHybrid, core.AlgoApprox}
-	for i := 0; i < n; i++ {
-		x := p.Region.Lo.X + rng.Float64()*p.Region.Width()
-		y := p.Region.Lo.Y + rng.Float64()*p.Region.Height()
-		ai := i % len(algoOf)
-		w.algoIx[i] = ai
-		w.queries[i] = session.Query{
-			Point: geom.Pt(x, y),
-			Algo:  algoOf[ai],
+	w := clientWorkload{n: n, issues: make([]int64, n)}
+	w.gen = func() iter.Seq[session.Query] {
+		return func(yield func(session.Query) bool) {
+			rng := rand.New(rand.NewSource(seed))
+			issue := int64(0)
+			// Mean inter-arrival gap; +1 keeps Int63n legal for tiny windows.
+			gap := int64(0)
+			if window > 0 {
+				gap = int64(window*float64(cycle))/int64(n) + 1
+			}
+			for i := 0; i < n; i++ {
+				x := p.Region.Lo.X + rng.Float64()*p.Region.Width()
+				y := p.Region.Lo.Y + rng.Float64()*p.Region.Height()
+				q := session.Query{
+					Point: geom.Pt(x, y),
+					Algo:  clientAlgos[i%len(clientAlgos)],
+				}
+				if window > 0 {
+					issue += rng.Int63n(2 * gap) // sorted arrival process
+					q.Opt.Issue = issue
+				} else {
+					q.Opt.Issue = rng.Int63n(cycle)
+				}
+				w.issues[i] = q.Opt.Issue
+				if !yield(q) {
+					return
+				}
+			}
 		}
-		w.queries[i].Opt.Issue = rng.Int63n(cycle)
 	}
 	return w
 }
 
+// materialize collects the stream into a slice (sequential baseline and
+// small-N DeepEqual only).
+func (w clientWorkload) materialize() []session.Query {
+	qs := make([]session.Query, 0, w.n)
+	for q := range w.gen() {
+		qs = append(qs, q)
+	}
+	return qs
+}
+
 // multiClientRun holds one ladder point's measurements.
 type multiClientRun struct {
-	n                  int
-	seqResults         []core.Result
-	batchResults       []core.Result
-	seqSecs, batchSecs float64
-	seqSlots           int64 // air slots a lone back-to-back client needs
-	batchSlots         int64 // air slots the overlapped batch spans
+	n                        int
+	seqResults, batchResults []core.Result // nil above SeqBaselineCap
+	seqSecs, batchSecs       float64
+	seqSlots                 int64 // air slots a lone back-to-back client needs
+	batchSlots               int64 // air slots the overlapped batch spans
+	at, ti                   [4]float64
+	cnt                      [4]int
+	stats                    session.Stats
+	peakHeap                 uint64 // max sampled heap during the batch run
+	checksum                 uint64
+}
+
+// resultHash folds one client's Result into a position-tagged FNV-1a-64
+// word; XOR-combining the words gives an order-independent batch
+// checksum that still pins every field of every client. The fold is
+// inlined (no hash.Hash allocation) because it runs once per client
+// under the emit mutex, inside the timed batch section.
+func resultHash(i int, r core.Result) uint64 {
+	found := uint64(0)
+	if r.Found {
+		found = 1
+	}
+	words := [10]uint64{
+		uint64(i),
+		uint64(r.Metrics.AccessTime),
+		uint64(r.Metrics.TuneIn),
+		uint64(r.EstimateTuneIn),
+		uint64(r.FilterTuneIn),
+		math.Float64bits(r.Radius),
+		math.Float64bits(r.Pair.Dist),
+		uint64(r.Pair.S.ID)<<32 | uint64(uint32(r.Pair.R.ID)),
+		uint64(r.Case),
+		found,
+	}
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for _, w := range words {
+		for b := 0; b < 8; b++ {
+			h = (h ^ (w & 0xff)) * prime64
+			w >>= 8
+		}
+	}
+	return h
+}
+
+// sampleHeap polls the runtime's heap size until stop is closed and
+// reports the peak into out. Coarse (the GC may run between samples), but
+// it is the honest number for "does N=1e6 fit in the container".
+func sampleHeap(stop <-chan struct{}, out *uint64) {
+	var ms runtime.MemStats
+	for {
+		runtime.ReadMemStats(&ms)
+		if ms.HeapAlloc > *out {
+			*out = ms.HeapAlloc
+		}
+		select {
+		case <-stop:
+			return
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
 }
 
 // runMultiClient executes one ladder point: the sequential baseline (one
 // Query per client, one recycled scratch — exactly the pre-session usage
-// pattern) and the shared-cycle batch, over identical workloads.
-func runMultiClient(env core.Env, w clientWorkload, workers int) multiClientRun {
-	r := multiClientRun{n: len(w.queries)}
+// pattern; skipped above SeqBaselineCap) and the shared-cycle streaming
+// batch, over identical workloads. verify re-runs the batch with
+// workers=1 and panics if any per-client Result bit differs.
+func runMultiClient(env core.Env, w clientWorkload, workers int, verify bool) multiClientRun {
+	r := multiClientRun{n: w.n}
 
 	// Sequential loop: N independent executions, recycled scratch.
-	sc := core.NewScratch()
-	r.seqResults = make([]core.Result, len(w.queries))
-	start := time.Now()
-	for i, q := range w.queries {
-		opt := q.Opt
-		opt.Scratch = sc
-		res, ok := core.Run(env, q.Algo, q.Point, opt)
-		if !ok {
-			panic(fmt.Sprintf("experiments: unregistered algorithm %d", q.Algo))
+	if w.n <= SeqBaselineCap {
+		queries := w.materialize()
+		sc := core.NewScratch()
+		r.seqResults = make([]core.Result, len(queries))
+		start := time.Now()
+		for i, q := range queries {
+			opt := q.Opt
+			opt.Scratch = sc
+			res, ok := core.Run(env, q.Algo, q.Point, opt)
+			if !ok {
+				panic(fmt.Sprintf("experiments: unregistered algorithm %d", q.Algo))
+			}
+			r.seqResults[i] = res
 		}
-		r.seqResults[i] = res
+		r.seqSecs = time.Since(start).Seconds()
+		QueriesExecuted.Add(int64(len(queries)))
+		QueryNanos.Add(int64(r.seqSecs * 1e9))
 	}
-	r.seqSecs = time.Since(start).Seconds()
 
-	// Shared-cycle batch over the same feeds.
-	eng := session.New(env, workers)
-	start = time.Now()
-	r.batchResults = eng.Run(w.queries)
-	r.batchSecs = time.Since(start).Seconds()
-
-	QueriesExecuted.Add(int64(2 * len(w.queries)))
-	QueryNanos.Add(int64((r.seqSecs + r.batchSecs) * 1e9))
-
-	// Air-time accounting.
-	minIssue, maxEnd := int64(-1), int64(0)
-	for i, res := range r.batchResults {
-		issue := w.queries[i].Opt.Issue
-		if minIssue < 0 || issue < minIssue {
-			minIssue = issue
+	// Shared-cycle streaming batch over the same feeds. record folds the
+	// per-algorithm aggregates and air-time span into r (the measured
+	// run); keep additionally materializes the result array (small-N
+	// DeepEqual against the sequential baseline only).
+	batch := func(workers int, record, keep bool) (uint64, session.Stats, float64) {
+		var mu sync.Mutex
+		var sum uint64
+		var kept []core.Result
+		if keep {
+			kept = make([]core.Result, w.n)
 		}
-		if end := issue + res.Metrics.AccessTime; end > maxEnd {
-			maxEnd = end
+		minIssue, maxEnd := int64(-1), int64(0)
+		var at, ti [4]float64
+		var cnt [4]int
+		eng := session.New(env, workers)
+		start := time.Now()
+		stats, err := eng.RunStream(w.gen(), func(i int, res core.Result) {
+			mu.Lock()
+			defer mu.Unlock()
+			sum ^= resultHash(i, res)
+			if keep {
+				kept[i] = res
+			}
+			a := i % len(clientAlgos)
+			at[a] += float64(res.Metrics.AccessTime)
+			ti[a] += float64(res.Metrics.TuneIn)
+			cnt[a]++
+			issue := w.issues[i]
+			if minIssue < 0 || issue < minIssue {
+				minIssue = issue
+			}
+			if end := issue + res.Metrics.AccessTime; end > maxEnd {
+				maxEnd = end
+			}
+		})
+		if err != nil {
+			panic(err) // generated workloads have non-negative issue slots
 		}
+		secs := time.Since(start).Seconds()
+		if record {
+			r.batchResults = kept
+			r.at, r.ti, r.cnt = at, ti, cnt
+			if minIssue < 0 {
+				minIssue = 0
+			}
+			r.batchSlots = maxEnd - minIssue
+			for a := range at {
+				r.seqSlots += int64(at[a]) // Σ access times ≡ sequential air time
+			}
+		}
+		QueriesExecuted.Add(int64(w.n))
+		QueryNanos.Add(int64(secs * 1e9))
+		return sum, stats, secs
 	}
-	if minIssue < 0 {
-		minIssue = 0
-	}
-	r.batchSlots = maxEnd - minIssue
-	for _, res := range r.seqResults {
-		r.seqSlots += res.Metrics.AccessTime
+
+	stop := make(chan struct{})
+	heapDone := make(chan struct{})
+	runtime.GC()
+	go func() {
+		sampleHeap(stop, &r.peakHeap)
+		close(heapDone)
+	}()
+	sum, stats, secs := batch(workers, true, w.n <= SeqBaselineCap)
+	close(stop)
+	<-heapDone
+	r.checksum, r.stats, r.batchSecs = sum, stats, secs
+
+	if verify {
+		sum1, _, _ := batch(1, false, false)
+		if sum1 != r.checksum {
+			panic(fmt.Sprintf("experiments: session results differ between workers=%d and workers=1 at N=%d (checksums %x vs %x)",
+				workers, w.n, r.checksum, sum1))
+		}
 	}
 	return r
 }
 
 // MultiClient is the "clients" experiment: the N ladder × four algorithms,
-// aggregate access/tune-in per algorithm, and the two throughput ratios.
+// aggregate access/tune-in per algorithm, the two throughput ratios, and
+// the engine-scale columns — scheduler steps per second, peak concurrently
+// live clients, and peak heap bytes per client.
 func MultiClient(cfg Config) *Table {
 	cfg = cfg.Defaults()
 	counts := cfg.Clients
 	if len(counts) == 0 {
 		counts = defaultClientCounts
+	}
+	for _, n := range counts {
+		if n > SeqBaselineCap && cfg.Window <= 0 {
+			panic(fmt.Sprintf("experiments: %d clients need an arrival window (Config.Window / tnnbench -window): with every issue slot inside one cycle the whole population is concurrently live by construction", n))
+		}
 	}
 
 	p := uniformPair(cfg.Seed, 10000, 10000)
@@ -144,40 +324,43 @@ func MultiClient(cfg Config) *Table {
 		Region: p.Region,
 	}
 
+	shape := "issue slots uniform over one cycle"
+	if cfg.Window > 0 {
+		shape = fmt.Sprintf("arrivals over %.3g cycles", cfg.Window)
+	}
 	t := &Table{
 		ID:     "clients",
-		Title:  "Shared-cycle sessions: N concurrent clients vs. N sequential queries (UNIF 10k×10k)",
+		Title:  fmt.Sprintf("Shared-cycle sessions: N concurrent clients vs. N sequential queries (UNIF 10k×10k, %s)", shape),
 		XLabel: "clients",
-		Metric: "AT/TI = mean access/tune-in pages per algorithm; q/s wall-clock; air-x = broadcast-slot speedup",
+		Metric: "AT/TI = mean access/tune-in pages per algorithm; q/s wall-clock; air-x = broadcast-slot speedup; steps/s, peak-live, peak-B/client = engine scale",
 		Columns: []string{
 			"AT(W)", "AT(D)", "AT(H)", "AT(A)",
 			"TI(W)", "TI(D)", "TI(H)", "TI(A)",
 			"Seq-q/s", "Batch-q/s", "Wall-x", "Air-x",
+			"Steps/s", "Peak-live", "Peak-B/client",
 		},
 	}
 
 	for _, n := range counts {
-		w := multiClientWorkload(rng, p, b, n)
-		run := runMultiClient(env, w, cfg.Workers)
+		w := multiClientWorkload(rng.Int63(), p, b, n, cfg.Window)
+		run := runMultiClient(env, w, cfg.Workers, cfg.VerifyWorkers)
 
-		// Aggregate per-algorithm means from the batch results.
-		var at, ti [4]float64
-		var cnt [4]int
-		for i, res := range run.batchResults {
-			ai := w.algoIx[i]
-			at[ai] += float64(res.Metrics.AccessTime)
-			ti[ai] += float64(res.Metrics.TuneIn)
-			cnt[ai]++
-		}
+		at, ti := run.at, run.ti
 		for a := 0; a < 4; a++ {
-			if cnt[a] > 0 {
-				at[a] /= float64(cnt[a])
-				ti[a] /= float64(cnt[a])
+			if run.cnt[a] > 0 {
+				at[a] /= float64(run.cnt[a])
+				ti[a] /= float64(run.cnt[a])
 			}
 		}
 
-		seqQPS := float64(n) / run.seqSecs
+		seqQPS, wallX := 0.0, 0.0
+		if run.seqSecs > 0 {
+			seqQPS = float64(n) / run.seqSecs
+		}
 		batchQPS := float64(n) / run.batchSecs
+		if seqQPS > 0 {
+			wallX = batchQPS / seqQPS
+		}
 		airX := 0.0
 		if run.batchSlots > 0 {
 			airX = float64(run.seqSlots) / float64(run.batchSlots)
@@ -185,7 +368,10 @@ func MultiClient(cfg Config) *Table {
 		t.AddRow(fmt.Sprintf("%d", n),
 			at[0], at[1], at[2], at[3],
 			ti[0], ti[1], ti[2], ti[3],
-			seqQPS, batchQPS, batchQPS/seqQPS, airX,
+			seqQPS, batchQPS, wallX, airX,
+			float64(run.stats.Steps)/run.batchSecs,
+			float64(run.stats.PeakLive),
+			float64(run.peakHeap)/float64(n),
 		)
 	}
 	return t

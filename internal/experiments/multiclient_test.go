@@ -24,10 +24,25 @@ func TestMultiClientBatchMatchesSequential(t *testing.T) {
 		Region: p.Region,
 	}
 
-	w := multiClientWorkload(rng, p, b, 60)
-	run := runMultiClient(env, w, 2)
+	w := multiClientWorkload(rng.Int63(), p, b, 60, 0)
+	run := runMultiClient(env, w, 2, true)
 	if !reflect.DeepEqual(run.seqResults, run.batchResults) {
 		t.Fatal("session results diverge from the sequential loop")
+	}
+	if run.stats.Steps <= int64(run.n) || run.stats.PeakLive < 1 {
+		t.Fatalf("implausible engine stats: %+v", run.stats)
+	}
+
+	// Windowed arrival workload: same equivalence, bounded concurrency.
+	ws := multiClientWorkload(rng.Int63(), p, b, 60, 40)
+	runW := runMultiClient(env, ws, 2, true)
+	if !reflect.DeepEqual(runW.seqResults, runW.batchResults) {
+		t.Fatal("windowed session results diverge from the sequential loop")
+	}
+	for i := 1; i < len(ws.issues); i++ {
+		if ws.issues[i] < ws.issues[i-1] {
+			t.Fatal("windowed workload issues not sorted")
+		}
 	}
 	if run.batchSlots <= 0 || run.seqSlots <= run.batchSlots {
 		t.Fatalf("air-time accounting implausible: seq %d slots, batch %d slots",
@@ -42,8 +57,8 @@ func TestMultiClientTable(t *testing.T) {
 	if tab.ID != "clients" || len(tab.Rows) != 2 {
 		t.Fatalf("table shape: id=%q rows=%d", tab.ID, len(tab.Rows))
 	}
-	if len(tab.Columns) != 12 {
-		t.Fatalf("expected 12 columns, got %d", len(tab.Columns))
+	if len(tab.Columns) != 15 {
+		t.Fatalf("expected 15 columns, got %d", len(tab.Columns))
 	}
 	for _, row := range tab.Rows {
 		for j := 0; j < 8; j++ { // AT/TI aggregates must be positive

@@ -117,16 +117,20 @@ func (r Rect) Sides() [4][2]Point {
 // solid rectangle r; zero when p is inside r. This is the classic R-tree
 // MINDIST metric of Roussopoulos et al.
 func (r Rect) MinDist(p Point) float64 {
-	dx := math.Max(math.Max(r.Lo.X-p.X, 0), p.X-r.Hi.X)
-	dy := math.Max(math.Max(r.Lo.Y-p.Y, 0), p.Y-r.Hi.Y)
+	// Builtin max compiles to branchless float instructions where
+	// math.Max is a function call; for the finite coordinates an indexed
+	// rectangle can hold the two agree bit for bit. This sits on the
+	// pruning hot path, once per popped candidate.
+	dx := max(r.Lo.X-p.X, 0, p.X-r.Hi.X)
+	dy := max(r.Lo.Y-p.Y, 0, p.Y-r.Hi.Y)
 	return math.Hypot(dx, dy)
 }
 
 // MaxDist returns the maximum Euclidean distance from p to any point of r:
 // the distance to the farthest corner.
 func (r Rect) MaxDist(p Point) float64 {
-	dx := math.Max(math.Abs(p.X-r.Lo.X), math.Abs(p.X-r.Hi.X))
-	dy := math.Max(math.Abs(p.Y-r.Lo.Y), math.Abs(p.Y-r.Hi.Y))
+	dx := max(math.Abs(p.X-r.Lo.X), math.Abs(p.X-r.Hi.X))
+	dy := max(math.Abs(p.Y-r.Lo.Y), math.Abs(p.Y-r.Hi.Y))
 	return math.Hypot(dx, dy)
 }
 

@@ -3,32 +3,40 @@
 // channel feeds, in global slot order. This is the operational meaning of
 // the paper's system model — a broadcast cycle costs the server the same
 // whether one client or a million are tuned in, so the simulator must be
-// able to put thousands of concurrent searches on the same slot timeline,
+// able to put millions of concurrent searches on the same slot timeline,
 // not replay the cycles once per query.
 //
 // Determinism. Every client owns its receivers, searches, and scratch;
-// clients share only the immutable broadcast programs. One client's step
-// therefore never changes another client's trajectory, and the engine's
-// per-client Results are bit-identical to running the same queries one at
-// a time through the algorithm functions — for every worker count. With
-// one worker the interleaving is deterministic too: the event loop uses
-// client.Sched, whose equal-slot tie-break is the explicit client index,
-// so the global step sequence is a pure function of the admitted queries.
-// With several workers each shard's loop is internally deterministic but
-// the shards run concurrently: only the cross-shard step order varies,
-// never any Result.
+// clients share only the immutable broadcast programs (read through a
+// per-worker memo layer that caches pure arrival/page answers). One
+// client's step therefore never changes another client's trajectory, and
+// the engine's per-client Results are bit-identical to running the same
+// queries one at a time through the algorithm functions — for every worker
+// count and for every admission interleaving. With one worker the
+// interleaving is deterministic too: the event loop uses client.Sched's
+// slot calendar, whose equal-slot tie-break is the explicit client index,
+// so the global step sequence is a pure function of the query stream.
 //
-// Cost model. A session keeps every admitted client's state live until
-// Run returns: one core.Scratch (receivers, candidate queues, buffers) per
-// client. That is the price of concurrency — a sequential loop can recycle
-// one scratch, a session cannot.
+// Cost model. The engine's peak memory tracks CONCURRENT clients, not
+// total clients: a client is admitted only when the timeline reaches its
+// issue slot, and the moment it completes its result is emitted and its
+// execution state (scratch, state machine) returns to a per-worker pool
+// for the next admission. A stream of a million queries whose lifetimes
+// overlap ten thousand at a time costs ten thousand clients' memory.
+// Scheduling is O(1) amortized per step (a hierarchical slot calendar,
+// not a heap), so throughput no longer degrades with the number of
+// concurrent clients.
 package session
 
 import (
 	"fmt"
+	"iter"
+	"math"
 	"runtime"
+	"slices"
 	"sync"
 
+	"tnnbcast/internal/broadcast"
 	"tnnbcast/internal/client"
 	"tnnbcast/internal/core"
 	"tnnbcast/internal/geom"
@@ -36,13 +44,50 @@ import (
 
 // Query is one client's TNN query in a session: its query point, the
 // algorithm it runs (any id registered with the core algorithm registry,
-// built-in or custom), and its per-client options (issue slot, ANN
-// configuration, data-retrieval choice, trace). The Options' Scratch field
-// is engine-owned and ignored if set.
+// built-in or custom), and its per-client options. The Options' Scratch
+// field is engine-owned and ignored if set.
+//
+// Admissible issue slots: Opt.Issue must be >= 0 — slot 0 is the start of
+// the shared broadcast timeline, and the engine admits each client when
+// the timeline reaches its issue slot. Negative issue slots are rejected
+// with *InvalidIssueError. Duplicate issue slots are fine (any number of
+// clients may tune in at the same slot; equal-slot ties dispatch by client
+// index), and far-future issue slots are fine too — a client issued a
+// million slots ahead simply costs no memory until the timeline gets
+// there.
 type Query struct {
 	Point geom.Point
 	Algo  core.Algo
 	Opt   core.Options
+}
+
+// InvalidIssueError reports a query whose issue slot lies outside the
+// admissible range documented on Query.
+type InvalidIssueError struct {
+	// Client is the query's position in the input order.
+	Client int
+	// Issue is the rejected issue slot.
+	Issue int64
+}
+
+func (e *InvalidIssueError) Error() string {
+	return fmt.Sprintf("session: client %d has negative issue slot %d (sessions run on the shared timeline starting at slot 0)",
+		e.Client, e.Issue)
+}
+
+// Stats reports one run's execution counters.
+type Stats struct {
+	// Clients is the number of clients admitted (and, absent an error,
+	// completed).
+	Clients int
+	// Steps is the total number of scheduler steps across all workers —
+	// the unit the session benchmarks report throughput in.
+	Steps int64
+	// PeakLive is the peak number of concurrently live clients, summed
+	// over the per-worker peaks: the concurrency that bounds the engine's
+	// memory (one scratch and one execution state machine per live
+	// client).
+	PeakLive int
 }
 
 // Engine runs batches of concurrent client queries over one broadcast
@@ -62,65 +107,340 @@ func New(env core.Env, workers int) *Engine {
 }
 
 // Run advances all queries against the shared feeds until every one has
-// completed, and returns their Results in input order. Clients are
-// interleaved in global slot order (ties: lower client index first); with
-// more than one worker, the client set is sharded round-robin and each
-// worker runs the slot-ordered loop over its shard.
-func (e *Engine) Run(queries []Query) []core.Result {
-	n := len(queries)
-	results := make([]core.Result, n)
-	if n == 0 {
-		return results
+// completed, and returns their Results in input order. It is RunStream
+// over the slice with the Results collected; queries need not be sorted by
+// issue slot, but peak memory then tracks the stream's buffered future
+// (see RunStream). A query with a negative issue slot aborts the run with
+// *InvalidIssueError once the stream reaches it.
+func (e *Engine) Run(queries []Query) ([]core.Result, error) {
+	results := make([]core.Result, len(queries))
+	workers := e.resolveWorkers()
+	if workers > len(queries) {
+		workers = max(len(queries), 1)
 	}
-	workers := e.workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	_, err := e.runStream(workers, slices.Values(queries), func(i int, r core.Result) {
+		results[i] = r
+	})
+	if err != nil {
+		return nil, err
 	}
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		runShard(e.env, queries, results, 0, 1)
-		return results
-	}
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			runShard(e.env, queries, results, w, workers)
-		}(w)
-	}
-	wg.Wait()
-	return results
+	return results, nil
 }
 
-// runShard drives the clients whose index ≡ w (mod stride): it admits each
-// with its own scratch, runs the slot-ordered event loop to completion,
-// and records Results by client index. Executors come from the core
-// algorithm registry, so custom strategies interleave with the built-ins
-// on the same timeline; an unregistered Algo panics (the public API
-// validates at admission).
-func runShard(env core.Env, queries []Query, results []core.Result, w, stride int) {
-	type cl struct {
-		idx int
-		ex  core.Executor
+// RunStream advances a stream of queries against the shared feeds. Clients
+// are admitted lazily — each when a worker's timeline reaches its issue
+// slot — and emit is invoked once per client, with the client's position
+// in the stream and its Result, the moment it completes; the finished
+// client's execution state is recycled immediately, so peak memory tracks
+// the number of CONCURRENTLY live clients rather than the stream length.
+// For that bound to hold the stream should yield queries in non-decreasing
+// issue order (a live arrival process); out-of-order streams are handled
+// correctly — a query whose issue slot already passed is admitted at the
+// current dispatch slot, which cannot change its Result, only the step
+// interleaving.
+//
+// With workers > 1, emit is called concurrently from the worker
+// goroutines and must be safe for concurrent use; calls for distinct
+// clients never interleave per client. Workers pull greedily from the
+// shared stream as their timelines advance, so the client→worker
+// assignment is load-balancing and NOT deterministic — but per-client
+// Results are, for every worker count.
+//
+// A query with a negative issue slot poisons the stream: no further
+// clients are admitted, already-admitted clients run to completion (their
+// emits still fire), and RunStream returns *InvalidIssueError.
+func (e *Engine) RunStream(queries iter.Seq[Query], emit func(client int, res core.Result)) (Stats, error) {
+	return e.runStream(e.resolveWorkers(), queries, emit)
+}
+
+func (e *Engine) resolveWorkers() int {
+	if e.workers <= 0 {
+		return runtime.GOMAXPROCS(0)
 	}
-	clients := make([]cl, 0, (len(queries)-w+stride-1)/stride)
-	var sched client.Sched
-	for i := w; i < len(queries); i += stride {
-		q := queries[i]
-		opt := q.Opt
-		opt.Scratch = core.NewScratch() // one live scratch per concurrent client
-		ex, ok := core.NewExec(env, q.Algo, q.Point, opt)
+	return e.workers
+}
+
+func (e *Engine) runStream(workers int, queries iter.Seq[Query], emit func(int, core.Result)) (Stats, error) {
+	src := newSource(queries)
+	defer src.close()
+
+	ws := make([]*worker, workers)
+	for i := range ws {
+		ws[i] = newWorker(e.env, src, emit)
+	}
+	if workers == 1 {
+		ws[0].run()
+	} else {
+		var wg sync.WaitGroup
+		for _, w := range ws {
+			wg.Add(1)
+			go func(w *worker) {
+				defer wg.Done()
+				w.run()
+			}(w)
+		}
+		wg.Wait()
+	}
+
+	var st Stats
+	for _, w := range ws {
+		st.Steps += w.steps
+		st.PeakLive += w.peakLive
+		st.Clients += w.admitted
+	}
+	src.mu.Lock()
+	err := src.err
+	src.mu.Unlock()
+	return st, err
+}
+
+// source is the shared, validated head of the query stream. Workers take
+// queries from it under the mutex when their timelines reach the head's
+// issue slot; validation failures poison it.
+type source struct {
+	mu   sync.Mutex
+	next func() (Query, bool)
+	stop func()
+	head Query
+	ok   bool // head holds a valid un-taken query
+	n    int  // stream position of head (queries pulled - 1 when ok)
+	err  error
+}
+
+func newSource(queries iter.Seq[Query]) *source {
+	s := new(source)
+	s.next, s.stop = iter.Pull(queries)
+	s.n = -1
+	s.pull()
+	return s
+}
+
+// pull loads the next query into head, validating it. Caller holds mu
+// (or is the constructor).
+func (s *source) pull() {
+	if s.err != nil {
+		s.ok = false
+		return
+	}
+	q, ok := s.next()
+	if !ok {
+		s.ok = false
+		return
+	}
+	s.n++
+	if q.Opt.Issue < 0 {
+		s.ok = false
+		s.err = &InvalidIssueError{Client: s.n, Issue: q.Opt.Issue}
+		return
+	}
+	s.head, s.ok = q, true
+}
+
+func (s *source) close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stop()
+}
+
+// worker drives one shard of the session: its own slot calendar, its own
+// memo layer over the shared feeds, and its own pools of execution state.
+// Per-client engine state lives in chunk-allocated arenas (contiguous
+// arrays of Scratch and QueryExec structs with free lists), so a long
+// stream touches a compact, recycled working set sized by peak
+// concurrency instead of scattering a million tiny allocations.
+type worker struct {
+	env   core.Env
+	src   *source
+	emit  func(int, core.Result)
+	sched client.Sched
+
+	execs     arena[core.QueryExec]
+	scratches arena[core.Scratch]
+	// customScratch recovers pooled scratches from non-builtin executors,
+	// which do not expose them; keyed by client index.
+	customScratch map[int]*core.Scratch
+
+	nextIssue int64 // cached issue slot of the stream head (may be stale)
+	admitted  int
+	live      int
+	peakLive  int
+	steps     int64
+}
+
+func newWorker(env core.Env, src *source, emit func(int, core.Result)) *worker {
+	w := &worker{src: src, emit: emit}
+	// The memo layer is per worker: caches are single-threaded and the
+	// underlying feeds stay shared and immutable.
+	w.env = env
+	w.env.ChS = broadcast.NewMemoFeed(env.ChS)
+	w.env.ChR = broadcast.NewMemoFeed(env.ChR)
+	return w
+}
+
+// run is the worker event loop: admit every stream query whose issue slot
+// the timeline has reached, step the earliest client, recycle finished
+// ones — until both the stream and the calendar are empty.
+func (w *worker) run() {
+	for {
+		target, ok := w.sched.PeekSlot()
+		if !ok {
+			// Idle: jump the timeline to the stream head, whatever its
+			// issue slot. If the stream is dry too, the worker is done.
+			if !w.admitNext() {
+				return
+			}
+			continue
+		}
+		if target >= w.nextIssue {
+			w.admitUpTo(target)
+		}
+		p, key, finished, ok := w.sched.StepEarliest()
+		if !ok {
+			continue // the admitted client completed at admission
+		}
+		w.steps++
+		if finished {
+			w.finish(int(key), p)
+		}
+	}
+}
+
+// admitUpTo takes every stream query with issue slot <= target and admits
+// it to this worker's calendar, refreshing the worker's cached head issue
+// (other workers may take queries between this worker's visits; the cache
+// is conservative — staleness delays an admission, which cannot change
+// any Result).
+func (w *worker) admitUpTo(target int64) {
+	w.src.mu.Lock()
+	for w.src.ok && w.src.head.Opt.Issue <= target {
+		q, idx := w.src.head, w.src.n
+		w.src.pull()
+		w.src.mu.Unlock()
+		w.admit(idx, q)
+		w.src.mu.Lock()
+	}
+	w.refreshNextIssue()
+	w.src.mu.Unlock()
+}
+
+// admitNext takes exactly one query — the stream head — regardless of its
+// issue slot: the idle worker's timeline jump. It reports false when the
+// stream is exhausted (or poisoned).
+func (w *worker) admitNext() bool {
+	w.src.mu.Lock()
+	if !w.src.ok {
+		w.refreshNextIssue()
+		w.src.mu.Unlock()
+		return false
+	}
+	q, idx := w.src.head, w.src.n
+	w.src.pull()
+	w.refreshNextIssue()
+	w.src.mu.Unlock()
+	w.admit(idx, q)
+	return true
+}
+
+// refreshNextIssue updates the cached head issue; caller holds src.mu.
+func (w *worker) refreshNextIssue() {
+	if w.src.ok {
+		w.nextIssue = w.src.head.Opt.Issue
+	} else {
+		w.nextIssue = math.MaxInt64
+	}
+}
+
+// admit starts one client: scratch from the pool, a pooled QueryExec for
+// built-in algorithms (a factory-made executor otherwise), registered on
+// the calendar under the client's stream index — the documented equal-slot
+// tie-break. A client that completes at admission (empty datasets) is
+// finished on the spot.
+func (w *worker) admit(idx int, q Query) {
+	opt := q.Opt
+	opt.Scratch = w.scratches.get()
+	var ex core.Executor
+	if q.Algo.Builtin() {
+		qe := w.execs.get()
+		qe.Reset(w.env, q.Algo, q.Point, opt)
+		ex = qe
+	} else {
+		var ok bool
+		ex, ok = core.NewExec(w.env, q.Algo, q.Point, opt)
 		if !ok {
 			panic(fmt.Sprintf("session: unregistered algorithm %d", q.Algo))
 		}
-		clients = append(clients, cl{idx: i, ex: ex})
-		sched.Add(int64(i), ex) // tie-break: global client index
+		if w.customScratch == nil {
+			w.customScratch = make(map[int]*core.Scratch)
+		}
+		w.customScratch[idx] = opt.Scratch
 	}
-	sched.Run()
-	for _, c := range clients {
-		results[c.idx] = c.ex.Result()
+	w.admitted++
+	w.live++
+	if w.live > w.peakLive {
+		w.peakLive = w.live
+	}
+	if ex.Done() {
+		w.finish(idx, ex)
+		return
+	}
+	w.sched.Add(int64(idx), ex)
+}
+
+// finish emits a completed client's Result and recycles its execution
+// state into the worker pools. Clients admitted down the custom path are
+// identified by their customScratch entry, NOT by executor type — a
+// registered strategy may return a bare builtin *QueryExec (the
+// pure-proxy pattern), and classifying it as builtin here would leak its
+// map entry, growing memory with total rather than concurrent clients.
+func (w *worker) finish(idx int, p client.Process) {
+	ex := p.(core.Executor)
+	w.emit(idx, ex.Result())
+	w.live--
+	if sc, tracked := w.customScratch[idx]; tracked {
+		w.scratches.put(sc)
+		delete(w.customScratch, idx)
+		if qe, isQE := p.(*core.QueryExec); isQE {
+			w.execs.put(qe) // factory-made but arena-poolable all the same
+		}
+		return
+	}
+	if qe, isBuiltin := p.(*core.QueryExec); isBuiltin {
+		if sc := qe.Scratch(); sc != nil {
+			w.scratches.put(sc)
+		}
+		w.execs.put(qe)
 	}
 }
+
+// arena is a chunk-allocating pool: values live in contiguous blocks
+// (stable addresses), recycled through a free list. get returns a value in
+// whatever state its previous user left it — QueryExec.Reset and the
+// scratch checkout reclaim state on reuse.
+type arena[T any] struct {
+	free  []*T
+	chunk []T
+	used  int
+}
+
+// arenaChunk is the block size: big enough to amortize allocation over a
+// burst of admissions, small enough not to overshoot a low-concurrency
+// session's footprint.
+const arenaChunk = 64
+
+func (a *arena[T]) get() *T {
+	if n := len(a.free); n > 0 {
+		v := a.free[n-1]
+		a.free[n-1] = nil
+		a.free = a.free[:n-1]
+		return v
+	}
+	if a.used == len(a.chunk) {
+		a.chunk = make([]T, arenaChunk)
+		a.used = 0
+	}
+	v := &a.chunk[a.used]
+	a.used++
+	return v
+}
+
+func (a *arena[T]) put(v *T) { a.free = append(a.free, v) }

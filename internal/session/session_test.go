@@ -1,8 +1,12 @@
 package session
 
 import (
+	"errors"
 	"math/rand"
 	"reflect"
+	"slices"
+	"sort"
+	"sync"
 	"testing"
 
 	"tnnbcast/internal/broadcast"
@@ -12,7 +16,7 @@ import (
 	"tnnbcast/internal/rtree"
 )
 
-func makeEnv(t *testing.T, nS, nR int, offS, offR int64) core.Env {
+func makeEnv(t testing.TB, nS, nR int, offS, offR int64) core.Env {
 	t.Helper()
 	region := geom.RectOf(geom.Pt(0, 0), geom.Pt(1000, 1000))
 	p := broadcast.DefaultParams()
@@ -24,6 +28,17 @@ func makeEnv(t *testing.T, nS, nR int, offS, offR int64) core.Env {
 		ChR:    broadcast.NewChannel(broadcast.BuildProgram(treeR, p), offR),
 		Region: region,
 	}
+}
+
+// mustRun executes queries through a fresh engine, failing the test on a
+// validation error.
+func mustRun(t *testing.T, env core.Env, workers int, queries []Query) []core.Result {
+	t.Helper()
+	res, err := New(env, workers).Run(queries)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res
 }
 
 // mixedQueries builds a deterministic workload mixing all four algorithms,
@@ -80,7 +95,7 @@ func TestSessionMatchesSequential(t *testing.T) {
 	want := sequentialReference(env, queries)
 
 	for _, workers := range []int{1, 2, 3, 8, 0} {
-		got := New(env, workers).Run(queries)
+		got := mustRun(t, env, workers, queries)
 		if !reflect.DeepEqual(got, want) {
 			for i := range got {
 				if !reflect.DeepEqual(got[i], want[i]) {
@@ -96,13 +111,13 @@ func TestSessionMatchesSequential(t *testing.T) {
 // TestSessionEmptyAndDegenerate: sessions over empty datasets and empty
 // batches complete without panicking and report Found=false.
 func TestSessionEmptyAndDegenerate(t *testing.T) {
-	if got := New(makeEnv(t, 50, 50, 0, 0), 1).Run(nil); len(got) != 0 {
+	if got := mustRun(t, makeEnv(t, 50, 50, 0, 0), 1, nil); len(got) != 0 {
 		t.Fatalf("empty batch returned %d results", len(got))
 	}
 
 	env := makeEnv(t, 0, 0, 0, 0)
 	queries := mixedQueries(9, 16)
-	res := New(env, 2).Run(queries)
+	res := mustRun(t, env, 2, queries)
 	for i, r := range res {
 		if r.Found {
 			t.Fatalf("client %d found an answer on empty datasets: %+v", i, r)
@@ -116,7 +131,7 @@ func TestSessionEmptyAndDegenerate(t *testing.T) {
 	// pair, but nothing panics and metrics stay consistent.
 	env = makeEnv(t, 0, 300, 11, 22)
 	queries = mixedQueries(10, 16)
-	res = New(env, 1).Run(queries)
+	res = mustRun(t, env, 1, queries)
 	for i, r := range res {
 		if r.Found {
 			t.Fatalf("client %d found a pair with S empty: %+v", i, r)
@@ -136,7 +151,7 @@ func TestSessionSharedCycleOverlap(t *testing.T) {
 	env := makeEnv(t, 900, 700, 123, 4567)
 	queries := mixedQueries(11, 64)
 	cycle := env.ChS.Index().CycleLen() // issue slots were drawn below this
-	res := New(env, 1).Run(queries)
+	res := mustRun(t, env, 1, queries)
 
 	var sum, maxEnd int64
 	for i, r := range res {
@@ -157,13 +172,196 @@ func TestSessionSharedCycleOverlap(t *testing.T) {
 func TestNonPositiveWorkers(t *testing.T) {
 	env := makeEnv(t, 700, 700, 11, 29)
 	queries := mixedQueries(6, 24)
-	want := New(env, 1).Run(queries)
+	want := mustRun(t, env, 1, queries)
 	for _, workers := range []int{-8, -1, 0} {
-		got := New(env, workers).Run(queries)
+		got := mustRun(t, env, workers, queries)
 		for i := range want {
 			if got[i] != want[i] {
 				t.Fatalf("workers=%d: client %d result differs", workers, i)
 			}
+		}
+	}
+}
+
+// TestRunStreamMatchesRun: the streaming entry point must produce the
+// same per-client Results as Run and as the sequential reference, while
+// reporting sane Stats — in particular a peak concurrency far below the
+// total client count for a workload whose arrivals are spread out.
+func TestRunStreamMatchesRun(t *testing.T) {
+	env := makeEnv(t, 900, 700, 123, 4567)
+	queries := mixedQueries(21, 300)
+	// Sort by issue slot: a live arrival process, the shape RunStream's
+	// bounded-memory guarantee is about.
+	sort.SliceStable(queries, func(i, j int) bool {
+		return queries[i].Opt.Issue < queries[j].Opt.Issue
+	})
+	want := sequentialReference(env, queries)
+
+	for _, workers := range []int{1, 3} {
+		got := make([]core.Result, len(queries))
+		seen := make([]bool, len(queries))
+		var mu sync.Mutex
+		stats, err := New(env, workers).RunStream(slices.Values(queries),
+			func(i int, r core.Result) {
+				mu.Lock()
+				defer mu.Unlock()
+				if seen[i] {
+					t.Errorf("client %d emitted twice", i)
+				}
+				seen[i] = true
+				got[i] = r
+			})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: streamed results diverge from sequential reference", workers)
+		}
+		for i, s := range seen {
+			if !s {
+				t.Fatalf("workers=%d: client %d never emitted", workers, i)
+			}
+		}
+		if stats.Clients != len(queries) {
+			t.Fatalf("workers=%d: Stats.Clients = %d, want %d", workers, stats.Clients, len(queries))
+		}
+		if stats.Steps <= int64(len(queries)) {
+			t.Fatalf("workers=%d: implausible Stats.Steps = %d", workers, stats.Steps)
+		}
+		if stats.PeakLive < 1 || stats.PeakLive > len(queries) {
+			t.Fatalf("workers=%d: implausible Stats.PeakLive = %d", workers, stats.PeakLive)
+		}
+	}
+}
+
+// TestStreamingPeakTracksConcurrency pins the bounded-memory property:
+// when arrivals are spread over many times the per-client lifetime, the
+// engine's peak live count must be a small fraction of the total client
+// count (the old engine held all N alive until the end).
+func TestStreamingPeakTracksConcurrency(t *testing.T) {
+	env := makeEnv(t, 900, 700, 123, 4567)
+	// Mean spacing ~ one access time: concurrency stays O(10) while the
+	// total is 400.
+	rng := rand.New(rand.NewSource(31))
+	algos := []core.Algo{core.AlgoWindow, core.AlgoDouble, core.AlgoHybrid, core.AlgoApprox}
+	const n = 400
+	queries := make([]Query, n)
+	issue := int64(0)
+	for i := range queries {
+		queries[i] = Query{
+			Point: geom.Pt(rng.Float64()*1000, rng.Float64()*1000),
+			Algo:  algos[i%len(algos)],
+		}
+		issue += rng.Int63n(40001) // mean 20k slots between arrivals
+		queries[i].Opt.Issue = issue
+	}
+	stats, err := New(env, 1).RunStream(slices.Values(queries), func(int, core.Result) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.PeakLive >= n/4 {
+		t.Fatalf("peak live clients = %d out of %d: admission/recycling is not streaming", stats.PeakLive, n)
+	}
+}
+
+// TestNegativeIssueRejected: the validation story for issue slots — a
+// typed *InvalidIssueError identifying the offending client, no panic, no
+// further admissions, already-admitted clients still emitted.
+func TestNegativeIssueRejected(t *testing.T) {
+	env := makeEnv(t, 200, 200, 3, 5)
+	queries := mixedQueries(5, 8)
+	sort.SliceStable(queries, func(i, j int) bool {
+		return queries[i].Opt.Issue < queries[j].Opt.Issue
+	})
+	queries[5].Opt.Issue = -7
+
+	if _, err := New(env, 1).Run(queries); err == nil {
+		t.Fatal("Run accepted a negative issue slot")
+	} else {
+		var iss *InvalidIssueError
+		if !errors.As(err, &iss) {
+			t.Fatalf("error %T is not *InvalidIssueError", err)
+		}
+		if iss.Client != 5 || iss.Issue != -7 {
+			t.Fatalf("error identifies client %d issue %d, want 5/-7", iss.Client, iss.Issue)
+		}
+	}
+
+	// Streaming: the poisoned stream stops admissions but completes and
+	// emits every client admitted before the bad one.
+	emitted := 0
+	_, err := New(env, 1).RunStream(slices.Values(queries), func(int, core.Result) { emitted++ })
+	if err == nil {
+		t.Fatal("RunStream accepted a negative issue slot")
+	}
+	if emitted != 5 {
+		t.Fatalf("emitted %d clients, want the 5 admitted before the invalid one", emitted)
+	}
+}
+
+// sessionProbeExec wraps a built-in execution to stand in for a custom
+// registered strategy: the engine cannot pool it as a QueryExec, so this
+// exercises the factory path and the custom-scratch recycling.
+type sessionProbeExec struct{ core.Executor }
+
+// TestSessionCustomAlgorithm: registered strategies interleave with
+// built-ins on the shared timeline and match their sequential execution.
+// Two custom shapes run: a wrapper executor (the engine cannot pool it)
+// and a bare proxy whose factory returns a builtin *QueryExec directly —
+// admitted down the custom path but finishing as a poolable exec, the
+// combination that once leaked custom-scratch tracking entries.
+func TestSessionCustomAlgorithm(t *testing.T) {
+	probe, err := core.Register(core.AlgoSpec{
+		Name:  "session-probe-double",
+		Alias: "spd",
+		New: func(env core.Env, p geom.Point, opt core.Options) core.Executor {
+			ex, _ := core.NewExec(env, core.AlgoDouble, p, opt)
+			return &sessionProbeExec{ex}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bare, err := core.Register(core.AlgoSpec{
+		Name:  "session-probe-bare",
+		Alias: "spb",
+		New: func(env core.Env, p geom.Point, opt core.Options) core.Executor {
+			ex, _ := core.NewExec(env, core.AlgoDouble, p, opt)
+			return ex // a bare *core.QueryExec, not wrapped
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := makeEnv(t, 500, 400, 17, 19)
+	queries := mixedQueries(13, 60)
+	for i := range queries {
+		switch i % 3 {
+		case 0:
+			queries[i].Algo = probe
+		case 1:
+			queries[i].Algo = bare
+		}
+	}
+	want := make([]core.Result, len(queries))
+	sc := core.NewScratch()
+	for i, q := range queries {
+		opt := q.Opt
+		opt.Scratch = sc
+		algo := q.Algo
+		if algo == probe || algo == bare {
+			algo = core.AlgoDouble
+		}
+		res, ok := core.Run(env, algo, q.Point, opt)
+		if !ok {
+			t.Fatalf("client %d: algorithm %d not registered", i, q.Algo)
+		}
+		want[i] = res
+	}
+	for _, workers := range []int{1, 4} {
+		got := mustRun(t, env, workers, queries)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: custom-strategy session diverges from sequential", workers)
 		}
 	}
 }
