@@ -9,7 +9,14 @@
 //	tnnbench -clients 100,1000,4000    # multi-client session scaling ladder
 //	tnnbench -exp fig9a -index distributed   # swap the air-index family
 //	tnnbench -exp fig9a -sched skewed        # broadcast-disks data schedule
+//	tnnbench -exp ablation-loss              # loss-rate ladder, both index families
+//	tnnbench -exp fig9a -loss 0.01 -burst 8  # lossy channels for any experiment
 //	tnnbench -list                     # list experiment IDs
+//
+// -loss/-burst/-corrupt/-faultseed subject every channel to the seeded
+// fault model (page loss, bursty loss, checksum-detected corruption).
+// Queries recover transparently — answers are identical to the lossless
+// run; only access time and tune-in grow.
 //
 // -index/-cut and -sched/-disks/-ratio select the air-index family and the
 // data schedule for EVERY experiment run; the ablation-index, ablation-cut,
@@ -40,24 +47,28 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "", "experiment ID (fig9a…fig13b, tab3, grid) or \"all\"")
-		queries = flag.Int("queries", 1000, "random query points per configuration")
-		seed    = flag.Int64("seed", 0, "random seed (0 = default)")
-		pageCap = flag.Int("page", 64, "page capacity in bytes (64, 128, 256, 512)")
-		algos   = flag.String("algos", "", "comma-separated algorithm override for the exact-search experiments (canonical names or window/double/hybrid/approx; default: all four)")
-		index   = flag.String("index", "preorder", "air-index family: preorder (the paper's (1,m) scheme) or distributed (replicated upper levels)")
-		cut     = flag.Int("cut", 0, "distributed index: number of replicated upper levels (0 = half the tree height)")
-		sched   = flag.String("sched", "flat", "data schedule: flat (every object once per cycle) or skewed (broadcast-disks)")
-		disks   = flag.Int("disks", 2, "skewed schedule: number of frequency classes")
-		ratio   = flag.Int("ratio", 2, "skewed schedule: integer frequency ratio between adjacent classes")
-		workers = flag.Int("workers", 0, "parallel query workers per experiment (0 = GOMAXPROCS, 1 = sequential; results are identical for any value)")
-		clients = flag.String("clients", "", "run the multi-client session experiment with this comma-separated concurrent-client ladder (e.g. 100,1000,4000,1000000)")
-		window  = flag.Float64("window", 0, "multi-client arrival window in broadcast cycles (0 = all issue slots inside one cycle; required above 100k clients, where only an arrival process bounds concurrency)")
-		verify  = flag.Bool("verify", false, "re-run the multi-client batch with workers=1 and fail unless every per-client result is bit-identical (worker-count invariance at scale)")
-		cpuprof = flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file (inspect with go tool pprof)")
-		memprof = flag.String("memprofile", "", "write an allocation profile, taken after the experiment runs, to this file")
-		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text")
-		list    = flag.Bool("list", false, "list experiment IDs and exit")
+		exp       = flag.String("exp", "", "experiment ID (fig9a…fig13b, tab3, grid) or \"all\"")
+		queries   = flag.Int("queries", 1000, "random query points per configuration")
+		seed      = flag.Int64("seed", 0, "random seed (0 = default)")
+		pageCap   = flag.Int("page", 64, "page capacity in bytes (64, 128, 256, 512)")
+		algos     = flag.String("algos", "", "comma-separated algorithm override for the exact-search experiments (canonical names or window/double/hybrid/approx; default: all four)")
+		index     = flag.String("index", "preorder", "air-index family: preorder (the paper's (1,m) scheme) or distributed (replicated upper levels)")
+		cut       = flag.Int("cut", 0, "distributed index: number of replicated upper levels (0 = half the tree height)")
+		sched     = flag.String("sched", "flat", "data schedule: flat (every object once per cycle) or skewed (broadcast-disks)")
+		disks     = flag.Int("disks", 2, "skewed schedule: number of frequency classes")
+		ratio     = flag.Int("ratio", 2, "skewed schedule: integer frequency ratio between adjacent classes")
+		workers   = flag.Int("workers", 0, "parallel query workers per experiment (0 = GOMAXPROCS, 1 = sequential; results are identical for any value)")
+		loss      = flag.Float64("loss", 0, "page loss probability on every channel, in [0, 1) (0 = perfect channels)")
+		burst     = flag.Float64("burst", 0, "mean loss-burst length in pages (<= 1 = independent loss, > 1 = Gilbert-Elliott bursts at the same stationary rate)")
+		corrupt   = flag.Float64("corrupt", 0, "independent per-page corruption probability, in [0, 1) (corrupted pages cost tune-in before being discarded)")
+		faultseed = flag.Uint64("faultseed", 0, "fault-pattern seed (0 = fixed default; faults are a pure function of seed and slot)")
+		clients   = flag.String("clients", "", "run the multi-client session experiment with this comma-separated concurrent-client ladder (e.g. 100,1000,4000,1000000)")
+		window    = flag.Float64("window", 0, "multi-client arrival window in broadcast cycles (0 = all issue slots inside one cycle; required above 100k clients, where only an arrival process bounds concurrency)")
+		verify    = flag.Bool("verify", false, "re-run the multi-client batch with workers=1 and fail unless every per-client result is bit-identical (worker-count invariance at scale)")
+		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file (inspect with go tool pprof)")
+		memprof   = flag.String("memprofile", "", "write an allocation profile, taken after the experiment runs, to this file")
+		csv       = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		list      = flag.Bool("list", false, "list experiment IDs and exit")
 	)
 	flag.Parse()
 
@@ -77,9 +88,14 @@ func main() {
 		os.Exit(2)
 	}
 	cfg := experiments.Config{Queries: *queries, Seed: *seed, PageCap: *pageCap, Workers: *workers,
-		Scheme: *index, Cut: *cut, Window: *window, VerifyWorkers: *verify}
+		Scheme: *index, Cut: *cut, Window: *window, VerifyWorkers: *verify,
+		Loss: *loss, Burst: *burst, Corrupt: *corrupt, FaultSeed: *faultseed}
 	if *window < 0 {
 		fmt.Fprintf(os.Stderr, "tnnbench: -window must be >= 0, got %g\n", *window)
+		os.Exit(2)
+	}
+	if *loss < 0 || *loss >= 1 || *corrupt < 0 || *corrupt >= 1 || *burst < 0 {
+		fmt.Fprintln(os.Stderr, "tnnbench: -loss and -corrupt must be in [0, 1) and -burst >= 0")
 		os.Exit(2)
 	}
 	if *algos != "" {

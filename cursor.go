@@ -61,7 +61,7 @@ const (
 func (k PageKind) String() string { return broadcast.PageKind(k).String() }
 
 // Event is one streamed observation of a query execution. The concrete
-// types are PhaseStart, PageDownloaded, RadiusSet, and Answer.
+// types are PhaseStart, PageDownloaded, PageLost, RadiusSet, and Answer.
 type Event interface{ isEvent() }
 
 // PhaseStart marks the execution entering a phase at the given slot (the
@@ -88,6 +88,21 @@ type PageDownloaded struct {
 	Seq      int
 }
 
+// PageLost reports one faulted reception under WithFaults: the page at
+// Slot was lost on air or downloaded and discarded on a checksum failure.
+// The execution recovers by waiting for the page's next broadcast; the
+// recovery downloads appear as ordinary PageDownloaded events. On a
+// lossless system the event never fires, preserving the
+// PageDownloaded == TuneIn invariant; under faults TuneIn additionally
+// counts the discarded (corrupt) and missed receptions, i.e. one per
+// PageLost.
+type PageLost struct {
+	// Channel tags the channel: "S" or "R".
+	Channel string
+	// Slot is the broadcast slot whose page failed.
+	Slot int64
+}
+
 // RadiusSet reports the search-range radius the estimate phase
 // determined, at the slot the filter phase may begin.
 type RadiusSet struct {
@@ -102,6 +117,7 @@ type Answer struct {
 
 func (PhaseStart) isEvent()     {}
 func (PageDownloaded) isEvent() {}
+func (PageLost) isEvent()       {}
 func (RadiusSet) isEvent()      {}
 func (Answer) isEvent()         {}
 
@@ -131,6 +147,9 @@ func (sys *System) Start(p Point, algo Algorithm, opts ...QueryOption) (*Cursor,
 			Channel: ch, Slot: slot, Kind: PageKind(pg.Kind),
 			NodeID: pg.NodeID, ObjectID: pg.ObjectID, Seq: pg.Seq,
 		})
+	}
+	o.TraceFault = func(ch string, slot int64) {
+		c.pending = append(c.pending, PageLost{Channel: ch, Slot: slot})
 	}
 	ex, ok := core.NewExec(sys.env, core.Algo(algo), p, o)
 	if !ok {

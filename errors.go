@@ -1,9 +1,95 @@
+// Error taxonomy. Construction-time defects are typed per cause:
+// *InvalidPointError, *InvalidRegionError, *InvalidWeightError (New and
+// NewChain), and *UnknownAlgorithmError / *InvalidIssueError at query
+// admission. Runtime channel failures under WithFaults are typed too:
+// a query that exhausts its retry budget on one channel reports a
+// *ChannelError (wrapping the final *PageFaultError) in Result.Err rather
+// than failing the call — the query still returns its metrics, and a
+// retrieval-phase escalation even keeps the found answer pair. All types
+// work with errors.As/Is; ChannelError.Unwrap exposes the fault.
+
 package tnnbcast
 
 import (
+	"errors"
 	"fmt"
 	"math"
+
+	"tnnbcast/internal/broadcast"
 )
+
+// PageFaultError reports one failed page reception on a lossy channel
+// (see WithFaults): the page was either lost outright or received damaged
+// (its CRC32C trailer did not verify). Individual faults are retried
+// transparently; a PageFaultError surfaces only inside a ChannelError,
+// as the final fault of an exhausted retry budget.
+type PageFaultError struct {
+	// Channel names the channel the fault occurred on ("S" or "R"; chain
+	// channels are "ch0", "ch1", … in visiting order).
+	Channel string
+	// Slot is the broadcast slot whose page failed.
+	Slot int64
+	// Corrupt is true when the page arrived but failed its checksum (the
+	// receiver paid the tune-in cost), false when it never arrived.
+	Corrupt bool
+}
+
+func (e *PageFaultError) Error() string {
+	what := "lost"
+	if e.Corrupt {
+		what = "corrupt"
+	}
+	return fmt.Sprintf("tnnbcast: channel %s page at slot %d %s", e.Channel, e.Slot, what)
+}
+
+// ChannelError reports a channel a query gave up on: MaxRetries (see
+// WithMaxRetries) consecutive receptions failed, so the client declares
+// the medium dead for this query instead of waiting forever. It is
+// reported via Result.Err — a search-phase escalation leaves Found false,
+// while an escalation during final answer retrieval keeps the found pair
+// (only the attribute download failed). Unwrap exposes the final fault.
+type ChannelError struct {
+	// Channel names the dead channel ("S", "R", or "chN" for chains).
+	Channel string
+	// Attempts is the number of consecutive failed receptions.
+	Attempts int
+	// Fault is the final fault that triggered the escalation.
+	Fault *PageFaultError
+}
+
+func (e *ChannelError) Error() string {
+	return fmt.Sprintf("tnnbcast: channel %s failed %d consecutive receptions (last: %v)",
+		e.Channel, e.Attempts, e.Fault)
+}
+
+// Unwrap exposes the final PageFaultError to errors.Is/As chains.
+func (e *ChannelError) Unwrap() error {
+	if e.Fault == nil {
+		return nil
+	}
+	return e.Fault
+}
+
+// publicErr translates an internal channel escalation into the public
+// error types; any other (or nil) error passes through.
+func publicErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	var cerr *broadcast.ChannelError
+	if !errors.As(err, &cerr) {
+		return err
+	}
+	out := &ChannelError{Channel: cerr.Channel, Attempts: cerr.Attempts}
+	if cerr.Last != nil {
+		out.Fault = &PageFaultError{
+			Channel: cerr.Channel,
+			Slot:    cerr.Last.Slot,
+			Corrupt: cerr.Last.Kind == broadcast.FaultCorrupt,
+		}
+	}
+	return out
+}
 
 // InvalidPointError reports a dataset point with a NaN or infinite
 // coordinate passed to New (or NewChain). Such points cannot be indexed —

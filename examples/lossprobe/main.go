@@ -1,0 +1,138 @@
+// Loss probe: sweep the page-loss rate and watch resilience get paid for
+// in the paper's two currencies. Every query runs twice — once on perfect
+// channels, once on lossy ones with the same data and phases — and the
+// answers are asserted identical: recovery re-derives a faulted page's
+// next broadcast arrival from the air index, so loss never changes what a
+// client computes, only how long it listens (access time) and how much it
+// downloads (tune-in). The table plots that growth per algorithm, on both
+// index families, with an ASCII bar for the tune-in inflation.
+//
+//	go run ./examples/lossprobe
+//	go run ./examples/lossprobe -queries 100 -burst 8
+//	go run ./examples/lossprobe -index distributed -corrupt 0.01
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"strings"
+
+	"tnnbcast"
+)
+
+func main() {
+	var (
+		size    = flag.Int("n", 8000, "points per dataset")
+		queries = flag.Int("queries", 60, "random queries per loss point")
+		seed    = flag.Int64("seed", 7, "random seed")
+		burst   = flag.Float64("burst", 0, "mean loss-burst length (<= 1 = independent loss)")
+		corrupt = flag.Float64("corrupt", 0, "per-page corruption probability")
+		index   = flag.String("index", "both", "air-index family: preorder, distributed, or both")
+	)
+	flag.Parse()
+
+	region := tnnbcast.PaperRegion
+	s := tnnbcast.UniformDataset(*seed+1, *size, region)
+	r := tnnbcast.UniformDataset(*seed+2, *size, region)
+	algos := []tnnbcast.Algorithm{
+		tnnbcast.Window, tnnbcast.Double, tnnbcast.Hybrid, tnnbcast.Approximate,
+	}
+	lossLadder := []float64{0, 0.001, 0.01, 0.05}
+
+	var schemes []tnnbcast.IndexScheme
+	switch *index {
+	case "preorder":
+		schemes = []tnnbcast.IndexScheme{tnnbcast.PreorderIndex}
+	case "distributed":
+		schemes = []tnnbcast.IndexScheme{tnnbcast.DistributedIndex}
+	case "both":
+		schemes = []tnnbcast.IndexScheme{tnnbcast.PreorderIndex, tnnbcast.DistributedIndex}
+	default:
+		log.Fatalf("unknown -index %q", *index)
+	}
+
+	fmt.Printf("S = R = %d uniform points, %d queries per point, burst=%g corrupt=%g\n",
+		*size, *queries, *burst, *corrupt)
+	fmt.Println("(answers are asserted identical to the lossless run at every point)")
+
+	for _, scheme := range schemes {
+		fmt.Printf("\n%v index\n", scheme)
+		fmt.Printf("%-8s %-16s %10s %10s %8s %10s  %s\n",
+			"loss", "algorithm", "access", "tune-in", "lost", "recovery", "tune-in inflation")
+		for _, a := range algos {
+			// Baseline at p = 0 for the inflation bars.
+			base := measure(s, r, region, scheme, a, 0, *burst, 0, *seed, *queries)
+			for _, p := range lossLadder {
+				m := measure(s, r, region, scheme, a, p, *burst, *corrupt, *seed, *queries)
+				if m.answerMismatch {
+					log.Fatalf("loss %g changed an answer for %v — recovery protocol broken", p, a)
+				}
+				bar := ""
+				if base.tunein > 0 {
+					infl := m.tunein/base.tunein - 1
+					bar = strings.Repeat("#", int(infl*100+0.5))
+				}
+				fmt.Printf("%-8g %-16v %10.1f %10.1f %8.2f %10.1f  %s\n",
+					p, a, m.access, m.tunein, m.lost, m.recovery, bar)
+			}
+		}
+	}
+}
+
+type probe struct {
+	access, tunein, lost, recovery float64
+	answerMismatch                 bool
+}
+
+// measure averages the metrics of `queries` random queries under the
+// given fault model, and checks every answer against the same query on a
+// lossless system with identical data and phases.
+func measure(s, r []tnnbcast.Point, region tnnbcast.Rect, scheme tnnbcast.IndexScheme,
+	algo tnnbcast.Algorithm, loss, burst, corrupt float64, seed int64, queries int) probe {
+
+	rng := rand.New(rand.NewSource(seed))
+	var out probe
+	for q := 0; q < queries; q++ {
+		offS, offR := rng.Int63n(1_000_000), rng.Int63n(1_000_000)
+		opts := []tnnbcast.Option{
+			tnnbcast.WithRegion(region),
+			tnnbcast.WithIndexScheme(scheme),
+			tnnbcast.WithPhases(offS, offR),
+		}
+		clean, err := tnnbcast.New(s, r, opts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		lossy, err := tnnbcast.New(s, r, append(opts,
+			tnnbcast.WithFaults(tnnbcast.FaultModel{
+				Loss: loss, Burst: burst, Corrupt: corrupt, Seed: uint64(seed),
+			}))...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p := tnnbcast.Pt(
+			region.Lo.X+rng.Float64()*region.Width(),
+			region.Lo.Y+rng.Float64()*region.Height(),
+		)
+		want := clean.Query(p, algo)
+		got := lossy.Query(p, algo)
+		if got.Err != nil {
+			log.Fatalf("channel declared dead at loss %g: %v", loss, got.Err)
+		}
+		if got.Found != want.Found || got.SID != want.SID || got.RID != want.RID {
+			out.answerMismatch = true
+		}
+		out.access += float64(got.AccessTime)
+		out.tunein += float64(got.TuneIn)
+		out.lost += float64(got.Lost)
+		out.recovery += float64(got.RecoverySlots)
+	}
+	n := float64(queries)
+	out.access /= n
+	out.tunein /= n
+	out.lost /= n
+	out.recovery /= n
+	return out
+}

@@ -68,6 +68,16 @@ func NewChain(datasets [][]Point, opts ...Option) (*ChainSystem, error) {
 		NodeCap: cfg.params.NodeCap(),
 		Packing: rtree.STR,
 	}
+	var fm broadcast.FaultModel
+	if cfg.hasFaults {
+		fm = broadcast.FaultModel{
+			Loss: cfg.faults.Loss, Burst: cfg.faults.Burst,
+			Corrupt: cfg.faults.Corrupt, Seed: cfg.faults.Seed,
+		}
+		if err := fm.Validate(); err != nil {
+			return nil, err
+		}
+	}
 	cs := &ChainSystem{env: core.MultiEnv{Region: region}}
 	for i, set := range datasets {
 		tree := rtree.Build(set, rcfg)
@@ -77,7 +87,11 @@ func NewChain(datasets [][]Point, opts ...Option) (*ChainSystem, error) {
 			off = cfg.offR
 		}
 		cs.trees = append(cs.trees, tree)
-		cs.env.Chs = append(cs.env.Chs, broadcast.NewChannel(idx, off))
+		var ch broadcast.Feed = broadcast.NewChannel(idx, off)
+		if fm.Enabled() {
+			ch = broadcast.NewFaultFeed(ch, fm.WithSeed(broadcast.DeriveFaultSeed(fm.Seed, uint64(i))))
+		}
+		cs.env.Chs = append(cs.env.Chs, ch)
 	}
 	return cs, nil
 }
@@ -94,6 +108,12 @@ type ChainResult struct {
 	Found      bool
 	AccessTime int64
 	TuneIn     int64
+	// Lost, Retries, and RecoverySlots account for faulted receptions
+	// under WithFaults; see the same fields on Result.
+	Lost, Retries, RecoverySlots int64
+	// Err is non-nil when a channel died mid-query; chain channels are
+	// named "ch0", "ch1", … in visiting order. See Result.Err.
+	Err error
 }
 
 // Query answers the chain TNN query at p using all channels in parallel
@@ -109,10 +129,14 @@ func (cs *ChainSystem) Query(p Point, opts ...QueryOption) ChainResult {
 	o.Scratch = sc
 	res := core.ChainTNN(cs.env, p, o)
 	out := ChainResult{
-		Dist:       res.Dist,
-		Found:      res.Found,
-		AccessTime: res.Metrics.AccessTime,
-		TuneIn:     res.Metrics.TuneIn,
+		Dist:          res.Dist,
+		Found:         res.Found,
+		AccessTime:    res.Metrics.AccessTime,
+		TuneIn:        res.Metrics.TuneIn,
+		Lost:          res.Metrics.Lost,
+		Retries:       res.Metrics.Retries,
+		RecoverySlots: res.Metrics.RecoverySlots,
+		Err:           publicErr(res.Err),
 	}
 	for _, s := range res.Stops {
 		out.Stops = append(out.Stops, s.Point)
@@ -201,5 +225,9 @@ func fromCore(res core.Result) Result {
 		FilterTuneIn:   res.FilterTuneIn,
 		Radius:         res.Radius,
 		Case:           HybridCase(res.Case),
+		Lost:           res.Metrics.Lost,
+		Retries:        res.Metrics.Retries,
+		RecoverySlots:  res.Metrics.RecoverySlots,
+		Err:            publicErr(res.Err),
 	}
 }

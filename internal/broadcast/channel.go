@@ -59,14 +59,18 @@ func (ch *Channel) PageAt(t int64) Page { return ch.idx.PageAt(ch.rel(t)) }
 
 // ReadNode returns the R-tree node broadcast at slot t. It panics if slot t
 // carries a data page — callers must only read index pages at their
-// scheduled arrivals.
-func (ch *Channel) ReadNode(t int64) *rtree.Node {
+// scheduled arrivals. A bare Channel is a perfect medium: the fault is
+// always nil (wrap in a FaultFeed for a lossy one).
+func (ch *Channel) ReadNode(t int64) (*rtree.Node, *PageFault) {
 	p := ch.PageAt(t)
 	if p.Kind != IndexPage {
 		panic(fmt.Sprintf("broadcast: slot %d carries %v, not an index page", t, p.Kind))
 	}
-	return ch.idx.Tree().Nodes[p.NodeID]
+	return ch.idx.Tree().Nodes[p.NodeID], nil
 }
+
+// Fault implements Feed: a bare Channel never faults.
+func (ch *Channel) Fault(int64) *PageFault { return nil }
 
 // NextNodeArrival returns the first slot >= after at which index page
 // nodeID is on air: one rel() computation plus the index's cycle-relative

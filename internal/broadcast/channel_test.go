@@ -104,7 +104,7 @@ func TestReadNode(t *testing.T) {
 	prog := buildTestProgram(t, 40, DefaultParams())
 	ch := NewChannel(prog, 9)
 	slot := ch.NextNodeArrival(3, 100)
-	n := ch.ReadNode(slot)
+	n, _ := ch.ReadNode(slot)
 	if n.ID != 3 {
 		t.Fatalf("ReadNode returned node %d, want 3", n.ID)
 	}

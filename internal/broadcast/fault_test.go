@@ -1,0 +1,248 @@
+package broadcast
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"tnnbcast/internal/dataset"
+	"tnnbcast/internal/rtree"
+)
+
+func buildFaultChannel(t *testing.T, n int, offset int64) *Channel {
+	t.Helper()
+	p := DefaultParams()
+	cfg := rtree.Config{LeafCap: p.LeafCap(), NodeCap: p.NodeCap()}
+	tree := rtree.Build(dataset.Uniform(91, n, dataset.PaperRegion), cfg)
+	return NewChannel(BuildIndex(tree, p, IndexSpec{}), offset)
+}
+
+func TestFaultModelValidate(t *testing.T) {
+	good := []FaultModel{
+		{},
+		{Loss: 0.01},
+		{Loss: 0.5, Burst: 8},
+		{Corrupt: 0.02},
+		{Loss: 0.1, Burst: 1, Corrupt: 0.1, Seed: 42},
+	}
+	for _, m := range good {
+		if err := m.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", m, err)
+		}
+	}
+	bad := []FaultModel{
+		{Loss: -0.1},
+		{Loss: 1},
+		{Loss: 1.5},
+		{Corrupt: -0.01},
+		{Corrupt: 1},
+		{Loss: 0.1, Burst: -2},
+	}
+	for _, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", m)
+		}
+	}
+}
+
+// TestFaultDeterminism: the fault at a slot is a pure function of
+// (seed, slot). Two independently constructed feeds over the same model
+// agree everywhere; changing the seed — or deriving a different
+// channel's seed — changes the pattern.
+func TestFaultDeterminism(t *testing.T) {
+	ch := buildFaultChannel(t, 300, 5)
+	const span = 20000
+
+	for _, m := range []FaultModel{
+		{Loss: 0.05, Seed: 1},
+		{Loss: 0.05, Burst: 8, Seed: 1},
+		{Corrupt: 0.05, Seed: 1},
+	} {
+		a := NewFaultFeed(ch, m)
+		b := NewFaultFeed(ch, m)
+		diffSeed := NewFaultFeed(ch, m.WithSeed(m.Seed+1))
+		diffChan := NewFaultFeed(ch, m.WithSeed(DeriveFaultSeed(m.Seed, 1)))
+		var divergedSeed, divergedChan bool
+		for slot := int64(-span / 2); slot < span/2; slot++ {
+			fa, fb := a.Fault(slot), b.Fault(slot)
+			if (fa == nil) != (fb == nil) {
+				t.Fatalf("model %+v: slot %d not deterministic", m, slot)
+			}
+			if fa != nil && (fa.Slot != slot || *fa != *fb) {
+				t.Fatalf("model %+v: slot %d fault mismatch: %v vs %v", m, slot, fa, fb)
+			}
+			if (fa == nil) != (diffSeed.Fault(slot) == nil) {
+				divergedSeed = true
+			}
+			if (fa == nil) != (diffChan.Fault(slot) == nil) {
+				divergedChan = true
+			}
+		}
+		if !divergedSeed {
+			t.Errorf("model %+v: seed change never changed the pattern", m)
+		}
+		if !divergedChan {
+			t.Errorf("model %+v: DeriveFaultSeed never decorrelated channels", m)
+		}
+	}
+}
+
+// TestFaultStationaryRate: the empirical fault rate matches the model.
+// For bursty loss the Gilbert–Elliott chain must hold the SAME
+// stationary rate as i.i.d. loss — bursts redistribute faults, they do
+// not add any — and the mean burst length must be near the configured
+// dwell time.
+func TestFaultStationaryRate(t *testing.T) {
+	ch := buildFaultChannel(t, 300, 0)
+	const span = 400000
+
+	for _, tc := range []struct {
+		name string
+		m    FaultModel
+		want float64
+	}{
+		{"iid", FaultModel{Loss: 0.05, Seed: 9}, 0.05},
+		{"burst8", FaultModel{Loss: 0.05, Burst: 8, Seed: 9}, 0.05},
+		{"corrupt", FaultModel{Corrupt: 0.02, Seed: 9}, 0.02},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ff := NewFaultFeed(ch, tc.m)
+			var faults, bursts, burstSlots int
+			inBurst := false
+			for slot := int64(0); slot < span; slot++ {
+				f := ff.Fault(slot)
+				if f != nil {
+					faults++
+					burstSlots++
+					if !inBurst {
+						bursts++
+						inBurst = true
+					}
+				} else {
+					inBurst = false
+				}
+			}
+			rate := float64(faults) / span
+			if math.Abs(rate-tc.want) > 0.15*tc.want {
+				t.Errorf("empirical rate %.4f, want %.4f ±15%%", rate, tc.want)
+			}
+			if tc.m.Burst > 1 {
+				mean := float64(burstSlots) / float64(bursts)
+				// Block renewal clips bursts at geBlock boundaries, so
+				// allow a generous band around the configured dwell.
+				if mean < tc.m.Burst/2 || mean > tc.m.Burst*2 {
+					t.Errorf("mean burst length %.2f, want near %g", mean, tc.m.Burst)
+				}
+			}
+		})
+	}
+}
+
+// TestFaultFeedSchedulePassthrough: faults hit receptions only. Schedule
+// truth — page descriptors, arrival times, the index — is what the
+// transmitter put on air and passes through untouched, which is exactly
+// what makes recovery by re-derived arrival possible.
+func TestFaultFeedSchedulePassthrough(t *testing.T) {
+	ch := buildFaultChannel(t, 200, 17)
+	ff := NewFaultFeed(ch, FaultModel{Loss: 0.3, Corrupt: 0.1, Seed: 3})
+
+	if ff.Index() != ch.Index() {
+		t.Fatal("Index() not passed through")
+	}
+	cycle := ch.Index().CycleLen()
+	nodes := ch.Index().NumIndexPages()
+	for slot := int64(17); slot < 17+2*cycle; slot++ {
+		if got, want := ff.PageAt(slot), ch.PageAt(slot); got != want {
+			t.Fatalf("PageAt(%d) = %+v, want %+v", slot, got, want)
+		}
+		if got, want := ff.NextRootArrival(slot), ch.NextRootArrival(slot); got != want {
+			t.Fatalf("NextRootArrival(%d) = %d, want %d", slot, got, want)
+		}
+		if got, want := ff.NextNodeArrival(int(slot)%nodes, slot), ch.NextNodeArrival(int(slot)%nodes, slot); got != want {
+			t.Fatalf("NextNodeArrival(%d) diverges", slot)
+		}
+	}
+
+	// ReadNode: clean slots serve the inner node, faulted slots report
+	// the fault (loss masks corruption — a page that never arrived
+	// cannot fail its checksum).
+	var sawLost, sawCorrupt, sawClean bool
+	for slot := int64(17); slot < 17+4*cycle; slot++ {
+		if ff.PageAt(slot).Kind != IndexPage {
+			continue
+		}
+		n, pf := ff.ReadNode(slot)
+		switch {
+		case pf == nil:
+			sawClean = true
+			want, _ := ch.ReadNode(slot)
+			if n != want {
+				t.Fatalf("clean ReadNode(%d) diverges from inner", slot)
+			}
+		case pf.Kind == FaultLost:
+			sawLost = true
+		case pf.Kind == FaultCorrupt:
+			sawCorrupt = true
+		}
+		if pf != nil && (n != nil || pf.Slot != slot) {
+			t.Fatalf("faulted ReadNode(%d) = (%v, %v)", slot, n, pf)
+		}
+	}
+	if !sawLost || !sawCorrupt || !sawClean {
+		t.Fatalf("fault mix not exercised: lost=%v corrupt=%v clean=%v",
+			sawLost, sawCorrupt, sawClean)
+	}
+}
+
+// TestFaultFeedConcurrent: a FaultFeed holds no mutable state; concurrent
+// readers must observe the identical fault pattern (run under -race).
+func TestFaultFeedConcurrent(t *testing.T) {
+	ch := buildFaultChannel(t, 150, 0)
+	ff := NewFaultFeed(ch, FaultModel{Loss: 0.1, Burst: 4, Corrupt: 0.05, Seed: 77})
+	const span = 5000
+
+	want := make([]FaultKind, span)
+	for slot := int64(0); slot < span; slot++ {
+		if f := ff.Fault(slot); f != nil {
+			want[slot] = f.Kind
+		} else {
+			want[slot] = -1
+		}
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for slot := int64(0); slot < span; slot++ {
+				got := FaultKind(-1)
+				if f := ff.Fault(slot); f != nil {
+					got = f.Kind
+				}
+				if got != want[slot] {
+					t.Errorf("slot %d: concurrent read saw %v, want %v", slot, got, want[slot])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestDeriveFaultSeed: distinct channels must get decorrelated seeds from
+// the same root seed, and the derivation must be stable (it is part of
+// the determinism contract across worker counts).
+func TestDeriveFaultSeed(t *testing.T) {
+	seen := map[uint64]uint64{}
+	for chID := uint64(0); chID < 64; chID++ {
+		s := DeriveFaultSeed(12345, chID)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("channels %d and %d collide on seed %#x", prev, chID, s)
+		}
+		seen[s] = chID
+		if s != DeriveFaultSeed(12345, chID) {
+			t.Fatal("DeriveFaultSeed is not stable")
+		}
+	}
+}

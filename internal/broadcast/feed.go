@@ -13,9 +13,16 @@ type Feed interface {
 	// PageAt returns the page on air at slot t. For multiplexed feeds the
 	// slot must belong to this feed's share of the channel.
 	PageAt(t int64) Page
-	// ReadNode returns the R-tree node on air at slot t; it panics if the
-	// slot does not carry one of this feed's index pages.
-	ReadNode(t int64) *rtree.Node
+	// ReadNode returns the R-tree node on air at slot t, or the PageFault
+	// that prevented its reception (lossy feeds only; perfect feeds always
+	// return a nil fault). It panics if the slot does not carry one of
+	// this feed's index pages.
+	ReadNode(t int64) (*rtree.Node, *PageFault)
+	// Fault reports the reception fault injected at slot t, nil for a
+	// clean reception. Unlike ReadNode it applies to ANY slot kind —
+	// receivers consult it when downloading data pages. Perfect feeds
+	// return nil for every slot.
+	Fault(t int64) *PageFault
 	// NextNodeArrival returns the first slot >= after carrying index page
 	// nodeID.
 	NextNodeArrival(nodeID int, after int64) int64
@@ -102,13 +109,16 @@ func (f *dualFeed) PageAt(t int64) Page {
 }
 
 // ReadNode implements Feed.
-func (f *dualFeed) ReadNode(t int64) *rtree.Node {
+func (f *dualFeed) ReadNode(t int64) (*rtree.Node, *PageFault) {
 	p := f.PageAt(t)
 	if p.Kind != IndexPage {
 		panic("broadcast: slot carries a data page, not an index page")
 	}
-	return f.idx().Tree().Nodes[p.NodeID]
+	return f.idx().Tree().Nodes[p.NodeID], nil
 }
+
+// Fault implements Feed: a bare dualFeed is a perfect channel share.
+func (f *dualFeed) Fault(int64) *PageFault { return nil }
 
 // delayTo translates a program-cycle-relative next-occurrence query into a
 // combined-cycle delay from channel position r. next answers the index's

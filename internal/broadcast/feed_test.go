@@ -113,7 +113,7 @@ func TestDualFeedRootArrival(t *testing.T) {
 		if got < 123 {
 			t.Fatal("root arrival before 'after'")
 		}
-		if n := f.ReadNode(got); n.ID != 0 {
+		if n, _ := f.ReadNode(got); n.ID != 0 {
 			t.Fatalf("root arrival carries node %d", n.ID)
 		}
 	}

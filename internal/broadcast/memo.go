@@ -90,14 +90,28 @@ func (m *MemoFeed) PageAt(t int64) Page {
 	return p
 }
 
-// ReadNode implements Feed.
-func (m *MemoFeed) ReadNode(t int64) *rtree.Node {
+// ReadNode implements Feed. Faults are consulted on the inner feed FRESH
+// on every read — never cached and never skipped. MemoFeed serves the node
+// from the tree via the memoized page descriptor (bypassing the inner
+// ReadNode), so without this check a fault injected below the memo would
+// silently vanish for every client in the worker; and caching a fault
+// would be just as wrong, because the same page read at a later slot is an
+// independent reception that may well succeed. Only schedule truth (page
+// descriptors, arrival windows) is memoizable — it is fault-independent.
+func (m *MemoFeed) ReadNode(t int64) (*rtree.Node, *PageFault) {
+	if pf := m.f.Fault(t); pf != nil {
+		return nil, pf
+	}
 	p := m.PageAt(t)
 	if p.Kind != IndexPage {
 		panic(fmt.Sprintf("broadcast: slot %d carries %v, not an index page", t, p.Kind))
 	}
-	return m.tree.Nodes[p.NodeID]
+	return m.tree.Nodes[p.NodeID], nil
 }
+
+// Fault implements Feed: delegated uncached for the same reason ReadNode
+// re-checks — fault state is per-reception, not per-page.
+func (m *MemoFeed) Fault(t int64) *PageFault { return m.f.Fault(t) }
 
 // NextNodeArrival implements Feed.
 func (m *MemoFeed) NextNodeArrival(nodeID int, after int64) int64 {

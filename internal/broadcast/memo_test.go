@@ -69,7 +69,9 @@ func TestMemoFeedEquivalence(t *testing.T) {
 			if got, want := memo.PageAt(slot), feed.PageAt(slot); got != want {
 				t.Fatalf("%s: PageAt(%d) = %+v, want %+v", name, slot, got, want)
 			}
-			if got, want := memo.ReadNode(slot), feed.ReadNode(slot); got != want {
+			gotN, _ := memo.ReadNode(slot)
+			wantN, _ := feed.ReadNode(slot)
+			if gotN != wantN {
 				t.Fatalf("%s: ReadNode(%d) diverges", name, slot)
 			}
 		}
@@ -88,4 +90,73 @@ func TestMemoFeedEquivalence(t *testing.T) {
 		check(t, "dualS", dc.FeedS())
 		check(t, "dualR", dc.FeedR())
 	})
+}
+
+// TestMemoFeedFaultTransparency is the regression test for the memo/fault
+// interaction: a MemoFeed serves nodes from memoized page descriptors,
+// bypassing the inner ReadNode, so it MUST consult the inner feed's fault
+// state fresh on every read. A faulted read must never be cached (the
+// same page at a later slot is an independent reception that may
+// succeed), and a cached clean read must never mask a fault at another
+// occurrence of the same page.
+func TestMemoFeedFaultTransparency(t *testing.T) {
+	p := DefaultParams()
+	cfg := rtree.Config{LeafCap: p.LeafCap(), NodeCap: p.NodeCap()}
+	tree := rtree.Build(dataset.Uniform(43, 400, dataset.PaperRegion), cfg)
+	ch := NewChannel(BuildIndex(tree, p, IndexSpec{}), 0)
+	ff := NewFaultFeed(ch, FaultModel{Loss: 0.2, Seed: 11})
+	memo := NewMemoFeed(ff)
+
+	cycle := ch.Index().CycleLen()
+	var faulted, recovered, masked int
+	for slot := int64(0); slot < 6*cycle; slot++ {
+		if ch.PageAt(slot).Kind != IndexPage {
+			continue
+		}
+		n, pf := memo.ReadNode(slot)
+		wantPF := ff.Fault(slot)
+		if (pf == nil) != (wantPF == nil) {
+			t.Fatalf("slot %d: memo fault %v, inner fault %v", slot, pf, wantPF)
+		}
+		if pf == nil {
+			want, _ := ch.ReadNode(slot)
+			if n != want {
+				t.Fatalf("slot %d: clean read diverges from channel", slot)
+			}
+			recovered++
+			continue
+		}
+		faulted++
+		// The SAME page's next occurrence: a fresh reception. If the
+		// fault had been cached, this read would fail too; if a clean
+		// read had been cached under this memo slot, the fault above
+		// would have been masked (caught by the divergence check).
+		nodeID := ch.PageAt(slot).NodeID
+		next := ch.NextNodeArrival(nodeID, slot+1)
+		for ff.Fault(next) != nil {
+			next = ch.NextNodeArrival(nodeID, next+1)
+		}
+		got, pf2 := memo.ReadNode(next)
+		if pf2 != nil {
+			masked++
+			t.Fatalf("slot %d: fault at %d was cached — clean retry at %d still fails: %v",
+				slot, slot, next, pf2)
+		}
+		if want, _ := ch.ReadNode(next); got != want {
+			t.Fatalf("slot %d: retry at %d served the wrong node", slot, next)
+		}
+	}
+	if faulted == 0 || recovered == 0 {
+		t.Fatalf("test did not exercise both paths: faulted=%d clean=%d (masked=%d)",
+			faulted, recovered, masked)
+	}
+
+	// Fault() itself must be delegated uncached: two calls at the same
+	// slot agree with the inner feed, and the memo never reorders them.
+	for slot := int64(0); slot < 2*cycle; slot++ {
+		a, b, inner := memo.Fault(slot), memo.Fault(slot), ff.Fault(slot)
+		if (a == nil) != (inner == nil) || (b == nil) != (inner == nil) {
+			t.Fatalf("slot %d: memo.Fault diverges from inner", slot)
+		}
+	}
 }

@@ -360,7 +360,7 @@ func TestDualChannelOverDistributed(t *testing.T) {
 			if got < after || got >= after+dual.CycleLen() {
 				t.Fatalf("arrival %d outside [after, after+cycle)", got)
 			}
-			if n := f.ReadNode(got); n.ID != id {
+			if n, _ := f.ReadNode(got); n.ID != id {
 				t.Fatalf("slot %d carries node %d, want %d", got, n.ID, id)
 			}
 			obj := rng.Intn(tree.Count)

@@ -3,6 +3,7 @@ package broadcast
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"math"
 
 	"tnnbcast/internal/geom"
@@ -16,11 +17,20 @@ import (
 // achievable byte-for-byte, and to give downstream users a concrete page
 // layout.
 //
-// Index page layout (one R-tree node per page):
+// Index page layout (one R-tree node per page), format version 2:
 //
-//	[1B kind/leaf flag][1B entry count] then per entry:
+//	[1B version][1B kind/leaf flag][1B entry count] then per entry:
 //	  internal: [4×float32 MBR][uint16 pointer]              (18 B)
 //	  leaf:     [2×float32 point][uint16 pointer]            (10 B)
+//	then zero padding to PageCap, then [4B CRC32C trailer].
+//
+// The trailer is the CRC32C (Castagnoli) checksum, big-endian, of every
+// byte before it — header, entries, and padding. CRC32C detects all
+// single- and double-bit errors at these page sizes, so a receiver can
+// tell "damaged page" from "bad geometry": DecodeNode returns a typed
+// *PageFault (FaultCorrupt) on a checksum mismatch instead of handing
+// corrupted MBRs to the search. Version 1 had no version byte and no
+// trailer; version-2 decoders reject it loudly rather than misparse.
 //
 // Pointer encoding: a 2-byte pointer cannot hold an absolute slot of a
 // multi-million-slot cycle, so — as real air indexes do — pointers are
@@ -35,8 +45,22 @@ import (
 // numbers have no explicit header; Params without header reproduces them,
 // and the encoder rejects nodes that overflow the raw capacity).
 
-// WireHeaderSize is the per-page header: kind/flags byte + entry count.
-const WireHeaderSize = 2
+// WireVersion is the current page format version, carried in the first
+// header byte. Bumped to 2 when the CRC32C trailer and version byte were
+// added.
+const WireVersion = 2
+
+// WireHeaderSize is the per-page header: version byte + kind/flags byte +
+// entry count.
+const WireHeaderSize = 3
+
+// WireTrailerSize is the CRC32C trailer appended after the padded page
+// body.
+const WireTrailerSize = 4
+
+// crcTable is the Castagnoli polynomial table shared by encoder and
+// decoder.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // pointerUnit returns the coarse tick size used by 2-byte relative
 // pointers for a cycle of the given length.
@@ -72,7 +96,7 @@ func EncodeNode(ch *Channel, n *rtree.Node, carrySlot int64, params Params) ([]b
 	if n.Leaf() {
 		kind = 1
 	}
-	buf = append(buf, kind, byte(len(n.Children)+len(n.Entries)))
+	buf = append(buf, WireVersion, kind, byte(len(n.Children)+len(n.Entries)))
 
 	if n.Leaf() {
 		if len(n.Entries) > params.LeafCap() {
@@ -109,10 +133,12 @@ func EncodeNode(ch *Channel, n *rtree.Node, carrySlot int64, params Params) ([]b
 		return nil, fmt.Errorf("broadcast: page image %dB exceeds capacity %dB (+%dB header)",
 			len(buf), params.PageCap, WireHeaderSize)
 	}
-	// Pad to a fixed page size (capacity + header).
+	// Pad to a fixed page size (capacity + header), then seal with the
+	// CRC32C trailer over everything before it.
 	for len(buf) < params.PageCap+WireHeaderSize {
 		buf = append(buf, 0)
 	}
+	buf = binary.BigEndian.AppendUint32(buf, crc32.Checksum(buf, crcTable))
 	return buf, nil
 }
 
@@ -135,15 +161,27 @@ type WirePage struct {
 
 // DecodeNode parses a page image produced by EncodeNode. cycleLen must be
 // the carrying channel's cycle length (it determines the pointer unit).
+// Integrity is verified before anything is parsed: a wrong version byte is
+// a format error, and a CRC32C mismatch returns a typed *PageFault of kind
+// FaultCorrupt (errors.As-able) — a damaged page is a channel event, not
+// decodable geometry.
 func DecodeNode(img []byte, params Params, cycleLen int64) (WirePage, error) {
-	if len(img) < WireHeaderSize {
+	if len(img) < WireHeaderSize+WireTrailerSize {
 		return WirePage{}, fmt.Errorf("broadcast: short page image (%dB)", len(img))
 	}
+	body, trailer := img[:len(img)-WireTrailerSize], img[len(img)-WireTrailerSize:]
+	if got, want := crc32.Checksum(body, crcTable), binary.BigEndian.Uint32(trailer); got != want {
+		return WirePage{}, &PageFault{Slot: -1, Kind: FaultCorrupt}
+	}
+	if img[0] != WireVersion {
+		return WirePage{}, fmt.Errorf("broadcast: page format version %d, want %d", img[0], WireVersion)
+	}
 	unit := pointerUnit(cycleLen)
-	leaf := img[0] == 1
-	count := int(img[1])
+	leaf := img[1] == 1
+	count := int(img[2])
 	out := WirePage{Leaf: leaf}
 	off := WireHeaderSize
+	img = body
 	entry := params.IndexEntrySize()
 	if leaf {
 		entry = params.LeafEntrySize()

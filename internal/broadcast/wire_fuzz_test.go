@@ -50,14 +50,14 @@ func FuzzWireRoundTrip(f *testing.F) {
 		rel := indexSlots[int(slotSel)%len(indexSlots)]
 		// Carrier slot on the channel clock (first occurrence at/after 0).
 		slot := ch.NextNodeArrival(idx.PageAt(rel).NodeID, 0)
-		node := ch.ReadNode(slot)
+		node, _ := ch.ReadNode(slot)
 
 		img, err := EncodeNode(ch, node, slot, p)
 		if err != nil {
 			t.Fatalf("encode: %v", err)
 		}
-		if len(img) != p.PageCap+WireHeaderSize {
-			t.Fatalf("image size %d, want %d", len(img), p.PageCap+WireHeaderSize)
+		if len(img) != p.PageCap+WireHeaderSize+WireTrailerSize {
+			t.Fatalf("image size %d, want %d", len(img), p.PageCap+WireHeaderSize+WireTrailerSize)
 		}
 		dec, err := DecodeNode(img, p, idx.CycleLen())
 		if err != nil {
@@ -111,16 +111,32 @@ func FuzzWireRoundTrip(f *testing.F) {
 			}
 		}
 		// Padding must be all zeros: decoders rely on the count byte, but
-		// fixed-size pages must not leak stale bytes.
+		// fixed-size pages must not leak stale bytes. (The CRC trailer after
+		// the padding is of course nonzero.)
 		used := WireHeaderSize
 		if node.Leaf() {
 			used += len(node.Entries) * p.LeafEntrySize()
 		} else {
 			used += len(node.Children) * p.IndexEntrySize()
 		}
-		for i := used; i < len(img); i++ {
+		for i := used; i < len(img)-WireTrailerSize; i++ {
 			if img[i] != 0 {
 				t.Fatalf("padding byte %d = %#x", i, img[i])
+			}
+		}
+
+		// Integrity: every single-bit flip of the valid image — header,
+		// entries, padding, or trailer — must be rejected by DecodeNode.
+		// CRC32C detects all 1- and 2-bit errors at these page sizes, so
+		// none of the 8·len(img) damaged images may decode.
+		flipped := make([]byte, len(img))
+		for byteIdx := range img {
+			for bit := 0; bit < 8; bit++ {
+				copy(flipped, img)
+				flipped[byteIdx] ^= 1 << bit
+				if _, err := DecodeNode(flipped, p, idx.CycleLen()); err == nil {
+					t.Fatalf("bit flip at byte %d bit %d decoded cleanly", byteIdx, bit)
+				}
 			}
 		}
 	})

@@ -1,6 +1,9 @@
 package broadcast
 
 import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
 	"math"
 	"testing"
 )
@@ -12,13 +15,13 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 	ch := NewChannel(prog, 13)
 
 	slot := ch.NextRootArrival(0)
-	root := ch.ReadNode(slot)
+	root, _ := ch.ReadNode(slot)
 	img, err := EncodeNode(ch, root, slot, p)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(img) != p.PageCap+WireHeaderSize {
-		t.Fatalf("image size %d, want %d", len(img), p.PageCap+WireHeaderSize)
+	if len(img) != p.PageCap+WireHeaderSize+WireTrailerSize {
+		t.Fatalf("image size %d, want %d", len(img), p.PageCap+WireHeaderSize+WireTrailerSize)
 	}
 	dec, err := DecodeNode(img, p, prog.CycleLen())
 	if err != nil {
@@ -63,7 +66,7 @@ func TestEncodeLeafPointers(t *testing.T) {
 	if leafSlot < 0 {
 		t.Fatal("no leaf page found")
 	}
-	leaf := ch.ReadNode(leafSlot)
+	leaf, _ := ch.ReadNode(leafSlot)
 	img, err := EncodeNode(ch, leaf, leafSlot, p)
 	if err != nil {
 		t.Fatal(err)
@@ -104,7 +107,7 @@ func TestEncodeCycleIndexAllFit(t *testing.T) {
 				prog.M()*prog.NumIndexPages())
 		}
 		for slot, img := range imgs {
-			if len(img) != pageCap+WireHeaderSize {
+			if len(img) != pageCap+WireHeaderSize+WireTrailerSize {
 				t.Fatalf("pageCap %d slot %d: image %dB", pageCap, slot, len(img))
 			}
 			if _, err := DecodeNode(img, p, prog.CycleLen()); err != nil {
@@ -114,17 +117,43 @@ func TestEncodeCycleIndexAllFit(t *testing.T) {
 	}
 }
 
+// seal appends a valid CRC32C trailer so the test reaches the parse stage.
+func seal(body []byte) []byte {
+	return binary.BigEndian.AppendUint32(body, crc32.Checksum(body, crcTable))
+}
+
 func TestDecodeErrors(t *testing.T) {
 	p := DefaultParams()
 	if _, err := DecodeNode([]byte{1}, p, 100); err == nil {
 		t.Error("short image should error")
 	}
-	// Claimed count overflowing the image.
+	// Claimed count overflowing the image (valid CRC, so the parser is
+	// reached).
 	img := make([]byte, 20)
-	img[0] = 0
-	img[1] = 200
-	if _, err := DecodeNode(img, p, 100); err == nil {
+	img[0] = WireVersion
+	img[2] = 200
+	if _, err := DecodeNode(seal(img), p, 100); err == nil {
 		t.Error("overflowing count should error")
+	}
+	// Version-1 image (no version byte in that format, so byte 0 is the
+	// leaf flag): rejected as a format error, not misparsed.
+	old := make([]byte, 20)
+	old[0] = 1
+	if _, err := DecodeNode(seal(old), p, 100); err == nil {
+		t.Error("wrong version should error")
+	} else {
+		var pf *PageFault
+		if errors.As(err, &pf) {
+			t.Errorf("wrong version reported as fault %v, want format error", pf)
+		}
+	}
+	// Checksum mismatch is a typed fault, checked before anything is
+	// parsed.
+	bad := seal(make([]byte, 20))
+	bad[5] ^= 0x01
+	var pf *PageFault
+	if _, err := DecodeNode(bad, p, 100); !errors.As(err, &pf) || pf.Kind != FaultCorrupt {
+		t.Errorf("checksum mismatch: got %v, want FaultCorrupt PageFault", err)
 	}
 }
 

@@ -34,7 +34,7 @@ func TestReceiverAccounting(t *testing.T) {
 	if slot < 100 {
 		t.Fatalf("root arrival %d before issue", slot)
 	}
-	n := r.DownloadNode(slot)
+	n, _ := r.DownloadNode(slot)
 	if n.ID != 0 {
 		t.Fatalf("expected root, got node %d", n.ID)
 	}
@@ -53,7 +53,7 @@ func TestReceiverDownloadObject(t *testing.T) {
 	ch := testChannel(t, 40, 3)
 	r := NewReceiver(ch, 0)
 	ppo := int64(ch.Index().PagesPerObject())
-	end := r.DownloadObject(5)
+	end, _ := r.DownloadObject(5)
 	if r.Pages() != ppo {
 		t.Errorf("pages = %d, want %d", r.Pages(), ppo)
 	}

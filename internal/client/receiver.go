@@ -27,15 +27,33 @@ type Receiver struct {
 	ch    broadcast.Feed
 	issue int64 // slot at which the query was issued
 	now   int64 // next slot the receiver may tune into
-	pages int64 // pages downloaded so far
-	last  int64 // slot of the last downloaded page; issue-1 when none
+	pages int64 // pages tuned into so far (clean and faulted receptions)
+	last  int64 // slot of the last completed download; issue-1 when none
 	trace func(slot int64, page broadcast.Page)
+
+	// Loss accounting. A fault "episode" runs from the first faulted
+	// reception until the next successful download on this channel;
+	// recovery slots measure how much of the access time is loss-induced.
+	lost       int64 // receptions that faulted (lost or corrupt pages)
+	retries    int64 // faulted receptions that were later retried successfully
+	recovery   int64 // slots between each episode's first fault and its closing download
+	epFaults   int64 // faults in the open episode
+	inFault    bool  // an episode is open
+	faultAt    int64 // slot of the open episode's first fault
+	traceFault func(slot int64)
 }
 
 // SetTrace installs a callback invoked once per downloaded page, for
 // page-level query traces (cmd/tnnquery). A nil callback disables tracing.
+// Faulted receptions do not fire it — see SetFaultTrace.
 func (r *Receiver) SetTrace(fn func(slot int64, page broadcast.Page)) {
 	r.trace = fn
+}
+
+// SetFaultTrace installs a callback invoked once per faulted reception.
+// A nil callback disables it.
+func (r *Receiver) SetFaultTrace(fn func(slot int64)) {
+	r.traceFault = fn
 }
 
 // NewReceiver creates a receiver for a broadcast feed (a dedicated channel
@@ -92,47 +110,135 @@ func (r *Receiver) NextRootArrival() int64 {
 	return r.ch.NextRootArrival(r.now)
 }
 
+// fault accounts one faulted reception at slot: the radio was on (tune-in
+// is spent), nothing was completed (last stands), and the clock moves past
+// the dead slot so the caller can re-derive the page's next arrival.
+func (r *Receiver) fault(slot int64) {
+	r.pages++
+	r.lost++
+	r.epFaults++
+	if !r.inFault {
+		r.inFault, r.faultAt = true, slot
+	}
+	r.now = slot + 1
+	if r.traceFault != nil {
+		r.traceFault(slot)
+	}
+}
+
+// closeEpisode settles an open fault episode at a successful download
+// starting at slot: every fault in it counts as a retried reception, and
+// the slots between the first fault and the recovering download are the
+// loss-induced share of the access time.
+func (r *Receiver) closeEpisode(slot int64) {
+	if !r.inFault {
+		return
+	}
+	r.recovery += slot - r.faultAt
+	r.retries += r.epFaults
+	r.inFault, r.epFaults = false, 0
+}
+
 // DownloadNode dozes until slot (which must be >= the local clock and must
-// carry index page content), downloads the page, and returns the node.
-func (r *Receiver) DownloadNode(slot int64) *rtree.Node {
+// carry index page content) and downloads the page. On a clean reception
+// it returns the node; on a lossy feed it may instead return the PageFault
+// that ate the slot — tune-in is spent either way, and the caller is
+// expected to re-derive the node's next arrival and retry.
+func (r *Receiver) DownloadNode(slot int64) (*rtree.Node, *broadcast.PageFault) {
 	if slot < r.now {
 		panic(fmt.Sprintf("client: download at slot %d before local clock %d", slot, r.now))
 	}
-	n := r.ch.ReadNode(slot) // panics if slot carries a data page
+	n, pf := r.ch.ReadNode(slot) // panics if slot carries a data page
+	if pf != nil {
+		r.fault(slot)
+		return nil, pf
+	}
 	r.pages++
 	r.last = slot
 	r.now = slot + 1
+	r.closeEpisode(slot)
 	if r.trace != nil {
 		r.trace(slot, r.ch.PageAt(slot))
 	}
-	return n
+	return n, nil
 }
 
 // DownloadObject dozes until the next broadcast of objectID's data pages
-// and downloads the full object (PagesPerObject consecutive pages). It
-// returns the slot after the download completes.
-func (r *Receiver) DownloadObject(objectID int) int64 {
+// and downloads the full object (PagesPerObject consecutive pages). On a
+// clean run it returns the slot after the download completes. A fault on
+// any page of the run aborts the attempt at the faulted page: the pages
+// tuned so far (clean prefix plus the dead page) are accounted, the object
+// is incomplete (last stands), and the fault is returned for the caller to
+// retry at the object's next broadcast.
+func (r *Receiver) DownloadObject(objectID int) (int64, *broadcast.PageFault) {
 	start := r.ch.NextObjectArrival(objectID, r.now)
 	ppo := int64(r.ch.Index().PagesPerObject())
-	r.pages += ppo
-	r.last = start + ppo - 1
-	r.now = start + ppo
-	if r.trace != nil {
-		for k := int64(0); k < ppo; k++ {
+	for k := int64(0); k < ppo; k++ {
+		if pf := r.ch.Fault(start + k); pf != nil {
+			r.fault(start + k)
+			return 0, pf
+		}
+		r.pages++
+		if r.trace != nil {
 			r.trace(start+k, r.ch.PageAt(start+k))
 		}
 	}
-	return r.now
+	r.last = start + ppo - 1
+	r.now = start + ppo
+	r.closeEpisode(start)
+	return r.now, nil
 }
 
-// Metrics are the paper's two performance measures for one query.
+// DownloadObjectReliable retries DownloadObject at the object's successive
+// broadcasts until a full clean run is received. After maxRetries
+// consecutive faulted attempts it escalates to a ChannelError (the Channel
+// field is left for the caller to tag). On a lossless feed it is exactly
+// one DownloadObject call.
+func (r *Receiver) DownloadObjectReliable(objectID, maxRetries int) (int64, *broadcast.ChannelError) {
+	attempts := 0
+	for {
+		end, pf := r.DownloadObject(objectID)
+		if pf == nil {
+			return end, nil
+		}
+		attempts++
+		if attempts >= maxRetries {
+			return 0, &broadcast.ChannelError{Attempts: attempts, Last: pf}
+		}
+	}
+}
+
+// Lost returns the number of faulted receptions on this channel.
+func (r *Receiver) Lost() int64 { return r.lost }
+
+// Retries returns the faulted receptions that a later successful download
+// recovered from.
+func (r *Receiver) Retries() int64 { return r.retries }
+
+// RecoverySlots returns the total slots spent inside closed fault
+// episodes — the loss-induced share of this channel's access time.
+func (r *Receiver) RecoverySlots() int64 { return r.recovery }
+
+// Metrics are the paper's two performance measures for one query, plus the
+// loss accounting of the resilience layer (all zero on a perfect channel).
 type Metrics struct {
 	// AccessTime is the elapsed time from query issue until the query is
 	// satisfied: the larger of the per-channel access times (Section 6).
 	AccessTime int64
-	// TuneIn is the total number of pages downloaded across all channels —
-	// the energy-consumption proxy.
+	// TuneIn is the total number of pages tuned into across all channels —
+	// the energy-consumption proxy. Faulted receptions count: the radio
+	// was on for them.
 	TuneIn int64
+	// Lost is the number of receptions that faulted (lost or corrupt
+	// pages) across all channels.
+	Lost int64
+	// Retries is the number of faulted receptions that were recovered by
+	// a later successful download.
+	Retries int64
+	// RecoverySlots is the total slots spent between a first fault and
+	// the download that recovered from it, summed over all fault
+	// episodes and channels — the loss-induced share of the latency.
+	RecoverySlots int64
 }
 
 // Collect combines per-channel receiver statistics into query metrics.
@@ -143,6 +249,9 @@ func Collect(rs ...*Receiver) Metrics {
 			m.AccessTime = at
 		}
 		m.TuneIn += r.Pages()
+		m.Lost += r.lost
+		m.Retries += r.retries
+		m.RecoverySlots += r.recovery
 	}
 	return m
 }

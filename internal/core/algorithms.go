@@ -48,17 +48,40 @@ type Options struct {
 	Scratch *Scratch
 	// Trace, when non-nil, is invoked once per downloaded page with the
 	// channel tag ("S" or "R"), the slot, and the page content. Used for
-	// page-level query traces.
+	// page-level query traces. Faulted receptions fire TraceFault instead.
 	Trace func(channel string, slot int64, page broadcast.Page)
+	// TraceFault, when non-nil, is invoked once per faulted reception with
+	// the channel tag and the dead slot.
+	TraceFault func(channel string, slot int64)
+	// MaxRetries bounds the consecutive faulted receptions a query
+	// tolerates per channel before giving up with a ChannelError. Zero
+	// selects DefaultMaxRetries; lossless feeds never consult it.
+	MaxRetries int
 }
 
-// applyTrace wires Options.Trace into the two receivers.
-func (o Options) applyTrace(rxS, rxR *client.Receiver) {
-	if o.Trace == nil {
-		return
+// DefaultMaxRetries is the escalation bound used when Options.MaxRetries
+// is zero: a query survives bursts this long and declares the channel dead
+// beyond them.
+const DefaultMaxRetries = 16
+
+// maxRetries resolves the escalation bound.
+func (o Options) maxRetries() int {
+	if o.MaxRetries > 0 {
+		return o.MaxRetries
 	}
-	rxS.SetTrace(func(slot int64, pg broadcast.Page) { o.Trace("S", slot, pg) })
-	rxR.SetTrace(func(slot int64, pg broadcast.Page) { o.Trace("R", slot, pg) })
+	return DefaultMaxRetries
+}
+
+// applyTrace wires Options.Trace/TraceFault into the two receivers.
+func (o Options) applyTrace(rxS, rxR *client.Receiver) {
+	if o.Trace != nil {
+		rxS.SetTrace(func(slot int64, pg broadcast.Page) { o.Trace("S", slot, pg) })
+		rxR.SetTrace(func(slot int64, pg broadcast.Page) { o.Trace("R", slot, pg) })
+	}
+	if o.TraceFault != nil {
+		rxS.SetFaultTrace(func(slot int64) { o.TraceFault("S", slot) })
+		rxR.SetFaultTrace(func(slot int64) { o.TraceFault("R", slot) })
+	}
 }
 
 // HybridCase records which of the three Hybrid-NN cases a query exercised.
@@ -96,6 +119,12 @@ type Result struct {
 	Radius float64
 	// Case is the Hybrid-NN case exercised (CaseNone otherwise).
 	Case HybridCase
+	// Err is non-nil when the query gave up on a dead channel: a
+	// *broadcast.ChannelError after MaxRetries consecutive faulted
+	// receptions. A search-phase escalation leaves Found false; an
+	// escalation during answer retrieval keeps the found Pair (only the
+	// attribute download failed). Always nil on lossless feeds.
+	Err error
 }
 
 // join is the client-side nested-loop join of Algorithm 1 (lines 7–17):

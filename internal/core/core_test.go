@@ -177,12 +177,12 @@ func TestANNSearchTradeoff(t *testing.T) {
 			p := geom.Pt(rng.Float64()*1000, rng.Float64()*1000)
 
 			rxE := client.NewReceiver(te.env.ChS, 0)
-			exact := newNNSearch(rxE, p, 0)
+			exact := newNNSearch(rxE, p, 0, 16)
 			client.RunSequential(exact)
 			_, dE, okE := exact.result()
 
 			rxA := client.NewReceiver(te.env.ChS, 0)
-			ann := newNNSearch(rxA, p, 1)
+			ann := newNNSearch(rxA, p, 1, 16)
 			client.RunSequential(ann)
 			_, dA, okA := ann.result()
 

@@ -17,6 +17,7 @@ package core
 import (
 	"fmt"
 
+	"tnnbcast/internal/broadcast"
 	"tnnbcast/internal/client"
 	"tnnbcast/internal/geom"
 )
@@ -150,11 +151,11 @@ func (ex *QueryExec) Reset(env Env, algo Algo, p geom.Point, opt Options) {
 	opt.applyTrace(ex.rxS, ex.rxR)
 	switch algo {
 	case AlgoWindow:
-		ex.ns = opt.Scratch.nnSearch(ex.rxS, p, opt.ANN.FactorS)
+		ex.ns = opt.Scratch.nnSearch(ex.rxS, p, opt.ANN.FactorS, opt.maxRetries())
 		ex.phase = phWinS
 	case AlgoHybrid, AlgoDouble:
-		ex.ns = opt.Scratch.nnSearch(ex.rxS, p, opt.ANN.FactorS)
-		ex.nr = opt.Scratch.nnSearch(ex.rxR, p, opt.ANN.FactorR)
+		ex.ns = opt.Scratch.nnSearch(ex.rxS, p, opt.ANN.FactorS, opt.maxRetries())
+		ex.nr = opt.Scratch.nnSearch(ex.rxR, p, opt.ANN.FactorR, opt.maxRetries())
 		ex.phase = phEstimate
 	case AlgoApprox:
 		// No estimate phase: the radius comes from Eq. 1 directly.
@@ -334,6 +335,10 @@ func (ex *QueryExec) advance() {
 			if _, done := ex.ns.Peek(); !done {
 				return
 			}
+			if ex.ns.err != nil {
+				ex.failWith("S", ex.ns.err)
+				return
+			}
 			s, _, ok := ex.ns.result()
 			if !ok {
 				ex.fail()
@@ -342,11 +347,15 @@ func (ex *QueryExec) advance() {
 			// The second NN query starts only after the first finishes,
 			// because its query point is the first one's result.
 			ex.rxR.WaitUntil(ex.rxS.Now())
-			ex.nr = ex.opt.Scratch.nnSearch(ex.rxR, s.Point, ex.opt.ANN.FactorR)
+			ex.nr = ex.opt.Scratch.nnSearch(ex.rxR, s.Point, ex.opt.ANN.FactorR, ex.opt.maxRetries())
 			ex.phase = phWinR
 
 		case phWinR:
 			if _, done := ex.nr.Peek(); !done {
+				return
+			}
+			if ex.nr.err != nil {
+				ex.failWith("R", ex.nr.err)
 				return
 			}
 			r, _, okR := ex.nr.result()
@@ -365,6 +374,16 @@ func (ex *QueryExec) advance() {
 			_, sDone := ex.ns.Peek()
 			_, rDone := ex.nr.Peek()
 			if !sDone || !rDone {
+				return
+			}
+			// Escalations are checked S before R so that the reported
+			// channel is deterministic when both die.
+			if ex.ns.err != nil {
+				ex.failWith("S", ex.ns.err)
+				return
+			}
+			if ex.nr.err != nil {
+				ex.failWith("R", ex.nr.err)
 				return
 			}
 			s, _, okS := ex.ns.result()
@@ -389,6 +408,14 @@ func (ex *QueryExec) advance() {
 			if !sDone || !rDone {
 				return
 			}
+			if ex.qs.err != nil {
+				ex.failWith("S", ex.qs.err)
+				return
+			}
+			if ex.qr.err != nil {
+				ex.failWith("R", ex.qr.err)
+				return
+			}
 			ex.phase = phJoin
 			return // the join is a real Step, not a transition
 
@@ -407,8 +434,8 @@ func (ex *QueryExec) startFilter() {
 	ex.rxS.WaitUntil(t)
 	ex.rxR.WaitUntil(t)
 	w := geom.Circle{Center: ex.p, R: ex.radius}
-	ex.qs = ex.opt.Scratch.rangeSearch(ex.rxS, w)
-	ex.qr = ex.opt.Scratch.rangeSearch(ex.rxR, w)
+	ex.qs = ex.opt.Scratch.rangeSearch(ex.rxS, w, ex.opt.maxRetries())
+	ex.qr = ex.opt.Scratch.rangeSearch(ex.rxR, w, ex.opt.maxRetries())
 	ex.phase = phFilter
 }
 
@@ -419,20 +446,41 @@ func (ex *QueryExec) fail() {
 	ex.phase = phDone
 }
 
+// failWith finalizes a query whose channel died: the search escalated
+// after MaxRetries consecutive faulted receptions. The metrics account
+// everything spent (including the dead receptions), Found is false, and
+// Err carries the tagged ChannelError.
+func (ex *QueryExec) failWith(channel string, cerr *broadcast.ChannelError) {
+	cerr.Channel = channel
+	ex.res = Result{Metrics: client.Collect(ex.rxS, ex.rxR), Err: cerr}
+	ex.phase = phDone
+}
+
 // joinAndRetrieve is the terminal action: the client-side nested-loop join
 // over the filtered candidates, the optional download of the answer pair's
 // data pages, and the metric collection.
 func (ex *QueryExec) joinAndRetrieve() {
 	pair, ok := join(ex.p, ex.incumbent, ex.haveInc, ex.qs.found, ex.qr.found)
 
+	var err error
 	if ok && !ex.opt.SkipDataRetrieval {
 		// The client dozes until the answer objects' data pages are on air
 		// and downloads the associated attributes, one object per channel.
+		// Retrieval is reliable: a faulted data page retries at the
+		// object's next broadcast, escalating like the searches do. On a
+		// lossless feed this is exactly the old single DownloadObject. The
+		// answer pair is already known at this point, so an escalation
+		// keeps it — only the attribute retrieval is reported failed.
 		t := ex.clockMax()
 		ex.rxS.WaitUntil(t)
 		ex.rxR.WaitUntil(t)
-		ex.rxS.DownloadObject(pair.S.ID)
-		ex.rxR.DownloadObject(pair.R.ID)
+		if _, cerr := ex.rxS.DownloadObjectReliable(pair.S.ID, ex.opt.maxRetries()); cerr != nil {
+			cerr.Channel = "S"
+			err = cerr
+		} else if _, cerr := ex.rxR.DownloadObjectReliable(pair.R.ID, ex.opt.maxRetries()); cerr != nil {
+			cerr.Channel = "R"
+			err = cerr
+		}
 	}
 
 	m := client.Collect(ex.rxS, ex.rxR)
@@ -444,6 +492,7 @@ func (ex *QueryExec) joinAndRetrieve() {
 		FilterTuneIn:   m.TuneIn - ex.estimate,
 		Radius:         ex.radius,
 		Case:           ex.caseTag,
+		Err:            err,
 	}
 	ex.phase = phDone
 }

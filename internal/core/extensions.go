@@ -19,6 +19,7 @@ package core
 // the exact optimum.
 
 import (
+	"fmt"
 	"math"
 
 	"tnnbcast/internal/broadcast"
@@ -43,6 +44,9 @@ type ChainResult struct {
 	Found   bool
 	Metrics client.Metrics
 	Radius  float64
+	// Err is non-nil when a channel died mid-query (see Result.Err);
+	// chain channels are tagged "ch0", "ch1", … in visiting order.
+	Err error
 }
 
 // ChainTNN answers a transitive nearest-neighbor query across k datasets
@@ -66,10 +70,16 @@ func ChainTNN(env MultiEnv, p geom.Point, opt Options) ChainResult {
 		if i > 0 {
 			factor = opt.ANN.FactorR
 		}
-		nns[i] = opt.Scratch.nnSearch(rxs[i], p, factor)
+		nns[i] = opt.Scratch.nnSearch(rxs[i], p, factor, opt.maxRetries())
 		searches[i] = nns[i]
 	}
 	client.RunParallel(searches...)
+	for i := range nns {
+		if cerr := nns[i].err; cerr != nil {
+			cerr.Channel = fmt.Sprintf("ch%d", i)
+			return ChainResult{Metrics: collectAll(rxs), Err: cerr}
+		}
+	}
 
 	// Chain the parallel NN results into a realizable route.
 	route := make([]rtree.Entry, k)
@@ -94,10 +104,16 @@ func ChainTNN(env MultiEnv, p geom.Point, opt Options) ChainResult {
 	procs := make([]client.Process, k)
 	for i, rx := range rxs {
 		rx.WaitUntil(t)
-		ranges[i] = opt.Scratch.rangeSearch(rx, w)
+		ranges[i] = opt.Scratch.rangeSearch(rx, w, opt.maxRetries())
 		procs[i] = ranges[i]
 	}
 	client.RunParallel(procs...)
+	for i := range ranges {
+		if cerr := ranges[i].err; cerr != nil {
+			cerr.Channel = fmt.Sprintf("ch%d", i)
+			return ChainResult{Metrics: collectAll(rxs), Err: cerr}
+		}
+	}
 
 	// Layered DP join: best[i][j] = min route length from p through layers
 	// 0..i ending at candidate j of layer i.
@@ -110,6 +126,7 @@ func ChainTNN(env MultiEnv, p geom.Point, opt Options) ChainResult {
 		return ChainResult{Metrics: collectAll(rxs)}
 	}
 
+	var err error
 	if !opt.SkipDataRetrieval {
 		t = 0
 		for _, rx := range rxs {
@@ -119,7 +136,11 @@ func ChainTNN(env MultiEnv, p geom.Point, opt Options) ChainResult {
 		}
 		for i, rx := range rxs {
 			rx.WaitUntil(t)
-			rx.DownloadObject(stops[i].ID)
+			if _, cerr := rx.DownloadObjectReliable(stops[i].ID, opt.maxRetries()); cerr != nil {
+				cerr.Channel = fmt.Sprintf("ch%d", i)
+				err = cerr
+				break
+			}
 		}
 	}
 
@@ -129,6 +150,7 @@ func ChainTNN(env MultiEnv, p geom.Point, opt Options) ChainResult {
 		Found:   true,
 		Metrics: collectAll(rxs),
 		Radius:  d,
+		Err:     err,
 	}
 }
 
@@ -215,9 +237,12 @@ func UnorderedTNN(env Env, p geom.Point, opt Options) (Result, bool) {
 	rxR := opt.Scratch.receiver(env.ChR, opt.Issue)
 	opt.applyTrace(rxS, rxR)
 
-	ns := opt.Scratch.nnSearch(rxS, p, opt.ANN.FactorS)
-	nr := opt.Scratch.nnSearch(rxR, p, opt.ANN.FactorR)
+	ns := opt.Scratch.nnSearch(rxS, p, opt.ANN.FactorS, opt.maxRetries())
+	nr := opt.Scratch.nnSearch(rxR, p, opt.ANN.FactorR, opt.maxRetries())
 	client.RunParallel(ns, nr)
+	if cerr := channelErr(ns.err, nr.err); cerr != nil {
+		return Result{Metrics: client.Collect(rxS, rxR), Err: cerr}, false
+	}
 	s, _, okS := ns.result()
 	r, _, okR := nr.result()
 	if !okS || !okR {
@@ -235,9 +260,12 @@ func UnorderedTNN(env Env, p geom.Point, opt Options) (Result, bool) {
 	rxS.WaitUntil(t)
 	rxR.WaitUntil(t)
 	w := geom.Circle{Center: p, R: d}
-	qs := opt.Scratch.rangeSearch(rxS, w)
-	qr := opt.Scratch.rangeSearch(rxR, w)
+	qs := opt.Scratch.rangeSearch(rxS, w, opt.maxRetries())
+	qr := opt.Scratch.rangeSearch(rxR, w, opt.maxRetries())
 	client.RunParallel(qs, qr)
+	if cerr := channelErr(qs.err, qr.err); cerr != nil {
+		return Result{Metrics: client.Collect(rxS, rxR), Err: cerr}, false
+	}
 
 	sFirstIncumbent := Pair{S: s, R: r, Dist: dSR}
 	pairSR, _ := join(p, sFirstIncumbent, true, qs.found, qr.found)
@@ -253,6 +281,7 @@ func UnorderedTNN(env Env, p geom.Point, opt Options) (Result, bool) {
 		res = Pair{S: pairRS.R, R: pairRS.S, Dist: pairRS.Dist}
 	}
 
+	var err error
 	if !opt.SkipDataRetrieval {
 		t = rxS.Now()
 		if rxR.Now() > t {
@@ -260,8 +289,13 @@ func UnorderedTNN(env Env, p geom.Point, opt Options) (Result, bool) {
 		}
 		rxS.WaitUntil(t)
 		rxR.WaitUntil(t)
-		rxS.DownloadObject(res.S.ID)
-		rxR.DownloadObject(res.R.ID)
+		if _, cerr := rxS.DownloadObjectReliable(res.S.ID, opt.maxRetries()); cerr != nil {
+			cerr.Channel = "S"
+			err = cerr
+		} else if _, cerr := rxR.DownloadObjectReliable(res.R.ID, opt.maxRetries()); cerr != nil {
+			cerr.Channel = "R"
+			err = cerr
+		}
 	}
 
 	m := client.Collect(rxS, rxR)
@@ -270,6 +304,7 @@ func UnorderedTNN(env Env, p geom.Point, opt Options) (Result, bool) {
 		Found:   true,
 		Metrics: m,
 		Radius:  d,
+		Err:     err,
 	}, sFirst
 }
 
@@ -284,9 +319,12 @@ func RoundTripTNN(env Env, p geom.Point, opt Options) Result {
 	rxR := opt.Scratch.receiver(env.ChR, opt.Issue)
 	opt.applyTrace(rxS, rxR)
 
-	ns := opt.Scratch.nnSearch(rxS, p, opt.ANN.FactorS)
-	nr := opt.Scratch.nnSearch(rxR, p, opt.ANN.FactorR)
+	ns := opt.Scratch.nnSearch(rxS, p, opt.ANN.FactorS, opt.maxRetries())
+	nr := opt.Scratch.nnSearch(rxR, p, opt.ANN.FactorR, opt.maxRetries())
 	client.RunParallel(ns, nr)
+	if cerr := channelErr(ns.err, nr.err); cerr != nil {
+		return Result{Metrics: client.Collect(rxS, rxR), Err: cerr}
+	}
 	s, _, okS := ns.result()
 	r, _, okR := nr.result()
 	if !okS || !okR {
@@ -305,9 +343,12 @@ func RoundTripTNN(env Env, p geom.Point, opt Options) Result {
 	rxS.WaitUntil(t)
 	rxR.WaitUntil(t)
 	w := geom.Circle{Center: p, R: d}
-	qs := opt.Scratch.rangeSearch(rxS, w)
-	qr := opt.Scratch.rangeSearch(rxR, w)
+	qs := opt.Scratch.rangeSearch(rxS, w, opt.maxRetries())
+	qr := opt.Scratch.rangeSearch(rxR, w, opt.maxRetries())
 	client.RunParallel(qs, qr)
+	if cerr := channelErr(qs.err, qr.err); cerr != nil {
+		return Result{Metrics: client.Collect(rxS, rxR), Err: cerr}
+	}
 
 	best := Pair{S: s, R: r, Dist: d}
 	for _, si := range qs.found {
@@ -324,6 +365,7 @@ func RoundTripTNN(env Env, p geom.Point, opt Options) Result {
 		}
 	}
 
+	var err error
 	if !opt.SkipDataRetrieval {
 		t = rxS.Now()
 		if rxR.Now() > t {
@@ -331,8 +373,13 @@ func RoundTripTNN(env Env, p geom.Point, opt Options) Result {
 		}
 		rxS.WaitUntil(t)
 		rxR.WaitUntil(t)
-		rxS.DownloadObject(best.S.ID)
-		rxR.DownloadObject(best.R.ID)
+		if _, cerr := rxS.DownloadObjectReliable(best.S.ID, opt.maxRetries()); cerr != nil {
+			cerr.Channel = "S"
+			err = cerr
+		} else if _, cerr := rxR.DownloadObjectReliable(best.R.ID, opt.maxRetries()); cerr != nil {
+			cerr.Channel = "R"
+			err = cerr
+		}
 	}
 
 	m := client.Collect(rxS, rxR)
@@ -341,6 +388,7 @@ func RoundTripTNN(env Env, p geom.Point, opt Options) Result {
 		Found:   true,
 		Metrics: m,
 		Radius:  d,
+		Err:     err,
 	}
 }
 

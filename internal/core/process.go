@@ -71,7 +71,7 @@ func (sc *Scratch) receiver(ch broadcast.Feed, issue int64) *client.Receiver {
 
 // nnSearch returns an initialized NN search, reusing a scratch slot when
 // one is free (nil-safe).
-func (sc *Scratch) nnSearch(rx *client.Receiver, q geom.Point, factor float64) *nnSearch {
+func (sc *Scratch) nnSearch(rx *client.Receiver, q geom.Point, factor float64, maxFaults int) *nnSearch {
 	var s *nnSearch
 	if sc != nil && sc.nnN < len(sc.nn) {
 		s = &sc.nn[sc.nnN]
@@ -79,13 +79,13 @@ func (sc *Scratch) nnSearch(rx *client.Receiver, q geom.Point, factor float64) *
 	} else {
 		s = new(nnSearch)
 	}
-	s.init(rx, q, factor)
+	s.init(rx, q, factor, maxFaults)
 	return s
 }
 
 // rangeSearch returns an initialized range search, reusing a scratch slot
 // when one is free (nil-safe).
-func (sc *Scratch) rangeSearch(rx *client.Receiver, c geom.Circle) *rangeSearch {
+func (sc *Scratch) rangeSearch(rx *client.Receiver, c geom.Circle, maxFaults int) *rangeSearch {
 	var s *rangeSearch
 	if sc != nil && sc.rgN < len(sc.rg) {
 		s = &sc.rg[sc.rgN]
@@ -93,7 +93,7 @@ func (sc *Scratch) rangeSearch(rx *client.Receiver, c geom.Circle) *rangeSearch 
 	} else {
 		s = new(rangeSearch)
 	}
-	s.init(rx, c)
+	s.init(rx, c, maxFaults)
 	return s
 }
 
@@ -136,20 +136,27 @@ type nnSearch struct {
 	height   int
 	started  bool
 	finished bool
+
+	// Loss recovery: faults counts consecutive failed receptions; after
+	// maxFaults of them the search gives up with a ChannelError instead
+	// of chasing a dead medium forever.
+	faults    int
+	maxFaults int
+	err       *broadcast.ChannelError
 }
 
 // newNNSearch creates an exact or approximate NN search for query point q
 // on the channel behind rx. factor is the ANN adjustment of Eq. 4 (0 for
-// exact search).
-func newNNSearch(rx *client.Receiver, q geom.Point, factor float64) *nnSearch {
+// exact search); maxFaults bounds consecutive failed receptions.
+func newNNSearch(rx *client.Receiver, q geom.Point, factor float64, maxFaults int) *nnSearch {
 	s := new(nnSearch)
-	s.init(rx, q, factor)
+	s.init(rx, q, factor, maxFaults)
 	return s
 }
 
 // init (re)initializes the search in place, retaining the queue's backing
 // storage and the seen buffer's capacity across queries.
-func (s *nnSearch) init(rx *client.Receiver, q geom.Point, factor float64) {
+func (s *nnSearch) init(rx *client.Receiver, q geom.Point, factor float64, maxFaults int) {
 	s.rx = rx
 	s.mode = modeNN
 	s.q = q
@@ -167,6 +174,20 @@ func (s *nnSearch) init(rx *client.Receiver, q geom.Point, factor float64) {
 	s.height = rx.Channel().Index().Tree().Height
 	s.started = false
 	s.finished = rx.Channel().Index().Tree().Count == 0
+	s.faults = 0
+	s.maxFaults = maxFaults
+	s.err = nil
+}
+
+// fault records one failed reception and escalates to a ChannelError when
+// maxFaults consecutive receptions have failed. The Channel tag is filled
+// in by the caller that knows which feed this search rides (QueryExec).
+func (s *nnSearch) fault(pf *broadcast.PageFault) {
+	s.faults++
+	if s.faults >= s.maxFaults {
+		s.err = &broadcast.ChannelError{Attempts: s.faults, Last: pf}
+		s.finished = true
+	}
 }
 
 // Peek implements client.Process.
@@ -184,11 +205,23 @@ func (s *nnSearch) Peek() (int64, bool) {
 	return s.queue.Peek().Arrival, false
 }
 
-// Step implements client.Process.
+// Step implements client.Process. Recovery protocol: a faulted reception
+// burns the slot (tune-in is accounted by the receiver, the clock moves
+// past it) and re-derives the same page's next arrival — a faulted root
+// keeps the search unstarted so Peek re-asks NextRootArrival, a faulted
+// candidate is re-filed into the queue at its next broadcast. Remaining
+// queued arrivals are never stale: distinct index pages occupy distinct
+// slots, so every other queued arrival strictly exceeds the faulted slot
+// the clock just passed.
 func (s *nnSearch) Step() {
 	if !s.started {
+		root, pf := s.rx.DownloadNode(s.rx.NextRootArrival())
+		if pf != nil {
+			s.fault(pf)
+			return
+		}
+		s.faults = 0
 		s.started = true
-		root := s.rx.DownloadNode(s.rx.NextRootArrival())
 		s.visit(root)
 		if s.queue.Len() == 0 {
 			s.finished = true
@@ -202,7 +235,13 @@ func (s *nnSearch) Step() {
 		}
 		return
 	}
-	node := s.rx.DownloadNode(c.Arrival)
+	node, pf := s.rx.DownloadNode(c.Arrival)
+	if pf != nil {
+		s.queue.Push(client.Candidate{Node: c.Node, Arrival: s.rx.NextNodeArrival(c.Node.ID)})
+		s.fault(pf)
+		return
+	}
+	s.faults = 0
 	s.visit(node)
 	if s.queue.Len() == 0 {
 		s.finished = true
@@ -415,23 +454,40 @@ type rangeSearch struct {
 	found    []rtree.Entry
 	started  bool
 	finished bool
+
+	// Loss recovery, mirroring nnSearch.
+	faults    int
+	maxFaults int
+	err       *broadcast.ChannelError
 }
 
-func newRangeSearch(rx *client.Receiver, c geom.Circle) *rangeSearch {
+func newRangeSearch(rx *client.Receiver, c geom.Circle, maxFaults int) *rangeSearch {
 	s := new(rangeSearch)
-	s.init(rx, c)
+	s.init(rx, c, maxFaults)
 	return s
 }
 
 // init (re)initializes the search in place, retaining the queue's backing
 // storage and the found buffer's capacity across queries.
-func (s *rangeSearch) init(rx *client.Receiver, c geom.Circle) {
+func (s *rangeSearch) init(rx *client.Receiver, c geom.Circle, maxFaults int) {
 	s.rx = rx
 	s.circle = c
 	s.queue.Reset()
 	s.found = s.found[:0]
 	s.started = false
 	s.finished = rx.Channel().Index().Tree().Count == 0
+	s.faults = 0
+	s.maxFaults = maxFaults
+	s.err = nil
+}
+
+// fault mirrors nnSearch.fault.
+func (s *rangeSearch) fault(pf *broadcast.PageFault) {
+	s.faults++
+	if s.faults >= s.maxFaults {
+		s.err = &broadcast.ChannelError{Attempts: s.faults, Last: pf}
+		s.finished = true
+	}
 }
 
 // Peek implements client.Process.
@@ -449,12 +505,19 @@ func (s *rangeSearch) Peek() (int64, bool) {
 	return s.queue.Peek().Arrival, false
 }
 
-// Step implements client.Process.
+// Step implements client.Process. The same recovery protocol as
+// nnSearch.Step: a faulted root keeps the search unstarted, a faulted
+// candidate is re-filed at its next broadcast.
 func (s *rangeSearch) Step() {
 	var node *rtree.Node
 	if !s.started {
+		root, pf := s.rx.DownloadNode(s.rx.NextRootArrival())
+		if pf != nil {
+			s.fault(pf)
+			return
+		}
 		s.started = true
-		node = s.rx.DownloadNode(s.rx.NextRootArrival())
+		node = root
 	} else {
 		c := s.queue.Pop()
 		if !s.circle.IntersectsRect(c.Node.MBR) {
@@ -463,8 +526,15 @@ func (s *rangeSearch) Step() {
 			}
 			return
 		}
-		node = s.rx.DownloadNode(c.Arrival)
+		n, pf := s.rx.DownloadNode(c.Arrival)
+		if pf != nil {
+			s.queue.Push(client.Candidate{Node: c.Node, Arrival: s.rx.NextNodeArrival(c.Node.ID)})
+			s.fault(pf)
+			return
+		}
+		node = n
 	}
+	s.faults = 0
 	if node.Leaf() {
 		for _, e := range node.Entries {
 			if s.circle.Contains(e.Point) {

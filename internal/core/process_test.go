@@ -21,7 +21,7 @@ func TestBroadcastNNMatchesInMemory(t *testing.T) {
 		for j := 0; j < 20; j++ {
 			q := geom.Pt(rng.Float64()*1200-100, rng.Float64()*1200-100)
 			rx := client.NewReceiver(te.env.ChS, rng.Int63n(100000))
-			s := newNNSearch(rx, q, 0)
+			s := newNNSearch(rx, q, 0, 16)
 			client.RunSequential(s)
 			got, gotD, ok := s.result()
 			if !ok {
@@ -47,7 +47,7 @@ func TestBroadcastTransSearchMatchesInMemory(t *testing.T) {
 			p := geom.Pt(rng.Float64()*1000, rng.Float64()*1000)
 			r := geom.Pt(rng.Float64()*1000, rng.Float64()*1000)
 			rx := client.NewReceiver(te.env.ChS, rng.Int63n(100000))
-			s := newNNSearch(rx, p, 0)
+			s := newNNSearch(rx, p, 0, 16)
 			s.switchTransitive(r)
 			client.RunSequential(s)
 			got, gotD, ok := s.result()
@@ -75,7 +75,7 @@ func TestBroadcastRangeMatchesInMemory(t *testing.T) {
 				R:      rng.Float64() * 300,
 			}
 			rx := client.NewReceiver(te.env.ChS, rng.Int63n(100000))
-			s := newRangeSearch(rx, c)
+			s := newRangeSearch(rx, c, 16)
 			client.RunSequential(s)
 			want := te.treeS.RangeCircle(c)
 			if len(s.found) != len(want) {
@@ -112,7 +112,7 @@ func TestRetargetMidFlight(t *testing.T) {
 		newQ := geom.Pt(rng.Float64()*1000, rng.Float64()*1000)
 
 		rx := client.NewReceiver(te.env.ChS, rng.Int63n(100000))
-		s := newNNSearch(rx, p, 0)
+		s := newNNSearch(rx, p, 0, 16)
 		// Run a few steps, then retarget.
 		steps := rng.Intn(10)
 		for i := 0; i < steps; i++ {
@@ -151,7 +151,7 @@ func TestQueueSizeBounded(t *testing.T) {
 	for j := 0; j < 20; j++ {
 		q := geom.Pt(rng.Float64()*1000, rng.Float64()*1000)
 		rx := client.NewReceiver(te.env.ChS, rng.Int63n(100000))
-		s := newNNSearch(rx, q, 0)
+		s := newNNSearch(rx, q, 0, 16)
 		maxQ := 0
 		for {
 			if _, done := s.Peek(); done {
@@ -173,7 +173,7 @@ func TestAlphaMonotoneInDepth(t *testing.T) {
 	pts := uniformPts(rng, 500, testRegion)
 	te := makeEnv(t, pts, pts[:1], testRegion, 0, 0)
 	rx := client.NewReceiver(te.env.ChS, 0)
-	s := newNNSearch(rx, geom.Pt(0, 0), 0.5)
+	s := newNNSearch(rx, geom.Pt(0, 0), 0.5, 16)
 	prev := -1.0
 	for d := 0; d < te.treeS.Height; d++ {
 		a := s.alpha(d)
@@ -193,7 +193,7 @@ func TestOverlapRatioDegenerateMBR(t *testing.T) {
 	pts := uniformPts(rng, 100, testRegion)
 	te := makeEnv(t, pts, pts[:1], testRegion, 0, 0)
 	rx := client.NewReceiver(te.env.ChS, 0)
-	s := newNNSearch(rx, geom.Pt(0, 0), 1)
+	s := newNNSearch(rx, geom.Pt(0, 0), 1, 16)
 	s.ub = 10
 	// Zero-area (degenerate) MBR must be kept, not divided by zero.
 	deg := geom.Rect{Lo: geom.Pt(5, 5), Hi: geom.Pt(5, 9)}
@@ -213,7 +213,7 @@ func TestReceiverMetricsThroughSearch(t *testing.T) {
 	rx := client.NewReceiver(te.env.ChS, issue)
 	downloads := int64(0)
 	rx.SetTrace(func(int64, broadcast.Page) { downloads++ })
-	s := newNNSearch(rx, q, 0)
+	s := newNNSearch(rx, q, 0, 16)
 	client.RunSequential(s)
 	if rx.Pages() == 0 {
 		t.Fatal("no pages downloaded")

@@ -12,6 +12,7 @@ import (
 	"math"
 	"sort"
 
+	"tnnbcast/internal/broadcast"
 	"tnnbcast/internal/client"
 	"tnnbcast/internal/geom"
 	"tnnbcast/internal/heapx"
@@ -32,14 +33,28 @@ type knnSearch struct {
 	entries  []rtree.Entry
 	started  bool
 	finished bool
+
+	// Loss recovery, mirroring nnSearch.
+	faults    int
+	maxFaults int
+	err       *broadcast.ChannelError
 }
 
-func newKNNSearch(rx *client.Receiver, q geom.Point, k int) *knnSearch {
-	s := &knnSearch{rx: rx, q: q, k: k}
+func newKNNSearch(rx *client.Receiver, q geom.Point, k, maxFaults int) *knnSearch {
+	s := &knnSearch{rx: rx, q: q, k: k, maxFaults: maxFaults}
 	if rx.Channel().Index().Tree().Count == 0 || k <= 0 {
 		s.finished = true
 	}
 	return s
+}
+
+// fault mirrors nnSearch.fault.
+func (s *knnSearch) fault(pf *broadcast.PageFault) {
+	s.faults++
+	if s.faults >= s.maxFaults {
+		s.err = &broadcast.ChannelError{Attempts: s.faults, Last: pf}
+		s.finished = true
+	}
 }
 
 // bound returns the current pruning bound: the k-th best point distance,
@@ -66,12 +81,19 @@ func (s *knnSearch) Peek() (int64, bool) {
 	return s.queue.Peek().Arrival, false
 }
 
-// Step implements client.Process.
+// Step implements client.Process, with the same recovery protocol as
+// nnSearch.Step: faulted root → stay unstarted, faulted candidate →
+// re-file at its next broadcast.
 func (s *knnSearch) Step() {
 	var node *rtree.Node
 	if !s.started {
+		root, pf := s.rx.DownloadNode(s.rx.NextRootArrival())
+		if pf != nil {
+			s.fault(pf)
+			return
+		}
 		s.started = true
-		node = s.rx.DownloadNode(s.rx.NextRootArrival())
+		node = root
 	} else {
 		c := s.queue.Pop()
 		if c.Node.MBR.MinDist(s.q) > s.bound() {
@@ -80,8 +102,15 @@ func (s *knnSearch) Step() {
 			}
 			return
 		}
-		node = s.rx.DownloadNode(c.Arrival)
+		n, pf := s.rx.DownloadNode(c.Arrival)
+		if pf != nil {
+			s.queue.Push(client.Candidate{Node: c.Node, Arrival: s.rx.NextNodeArrival(c.Node.ID)})
+			s.fault(pf)
+			return
+		}
+		node = n
 	}
+	s.faults = 0
 	if node.Leaf() {
 		for _, e := range node.Entries {
 			s.offer(e)
@@ -138,6 +167,8 @@ type TopKResult struct {
 	Found   bool
 	Metrics client.Metrics
 	Radius  float64
+	// Err is non-nil when a channel died mid-query (see Result.Err).
+	Err error
 }
 
 // TopKTNN answers the top-k transitive nearest-neighbor query with the
@@ -153,9 +184,12 @@ func TopKTNN(env Env, p geom.Point, k int, opt Options) TopKResult {
 	rxR := opt.Scratch.receiver(env.ChR, opt.Issue)
 	opt.applyTrace(rxS, rxR)
 
-	ks := newKNNSearch(rxS, p, k)
-	kr := newKNNSearch(rxR, p, k)
+	ks := newKNNSearch(rxS, p, k, opt.maxRetries())
+	kr := newKNNSearch(rxR, p, k, opt.maxRetries())
 	client.RunParallel(ks, kr)
+	if cerr := channelErr(ks.err, kr.err); cerr != nil {
+		return TopKResult{Metrics: client.Collect(rxS, rxR), Err: cerr}
+	}
 	ss, rs := ks.results(), kr.results()
 	if len(ss) == 0 || len(rs) == 0 {
 		return TopKResult{Metrics: client.Collect(rxS, rxR)}
@@ -183,9 +217,12 @@ func TopKTNN(env Env, p geom.Point, k int, opt Options) TopKResult {
 	rxS.WaitUntil(t)
 	rxR.WaitUntil(t)
 	w := geom.Circle{Center: p, R: d}
-	qs := opt.Scratch.rangeSearch(rxS, w)
-	qr := opt.Scratch.rangeSearch(rxR, w)
+	qs := opt.Scratch.rangeSearch(rxS, w, opt.maxRetries())
+	qr := opt.Scratch.rangeSearch(rxR, w, opt.maxRetries())
 	client.RunParallel(qs, qr)
+	if cerr := channelErr(qs.err, qr.err); cerr != nil {
+		return TopKResult{Metrics: client.Collect(rxS, rxR), Err: cerr}
+	}
 
 	// k-bounded join: keep the k best pairs in a max-heap.
 	var h pairHeap
@@ -226,6 +263,7 @@ func TopKTNN(env Env, p geom.Point, k int, opt Options) TopKResult {
 		return TopKResult{Metrics: client.Collect(rxS, rxR)}
 	}
 
+	var err error
 	if !opt.SkipDataRetrieval {
 		t = rxS.Now()
 		if rxR.Now() > t {
@@ -233,8 +271,13 @@ func TopKTNN(env Env, p geom.Point, k int, opt Options) TopKResult {
 		}
 		rxS.WaitUntil(t)
 		rxR.WaitUntil(t)
-		rxS.DownloadObject(pairs[0].S.ID)
-		rxR.DownloadObject(pairs[0].R.ID)
+		if _, cerr := rxS.DownloadObjectReliable(pairs[0].S.ID, opt.maxRetries()); cerr != nil {
+			cerr.Channel = "S"
+			err = cerr
+		} else if _, cerr := rxR.DownloadObjectReliable(pairs[0].R.ID, opt.maxRetries()); cerr != nil {
+			cerr.Channel = "R"
+			err = cerr
+		}
 	}
 
 	return TopKResult{
@@ -242,7 +285,22 @@ func TopKTNN(env Env, p geom.Point, k int, opt Options) TopKResult {
 		Found:   true,
 		Metrics: client.Collect(rxS, rxR),
 		Radius:  d,
+		Err:     err,
 	}
+}
+
+// channelErr tags and returns the first escalation of an (S, R) search
+// pair, S before R for determinism, or nil when both channels are alive.
+func channelErr(sErr, rErr *broadcast.ChannelError) error {
+	if sErr != nil {
+		sErr.Channel = "S"
+		return sErr
+	}
+	if rErr != nil {
+		rErr.Channel = "R"
+		return rErr
+	}
+	return nil
 }
 
 // OracleTopK computes the exact top-k pairs by exhaustive join (tests

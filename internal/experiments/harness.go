@@ -95,6 +95,27 @@ type Config struct {
 	// rate × per-client lifetime instead of by N. Ladder points above
 	// 100k clients require a window (see MultiClient).
 	Window float64
+	// Loss, Burst, and Corrupt subject every broadcast channel to the
+	// corresponding broadcast.FaultModel (all zero = perfect channels).
+	// Queries recover transparently — answers stay identical to the
+	// lossless run; access time and tune-in grow. Used by the loss
+	// ablation and tnnbench -loss/-burst/-corrupt.
+	Loss    float64
+	Burst   float64
+	Corrupt float64
+	// FaultSeed seeds the deterministic fault pattern (0 = a fixed
+	// default); each channel derives a decorrelated stream from it.
+	FaultSeed uint64
+}
+
+// faultModel translates the Config's fault fields into the broadcast
+// layer's model, or a disabled model when all rates are zero.
+func (c Config) faultModel() broadcast.FaultModel {
+	m := broadcast.FaultModel{Loss: c.Loss, Burst: c.Burst, Corrupt: c.Corrupt, Seed: c.FaultSeed}
+	if m.Seed == 0 {
+		m.Seed = 0x7e55e1a7e // default fault-pattern seed, fixed for reproducibility
+	}
+	return m
 }
 
 // Defaults fills unset fields with the paper's defaults.
@@ -180,6 +201,9 @@ type Stats struct {
 	MeanEstimate float64 // mean estimate-phase tune-in, pages
 	MeanFilter   float64 // mean filter-phase tune-in, pages
 	FailRate     float64 // fraction of queries whose answer was not the exact TNN
+	MeanLost     float64 // mean faulted receptions per query (Config.Loss/Corrupt)
+	MeanRecovery float64 // mean loss-recovery slots per query
+	ErrRate      float64 // fraction of queries that gave up on a dead channel
 	Queries      int
 }
 
@@ -264,7 +288,8 @@ type queryDraw struct {
 // cells by index; the reduction reads them in query order.
 type queryCell struct {
 	access, tunein, estimate, filter int64
-	fail                             bool
+	lost, recovery                   int64
+	fail, errored                    bool
 }
 
 // RunPairing executes every algorithm over cfg.Queries random query points
@@ -345,8 +370,13 @@ func RunPairing(p Pairing, algos []AlgoSpec, cfg Config) map[string]Stats {
 			st.MeanTuneIn += float64(c.tunein)
 			st.MeanEstimate += float64(c.estimate)
 			st.MeanFilter += float64(c.filter)
+			st.MeanLost += float64(c.lost)
+			st.MeanRecovery += float64(c.recovery)
 			if c.fail {
 				st.FailRate++
+			}
+			if c.errored {
+				st.ErrRate++
 			}
 		}
 	}
@@ -361,6 +391,9 @@ func RunPairing(p Pairing, algos []AlgoSpec, cfg Config) map[string]Stats {
 			MeanEstimate: st.MeanEstimate / n,
 			MeanFilter:   st.MeanFilter / n,
 			FailRate:     st.FailRate / n,
+			MeanLost:     st.MeanLost / n,
+			MeanRecovery: st.MeanRecovery / n,
+			ErrRate:      st.ErrRate / n,
 			Queries:      cfg.Queries,
 		}
 	}
@@ -376,6 +409,15 @@ func runPairingWorker(next *atomic.Int64, p Pairing, algos []AlgoSpec, cfg Confi
 
 	scratch := core.NewScratch()
 	var chS, chR broadcast.Channel
+	// Under a fault model, wrap each worker's channels once; the wrappers
+	// are stateless views keyed only by (seed, slot), so every worker —
+	// and every worker count — sees the identical fault pattern.
+	fm := cfg.faultModel()
+	var feedS, feedR broadcast.Feed = &chS, &chR
+	if fm.Enabled() {
+		feedS = broadcast.NewFaultFeed(feedS, fm.WithSeed(broadcast.DeriveFaultSeed(fm.Seed, 0)))
+		feedR = broadcast.NewFaultFeed(feedR, fm.WithSeed(broadcast.DeriveFaultSeed(fm.Seed, 1)))
+	}
 	var nanos int64
 	defer func() { QueryNanos.Add(nanos) }()
 	for {
@@ -386,7 +428,7 @@ func runPairingWorker(next *atomic.Int64, p Pairing, algos []AlgoSpec, cfg Confi
 		d := draws[q]
 		chS.Reset(b.progS, d.offS)
 		chR.Reset(b.progR, d.offR)
-		env := core.Env{ChS: &chS, ChR: &chR, Region: p.Region}
+		env := core.Env{ChS: feedS, ChR: feedR, Region: p.Region}
 
 		var oracle core.Pair
 		var oracleOK bool
@@ -402,6 +444,9 @@ func runPairingWorker(next *atomic.Int64, p Pairing, algos []AlgoSpec, cfg Confi
 			cell.tunein = res.Metrics.TuneIn
 			cell.estimate = res.EstimateTuneIn
 			cell.filter = res.FilterTuneIn
+			cell.lost = res.Metrics.Lost
+			cell.recovery = res.Metrics.RecoverySlots
+			cell.errored = res.Err != nil
 			if cfg.Verify && oracleOK {
 				cell.fail = !res.Found ||
 					math.Abs(res.Pair.Dist-oracle.Dist) > 1e-9*(1+oracle.Dist)

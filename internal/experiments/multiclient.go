@@ -153,7 +153,10 @@ func resultHash(i int, r core.Result) uint64 {
 	if r.Found {
 		found = 1
 	}
-	words := [10]uint64{
+	if r.Err != nil {
+		found |= 2 // channel escalation is part of the pinned outcome
+	}
+	words := [13]uint64{
 		uint64(i),
 		uint64(r.Metrics.AccessTime),
 		uint64(r.Metrics.TuneIn),
@@ -164,6 +167,9 @@ func resultHash(i int, r core.Result) uint64 {
 		uint64(r.Pair.S.ID)<<32 | uint64(uint32(r.Pair.R.ID)),
 		uint64(r.Case),
 		found,
+		uint64(r.Metrics.Lost),
+		uint64(r.Metrics.Retries),
+		uint64(r.Metrics.RecoverySlots),
 	}
 	const offset64, prime64 = 14695981039346656037, 1099511628211
 	h := uint64(offset64)
@@ -318,11 +324,16 @@ func MultiClient(cfg Config) *Table {
 	p := uniformPair(cfg.Seed, 10000, 10000)
 	b := build(p, cfg)
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	env := core.Env{
-		ChS:    broadcast.NewChannel(b.progS, rng.Int63n(b.progS.CycleLen())),
-		ChR:    broadcast.NewChannel(b.progR, rng.Int63n(b.progR.CycleLen())),
-		Region: p.Region,
+	var chS, chR broadcast.Feed = broadcast.NewChannel(b.progS, rng.Int63n(b.progS.CycleLen())),
+		broadcast.NewChannel(b.progR, rng.Int63n(b.progR.CycleLen()))
+	if fm := cfg.faultModel(); fm.Enabled() {
+		// Faults are keyed by (seed, slot) alone, so one shared lossy feed
+		// pair serves every client identically — the shared-medium property
+		// that keeps batch results worker-count invariant under loss.
+		chS = broadcast.NewFaultFeed(chS, fm.WithSeed(broadcast.DeriveFaultSeed(fm.Seed, 0)))
+		chR = broadcast.NewFaultFeed(chR, fm.WithSeed(broadcast.DeriveFaultSeed(fm.Seed, 1)))
 	}
+	env := core.Env{ChS: chS, ChR: chR, Region: p.Region}
 
 	shape := "issue slots uniform over one cycle"
 	if cfg.Window > 0 {
@@ -338,6 +349,7 @@ func MultiClient(cfg Config) *Table {
 			"TI(W)", "TI(D)", "TI(H)", "TI(A)",
 			"Seq-q/s", "Batch-q/s", "Wall-x", "Air-x",
 			"Steps/s", "Peak-live", "Peak-B/client",
+			"Lost/client",
 		},
 	}
 
@@ -372,6 +384,7 @@ func MultiClient(cfg Config) *Table {
 			float64(run.stats.Steps)/run.batchSecs,
 			float64(run.stats.PeakLive),
 			float64(run.peakHeap)/float64(n),
+			float64(run.stats.Lost)/float64(n),
 		)
 	}
 	return t

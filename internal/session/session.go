@@ -88,6 +88,14 @@ type Stats struct {
 	// memory (one scratch and one execution state machine per live
 	// client).
 	PeakLive int
+	// Lost, Retries, and RecoverySlots aggregate the loss accounting of
+	// every completed client's Result (see client.Metrics). All zero on
+	// lossless feeds; deterministic for a given fault seed because faults
+	// are a pure function of (seed, slot) on the shared medium.
+	Lost, Retries, RecoverySlots int64
+	// Failed counts clients whose Result carries a non-nil Err — queries
+	// that gave up on a dead channel after the retry budget.
+	Failed int
 }
 
 // Engine runs batches of concurrent client queries over one broadcast
@@ -187,6 +195,10 @@ func (e *Engine) runStream(workers int, queries iter.Seq[Query], emit func(int, 
 		st.Steps += w.steps
 		st.PeakLive += w.peakLive
 		st.Clients += w.admitted
+		st.Lost += w.lost
+		st.Retries += w.retries
+		st.RecoverySlots += w.recovery
+		st.Failed += w.failed
 	}
 	src.mu.Lock()
 	err := src.err
@@ -265,6 +277,10 @@ type worker struct {
 	live      int
 	peakLive  int
 	steps     int64
+	lost      int64
+	retries   int64
+	recovery  int64
+	failed    int
 }
 
 func newWorker(env core.Env, src *source, emit func(int, core.Result)) *worker {
@@ -394,7 +410,14 @@ func (w *worker) admit(idx int, q Query) {
 // map entry, growing memory with total rather than concurrent clients.
 func (w *worker) finish(idx int, p client.Process) {
 	ex := p.(core.Executor)
-	w.emit(idx, ex.Result())
+	res := ex.Result()
+	w.lost += res.Metrics.Lost
+	w.retries += res.Metrics.Retries
+	w.recovery += res.Metrics.RecoverySlots
+	if res.Err != nil {
+		w.failed++
+	}
+	w.emit(idx, res)
 	w.live--
 	if sc, tracked := w.customScratch[idx]; tracked {
 		w.scratches.put(sc)

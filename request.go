@@ -73,6 +73,9 @@ type Metrics struct {
 	// TuneIn is the number of pages downloaded across all channels — the
 	// energy-consumption proxy.
 	TuneIn int64
+	// Lost, Retries, and RecoverySlots account for faulted receptions
+	// under WithFaults; see the same fields on Result.
+	Lost, Retries, RecoverySlots int64
 }
 
 // AnswerPair is one (s, r) pair of a top-k answer.
@@ -100,6 +103,9 @@ type TopKResult struct {
 	Metrics Metrics
 	// Radius is the search-range radius of the k-NN estimate phase.
 	Radius float64
+	// Err is non-nil when the query gave up on a dead channel; see
+	// Result.Err.
+	Err error
 }
 
 // Response is the outcome of one Do call.
@@ -168,10 +174,14 @@ func fromCoreTopK(res core.TopKResult) TopKResult {
 	out := TopKResult{
 		Found: res.Found,
 		Metrics: Metrics{
-			AccessTime: res.Metrics.AccessTime,
-			TuneIn:     res.Metrics.TuneIn,
+			AccessTime:    res.Metrics.AccessTime,
+			TuneIn:        res.Metrics.TuneIn,
+			Lost:          res.Metrics.Lost,
+			Retries:       res.Metrics.Retries,
+			RecoverySlots: res.Metrics.RecoverySlots,
 		},
 		Radius: res.Radius,
+		Err:    publicErr(res.Err),
 	}
 	if len(res.Pairs) > 0 {
 		out.Pairs = make([]AnswerPair, len(res.Pairs))

@@ -162,6 +162,8 @@ type config struct {
 	skewDisks int
 	skewRatio int
 	wS, wR    []float64
+	faults    FaultModel
+	hasFaults bool
 }
 
 // maxSkewClasses bounds WithSkewedSchedule's disks and ratio: the hot
@@ -279,6 +281,40 @@ func WithAccessWeights(wS, wR []float64) Option {
 	return func(c *config) { c.wS, c.wR = wS, wR }
 }
 
+// FaultModel describes the lossy-air conditions WithFaults injects: page
+// loss (i.i.d. or bursty) and checksum-detected corruption. The zero value
+// is the perfect channel. Faults are deterministic — a pure function of
+// (Seed, channel, slot) — so any run is exactly reproducible, and a lost
+// slot is lost for every listening client identically, just as on a real
+// shared medium.
+type FaultModel struct {
+	// Loss is the long-run page loss probability, in [0, 1).
+	Loss float64
+	// Burst is the mean loss-burst length in pages. Burst <= 1 selects
+	// independent (Bernoulli) loss; Burst > 1 selects a Gilbert–Elliott
+	// two-state channel whose loss bursts average Burst pages while the
+	// stationary loss rate stays exactly Loss.
+	Burst float64
+	// Corrupt is the independent per-page probability that a delivered
+	// page fails its CRC32C check, in [0, 1). Corrupted pages cost tune-in
+	// (the receiver downloaded them) before being discarded.
+	Corrupt float64
+	// Seed seeds the fault pattern. Each physical channel derives its own
+	// decorrelated stream from this one seed.
+	Seed uint64
+}
+
+// WithFaults subjects the system's channels to the given fault model.
+// Queries recover transparently: a faulted page costs its tune-in (when
+// downloaded and discarded) or a missed slot (when lost), the client
+// re-derives the page's next broadcast arrival from the air index and
+// retries, and only access time and tune-in grow — answers are identical
+// to the lossless system. A channel that faults WithMaxRetries times in a
+// row is declared dead; see Result.Err. New rejects out-of-range rates.
+func WithFaults(m FaultModel) Option {
+	return func(c *config) { c.faults, c.hasFaults = m, true }
+}
+
 // WithSingleChannel time-multiplexes both datasets on ONE physical channel
 // — the predecessor environment of Zheng–Lee–Lee (SUTC 2006) that the
 // paper's multi-channel setting improves on. All algorithms run unchanged;
@@ -363,6 +399,27 @@ func New(s, r []Point, opts ...Option) (*System, error) {
 		chS = broadcast.NewChannel(idxS, offS)
 		chR = broadcast.NewChannel(idxR, offR)
 	}
+	if cfg.hasFaults {
+		fm := broadcast.FaultModel{
+			Loss: cfg.faults.Loss, Burst: cfg.faults.Burst,
+			Corrupt: cfg.faults.Corrupt, Seed: cfg.faults.Seed,
+		}
+		if err := fm.Validate(); err != nil {
+			return nil, err
+		}
+		if fm.Enabled() {
+			if cfg.oneChan {
+				// One physical channel: both feeds see the SAME fault
+				// pattern — a slot dies once, for both datasets' pages.
+				phys := fm.WithSeed(broadcast.DeriveFaultSeed(fm.Seed, 0))
+				chS = broadcast.NewFaultFeed(chS, phys)
+				chR = broadcast.NewFaultFeed(chR, phys)
+			} else {
+				chS = broadcast.NewFaultFeed(chS, fm.WithSeed(broadcast.DeriveFaultSeed(fm.Seed, 0)))
+				chR = broadcast.NewFaultFeed(chR, fm.WithSeed(broadcast.DeriveFaultSeed(fm.Seed, 1)))
+			}
+		}
+	}
 
 	return &System{
 		env:  core.Env{ChS: chS, ChR: chR, Region: region},
@@ -406,6 +463,21 @@ type Result struct {
 	// (HybridCaseNone for the other algorithms and for a Hybrid run whose
 	// two estimate searches finished together, the paper's Case 1).
 	Case HybridCase
+	// Lost counts the faulted receptions under WithFaults: pages that were
+	// lost on air or downloaded and discarded on a checksum failure
+	// (corrupted pages are also counted in TuneIn — the energy was spent).
+	Lost int64
+	// Retries counts the faulted receptions the query recovered from by
+	// re-deriving the page's next arrival and downloading it again.
+	Retries int64
+	// RecoverySlots is the total access-time share spent recovering: the
+	// slots between each first fault and the next successful download.
+	RecoverySlots int64
+	// Err is non-nil when the query gave up on a dead channel: a
+	// *ChannelError after MaxRetries consecutive faulted receptions. A
+	// search-phase escalation leaves Found false; an escalation during
+	// answer retrieval keeps the found pair. Always nil without WithFaults.
+	Err error
 }
 
 // HybridCase identifies the Hybrid-NN redirect a query performed.
@@ -450,6 +522,19 @@ func WithIssue(slot int64) QueryOption {
 // the metrics.
 func WithoutDataRetrieval() QueryOption {
 	return func(o *core.Options) { o.SkipDataRetrieval = true }
+}
+
+// WithMaxRetries bounds the consecutive faulted receptions a query
+// tolerates per channel (under WithFaults) before giving up with a
+// *ChannelError. Values < 1 select the default of 16. Lossless systems
+// never consult it.
+func WithMaxRetries(k int) QueryOption {
+	return func(o *core.Options) {
+		if k < 1 {
+			k = 0
+		}
+		o.MaxRetries = k
+	}
 }
 
 // FactorWindowDouble is the calibrated ANN factor for Window and Double.
