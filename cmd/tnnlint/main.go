@@ -1,0 +1,110 @@
+// Command tnnlint is the repository's invariant multichecker: it runs
+// the internal/analysis suite — detorder, nowallclock, noalloc,
+// errtaxonomy, scratchescape — over the requested packages and exits
+// nonzero on any finding. It is the compile-time face of the invariants
+// the runtime tests (worker-invariance goldens, steady-state alloc
+// benchmarks) verify after the fact.
+//
+// Usage:
+//
+//	go run ./cmd/tnnlint ./...
+//	go run ./cmd/tnnlint ./internal/core ./internal/session
+//	go run ./cmd/tnnlint -list
+//
+// Exit status: 0 clean, 1 findings, 2 load or usage failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"tnnbcast/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	flag.Parse()
+
+	suite := analysis.All()
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		suite = filterSuite(suite, *only)
+		if len(suite) == 0 {
+			fmt.Fprintf(os.Stderr, "tnnlint: -only %q matches no analyzer\n", *only)
+			os.Exit(2)
+		}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fail(err)
+	}
+	loader, err := analysis.NewLoader(cwd)
+	if err != nil {
+		fail(err)
+	}
+	dirs, err := loader.ExpandPatterns(flag.Args())
+	if err != nil {
+		fail(err)
+	}
+
+	findings := 0
+	for _, dir := range dirs {
+		pkg, err := loader.LoadDir(dir)
+		if err != nil {
+			fail(err)
+		}
+		diags, err := analysis.Run(pkg, suite)
+		if err != nil {
+			fail(err)
+		}
+		for _, d := range diags {
+			findings++
+			fmt.Println(relativize(loader.ModuleRoot, d))
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "tnnlint: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}
+
+// filterSuite keeps the analyzers named in the comma-separated spec.
+func filterSuite(suite []*analysis.Analyzer, spec string) []*analysis.Analyzer {
+	keep := make(map[string]bool)
+	for _, name := range strings.Split(spec, ",") {
+		if name != "" {
+			keep[name] = true
+		}
+	}
+	var out []*analysis.Analyzer
+	for _, a := range suite {
+		if keep[a.Name] {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// relativize rewrites the diagnostic's filename relative to the module
+// root for stable, clickable output.
+func relativize(root string, d analysis.Diagnostic) analysis.Diagnostic {
+	if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil && rel != "" && rel[0] != '.' {
+		d.Pos.Filename = rel
+	}
+	return d
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "tnnlint: %v\n", err)
+	os.Exit(2)
+}

@@ -149,6 +149,60 @@ func (e *InvalidIssueError) Error() string {
 		e.Client, e.Issue)
 }
 
+// UnknownVariantError reports a Request.Variant outside the defined
+// enum. Like UnknownAlgorithmError, a typo'd variant must fail loudly
+// instead of silently running the default query shape.
+type UnknownVariantError struct {
+	// Variant is the undefined value.
+	Variant Variant
+}
+
+func (e *UnknownVariantError) Error() string {
+	return fmt.Sprintf("tnnbcast: undefined query variant Variant(%d)", int(e.Variant))
+}
+
+// InvalidTopKError reports a TopK request whose K is not positive: a
+// top-k query with no answer slots has no defined result shape.
+type InvalidTopKError struct {
+	// K is the rejected answer count.
+	K int
+}
+
+func (e *InvalidTopKError) Error() string {
+	return fmt.Sprintf("tnnbcast: top-k request needs K >= 1, got %d", e.K)
+}
+
+// UnknownIndexSchemeError reports a WithIndexScheme value outside the
+// defined enum — a typo'd or future constant fails loudly at New
+// instead of silently building the preorder scheme.
+type UnknownIndexSchemeError struct {
+	// Scheme is the undefined value.
+	Scheme IndexScheme
+}
+
+func (e *UnknownIndexSchemeError) Error() string {
+	return fmt.Sprintf("tnnbcast: unknown index scheme IndexScheme(%d)", int(e.Scheme))
+}
+
+// InvalidScheduleError reports a WithSkewedSchedule configuration whose
+// disk count or frequency ratio is out of range (see maxSkewClasses):
+// beyond a handful of frequency classes the cycle only stretches.
+type InvalidScheduleError struct {
+	// Disks is the configured disk count.
+	Disks int
+	// Ratio is the configured frequency ratio.
+	Ratio int
+}
+
+func (e *InvalidScheduleError) Error() string {
+	if e.Disks < 1 || e.Disks > maxSkewClasses {
+		return fmt.Sprintf("tnnbcast: skewed schedule needs 1..%d disks, got %d",
+			maxSkewClasses, e.Disks)
+	}
+	return fmt.Sprintf("tnnbcast: skewed schedule needs a frequency ratio in 2..%d, got %d",
+		maxSkewClasses, e.Ratio)
+}
+
 // InvalidRegionError reports a WithRegion rectangle with NaN or infinite
 // bounds, or with inverted bounds (Hi < Lo on either axis).
 // Approximate-TNN scales its radius estimate by the region's area, so

@@ -1,0 +1,195 @@
+// Package analysis is a self-contained static-analysis framework plus
+// the tnnlint analyzer suite that enforces this repository's invariants
+// at compile time: bit-deterministic query processing (detorder,
+// nowallclock), allocation-free hot paths (noalloc), a typed public
+// error taxonomy (errtaxonomy), and scratch-space ownership
+// (scratchescape).
+//
+// The framework deliberately mirrors the golang.org/x/tools/go/analysis
+// API shape — Analyzer{Name, Doc, Run(*Pass)} reporting Diagnostics —
+// so the suite can migrate onto the upstream multichecker verbatim if
+// the dependency ever lands. It is built purely on the standard
+// library (go/parser + go/types with a module-aware source importer)
+// because this module carries no third-party dependencies.
+//
+// Invariants are declared in source with two directives:
+//
+//	//tnn:deterministic  — package directive (a comment line before the
+//	                       package clause of any file). Marks the whole
+//	                       package determinism-critical: detorder and
+//	                       nowallclock apply.
+//	//tnn:noalloc        — function directive (a line in the function's
+//	                       doc comment). Marks the function a
+//	                       steady-state-allocation-free hot path:
+//	                       noalloc applies to its body. The directive is
+//	                       not transitive through calls.
+//
+// There is intentionally no suppression comment: a finding is fixed by
+// restructuring the code (for example, moving wall-clock observability
+// into internal/observe), never by silencing the analyzer.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant check. Mirrors
+// golang.org/x/tools/go/analysis.Analyzer.
+type Analyzer struct {
+	// Name is the analyzer's identifier, shown in diagnostics.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer enforces.
+	Doc string
+	// Run performs the check over one package, reporting findings via
+	// pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// A Pass provides one analyzer run over one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Path is the package's import path ("tnnbcast/internal/core").
+	Path string
+
+	diags []Diagnostic
+}
+
+// A Diagnostic is one finding at one source position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of e, or nil.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.TypesInfo.TypeOf(e) }
+
+// Run executes each analyzer over pkg and returns the findings in
+// source order.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var out []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			Path:      pkg.Path,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
+		}
+		out = append(out, pass.diags...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}
+
+// All returns the complete tnnlint analyzer suite.
+func All() []*Analyzer {
+	return []*Analyzer{Detorder, Nowallclock, Noalloc, Errtaxonomy, Scratchescape}
+}
+
+// DirectiveDeterministic is the package-level determinism marker.
+const DirectiveDeterministic = "//tnn:deterministic"
+
+// DirectiveNoalloc is the function-level hot-path marker.
+const DirectiveNoalloc = "//tnn:noalloc"
+
+// Deterministic reports whether the package carries the
+// //tnn:deterministic directive: a comment line with exactly that text
+// positioned before the package clause of any of its files.
+func (p *Pass) Deterministic() bool {
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			if cg.Pos() >= f.Package {
+				break
+			}
+			if hasDirective(cg, DirectiveDeterministic) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// noallocMarked reports whether fn's doc comment carries //tnn:noalloc.
+func noallocMarked(fn *ast.FuncDecl) bool {
+	return fn.Doc != nil && hasDirective(fn.Doc, DirectiveNoalloc)
+}
+
+func hasDirective(cg *ast.CommentGroup, directive string) bool {
+	for _, c := range cg.List {
+		if strings.TrimSpace(c.Text) == directive {
+			return true
+		}
+	}
+	return false
+}
+
+// pkgFunc resolves a call to a package-level function and returns the
+// qualifying package path and function name ("time", "Now"). It returns
+// ok=false for method calls, calls through variables, builtins, and
+// conversions.
+func pkgFunc(info *types.Info, call *ast.CallExpr) (path, name string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	id, isID := sel.X.(*ast.Ident)
+	if !isID {
+		return "", "", false
+	}
+	pn, isPkg := info.Uses[id].(*types.PkgName)
+	if !isPkg {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}
+
+// enclosingFuncs walks every function body in the file set, invoking fn
+// with each declaration (methods included).
+func enclosingFuncs(files []*ast.File, fn func(decl *ast.FuncDecl)) {
+	for _, f := range files {
+		for _, d := range f.Decls {
+			if fd, isFunc := d.(*ast.FuncDecl); isFunc && fd.Body != nil {
+				fn(fd)
+			}
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// sharedLoader type-checks the standard library once for the whole test
+// binary; per-test loaders would redo that work five times.
+var sharedLoader = sync.OnceValues(func() (*Loader, error) {
+	return NewLoader(".")
+})
+
+func golden(t *testing.T, a *Analyzer, name, path string) {
+	t.Helper()
+	l, err := sharedLoader()
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	problems, err := Golden(l, a, filepath.Join("testdata", "src", name), path)
+	if err != nil {
+		t.Fatalf("golden run: %v", err)
+	}
+	for _, p := range problems {
+		t.Error(p)
+	}
+}
+
+func TestDetorderGolden(t *testing.T)    { golden(t, Detorder, "detorder", "") }
+func TestNowallclockGolden(t *testing.T) { golden(t, Nowallclock, "nowallclock", "") }
+func TestNoallocGolden(t *testing.T)     { golden(t, Noalloc, "noalloc", "") }
+func TestErrtaxonomyGolden(t *testing.T) {
+	golden(t, Errtaxonomy, "errtaxonomy", "golden/errtaxonomy")
+}
+func TestScratchescapeGolden(t *testing.T) { golden(t, Scratchescape, "scratchescape", "") }
+
+// TestDetorderDirectiveGate proves detorder (and by the same gate,
+// nowallclock) is inert without the //tnn:deterministic directive, even
+// on code full of violations.
+func TestDetorderDirectiveGate(t *testing.T) {
+	l, err := sharedLoader()
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	pkg, err := l.LoadDir(filepath.Join("testdata", "src", "detorder_unmarked"))
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	diags, err := Run(pkg, []*Analyzer{Detorder, Nowallclock})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("unmarked package produced diagnostic: %s", d)
+	}
+}
+
+// TestErrtaxonomyInternalGate proves errtaxonomy skips internal/ and
+// main packages: the same violation-laden testdata is silent under an
+// internal import path.
+func TestErrtaxonomyInternalGate(t *testing.T) {
+	l, err := sharedLoader()
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	pkg, err := l.LoadDir(filepath.Join("testdata", "src", "errtaxonomy"))
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	pkg.Path = "tnnbcast/internal/errtaxonomy"
+	diags, err := Run(pkg, []*Analyzer{Errtaxonomy})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("internal package produced diagnostic: %s", d)
+	}
+}
+
+// TestSuiteOnRepo runs the full suite over this module exactly as CI
+// does (go run ./cmd/tnnlint ./...) and fails on any finding: the
+// repository itself is the largest golden.
+func TestSuiteOnRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	l, err := sharedLoader()
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	dirs, err := l.ExpandPatterns(nil)
+	if err != nil {
+		t.Fatalf("expand: %v", err)
+	}
+	for _, dir := range dirs {
+		pkg, err := l.LoadDir(dir)
+		if err != nil {
+			t.Fatalf("load %s: %v", dir, err)
+		}
+		diags, err := Run(pkg, All())
+		if err != nil {
+			t.Fatalf("run %s: %v", dir, err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s", d)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Detorder flags iteration-order nondeterminism in packages marked
+// //tnn:deterministic: ranging over a map (Go randomizes map iteration
+// order, so any fold over it is worker- and run-dependent) and select
+// statements with two or more communication cases (when several are
+// ready the runtime picks uniformly at random). The worker-invariance
+// guarantee — identical Results for any worker count — only survives if
+// every reduction in these packages runs in a fixed order: sort the
+// keys, or drive the loop off the slice that produced the map.
+var Detorder = &Analyzer{
+	Name: "detorder",
+	Doc:  "flag map iteration and multi-case selects in //tnn:deterministic packages",
+	Run:  runDetorder,
+}
+
+func runDetorder(pass *Pass) error {
+	if !pass.Deterministic() {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				if t := pass.TypeOf(n.X); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						pass.Reportf(n.Pos(), "range over map %s: iteration order is randomized; sort the keys or iterate the source slice", types.TypeString(t, types.RelativeTo(pass.Pkg)))
+					}
+				}
+			case *ast.SelectStmt:
+				comm := 0
+				for _, c := range n.Body.List {
+					if clause, isComm := c.(*ast.CommClause); isComm && clause.Comm != nil {
+						comm++
+					}
+				}
+				if comm >= 2 {
+					pass.Reportf(n.Pos(), "select with %d communication cases: the runtime chooses randomly among ready channels; deterministic code must impose an order", comm)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

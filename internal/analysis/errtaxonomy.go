@@ -1,0 +1,66 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"strings"
+)
+
+// Errtaxonomy enforces the public error taxonomy on library surface
+// packages (every package that is not under internal/, not package
+// main, and not a test): errors reaching callers must be the typed
+// errors of errors.go, or wrap one with %w so errors.As still reaches
+// it. Bare errors.New and fmt.Errorf without a %w verb produce opaque
+// strings a caller can only compare textually — the exact failure mode
+// the typed InvalidPointError/UnknownAlgorithmError/ChannelError family
+// was introduced to kill. The check covers unexported helpers too:
+// their errors flow out through the exported constructors that call
+// them (validateScheme's errors escape through New).
+var Errtaxonomy = &Analyzer{
+	Name: "errtaxonomy",
+	Doc:  "forbid untyped errors.New / fmt.Errorf-without-%w on the public API surface",
+	Run:  runErrtaxonomy,
+}
+
+func runErrtaxonomy(pass *Pass) error {
+	if strings.Contains(pass.Path, "/internal/") || pass.Path == "internal" ||
+		strings.HasPrefix(pass.Path, "internal/") || pass.Pkg.Name() == "main" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, isCall := n.(*ast.CallExpr)
+			if !isCall {
+				return true
+			}
+			pkgPath, name, resolved := pkgFunc(pass.TypesInfo, call)
+			if !resolved {
+				return true
+			}
+			switch {
+			case pkgPath == "errors" && name == "New":
+				pass.Reportf(call.Pos(), "errors.New creates an untyped error on the public API surface; add a typed error to errors.go (or wrap one with %%w)")
+			case pkgPath == "fmt" && name == "Errorf":
+				if !errorfWraps(pass, call) {
+					pass.Reportf(call.Pos(), "fmt.Errorf without %%w creates an untyped error on the public API surface; wrap a typed error with %%w or add one to errors.go")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// errorfWraps reports whether the fmt.Errorf call's format string is a
+// known constant containing a %w verb. Non-constant formats count as
+// non-wrapping: the taxonomy must be verifiable statically.
+func errorfWraps(pass *Pass, call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	tv, known := pass.TypesInfo.Types[call.Args[0]]
+	if !known || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return false
+	}
+	return strings.Contains(constant.StringVal(tv.Value), "%w")
+}

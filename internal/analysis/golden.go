@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// golden.go is a miniature analysistest: testdata packages annotate the
+// lines where an analyzer must fire with trailing
+//
+//	// want `regexp`   (or "regexp")
+//
+// comments (several patterns may follow one want). RunGolden loads the
+// package, runs the analyzer, and returns one error per mismatch in
+// either direction — a diagnostic with no matching want, or a want no
+// diagnostic satisfied. Lines without a want prove the fixed form stays
+// silent.
+
+// wantRe matches the trailing annotation; patterns are Go-quoted
+// strings.
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// patRe extracts each quoted or backquoted pattern from a want
+// annotation.
+var patRe = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+
+type goldenWant struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// Golden runs analyzer a over the testdata package in dir and returns
+// the list of mismatches (empty means the golden holds). path overrides
+// the package's derived import path so testdata can impersonate any
+// surface (errtaxonomy only fires outside internal/).
+func Golden(l *Loader, a *Analyzer, dir, path string) ([]string, error) {
+	pkg, err := l.LoadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if path != "" {
+		pkg.Path = path
+	}
+	wants, err := collectWants(dir)
+	if err != nil {
+		return nil, err
+	}
+	diags, err := Run(pkg, []*Analyzer{a})
+	if err != nil {
+		return nil, err
+	}
+	var problems []string
+	for _, d := range diags {
+		if !claimWant(wants, d) {
+			problems = append(problems, fmt.Sprintf("unexpected diagnostic %s", d))
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			problems = append(problems, fmt.Sprintf("%s:%d: want %q: no diagnostic matched", w.file, w.line, w.re))
+		}
+	}
+	return problems, nil
+}
+
+// claimWant marks the first unclaimed want on d's file:line whose
+// pattern matches the message.
+func claimWant(wants []*goldenWant, d Diagnostic) bool {
+	base := filepath.Base(d.Pos.Filename)
+	for _, w := range wants {
+		if !w.hit && w.file == base && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+			w.hit = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants scans dir's Go files for want annotations.
+func collectWants(dir string) ([]*goldenWant, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var wants []*goldenWant
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			pats := patRe.FindAllStringSubmatch(m[1], -1)
+			if len(pats) == 0 {
+				return nil, fmt.Errorf("%s:%d: malformed want annotation %q", e.Name(), i+1, line)
+			}
+			for _, p := range pats {
+				pat := p[2] // backquoted form, verbatim
+				if p[1] != "" || p[2] == "" {
+					pat = strings.ReplaceAll(p[1], `\"`, `"`)
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want pattern: %w", e.Name(), i+1, err)
+				}
+				wants = append(wants, &goldenWant{file: e.Name(), line: i + 1, re: re})
+			}
+		}
+	}
+	return wants, nil
+}

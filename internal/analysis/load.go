@@ -1,0 +1,271 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one parsed and type-checked package ready for analysis.
+type Package struct {
+	// Path is the import path ("tnnbcast/internal/core").
+	Path string
+	// Dir is the package directory on disk.
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// A Loader parses and type-checks packages of one module without the go
+// command: module-internal import paths are resolved against the module
+// root, everything else (the standard library) through the stdlib
+// source importer. Only non-test files are loaded — the invariants
+// tnnlint enforces are production-code invariants, and test files are
+// free to use maps, wall clocks, and allocations.
+type Loader struct {
+	// ModuleRoot is the absolute directory containing go.mod.
+	ModuleRoot string
+	// ModulePath is the module's declared path ("tnnbcast").
+	ModulePath string
+
+	fset *token.FileSet
+	std  types.ImporterFrom
+	// pkgs caches every module-internal package by import path. Each
+	// package is type-checked exactly once — a re-check would mint a
+	// second *types.Package for the same path, and type identity across
+	// the import graph would silently break.
+	pkgs map[string]*Package
+}
+
+// NewLoader returns a loader for the module rooted at dir (the
+// directory holding go.mod, found by walking up from dir if needed).
+func NewLoader(dir string) (*Loader, error) {
+	root, err := findModuleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	path, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		ModuleRoot: root,
+		ModulePath: path,
+		fset:       fset,
+		std:        importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		pkgs:       make(map[string]*Package),
+	}, nil
+}
+
+// findModuleRoot walks up from dir to the nearest directory containing
+// go.mod.
+func findModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for d := abs; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("analysis: no go.mod found above %s", abs)
+		}
+		d = parent
+	}
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, found := strings.CutPrefix(line, "module "); found {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module line in %s", gomod)
+}
+
+// Import implements types.Importer: module-internal paths type-check
+// from source against the module root, all others fall through to the
+// stdlib source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if pkg, done := l.pkgs[path]; done {
+		return pkg.Types, nil
+	}
+	rel, internal := strings.CutPrefix(path, l.ModulePath)
+	if !internal || (rel != "" && !strings.HasPrefix(rel, "/")) {
+		return l.std.Import(path)
+	}
+	pkg, err := l.check(path, filepath.Join(l.ModuleRoot, filepath.FromSlash(rel)))
+	if err != nil {
+		return nil, err
+	}
+	return pkg.Types, nil
+}
+
+// LoadDir parses and type-checks the package in dir, retaining syntax
+// and type information for analysis. The import path is derived from
+// the directory's location under the module root. Loading the same
+// package twice returns the cached instance.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	path := l.importPath(abs)
+	if pkg, done := l.pkgs[path]; done {
+		return pkg, nil
+	}
+	return l.check(path, abs)
+}
+
+// importPath maps an absolute directory to its import path within the
+// module.
+func (l *Loader) importPath(abs string) string {
+	rel, err := filepath.Rel(l.ModuleRoot, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(abs)
+	}
+	if rel == "." {
+		return l.ModulePath
+	}
+	return l.ModulePath + "/" + filepath.ToSlash(rel)
+}
+
+// check parses dir's non-test Go files and type-checks them as package
+// path, retaining full syntax and type information, and caches the
+// result.
+func (l *Loader) check(path, dir string) (*Package, error) {
+	files, err := parseDir(l.fset, dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no buildable Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+	}
+	pkg := &Package{Path: path, Dir: dir, Fset: l.fset, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// parseDir parses every non-test .go file in dir, in name order.
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// ExpandPatterns resolves package patterns ("./...", "./internal/core",
+// import-path prefixes) into package directories under the module root.
+// testdata trees, hidden directories, and dirs without buildable Go
+// files are skipped.
+func (l *Loader) ExpandPatterns(patterns []string) ([]string, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	seen := make(map[string]bool)
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		base, recursive := strings.CutSuffix(pat, "/...")
+		if base == "." || base == "" {
+			base = l.ModuleRoot
+		} else if !filepath.IsAbs(base) {
+			base = filepath.Join(l.ModuleRoot, filepath.FromSlash(strings.TrimPrefix(base, "./")))
+		}
+		if !recursive {
+			add(base)
+			continue
+		}
+		err := filepath.WalkDir(base, func(p string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if p != base && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(p) {
+				add(p)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return dirs, nil
+}
+
+// hasGoFiles reports whether dir contains at least one non-test Go
+// file.
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") &&
+			!strings.HasSuffix(name, "_test.go") && !strings.HasPrefix(name, ".") {
+			return true
+		}
+	}
+	return false
+}

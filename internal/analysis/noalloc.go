@@ -1,0 +1,172 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Noalloc flags allocating constructs inside functions marked
+// //tnn:noalloc — the per-slot hot paths (the QueryExec step path,
+// heapx operations, Receiver episode accounting) whose steady-state
+// allocation budget the benchmarks pin at zero. Flagged:
+//
+//   - any call into package fmt (formatting always allocates);
+//   - make, new, and address-taken composite literals (&T{...});
+//   - append onto a fresh slice (a make call, a composite literal, or
+//     nil) — growth-amortized appends onto caller-owned backing arrays
+//     are the sanctioned pattern and stay silent;
+//   - function literals (a closure capturing variables escapes them);
+//   - implicit boxing of a non-pointer concrete value into an
+//     interface at a call, assignment, or return (storing a pointer in
+//     an interface does not allocate; constants box to static data).
+//
+// The directive is per-function and not transitive: callees on the hot
+// path carry their own marker, and the runtime alloc benchmarks
+// (TestQuerySteadyStateAllocs) remain the end-to-end authority.
+var Noalloc = &Analyzer{
+	Name: "noalloc",
+	Doc:  "flag allocating constructs in //tnn:noalloc functions",
+	Run:  runNoalloc,
+}
+
+func runNoalloc(pass *Pass) error {
+	enclosingFuncs(pass.Files, func(fn *ast.FuncDecl) {
+		if !noallocMarked(fn) {
+			return
+		}
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				pass.Reportf(n.Pos(), "closure in noalloc function %s: captured variables escape to the heap", fn.Name.Name)
+				return false // the literal's body is not on the hot path
+			case *ast.UnaryExpr:
+				if n.Op == token.AND {
+					if _, isLit := ast.Unparen(n.X).(*ast.CompositeLit); isLit {
+						pass.Reportf(n.Pos(), "&composite literal in noalloc function %s allocates", fn.Name.Name)
+					}
+				}
+			case *ast.CallExpr:
+				checkNoallocCall(pass, fn, n)
+			case *ast.AssignStmt:
+				for i := range n.Lhs {
+					if i < len(n.Rhs) && len(n.Lhs) == len(n.Rhs) {
+						checkBoxing(pass, fn, pass.TypeOf(n.Lhs[i]), n.Rhs[i])
+					}
+				}
+			case *ast.ReturnStmt:
+				checkReturnBoxing(pass, fn, n)
+			}
+			return true
+		})
+	})
+	return nil
+}
+
+// checkNoallocCall handles builtin allocators, fmt calls, and interface
+// boxing of arguments.
+func checkNoallocCall(pass *Pass, fn *ast.FuncDecl, call *ast.CallExpr) {
+	if id, isID := ast.Unparen(call.Fun).(*ast.Ident); isID {
+		if b, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+			switch b.Name() {
+			case "make":
+				pass.Reportf(call.Pos(), "make in noalloc function %s allocates; hoist the buffer into scratch or the receiver", fn.Name.Name)
+			case "new":
+				pass.Reportf(call.Pos(), "new in noalloc function %s allocates; hoist the value into scratch or the receiver", fn.Name.Name)
+			case "append":
+				if len(call.Args) > 0 && freshSlice(call.Args[0]) {
+					pass.Reportf(call.Pos(), "append onto a fresh slice in noalloc function %s allocates; append into a reused buffer", fn.Name.Name)
+				}
+			}
+			return
+		}
+	}
+	if pkgPath, name, resolved := pkgFunc(pass.TypesInfo, call); resolved && pkgPath == "fmt" {
+		pass.Reportf(call.Pos(), "fmt.%s in noalloc function %s allocates on every call", name, fn.Name.Name)
+		return
+	}
+	// Interface boxing of arguments against the callee's signature.
+	sig, isSig := typeOrNil(pass.TypeOf(call.Fun)).(*types.Signature)
+	if !isSig {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			last := params.At(params.Len() - 1).Type()
+			if sl, isSlice := last.(*types.Slice); isSlice {
+				pt = sl.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		checkBoxing(pass, fn, pt, arg)
+	}
+}
+
+// checkReturnBoxing compares each returned expression against the
+// enclosing function's declared result types.
+func checkReturnBoxing(pass *Pass, fn *ast.FuncDecl, ret *ast.ReturnStmt) {
+	if fn.Type.Results == nil || len(ret.Results) == 0 {
+		return
+	}
+	var resultTypes []types.Type
+	for _, field := range fn.Type.Results.List {
+		n := max(len(field.Names), 1)
+		for range n {
+			resultTypes = append(resultTypes, typeOrNil(pass.TypeOf(field.Type)))
+		}
+	}
+	if len(ret.Results) != len(resultTypes) {
+		return // multi-value call return; nothing boxable syntactically
+	}
+	for i, r := range ret.Results {
+		checkBoxing(pass, fn, resultTypes[i], r)
+	}
+}
+
+// checkBoxing reports when expr, of concrete non-pointer type, is
+// converted to the interface type target. Constants box to static data
+// and stay silent.
+func checkBoxing(pass *Pass, fn *ast.FuncDecl, target types.Type, expr ast.Expr) {
+	if target == nil || !types.IsInterface(target) {
+		return
+	}
+	tv, known := pass.TypesInfo.Types[expr]
+	if !known || tv.Type == nil || tv.Value != nil { // unknown or constant
+		return
+	}
+	from := tv.Type
+	if types.IsInterface(from) {
+		return // interface-to-interface: no box
+	}
+	switch u := from.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return // pointer-shaped: stored directly in the interface word
+	case *types.Basic:
+		if u.Kind() == types.UntypedNil {
+			return
+		}
+	}
+	pass.Reportf(expr.Pos(), "interface conversion boxes %s in noalloc function %s; pass a pointer or keep the concrete type", types.TypeString(from, types.RelativeTo(pass.Pkg)), fn.Name.Name)
+}
+
+func typeOrNil(t types.Type) types.Type { return t }
+
+// freshSlice reports whether expr is a slice value created at this use:
+// a composite literal, a make call, a conversion of a literal, or nil.
+func freshSlice(expr ast.Expr) bool {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.Ident:
+		return e.Name == "nil"
+	case *ast.CallExpr:
+		if id, isID := ast.Unparen(e.Fun).(*ast.Ident); isID && id.Name == "make" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,90 @@
+package analysis
+
+import (
+	"go/ast"
+	"path"
+)
+
+// Nowallclock flags ambient-state reads in packages marked
+// //tnn:deterministic: wall-clock time (time.Now and friends), the
+// global math/rand source, and process environment. Everything these
+// packages compute must be a pure function of explicit inputs — fault
+// patterns of (seed, slot), workloads of Config.Seed — or the
+// worker-invariance goldens and replayable experiments stop meaning
+// anything. Randomness is fine when seeded explicitly:
+// rand.New(rand.NewSource(seed)) is the sanctioned form. Wall-clock
+// observability (elapsed-time stats, heap sampling) lives in
+// internal/observe, which is deliberately not a deterministic package.
+var Nowallclock = &Analyzer{
+	Name: "nowallclock",
+	Doc:  "forbid wall-clock, global math/rand, and environment reads in //tnn:deterministic packages",
+	Run:  runNowallclock,
+}
+
+// wallclockBanned maps package path -> banned function -> explanation.
+// A nil inner map bans every package-level function except those in
+// wallclockAllowed.
+var wallclockBanned = map[string]map[string]string{
+	"time": {
+		"Now":       "reads the wall clock",
+		"Since":     "reads the wall clock",
+		"Until":     "reads the wall clock",
+		"After":     "starts a wall-clock timer",
+		"Tick":      "starts a wall-clock ticker",
+		"NewTimer":  "starts a wall-clock timer",
+		"NewTicker": "starts a wall-clock ticker",
+		"AfterFunc": "starts a wall-clock timer",
+	},
+	"os": {
+		"Getenv":    "reads the process environment",
+		"LookupEnv": "reads the process environment",
+		"Environ":   "reads the process environment",
+	},
+	"math/rand":    nil,
+	"math/rand/v2": nil,
+}
+
+// wallclockAllowed lists the math/rand constructors that take an
+// explicit source or seed — the sanctioned way to get determinism-safe
+// randomness.
+var wallclockAllowed = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+func runNowallclock(pass *Pass) error {
+	if !pass.Deterministic() {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, isCall := n.(*ast.CallExpr)
+			if !isCall {
+				return true
+			}
+			pkgPath, name, resolved := pkgFunc(pass.TypesInfo, call)
+			if !resolved {
+				return true
+			}
+			banned, relevant := wallclockBanned[pkgPath]
+			if !relevant {
+				return true
+			}
+			base := path.Base(pkgPath)
+			if banned == nil { // math/rand: every global-source function
+				if !wallclockAllowed[name] {
+					pass.Reportf(call.Pos(), "%s.%s uses the global math/rand source; use rand.New(rand.NewSource(seed)) with an explicit seed", base, name)
+				}
+				return true
+			}
+			if why, hit := banned[name]; hit {
+				pass.Reportf(call.Pos(), "%s.%s %s; deterministic packages must be pure functions of their inputs (observability timing belongs in internal/observe)", base, name, why)
+			}
+			return true
+		})
+	}
+	return nil
+}

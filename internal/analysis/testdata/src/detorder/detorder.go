@@ -1,0 +1,69 @@
+// Golden testdata for the detorder analyzer: the package carries the
+// //tnn:deterministic directive, so map iteration and multi-case
+// selects must fire and their fixed forms must stay silent.
+//
+//tnn:deterministic
+package detorder
+
+import "sort"
+
+func rangeMap(m map[string]int) int {
+	sum := 0
+	for _, v := range m { // want `range over map`
+		sum += v
+	}
+	return sum
+}
+
+func rangeMapKeysOnly(m map[int]bool) int {
+	n := 0
+	for k := range m { // want `range over map`
+		n += k
+	}
+	return n
+}
+
+// rangeSorted shows that even key collection is flagged — the
+// deterministic pattern keeps a parallel key slice from the start, so
+// the sorted fold below is the only part that stays silent.
+func rangeSorted(m map[string]int) int {
+	keys := make([]string, 0, len(m))
+	for k := range m { // want `range over map`
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	sum := 0
+	for _, k := range keys {
+		sum += m[k]
+	}
+	return sum
+}
+
+// rangeSlice stays silent: slices iterate in index order.
+func rangeSlice(xs []int) int {
+	sum := 0
+	for _, v := range xs {
+		sum += v
+	}
+	return sum
+}
+
+func twoReady(a, b chan int) int {
+	select { // want `select with 2 communication cases`
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// onePlusDefault stays silent: a single communication case with a
+// default is a deterministic non-blocking poll of one channel.
+func onePlusDefault(a chan int) (int, bool) {
+	select {
+	case v := <-a:
+		return v, true
+	default:
+		return 0, false
+	}
+}

@@ -1,0 +1,21 @@
+// Golden testdata proving directive gating: this package has NO
+// //tnn:deterministic directive, so detorder must stay silent on the
+// same constructs it flags in the marked package.
+package detorderunmarked
+
+func rangeMap(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+func twoReady(a, b chan int) int {
+	select {
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}

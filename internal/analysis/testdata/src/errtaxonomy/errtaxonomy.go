@@ -1,0 +1,42 @@
+// Golden testdata for the errtaxonomy analyzer (loaded under a
+// non-internal import path by the golden runner): bare errors.New and
+// fmt.Errorf without %w fire anywhere in the package — helper errors
+// escape through exported constructors — while typed errors and
+// %w-wrapping stay silent.
+package errtaxonomy
+
+import (
+	"errors"
+	"fmt"
+)
+
+// TypedError is this surface's stand-in for the errors.go taxonomy.
+type TypedError struct{ Code int }
+
+func (e *TypedError) Error() string { return fmt.Sprintf("typed error %d", e.Code) }
+
+func Bare() error {
+	return errors.New("something went wrong") // want `errors.New creates an untyped error`
+}
+
+func Untyped(n int) error {
+	return fmt.Errorf("bad n %d", n) // want `fmt.Errorf without %w creates an untyped error`
+}
+
+// helper is unexported, but its error escapes through Exported below —
+// the analyzer covers every function for exactly that reason.
+func helper() error {
+	return fmt.Errorf("helper failed") // want `fmt.Errorf without %w creates an untyped error`
+}
+
+func Exported() error { return helper() }
+
+// Wrapped stays silent: %w keeps the chain reachable by errors.As.
+func Wrapped(err error) error {
+	return fmt.Errorf("while validating: %w", err)
+}
+
+// Typed stays silent: the taxonomy type itself.
+func Typed(code int) error {
+	return &TypedError{Code: code}
+}

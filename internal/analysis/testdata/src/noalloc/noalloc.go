@@ -1,0 +1,95 @@
+// Golden testdata for the noalloc analyzer: allocating constructs fire
+// inside //tnn:noalloc functions; the amortized-growth and
+// pointer-shaped forms stay silent, and unmarked functions are ignored
+// entirely.
+package noalloc
+
+import "fmt"
+
+type point struct{ x, y int }
+
+//tnn:noalloc
+func hotFmt(x int) string {
+	return fmt.Sprintf("%d", x) // want `fmt.Sprintf in noalloc function hotFmt allocates`
+}
+
+//tnn:noalloc
+func hotMake(n int) []int {
+	buf := make([]int, n) // want `make in noalloc function hotMake allocates`
+	return buf
+}
+
+//tnn:noalloc
+func hotNewBuiltin() *int {
+	return new(int) // want `new in noalloc function hotNewBuiltin allocates`
+}
+
+//tnn:noalloc
+func hotCompositeAddr() *point {
+	return &point{1, 2} // want `&composite literal in noalloc function hotCompositeAddr allocates`
+}
+
+//tnn:noalloc
+func hotAppendFresh(xs []int) []int {
+	return append([]int{}, xs...) // want `append onto a fresh slice in noalloc function hotAppendFresh allocates`
+}
+
+//tnn:noalloc
+func hotClosure(x int) func() int {
+	return func() int { return x } // want `closure in noalloc function hotClosure`
+}
+
+//tnn:noalloc
+func hotBoxReturn(x int) any {
+	return x // want `interface conversion boxes int in noalloc function hotBoxReturn`
+}
+
+//tnn:noalloc
+func hotBoxAssign(x point, sink *any) {
+	*sink = x // want `interface conversion boxes point in noalloc function hotBoxAssign`
+}
+
+//tnn:noalloc
+func hotBoxArg(x point, use func(any)) {
+	use(x) // want `interface conversion boxes point in noalloc function hotBoxArg`
+}
+
+// hotGrow stays silent: appending into a caller-owned buffer is the
+// sanctioned amortized pattern.
+//
+//tnn:noalloc
+func hotGrow(buf, xs []int) []int {
+	return append(buf, xs...)
+}
+
+// hotPtrBox stays silent: storing a pointer in an interface does not
+// allocate.
+//
+//tnn:noalloc
+func hotPtrBox(p *point) any {
+	return p
+}
+
+// hotConstBox stays silent: constants box to static data.
+//
+//tnn:noalloc
+func hotConstBox() any {
+	return 42
+}
+
+// hotValue stays silent: a by-value composite literal lives in the
+// frame.
+//
+//tnn:noalloc
+func hotValue(x, y int) point {
+	return point{x, y}
+}
+
+// coldEverything is unmarked: the analyzer must ignore it wholesale.
+func coldEverything(n int) any {
+	buf := make([]int, n)
+	_ = append([]int{}, buf...)
+	f := func() int { return n }
+	_ = fmt.Sprintf("%d", f())
+	return n
+}

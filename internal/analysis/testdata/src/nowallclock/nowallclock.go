@@ -1,0 +1,45 @@
+// Golden testdata for the nowallclock analyzer: wall-clock reads, the
+// global math/rand source, and environment reads fire; explicitly
+// seeded randomness and pure time arithmetic stay silent.
+//
+//tnn:deterministic
+package nowallclock
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func wallClock() time.Duration {
+	t := time.Now()      // want `time.Now reads the wall clock`
+	return time.Since(t) // want `time.Since reads the wall clock`
+}
+
+func timer(d time.Duration) <-chan time.Time {
+	return time.After(d) // want `time.After starts a wall-clock timer`
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want `rand.Intn uses the global math/rand source`
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `rand.Shuffle uses the global math/rand source`
+}
+
+func env() string {
+	return os.Getenv("HOME") // want `os.Getenv reads the process environment`
+}
+
+// seeded is the sanctioned form: an explicit seed makes the stream a
+// pure function of its inputs.
+func seeded(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+// arithmetic stays silent: operating on time values passed in is pure.
+func arithmetic(t time.Time, d time.Duration) time.Time {
+	return t.Add(d)
+}

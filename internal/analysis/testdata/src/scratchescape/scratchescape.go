@@ -1,0 +1,55 @@
+// Golden testdata for the scratchescape analyzer: stores that let a
+// *core.Scratch outlive the borrowing call fire; receiver-owned arenas
+// and frame-local copies stay silent.
+package scratchescape
+
+import "tnnbcast/internal/core"
+
+var global *core.Scratch
+
+var registry = map[int]*core.Scratch{}
+
+type holder struct{ sc *core.Scratch }
+
+func leakGlobal(sc *core.Scratch) {
+	global = sc // want `stored into package-level variable global`
+}
+
+func leakRegistry(id int, sc *core.Scratch) {
+	registry[id] = sc // want `stored into package-level variable registry`
+}
+
+func leakParam(h *holder, sc *core.Scratch) {
+	h.sc = sc // want `caller-owned memory behind parameter h`
+}
+
+func leakDeref(dst *core.Scratch, sc *core.Scratch) {
+	*dst = *sc // want `caller-owned memory behind parameter dst`
+}
+
+type worker struct {
+	sc   *core.Scratch
+	pool map[int]*core.Scratch
+}
+
+// keep stays silent: the receiver is the sanctioned arena owner.
+func (w *worker) keep(sc *core.Scratch) {
+	w.sc = sc
+	w.pool[0] = sc
+}
+
+// frameLocal stays silent: the holder value dies with the call.
+func frameLocal(sc *core.Scratch) int {
+	var h holder
+	h.sc = sc
+	if h.sc != nil {
+		return 1
+	}
+	return 0
+}
+
+// rebind stays silent: plain locals are frame-scoped.
+func rebind(sc *core.Scratch) *core.Scratch {
+	s := sc
+	return s
+}

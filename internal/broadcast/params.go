@@ -9,6 +9,12 @@
 // Time is discrete: one slot broadcasts exactly one page on each channel.
 // Both metrics of the paper (access time and tune-in time) are counted in
 // pages, i.e. in slots.
+//
+// Everything on the air is a pure function of the dataset and the
+// parameters — fault patterns included, which are pure in (seed, slot).
+// tnnlint enforces this at compile time (see internal/analysis).
+//
+//tnn:deterministic
 package broadcast
 
 import "fmt"

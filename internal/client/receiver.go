@@ -10,6 +10,8 @@
 // scheduler that advances several search processes in global broadcast
 // order, which is what "simultaneously accessing multiple channels" means
 // operationally.
+//
+//tnn:deterministic
 package client
 
 import (
@@ -92,6 +94,8 @@ func (r *Receiver) AccessTime() int64 {
 // WaitUntil dozes until slot t: the local clock advances to t if it is
 // earlier. Used to synchronize phase boundaries across channels (the filter
 // phase cannot start before the estimate phase has finished on both).
+//
+//tnn:noalloc
 func (r *Receiver) WaitUntil(t int64) {
 	if t > r.now {
 		r.now = t
@@ -100,12 +104,16 @@ func (r *Receiver) WaitUntil(t int64) {
 
 // NextNodeArrival returns the earliest slot >= the local clock at which
 // index page nodeID is on air.
+//
+//tnn:noalloc
 func (r *Receiver) NextNodeArrival(nodeID int) int64 {
 	return r.ch.NextNodeArrival(nodeID, r.now)
 }
 
 // NextRootArrival returns the earliest slot >= the local clock carrying the
 // index root.
+//
+//tnn:noalloc
 func (r *Receiver) NextRootArrival() int64 {
 	return r.ch.NextRootArrival(r.now)
 }
@@ -113,6 +121,8 @@ func (r *Receiver) NextRootArrival() int64 {
 // fault accounts one faulted reception at slot: the radio was on (tune-in
 // is spent), nothing was completed (last stands), and the clock moves past
 // the dead slot so the caller can re-derive the page's next arrival.
+//
+//tnn:noalloc
 func (r *Receiver) fault(slot int64) {
 	r.pages++
 	r.lost++
@@ -130,6 +140,8 @@ func (r *Receiver) fault(slot int64) {
 // starting at slot: every fault in it counts as a retried reception, and
 // the slots between the first fault and the recovering download are the
 // loss-induced share of the access time.
+//
+//tnn:noalloc
 func (r *Receiver) closeEpisode(slot int64) {
 	if !r.inFault {
 		return
@@ -139,14 +151,24 @@ func (r *Receiver) closeEpisode(slot int64) {
 	r.inFault, r.epFaults = false, 0
 }
 
+// downloadBeforeClock formats the contract-violation panic message for
+// DownloadNode. It lives outside the marked function so the cold panic
+// path's formatting does not count against the hot path's zero-alloc
+// budget.
+func downloadBeforeClock(slot, now int64) string {
+	return fmt.Sprintf("client: download at slot %d before local clock %d", slot, now)
+}
+
 // DownloadNode dozes until slot (which must be >= the local clock and must
 // carry index page content) and downloads the page. On a clean reception
 // it returns the node; on a lossy feed it may instead return the PageFault
 // that ate the slot — tune-in is spent either way, and the caller is
 // expected to re-derive the node's next arrival and retry.
+//
+//tnn:noalloc
 func (r *Receiver) DownloadNode(slot int64) (*rtree.Node, *broadcast.PageFault) {
 	if slot < r.now {
-		panic(fmt.Sprintf("client: download at slot %d before local clock %d", slot, r.now))
+		panic(downloadBeforeClock(slot, r.now))
 	}
 	n, pf := r.ch.ReadNode(slot) // panics if slot carries a data page
 	if pf != nil {
@@ -170,6 +192,8 @@ func (r *Receiver) DownloadNode(slot int64) (*rtree.Node, *broadcast.PageFault) 
 // tuned so far (clean prefix plus the dead page) are accounted, the object
 // is incomplete (last stands), and the fault is returned for the caller to
 // retry at the object's next broadcast.
+//
+//tnn:noalloc
 func (r *Receiver) DownloadObject(objectID int) (int64, *broadcast.PageFault) {
 	start := r.ch.NextObjectArrival(objectID, r.now)
 	ppo := int64(r.ch.Index().PagesPerObject())

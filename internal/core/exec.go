@@ -205,10 +205,14 @@ func (ex *QueryExec) Radius() (r float64, ok bool) {
 
 // Now returns the later of the two receivers' local clocks — the slot at
 // which client-local transitions (phase sync, join) conceptually happen.
+//
+//tnn:noalloc
 func (ex *QueryExec) Now() int64 { return ex.clockMax() }
 
 // clockMax returns the later of the two receivers' local clocks — the slot
 // at which client-local work (phase sync, join) conceptually happens.
+//
+//tnn:noalloc
 func (ex *QueryExec) clockMax() int64 {
 	t := ex.rxS.Now()
 	if ex.rxR.Now() > t {
@@ -220,6 +224,8 @@ func (ex *QueryExec) clockMax() int64 {
 // Peek implements client.Process: the next slot at which this query acts.
 // advance() guarantees the current phase has runnable work (or is phDone),
 // so Peek never reports a stale sub-process slot.
+//
+//tnn:noalloc
 func (ex *QueryExec) Peek() (int64, bool) {
 	switch ex.phase {
 	case phWinS:
@@ -243,6 +249,8 @@ func (ex *QueryExec) Peek() (int64, bool) {
 // one of which is not done (advance's invariant). Equal slots resolve to
 // the S-channel process, which is always passed first — the same
 // channel-order tie-break StepEarliest applies.
+//
+//tnn:noalloc
 func (ex *QueryExec) earliest(a, b client.Process) int64 {
 	sa, da := a.Peek()
 	sb, db := b.Peek()
@@ -261,6 +269,8 @@ func (ex *QueryExec) earliest(a, b client.Process) int64 {
 // Step implements client.Process: perform exactly one action — download or
 // prune one candidate during the searches, or the terminal join+retrieval
 // — then fold any completed sub-phase into the next one.
+//
+//tnn:noalloc
 func (ex *QueryExec) Step() {
 	switch ex.phase {
 	case phWinS:
@@ -289,6 +299,8 @@ func (ex *QueryExec) Step() {
 // equal slots resolve to a, the S-channel process, passed first), without
 // the variadic scan. This sits inside every session step, where the two
 // generic Peek rounds were measurable.
+//
+//tnn:noalloc
 func stepEarlier[P client.Process](a, b P) {
 	sa, da := a.Peek()
 	sb, db := b.Peek()

@@ -10,6 +10,12 @@
 // circular search range around the query point that provably contains the
 // answer pair (Theorem 1), phase 2 retrieves the candidate objects of both
 // datasets inside the range and joins them locally on the client.
+//
+// Every result this package produces is a pure function of its explicit
+// inputs — the invariant behind the worker-invariance goldens, enforced
+// at compile time by tnnlint (see internal/analysis).
+//
+//tnn:deterministic
 package core
 
 import (

@@ -50,6 +50,7 @@ import (
 	"tnnbcast/internal/broadcast"
 	"tnnbcast/internal/core"
 	"tnnbcast/internal/geom"
+	"tnnbcast/internal/observe"
 	"tnnbcast/internal/session"
 )
 
@@ -182,24 +183,6 @@ func resultHash(i int, r core.Result) uint64 {
 	return h
 }
 
-// sampleHeap polls the runtime's heap size until stop is closed and
-// reports the peak into out. Coarse (the GC may run between samples), but
-// it is the honest number for "does N=1e6 fit in the container".
-func sampleHeap(stop <-chan struct{}, out *uint64) {
-	var ms runtime.MemStats
-	for {
-		runtime.ReadMemStats(&ms)
-		if ms.HeapAlloc > *out {
-			*out = ms.HeapAlloc
-		}
-		select {
-		case <-stop:
-			return
-		case <-time.After(10 * time.Millisecond):
-		}
-	}
-}
-
 // runMultiClient executes one ladder point: the sequential baseline (one
 // Query per client, one recycled scratch — exactly the pre-session usage
 // pattern; skipped above SeqBaselineCap) and the shared-cycle streaming
@@ -213,7 +196,7 @@ func runMultiClient(env core.Env, w clientWorkload, workers int, verify bool) mu
 		queries := w.materialize()
 		sc := core.NewScratch()
 		r.seqResults = make([]core.Result, len(queries))
-		start := time.Now()
+		elapsed := observe.Stopwatch()
 		for i, q := range queries {
 			opt := q.Opt
 			opt.Scratch = sc
@@ -223,7 +206,7 @@ func runMultiClient(env core.Env, w clientWorkload, workers int, verify bool) mu
 			}
 			r.seqResults[i] = res
 		}
-		r.seqSecs = time.Since(start).Seconds()
+		r.seqSecs = elapsed().Seconds()
 		QueriesExecuted.Add(int64(len(queries)))
 		QueryNanos.Add(int64(r.seqSecs * 1e9))
 	}
@@ -243,7 +226,7 @@ func runMultiClient(env core.Env, w clientWorkload, workers int, verify bool) mu
 		var at, ti [4]float64
 		var cnt [4]int
 		eng := session.New(env, workers)
-		start := time.Now()
+		elapsed := observe.Stopwatch()
 		stats, err := eng.RunStream(w.gen(), func(i int, res core.Result) {
 			mu.Lock()
 			defer mu.Unlock()
@@ -266,7 +249,7 @@ func runMultiClient(env core.Env, w clientWorkload, workers int, verify bool) mu
 		if err != nil {
 			panic(err) // generated workloads have non-negative issue slots
 		}
-		secs := time.Since(start).Seconds()
+		secs := elapsed().Seconds()
 		if record {
 			r.batchResults = kept
 			r.at, r.ti, r.cnt = at, ti, cnt
@@ -287,7 +270,7 @@ func runMultiClient(env core.Env, w clientWorkload, workers int, verify bool) mu
 	heapDone := make(chan struct{})
 	runtime.GC()
 	go func() {
-		sampleHeap(stop, &r.peakHeap)
+		observe.SampleHeap(stop, 10*time.Millisecond, &r.peakHeap)
 		close(heapDone)
 	}()
 	sum, stats, secs := batch(workers, true, w.n <= SeqBaselineCap)

@@ -2,11 +2,11 @@ package experiments
 
 import (
 	"math/rand"
-	"time"
 
 	"tnnbcast/internal/broadcast"
 	"tnnbcast/internal/core"
 	"tnnbcast/internal/geom"
+	"tnnbcast/internal/observe"
 )
 
 // The single-vs-multi-channel comparison quantifies the paper's premise:
@@ -73,7 +73,7 @@ func SingleVsMultiChannel(cfg Config) *Table {
 			Region: pair.Region,
 		}
 
-		started := time.Now()
+		elapsed := observe.Stopwatch()
 		for _, a := range algos {
 			rm := a.Run(envMulti, qp, core.Options{ANN: a.ANN, Scratch: scratch})
 			multi[a.Name].access += float64(rm.Metrics.AccessTime)
@@ -82,7 +82,7 @@ func SingleVsMultiChannel(cfg Config) *Table {
 			single[a.Name].access += float64(rs.Metrics.AccessTime)
 			single[a.Name].tunein += float64(rs.Metrics.TuneIn)
 		}
-		nanos += time.Since(started).Nanoseconds()
+		nanos += elapsed().Nanoseconds()
 	}
 	QueryNanos.Add(nanos)
 	QueriesExecuted.Add(int64(2 * len(algos) * cfg.Queries))

@@ -10,6 +10,8 @@ package heapx
 
 // Up restores the heap property after the element at index j changed
 // (typically: was just appended). Mirrors container/heap's up.
+//
+//tnn:noalloc
 func Up[T any](h []T, j int, less func(a, b T) bool) {
 	for {
 		i := (j - 1) / 2 // parent
@@ -23,6 +25,8 @@ func Up[T any](h []T, j int, less func(a, b T) bool) {
 
 // Down restores the heap property for the subtree rooted at i0, treating
 // only h[:n] as live. Mirrors container/heap's down.
+//
+//tnn:noalloc
 func Down[T any](h []T, i0, n int, less func(a, b T) bool) {
 	i := i0
 	for {
@@ -43,6 +47,8 @@ func Down[T any](h []T, i0, n int, less func(a, b T) bool) {
 }
 
 // Push appends x and sifts it up.
+//
+//tnn:noalloc
 func Push[T any](h *[]T, x T, less func(a, b T) bool) {
 	*h = append(*h, x)
 	Up(*h, len(*h)-1, less)
@@ -50,6 +56,8 @@ func Push[T any](h *[]T, x T, less func(a, b T) bool) {
 
 // Pop removes and returns the top element. The vacated slot is zeroed so
 // reusable backing arrays do not retain references past the live region.
+//
+//tnn:noalloc
 func Pop[T any](h *[]T, less func(a, b T) bool) T {
 	s := *h
 	n := len(s) - 1

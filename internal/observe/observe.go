@@ -1,0 +1,47 @@
+// Package observe is the sanctioned wall-clock and runtime-sampling
+// surface for determinism-critical packages. Those packages (marked
+// //tnn:deterministic and policed by tnnlint's nowallclock analyzer)
+// must compute every *result* as a pure function of explicit inputs,
+// but they still report throughput and memory figures — numbers about
+// the run, never inputs to it. Centralizing the ambient reads here
+// keeps them greppable at one chokepoint and keeps the analyzer's rule
+// absolute: a direct time.Now in a deterministic package is always a
+// bug; an elapsed-time statistic routes through observe.
+//
+// This package is deliberately NOT marked //tnn:deterministic.
+package observe
+
+import (
+	"runtime"
+	"time"
+)
+
+// Stopwatch starts timing and returns a function that reports the
+// elapsed wall-clock duration. The API is duration-only by design:
+// callers can measure how long work took but never obtain an absolute
+// time a computation could branch on.
+func Stopwatch() func() time.Duration {
+	start := time.Now()
+	return func() time.Duration { return time.Since(start) }
+}
+
+// SampleHeap polls the runtime's heap size every interval until stop is
+// closed, folding the peak into *out. Coarse (the GC may run between
+// samples), but it is the honest number for "does N clients fit in the
+// container". It runs in the calling goroutine; start it with go.
+func SampleHeap(stop <-chan struct{}, interval time.Duration, out *uint64) {
+	var ms runtime.MemStats
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		runtime.ReadMemStats(&ms)
+		if ms.HeapAlloc > *out {
+			*out = ms.HeapAlloc
+		}
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+		}
+	}
+}

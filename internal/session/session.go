@@ -26,6 +26,8 @@
 // Scheduling is O(1) amortized per step (a hierarchical slot calendar,
 // not a heap), so throughput no longer degrades with the number of
 // concurrent clients.
+//
+//tnn:deterministic
 package session
 
 import (

@@ -140,7 +140,7 @@ func (sys *System) Do(req Request) (Response, error) {
 		return Response{}, &UnknownAlgorithmError{Algo: req.Algo}
 	}
 	if req.Variant == TopK && req.K < 1 {
-		return Response{}, fmt.Errorf("tnnbcast: top-k request needs K >= 1, got %d", req.K)
+		return Response{}, &InvalidTopKError{K: req.K}
 	}
 	o := applyOptions(req.Options)
 	sc := scratchPool.Get().(*core.Scratch)
@@ -165,7 +165,7 @@ func (sys *System) Do(req Request) (Response, error) {
 	case TopK:
 		return Response{TopK: fromCoreTopK(core.TopKTNN(sys.env, req.Point, req.K, o))}, nil
 	default:
-		return Response{}, fmt.Errorf("tnnbcast: undefined query variant %v", req.Variant)
+		return Response{}, &UnknownVariantError{Variant: req.Variant}
 	}
 }
 

@@ -1,0 +1,85 @@
+#!/usr/bin/env sh
+# Run staticcheck over the module and filter its findings against the
+# tracked allowlist in lint/staticcheck-allow.txt.
+#
+# The allowlist is the only sanctioned suppression mechanism: no inline
+# //lint:ignore or //nolint comments in source. Each allowlist line is a
+# substring matched against a finding of the form
+#
+#   path/file.go:LINE:COL: message (CHECK)
+#
+# so an entry can pin a whole check ("(SA9003)"), one file
+# ("internal/foo/bar.go:"), or one exact finding. Lines starting with '#'
+# and blank lines are comments. Every entry must carry a justification
+# comment above it; entries should shrink over time, not grow.
+#
+# Exits non-zero if staticcheck reports anything not covered by the
+# allowlist, or if an allowlist entry no longer matches any finding
+# (stale entries must be pruned).
+set -u
+
+cd "$(dirname "$0")/.."
+
+allow=lint/staticcheck-allow.txt
+findings=$(staticcheck ./... 2>&1)
+status=$?
+# staticcheck exits 1 when it has findings; anything else is a tool error.
+if [ $status -ne 0 ] && [ $status -ne 1 ]; then
+    echo "$findings"
+    echo "staticcheck failed with exit status $status" >&2
+    exit $status
+fi
+
+unmatched=""
+stale=""
+
+if [ -n "$findings" ]; then
+    while IFS= read -r line; do
+        [ -n "$line" ] || continue
+        covered=no
+        while IFS= read -r entry; do
+            case "$entry" in
+            ''|'#'*) continue ;;
+            esac
+            case "$line" in
+            *"$entry"*) covered=yes; break ;;
+            esac
+        done <"$allow"
+        if [ "$covered" = no ]; then
+            unmatched="$unmatched$line
+"
+        fi
+    done <<EOF
+$findings
+EOF
+fi
+
+# Flag allowlist entries that no longer match anything: dead suppressions
+# hide future findings and must be removed when the underlying code is
+# fixed.
+while IFS= read -r entry; do
+    case "$entry" in
+    ''|'#'*) continue ;;
+    esac
+    case "$findings" in
+    *"$entry"*) ;;
+    *) stale="$stale$entry
+" ;;
+    esac
+done <"$allow"
+
+ok=yes
+if [ -n "$unmatched" ]; then
+    echo "staticcheck findings not covered by $allow:"
+    printf '%s' "$unmatched"
+    ok=no
+fi
+if [ -n "$stale" ]; then
+    echo "stale $allow entries (no longer match any finding; remove them):"
+    printf '%s' "$stale"
+    ok=no
+fi
+if [ "$ok" = no ]; then
+    exit 1
+fi
+echo "staticcheck clean (allowlist: $allow)"

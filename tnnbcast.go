@@ -180,16 +180,14 @@ func (c *config) validateScheme() error {
 	switch c.scheme {
 	case PreorderIndex, DistributedIndex:
 	default:
-		return fmt.Errorf("tnnbcast: unknown index scheme IndexScheme(%d)", int(c.scheme))
+		return &UnknownIndexSchemeError{Scheme: c.scheme}
 	}
 	if c.skewSet {
 		if c.skewDisks < 1 || c.skewDisks > maxSkewClasses {
-			return fmt.Errorf("tnnbcast: skewed schedule needs 1..%d disks, got %d",
-				maxSkewClasses, c.skewDisks)
+			return &InvalidScheduleError{Disks: c.skewDisks, Ratio: c.skewRatio}
 		}
 		if c.skewRatio < 2 || c.skewRatio > maxSkewClasses {
-			return fmt.Errorf("tnnbcast: skewed schedule needs a frequency ratio in 2..%d, got %d",
-				maxSkewClasses, c.skewRatio)
+			return &InvalidScheduleError{Disks: c.skewDisks, Ratio: c.skewRatio}
 		}
 	}
 	return nil
