@@ -16,6 +16,11 @@ import (
 //   - append onto a fresh slice (a make call, a composite literal, or
 //     nil) — growth-amortized appends onto caller-owned backing arrays
 //     are the sanctioned pattern and stay silent;
+//   - a slice composite literal passed as a call argument — the batched
+//     geometry kernels take candidate and screen slices, and feeding
+//     them a fresh literal allocates its backing array per call; slicing
+//     a fixed scratch array (cheb[:n]) is the sanctioned batched-call
+//     pattern and stays silent;
 //   - function literals (a closure capturing variables escapes them);
 //   - implicit boxing of a non-pointer concrete value into an
 //     interface at a call, assignment, or return (storing a pointer in
@@ -103,6 +108,25 @@ func checkNoallocCall(pass *Pass, fn *ast.FuncDecl, call *ast.CallExpr) {
 			pt = params.At(i).Type()
 		}
 		checkBoxing(pass, fn, pt, arg)
+		checkFreshSliceArg(pass, fn, arg)
+	}
+}
+
+// checkFreshSliceArg reports a slice composite literal used as a call
+// argument: its backing array is allocated at every call. The batched
+// kernels must be fed reused buffers (typically a fixed scratch array
+// sliced to the block length), which stay silent.
+func checkFreshSliceArg(pass *Pass, fn *ast.FuncDecl, arg ast.Expr) {
+	lit, isLit := ast.Unparen(arg).(*ast.CompositeLit)
+	if !isLit {
+		return
+	}
+	t := pass.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	if _, isSlice := t.Underlying().(*types.Slice); isSlice {
+		pass.Reportf(lit.Pos(), "slice literal argument in noalloc function %s allocates its backing array per call; slice a reused scratch buffer", fn.Name.Name)
 	}
 }
 

@@ -54,6 +54,29 @@ func hotBoxArg(x point, use func(any)) {
 	use(x) // want `interface conversion boxes point in noalloc function hotBoxArg`
 }
 
+//tnn:noalloc
+func hotBatchFresh(kernel func([]int)) {
+	kernel([]int{1, 2, 3}) // want `slice literal argument in noalloc function hotBatchFresh allocates its backing array per call`
+}
+
+type screens struct{ cheb [4]int }
+
+// hotBatchReuse stays silent: slicing a fixed scratch array to the block
+// length is the sanctioned batched-call pattern.
+//
+//tnn:noalloc
+func (s *screens) hotBatchReuse(kernel func([]int), n int) {
+	kernel(s.cheb[:n])
+}
+
+// hotBatchArrayLit stays silent: an array literal passed by value lives
+// in the frame.
+//
+//tnn:noalloc
+func hotBatchArrayLit(kernel func([4]int)) {
+	kernel([4]int{1, 2, 3, 4})
+}
+
 // hotGrow stays silent: appending into a caller-owned buffer is the
 // sanctioned amortized pattern.
 //

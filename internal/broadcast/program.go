@@ -83,13 +83,13 @@ func BuildProgram(tree *rtree.Tree, p Params) *Program {
 		ppo:        p.PagesPerObject(),
 	}
 
-	// Objects in preorder leaf-walk order.
+	// Objects in preorder leaf-walk order — which is exactly the Flat SoA
+	// image's leaf ID array, so page construction reads the flat layout
+	// instead of re-walking the pointer tree.
 	pr.objOrder = make([]int, 0, tree.Count)
-	tree.Preorder(func(n *rtree.Node) {
-		for _, e := range n.Entries {
-			pr.objOrder = append(pr.objOrder, e.ID)
-		}
-	})
+	for _, id := range tree.Flat().ID {
+		pr.objOrder = append(pr.objOrder, int(id))
+	}
 	pr.objPos = make([]int, tree.Count)
 	for pos, id := range pr.objOrder {
 		pr.objPos[id] = pos

@@ -102,11 +102,9 @@ func TestCollect(t *testing.T) {
 
 func TestArrivalQueueOrdering(t *testing.T) {
 	var q ArrivalQueue
-	nodes := make([]*rtree.Node, 10)
 	arrivals := []int64{50, 3, 17, 99, 4, 120, 8, 61, 2, 33}
-	for i := range nodes {
-		nodes[i] = &rtree.Node{ID: i}
-		q.Push(Candidate{Node: nodes[i], Arrival: arrivals[i]})
+	for i := range arrivals {
+		q.Push(Candidate{Arrival: arrivals[i], Key: int32(i), Ent: int32(i)})
 	}
 	if q.Len() != 10 {
 		t.Fatalf("len = %d", q.Len())
@@ -130,7 +128,7 @@ func TestArrivalQueueOrdering(t *testing.T) {
 func TestArrivalQueueSnapshotDrain(t *testing.T) {
 	var q ArrivalQueue
 	for i := 0; i < 5; i++ {
-		q.Push(Candidate{Node: &rtree.Node{ID: i}, Arrival: int64(10 - i)})
+		q.Push(Candidate{Arrival: int64(10 - i), Key: int32(i), Ent: int32(i)})
 	}
 	snap := q.Snapshot()
 	if len(snap) != 5 || q.Len() != 5 {

@@ -1,16 +1,19 @@
 package client
 
-import (
-	"tnnbcast/internal/rtree"
-)
-
 // Candidate is an R-tree node reference held in a search's candidate queue.
 // The reference was read from the node's parent page, so the MBR and the
 // arrival-time pointer are known before the node itself is downloaded —
 // that is exactly the information a real air-index entry carries.
+//
+// The reference is fully pointer-free: Key is the node's preorder ID (the
+// broadcast page key) and Ent is the index of the node's child entry in
+// the tree's SoA image (rtree.Flat), from which the MBR is re-read at pop
+// time as four contiguous float64 loads. A queue of these is a flat
+// int64/int32 array the garbage collector never scans.
 type Candidate struct {
-	Node    *rtree.Node // referenced node (only MBR/ID may be consulted before download)
-	Arrival int64       // next on-air slot, computed when the candidate was enqueued
+	Arrival int64 // next on-air slot, computed when the candidate was enqueued
+	Key     int32 // referenced node's preorder ID
+	Ent     int32 // index into the Flat node-entry arrays (MBR + Key)
 }
 
 // ArrivalQueue is the paper's MBR_queue: a priority queue of candidate
@@ -18,92 +21,76 @@ type Candidate struct {
 // by arrival rather than by distance is what makes the traversal
 // backtrack-free on the linear medium.
 //
-// The heap is a concrete 4-ary array heap with the comparison inlined —
-// no container/heap, no boxing, one cache line per sift level instead of
-// three. Candidate keys (Arrival, Node.ID) are a strict total order (one
-// page per slot per channel), so the pop sequence — and therefore every
-// downstream metric — is identical for ANY valid min-heap shape,
-// including the binary layouts this replaced. Reset keeps the backing
-// storage, making the queue reusable across queries without allocation.
+// The representation is a flat array kept sorted by DESCENDING
+// (Arrival, Key), so the minimum sits at the tail: Peek and Pop are one
+// load (no sift, no re-heapify), and Push is a binary search plus a short
+// memmove of pointer-free 16-byte records. Broadcast trees have small
+// fanout, so queues stay tens of entries deep and pops outnumber
+// comparisons — the branchy heap sift this replaced was the single
+// hottest queue operation in session profiles. Candidate keys
+// (Arrival, Key) are a strict total order (one page per slot per
+// channel), so the pop sequence — and therefore every downstream metric —
+// is identical to any heap layout. Reset keeps the backing storage,
+// making the queue reusable across queries without allocation.
 type ArrivalQueue struct {
-	h []Candidate
+	h []Candidate // sorted by descending (Arrival, Key); minimum at the tail
 }
 
 // candLess orders candidates by ascending arrival time. Arrival ties
 // cannot happen within one channel (one page per slot); break
-// deterministically anyway for cross-channel stability.
+// deterministically anyway for cross-channel stability. Key is the
+// node's preorder ID, so the order is the same as the pointer-walking
+// (Arrival, Node.ID) order it replaced.
 func candLess(a, b Candidate) bool {
 	if a.Arrival != b.Arrival {
 		return a.Arrival < b.Arrival
 	}
-	return a.Node.ID < b.Node.ID
+	return a.Key < b.Key
 }
 
 // Len returns the number of queued candidates.
 func (q *ArrivalQueue) Len() int { return len(q.h) }
 
 // Reset empties the queue, retaining the backing storage for reuse.
+// Candidates are pointer-free, so the stale region needs no clearing.
 func (q *ArrivalQueue) Reset() {
-	clear(q.h) // drop *rtree.Node references held past the live region
 	q.h = q.h[:0]
 }
 
-// Push enqueues a candidate.
+// Push enqueues a candidate: binary-search the descending array for the
+// insertion point (elements before it sort after c) and shift the shorter
+// suffix down by one.
 func (q *ArrivalQueue) Push(c Candidate) {
-	h := append(q.h, c)
-	i := len(h) - 1
-	for i > 0 {
-		p := (i - 1) >> 2
-		if !candLess(h[i], h[p]) {
-			break
+	h := q.h
+	lo, hi := 0, len(h)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if candLess(h[mid], c) {
+			hi = mid
+		} else {
+			lo = mid + 1
 		}
-		h[i], h[p] = h[p], h[i]
-		i = p
 	}
+	h = append(h, Candidate{})
+	copy(h[lo+1:], h[lo:])
+	h[lo] = c
 	q.h = h
 }
 
 // Peek returns the earliest-arriving candidate without removing it.
 // It must not be called on an empty queue.
-func (q *ArrivalQueue) Peek() Candidate { return q.h[0] }
+func (q *ArrivalQueue) Peek() Candidate { return q.h[len(q.h)-1] }
 
 // Pop removes and returns the earliest-arriving candidate.
 // It must not be called on an empty queue.
 func (q *ArrivalQueue) Pop() Candidate {
-	h := q.h
-	top := h[0]
-	n := len(h) - 1
-	last := h[n]
-	h[n] = Candidate{} // drop the stale *rtree.Node reference
-	q.h = h[:n]
-	if n > 0 {
-		// Sift the former tail down from the root, hole-style: move the
-		// smallest child up until last finds its level.
-		i := 0
-		for {
-			c := i<<2 + 1
-			if c >= n {
-				break
-			}
-			m := c
-			hi := min(c+4, n)
-			for j := c + 1; j < hi; j++ {
-				if candLess(h[j], h[m]) {
-					m = j
-				}
-			}
-			if !candLess(h[m], last) {
-				break
-			}
-			h[i] = h[m]
-			i = m
-		}
-		h[i] = last
-	}
-	return top
+	n := len(q.h) - 1
+	c := q.h[n]
+	q.h = q.h[:n]
+	return c
 }
 
-// At returns the i-th candidate in heap (unspecified) order, 0 <= i < Len.
+// At returns the i-th candidate in internal (unspecified) order, 0 <= i < Len.
 // Indexed iteration replaces Snapshot on the query hot path (Hybrid-NN's
 // queue scans), where the per-call copy dominated allocation.
 func (q *ArrivalQueue) At(i int) Candidate { return q.h[i] }
@@ -117,7 +104,7 @@ func (q *ArrivalQueue) Drain() []Candidate {
 	return out
 }
 
-// Snapshot returns the queued candidates in heap (unspecified) order
+// Snapshot returns the queued candidates in internal (unspecified) order
 // without modifying the queue. It allocates; hot paths iterate with At
 // instead.
 func (q *ArrivalQueue) Snapshot() []Candidate {

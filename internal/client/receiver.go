@@ -185,6 +185,33 @@ func (r *Receiver) DownloadNode(slot int64) (*rtree.Node, *broadcast.PageFault) 
 	return n, nil
 }
 
+// DownloadIndexSlot is DownloadNode for the SoA hot path: the caller
+// computed slot as the next arrival of an index page whose preorder ID it
+// already knows (a queued candidate's key, or 0 for the root), so the page
+// content adds nothing — only the reception itself must be performed. The
+// accounting (tune-in, clock, access time, fault episodes) is exactly
+// DownloadNode's; the node materialization and its page-kind re-check are
+// skipped. Faults are still consulted fresh per reception.
+//
+//tnn:noalloc
+func (r *Receiver) DownloadIndexSlot(slot int64) *broadcast.PageFault {
+	if slot < r.now {
+		panic(downloadBeforeClock(slot, r.now))
+	}
+	if pf := r.ch.Fault(slot); pf != nil {
+		r.fault(slot)
+		return pf
+	}
+	r.pages++
+	r.last = slot
+	r.now = slot + 1
+	r.closeEpisode(slot)
+	if r.trace != nil {
+		r.trace(slot, r.ch.PageAt(slot))
+	}
+	return nil
+}
+
 // DownloadObject dozes until the next broadcast of objectID's data pages
 // and downloads the full object (PagesPerObject consecutive pages). On a
 // clean run it returns the slot after the download completes. A fault on

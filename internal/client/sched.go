@@ -82,10 +82,14 @@ func RunSequential(procs ...Process) {
 }
 
 // calEntry is one registered process with its cached next-action slot.
+// The process itself lives in the scheduler's registry; the entry carries
+// only its index, keeping calendar buckets pointer-free — appends and
+// cascades move plain words with no write barriers, and the GC never
+// scans the wheels.
 type calEntry struct {
 	slot int64
 	key  int64
-	p    Process
+	idx  int32
 }
 
 // The calendar geometry: 256 buckets per level, one slot per level-0
@@ -145,6 +149,8 @@ type Sched struct {
 	now    []calEntry // entries due at cur, sorted by ascending key
 	nowIdx int        // next unconsumed entry in now
 	maxLvl int        // highest level in use (bounds Reset's sweep)
+	procs  []Process  // registry; calEntry.idx points here
+	free   []int32    // recycled registry slots
 	level  [calLevels]*calLevel
 }
 
@@ -160,7 +166,22 @@ func (s *Sched) Add(key int64, p Process) {
 		return
 	}
 	s.n++
-	s.schedule(calEntry{slot: slot, key: key, p: p})
+	var idx int32
+	if n := len(s.free); n > 0 {
+		idx = s.free[n-1]
+		s.free = s.free[:n-1]
+		s.procs[idx] = p
+	} else {
+		idx = int32(len(s.procs))
+		s.procs = append(s.procs, p)
+	}
+	s.schedule(calEntry{slot: slot, key: key, idx: idx})
+}
+
+// release drops a finished process from the registry and recycles its slot.
+func (s *Sched) release(idx int32) {
+	s.procs[idx] = nil
+	s.free = append(s.free, idx)
 }
 
 // Len returns the number of processes still scheduled.
@@ -224,6 +245,19 @@ func sortByKey(e []calEntry) {
 	if len(e) <= 1 {
 		return
 	}
+	// Colliding entries were themselves dispatched in key order at their
+	// previous slot, so buckets usually arrive already sorted — an O(n)
+	// check dodges the sort entirely.
+	sorted := true
+	for i := 1; i < len(e); i++ {
+		if e[i-1].key > e[i].key {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		return
+	}
 	if len(e) > 48 {
 		slices.SortFunc(e, cmpEntryKey)
 		return
@@ -280,7 +314,6 @@ func (s *Sched) refill() bool {
 			pos := int(uint64(s.cur)) & calMask
 			if b, ok := nextSet(&lv.occ, pos+1); ok {
 				old := s.now
-				clear(old)
 				s.now = lv.bucket[b]
 				lv.bucket[b] = old[:0]
 				lv.occ[b>>6] &^= 1 << (b & 63)
@@ -314,7 +347,6 @@ func (s *Sched) refill() bool {
 			for _, e := range ents {
 				s.schedule(e)
 			}
-			clear(ents)
 			lv.bucket[b] = ents[:0]
 			cascaded = true
 			break
@@ -360,22 +392,24 @@ func (s *Sched) StepEarliest() (p Process, key int64, finished, ok bool) {
 	if e == nil {
 		return nil, 0, false, false
 	}
-	e.p.Step()
-	slot, done := e.p.Peek()
+	p = s.procs[e.idx]
+	p.Step()
+	slot, done := p.Peek()
 	if done {
 		s.n--
 		s.nowIdx++
-		return e.p, e.key, true, true
+		s.release(e.idx)
+		return p, e.key, true, true
 	}
 	if slot <= s.cur {
 		// Still due at the current slot (a zero-air-time action such as a
 		// prune): it keeps the head position — its key is the smallest
 		// among the remaining current-slot entries.
-		return e.p, e.key, false, true
+		return p, e.key, false, true
 	}
 	s.nowIdx++
-	s.schedule(calEntry{slot: slot, key: e.key, p: e.p})
-	return e.p, e.key, false, true
+	s.schedule(calEntry{slot: slot, key: e.key, idx: e.idx})
+	return p, e.key, false, true
 }
 
 // Run drives the scheduled processes until all are done.
@@ -388,9 +422,9 @@ func (s *Sched) Run() {
 }
 
 // Reset empties the scheduler, retaining the backing storage (buckets,
-// levels, current-slot run) for reuse.
+// levels, current-slot run, registry) for reuse. Entries are pointer-free;
+// only the registry needs clearing so finished processes are released.
 func (s *Sched) Reset() {
-	clear(s.now)
 	s.now = s.now[:0]
 	s.nowIdx = 0
 	for l := 0; l <= s.maxLvl; l++ {
@@ -402,11 +436,13 @@ func (s *Sched) Reset() {
 			for lv.occ[w] != 0 {
 				b := w<<6 + bits.TrailingZeros64(lv.occ[w])
 				lv.occ[w] &^= 1 << (b & 63)
-				clear(lv.bucket[b])
 				lv.bucket[b] = lv.bucket[b][:0]
 			}
 		}
 	}
+	clear(s.procs)
+	s.procs = s.procs[:0]
+	s.free = s.free[:0]
 	s.cur = 0
 	s.n = 0
 }

@@ -132,36 +132,48 @@ type Result struct {
 // distance. The incumbent (s0, r0, d) — the pair that defined the search
 // range — seeds the bound; candidates si with dis(p,si) >= d cannot improve
 // it and skip the inner loop.
-func join(p geom.Point, incumbent Pair, haveIncumbent bool, ss, rs []rtree.Entry) (Pair, bool) {
+func join(p geom.Point, incumbent Pair, haveIncumbent bool, ss, rs *pointBuf) (Pair, bool) {
 	best := incumbent
 	ok := haveIncumbent
 	d := math.Inf(1)
 	if ok {
 		d = best.Dist
 	}
-	for _, si := range ss {
+	// The parallel coordinate slices are always the same length; pinning
+	// the y slices to len(x) lets the compiler drop the inner-loop bounds
+	// checks (same float ops, same order).
+	ssx, rsx := ss.x, rs.x
+	ssy, rsy := ss.y[:len(ssx)], rs.y[:len(rsx)]
+	for i := range ssx {
+		six, siy := ssx[i], ssy[i]
+		// An outer Chebyshev screen first: dps is at least the larger
+		// coordinate gap (same subtractions), so a gap at or past d skips
+		// the hypot along with the inner loop.
+		if max(math.Abs(p.X-six), math.Abs(p.Y-siy)) >= d {
+			continue
+		}
 		// dps is both the skip bound and the fixed term of every inner
 		// transitive distance dis(p,si) + dis(si,rj) — hoisting it halves
 		// the hypot calls of the join without moving a single float op
 		// (TransDist is exactly this sum, in this order).
-		dps := geom.Dist(p, si.Point)
+		dps := math.Hypot(p.X-six, p.Y-siy)
 		if dps >= d {
 			continue
 		}
-		for _, rj := range rs {
+		for j := range rsx {
 			// Chebyshev screen: hypot(dx,dy) >= max(|dx|,|dy|) holds in
 			// floating point (hypot never rounds below its larger leg),
 			// and rounding is monotone, so dps+max >= d implies the full
 			// dps+hypot >= d — the pair would be discarded anyway. The
 			// screen eliminates most hypot calls of the O(|S|·|R|) join
 			// without changing a single comparison outcome.
-			m := max(math.Abs(si.Point.X-rj.Point.X), math.Abs(si.Point.Y-rj.Point.Y))
+			m := max(math.Abs(six-rsx[j]), math.Abs(siy-rsy[j]))
 			if dps+m >= d {
 				continue
 			}
-			if t := dps + geom.Dist(si.Point, rj.Point); t < d {
+			if t := dps + math.Hypot(six-rsx[j], siy-rsy[j]); t < d {
 				d = t
-				best = Pair{S: si, R: rj, Dist: t}
+				best = Pair{S: ss.entry(i), R: rs.entry(j), Dist: t}
 				ok = true
 			}
 		}

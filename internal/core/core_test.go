@@ -209,15 +209,12 @@ func TestANNSearchTradeoff(t *testing.T) {
 
 func TestJoin(t *testing.T) {
 	p := geom.Pt(0, 0)
-	ss := []rtree.Entry{
-		{Point: geom.Pt(1, 0), ID: 0},
-		{Point: geom.Pt(5, 0), ID: 1},
-	}
-	rs := []rtree.Entry{
-		{Point: geom.Pt(2, 0), ID: 0},
-		{Point: geom.Pt(9, 9), ID: 1},
-	}
-	got, ok := join(p, Pair{}, false, ss, rs)
+	var ss, rs pointBuf
+	ss.add(1, 0, 0)
+	ss.add(5, 0, 1)
+	rs.add(2, 0, 0)
+	rs.add(9, 9, 1)
+	got, ok := join(p, Pair{}, false, &ss, &rs)
 	if !ok {
 		t.Fatal("join found nothing")
 	}
@@ -227,14 +224,14 @@ func TestJoin(t *testing.T) {
 	}
 
 	// The incumbent survives when no candidate beats it.
-	inc := Pair{S: ss[0], R: rs[0], Dist: 1.5} // artificially strong bound
-	got, ok = join(p, inc, true, ss, rs)
+	inc := Pair{S: ss.entry(0), R: rs.entry(0), Dist: 1.5} // artificially strong bound
+	got, ok = join(p, inc, true, &ss, &rs)
 	if !ok || got.Dist != 1.5 {
 		t.Fatalf("incumbent should survive: %+v", got)
 	}
 
 	// Empty candidate sets without incumbent: not found.
-	if _, ok := join(p, Pair{}, false, nil, nil); ok {
+	if _, ok := join(p, Pair{}, false, &pointBuf{}, &pointBuf{}); ok {
 		t.Error("empty join should not find a pair")
 	}
 }

@@ -235,9 +235,9 @@ func (ex *QueryExec) Peek() (int64, bool) {
 		slot, _ := ex.nr.Peek()
 		return slot, false
 	case phEstimate:
-		return ex.earliest(ex.ns, ex.nr), false
+		return earliestNN(ex.ns, ex.nr), false
 	case phFilter:
-		return ex.earliest(ex.qs, ex.qr), false
+		return earliestRange(ex.qs, ex.qr), false
 	case phJoin:
 		return ex.clockMax(), false
 	default:
@@ -245,13 +245,34 @@ func (ex *QueryExec) Peek() (int64, bool) {
 	}
 }
 
-// earliest returns the smaller next-action slot of two processes, at least
-// one of which is not done (advance's invariant). Equal slots resolve to
-// the S-channel process, which is always passed first — the same
-// channel-order tie-break StepEarliest applies.
+// earliestNN returns the smaller next-action slot of two NN searches, at
+// least one of which is not done (advance's invariant). Equal slots resolve
+// to the S-channel process, which is always passed first — the same
+// channel-order tie-break StepEarliest applies. Monomorphic on purpose: a
+// generic version shares one gcshape instantiation for all pointer types
+// and calls Peek through its dictionary, while these concrete calls inline
+// to plain field reads.
 //
 //tnn:noalloc
-func (ex *QueryExec) earliest(a, b client.Process) int64 {
+func earliestNN(a, b *nnSearch) int64 {
+	sa, da := a.Peek()
+	sb, db := b.Peek()
+	switch {
+	case da:
+		return sb
+	case db:
+		return sa
+	case sb < sa:
+		return sb
+	default:
+		return sa
+	}
+}
+
+// earliestRange is earliestNN for the two filter-phase range searches.
+//
+//tnn:noalloc
+func earliestRange(a, b *rangeSearch) int64 {
 	sa, da := a.Peek()
 	sb, db := b.Peek()
 	switch {
@@ -283,9 +304,9 @@ func (ex *QueryExec) Step() {
 			// while the other still runs (Hybrid-NN Cases 2 and 3).
 			ex.hybridRedirect()
 		}
-		stepEarlier(ex.ns, ex.nr)
+		stepEarlierNN(ex.ns, ex.nr)
 	case phFilter:
-		stepEarlier(ex.qs, ex.qr)
+		stepEarlierRange(ex.qs, ex.qr)
 	case phJoin:
 		ex.joinAndRetrieve()
 	case phDone:
@@ -294,14 +315,30 @@ func (ex *QueryExec) Step() {
 	ex.advance()
 }
 
-// stepEarlier is client.StepEarliest specialized to the two channel
-// processes of one query — identical semantics (smallest slot steps,
-// equal slots resolve to a, the S-channel process, passed first), without
-// the variadic scan. This sits inside every session step, where the two
-// generic Peek rounds were measurable.
+// stepEarlierNN is client.StepEarliest specialized to the two estimate-
+// phase NN searches of one query — identical semantics (smallest slot
+// steps, equal slots resolve to a, the S-channel process, passed first),
+// without the variadic scan. Monomorphic for the same reason as
+// earliestNN: the cached Peeks inline to field reads.
 //
 //tnn:noalloc
-func stepEarlier[P client.Process](a, b P) {
+func stepEarlierNN(a, b *nnSearch) {
+	sa, da := a.Peek()
+	sb, db := b.Peek()
+	switch {
+	case da && db:
+	case db || (!da && sa <= sb):
+		a.Step()
+	default:
+		b.Step()
+	}
+}
+
+// stepEarlierRange is stepEarlierNN for the two filter-phase range
+// searches.
+//
+//tnn:noalloc
+func stepEarlierRange(a, b *rangeSearch) {
 	sa, da := a.Peek()
 	sb, db := b.Peek()
 	switch {
@@ -472,7 +509,7 @@ func (ex *QueryExec) failWith(channel string, cerr *broadcast.ChannelError) {
 // over the filtered candidates, the optional download of the answer pair's
 // data pages, and the metric collection.
 func (ex *QueryExec) joinAndRetrieve() {
-	pair, ok := join(ex.p, ex.incumbent, ex.haveInc, ex.qs.found, ex.qr.found)
+	pair, ok := join(ex.p, ex.incumbent, ex.haveInc, &ex.qs.found, &ex.qr.found)
 
 	var err error
 	if ok && !ex.opt.SkipDataRetrieval {

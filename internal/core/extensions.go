@@ -119,7 +119,7 @@ func ChainTNN(env MultiEnv, p geom.Point, opt Options) ChainResult {
 	// 0..i ending at candidate j of layer i.
 	layers := make([][]rtree.Entry, k)
 	for i := range ranges {
-		layers[i] = ranges[i].found
+		layers[i] = ranges[i].found.entries()
 	}
 	stops, dist, ok := chainJoin(p, layers, route, d)
 	if !ok {
@@ -268,9 +268,9 @@ func UnorderedTNN(env Env, p geom.Point, opt Options) (Result, bool) {
 	}
 
 	sFirstIncumbent := Pair{S: s, R: r, Dist: dSR}
-	pairSR, _ := join(p, sFirstIncumbent, true, qs.found, qr.found)
+	pairSR, _ := join(p, sFirstIncumbent, true, &qs.found, &qr.found)
 	rFirstIncumbent := Pair{S: r, R: s, Dist: dRS}
-	pairRS, _ := join(p, rFirstIncumbent, true, qr.found, qs.found)
+	pairRS, _ := join(p, rFirstIncumbent, true, &qr.found, &qs.found)
 
 	sFirst := pairSR.Dist <= pairRS.Dist
 	var res Pair
@@ -351,16 +351,18 @@ func RoundTripTNN(env Env, p geom.Point, opt Options) Result {
 	}
 
 	best := Pair{S: s, R: r, Dist: d}
-	for _, si := range qs.found {
+	fs, fr := &qs.found, &qr.found
+	for i := range fs.x {
 		// An object s on a better tour satisfies dis(p,s) < d; tighter:
 		// the two legs through s already cost dis(p,s) twice is not valid
 		// for asymmetric tours, so only the basic bound applies.
-		if geom.Dist(p, si.Point) >= best.Dist {
+		siP := geom.Point{X: fs.x[i], Y: fs.y[i]}
+		if geom.Dist(p, siP) >= best.Dist {
 			continue
 		}
-		for _, rj := range qr.found {
-			if td := tour(si.Point, rj.Point); td < best.Dist {
-				best = Pair{S: si, R: rj, Dist: td}
+		for j := range fr.x {
+			if td := tour(siP, geom.Point{X: fr.x[j], Y: fr.y[j]}); td < best.Dist {
+				best = Pair{S: fs.entry(i), R: fr.entry(j), Dist: td}
 			}
 		}
 	}

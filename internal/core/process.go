@@ -11,6 +11,15 @@
 // answer pair (Theorem 1), phase 2 retrieves the candidate objects of both
 // datasets inside the range and joins them locally on the client.
 //
+// The searches traverse the rtree.Flat SoA image of the broadcast tree:
+// candidates carry (preorder ID, entry index) instead of *Node pointers,
+// MBRs are re-read as contiguous float64 loads, leaf scans run through
+// the batched geometry kernels of internal/geom with their exact
+// Chebyshev screens (see geom/batch.go for the exactness contract), and
+// the seen/found buffers are pointer-free parallel arrays. Every screen
+// only skips work — no comparison outcome, pop order, or metric ever
+// differs from the scalar pointer-walking implementation this replaced.
+//
 // Every result this package produces is a pure function of its explicit
 // inputs — the invariant behind the worker-invariance goldens, enforced
 // at compile time by tnnlint (see internal/analysis).
@@ -37,6 +46,78 @@ const (
 	// Hybrid-NN Case 3, driven by MinTransDist / MinMaxTransDist.
 	modeTrans
 )
+
+// batchCap is the block size fed to the batched geometry kernels: large
+// enough to amortize the call and keep the compiler's bounds-check
+// elimination effective, small enough that the screen buffers live in
+// registers/L1 (ISSUE: 4–8 candidates per call).
+const batchCap = 8
+
+// pointBuf is a pointer-free SoA buffer of data points (the seen/found
+// sets of the searches): parallel x/y/id slices the GC never scans, bulk-
+// appendable straight from the rtree.Flat leaf arrays. Capacity is
+// retained across queries by the scratch reuse protocol.
+type pointBuf struct {
+	x, y []float64
+	id   []int32
+}
+
+// reset empties the buffer, retaining capacity.
+//
+//tnn:noalloc
+func (b *pointBuf) reset() {
+	b.x, b.y, b.id = b.x[:0], b.y[:0], b.id[:0]
+}
+
+// Len returns the number of buffered points.
+//
+//tnn:noalloc
+func (b *pointBuf) Len() int { return len(b.x) }
+
+// reserve pre-sizes a fresh buffer's parallel slices in one shot, so a
+// newly pooled scratch does not pay a ladder of doubling reallocations
+// during its first query. A warmed buffer (nonzero capacity) is left
+// untouched — steady state stays allocation-free.
+func (b *pointBuf) reserve(n int) {
+	if cap(b.x) != 0 {
+		return
+	}
+	b.x = make([]float64, 0, n)
+	b.y = make([]float64, 0, n)
+	b.id = make([]int32, 0, n)
+}
+
+// add appends one point.
+func (b *pointBuf) add(x, y float64, id int32) {
+	b.x = append(b.x, x)
+	b.y = append(b.y, y)
+	b.id = append(b.id, id)
+}
+
+// appendRun bulk-appends a run of points from parallel slices (a leaf's
+// slice of the Flat arrays).
+func (b *pointBuf) appendRun(xs, ys []float64, ids []int32) {
+	b.x = append(b.x, xs...)
+	b.y = append(b.y, ys...)
+	b.id = append(b.id, ids...)
+}
+
+// entry materializes point i as an rtree.Entry for result reporting.
+//
+//tnn:noalloc
+func (b *pointBuf) entry(i int) rtree.Entry {
+	return rtree.Entry{Point: geom.Point{X: b.x[i], Y: b.y[i]}, ID: int(b.id[i])}
+}
+
+// entries materializes the whole buffer as []rtree.Entry. It allocates;
+// only cold paths (chain layers, oracles, tests) use it.
+func (b *pointBuf) entries() []rtree.Entry {
+	out := make([]rtree.Entry, b.Len())
+	for i := range out {
+		out[i] = b.entry(i)
+	}
+	return out
+}
 
 // Scratch holds reusable per-query search state: the search process
 // structs, their candidate queues' backing storage, and the seen/found
@@ -111,13 +192,14 @@ func (sc *Scratch) rangeSearch(rx *client.Receiver, c geom.Circle, maxFaults int
 // client.Process.
 type nnSearch struct {
 	rx   *client.Receiver
+	flat *rtree.Flat // SoA image of the channel's tree
 	mode searchMode
 	q    geom.Point // NN query point (p; or s after a Case-2 retarget)
 	rEnd geom.Point // transitive endpoint r (Case 3 only)
 
 	queue  client.ArrivalQueue
 	ub     float64
-	seen   []rtree.Entry
+	seen   pointBuf
 	best   rtree.Entry
 	bestD  float64
 	bestOK bool
@@ -142,6 +224,7 @@ type nnSearch struct {
 	height   int
 	started  bool
 	finished bool
+	next     int64 // cached next-action slot; valid while !finished
 
 	// Loss recovery: faults counts consecutive failed receptions; after
 	// maxFaults of them the search gives up with a ChannelError instead
@@ -149,6 +232,9 @@ type nnSearch struct {
 	faults    int
 	maxFaults int
 	err       *broadcast.ChannelError
+
+	// cheb is the screen buffer for batched leaf scans.
+	cheb [batchCap]float64
 }
 
 // newNNSearch creates an exact or approximate NN search for query point q
@@ -163,13 +249,16 @@ func newNNSearch(rx *client.Receiver, q geom.Point, factor float64, maxFaults in
 // init (re)initializes the search in place, retaining the queue's backing
 // storage and the seen buffer's capacity across queries.
 func (s *nnSearch) init(rx *client.Receiver, q geom.Point, factor float64, maxFaults int) {
+	t := rx.Channel().Index().Tree()
 	s.rx = rx
+	s.flat = t.Flat()
 	s.mode = modeNN
 	s.q = q
 	s.rEnd = geom.Point{}
 	s.queue.Reset()
 	s.ub = math.Inf(1)
-	s.seen = s.seen[:0]
+	s.seen.reset()
+	s.seen.reserve(64)
 	s.best = rtree.Entry{}
 	s.bestD = math.Inf(1)
 	s.bestOK = false
@@ -177,12 +266,35 @@ func (s *nnSearch) init(rx *client.Receiver, q geom.Point, factor float64, maxFa
 	s.qmin = 0
 	s.qminOK = false
 	s.frame = geom.EllipseFrame{}
-	s.height = rx.Channel().Index().Tree().Height
+	s.height = t.Height
 	s.started = false
-	s.finished = rx.Channel().Index().Tree().Count == 0
+	s.finished = t.Count == 0
 	s.faults = 0
 	s.maxFaults = maxFaults
 	s.err = nil
+	s.resched()
+}
+
+// resched recomputes the cached next-action slot after any state change —
+// the one place the Peek answer is derived. Caching it here instead of in
+// Peek matters because the scheduler stack consults Peek several times per
+// step (dispatch, phase folding, tie-breaks); deriving the root arrival
+// through the feed on every consultation was measurable.
+//
+//tnn:noalloc
+func (s *nnSearch) resched() {
+	if s.finished {
+		return
+	}
+	if !s.started {
+		s.next = s.rx.NextRootArrival()
+		return
+	}
+	if s.queue.Len() == 0 {
+		s.finished = true
+		return
+	}
+	s.next = s.queue.Peek().Arrival
 }
 
 // fault records one failed reception and escalates to a ChannelError when
@@ -196,19 +308,11 @@ func (s *nnSearch) fault(pf *broadcast.PageFault) {
 	}
 }
 
-// Peek implements client.Process.
+// Peek implements client.Process: a pure read of the cached schedule.
+//
+//tnn:noalloc
 func (s *nnSearch) Peek() (int64, bool) {
-	if s.finished {
-		return 0, true
-	}
-	if !s.started {
-		return s.rx.NextRootArrival(), false
-	}
-	if s.queue.Len() == 0 {
-		s.finished = true
-		return 0, true
-	}
-	return s.queue.Peek().Arrival, false
+	return s.next, s.finished
 }
 
 // Step implements client.Process. Recovery protocol: a faulted reception
@@ -221,37 +325,34 @@ func (s *nnSearch) Peek() (int64, bool) {
 // the clock just passed.
 func (s *nnSearch) Step() {
 	if !s.started {
-		root, pf := s.rx.DownloadNode(s.rx.NextRootArrival())
-		if pf != nil {
+		// s.next caches the root arrival; the root is preorder node 0.
+		if pf := s.rx.DownloadIndexSlot(s.next); pf != nil {
 			s.fault(pf)
+			s.resched()
 			return
 		}
 		s.faults = 0
 		s.started = true
-		s.visit(root)
-		if s.queue.Len() == 0 {
-			s.finished = true
-		}
+		s.visit(0)
+		s.resched()
 		return
 	}
 	c := s.queue.Pop()
 	if s.pruned(c) {
-		if s.queue.Len() == 0 {
-			s.finished = true
-		}
+		s.resched()
 		return
 	}
-	node, pf := s.rx.DownloadNode(c.Arrival)
-	if pf != nil {
-		s.queue.Push(client.Candidate{Node: c.Node, Arrival: s.rx.NextNodeArrival(c.Node.ID)})
+	// The slot was derived as c.Key's next arrival, so the page on air at
+	// it IS node c.Key — no page materialization needed.
+	if pf := s.rx.DownloadIndexSlot(c.Arrival); pf != nil {
+		s.queue.Push(client.Candidate{Arrival: s.rx.NextNodeArrival(int(c.Key)), Key: c.Key, Ent: c.Ent})
 		s.fault(pf)
+		s.resched()
 		return
 	}
 	s.faults = 0
-	s.visit(node)
-	if s.queue.Len() == 0 {
-		s.finished = true
-	}
+	s.visit(c.Key)
+	s.resched()
 }
 
 // lower returns the metric lower bound for a candidate MBR.
@@ -262,21 +363,14 @@ func (s *nnSearch) lower(m geom.Rect) float64 {
 	return m.MinDist(s.q)
 }
 
-// upper returns the metric upper bound guaranteed for a candidate MBR by
-// the face property.
-func (s *nnSearch) upper(m geom.Rect) float64 {
+// metricXY returns the distance of an actual data point given as SoA
+// coordinates — the same float64 operations, in the same order, as
+// geom.Dist / geom.TransDist on the materialized point.
+func (s *nnSearch) metricXY(x, y float64) float64 {
 	if s.mode == modeTrans {
-		return geom.MinMaxTransDist(s.q, m, s.rEnd)
+		return math.Hypot(s.q.X-x, s.q.Y-y) + math.Hypot(x-s.rEnd.X, y-s.rEnd.Y)
 	}
-	return m.MinMaxDist(s.q)
-}
-
-// metric returns the distance of an actual data point.
-func (s *nnSearch) metric(p geom.Point) float64 {
-	if s.mode == modeTrans {
-		return geom.TransDist(s.q, p, s.rEnd)
-	}
-	return geom.Dist(s.q, p)
+	return math.Hypot(s.q.X-x, s.q.Y-y)
 }
 
 // alpha is the dynamic pruning threshold of Eq. 4:
@@ -314,26 +408,54 @@ func (s *nnSearch) overlapRatio(m geom.Rect) float64 {
 // be preserved and visited", and it guarantees the search descends at
 // least one full branch to real data points.
 func (s *nnSearch) pruned(c client.Candidate) bool {
-	lb := s.lower(c.Node.MBR)
+	f := s.flat
+	e := c.Ent
+	if s.factor <= 0 {
+		// Exact search. The qmin bookkeeping below is dead here (qminOK
+		// is only ever set by the ANN branch), so the decision reduces to
+		// lower(MBR) > ub — which the Chebyshev screens settle for most
+		// pops without a hypot or a MinTransDist.
+		if s.mode == modeNN {
+			dx := max(f.MinX[e]-s.q.X, 0, s.q.X-f.MaxX[e])
+			dy := max(f.MinY[e]-s.q.Y, 0, s.q.Y-f.MaxY[e])
+			if max(dx, dy) > s.ub {
+				return true // MinDist = hypot(dx,dy) >= max(dx,dy): same operands, exact
+			}
+			if (dx+dy)*geom.ScreenSlack <= s.ub {
+				// 1-norm accept: hypot(dx,dy) <= dx+dy, and the slack
+				// (~4e6 ulps) absorbs the few-ulp rounding of the sum and
+				// product, so the hypot provably cannot exceed ub either.
+				return false
+			}
+			return math.Hypot(dx, dy) > s.ub
+		}
+		m := f.EntRect(e)
+		if geom.MinTransDistCheb(s.q, m, s.rEnd) > s.ub*geom.ScreenSlack {
+			return true // slacked screen: MinTransDist provably exceeds ub
+		}
+		return geom.MinTransDist(s.q, m, s.rEnd) > s.ub
+	}
+	m := f.EntRect(e)
+	lb := s.lower(m)
 	if s.qminOK && lb <= s.qmin {
 		// The popped candidate may have defined the cached queue minimum;
 		// recompute lazily on the next queueMinLower call.
 		s.qminOK = false
 	}
-	if lb > s.ub && (s.factor <= 0 || s.bestOK) {
-		// Exact pruning. In ANN mode it is deferred until a real point
-		// backs the bound: face-property promises alone could otherwise
-		// exact-prune the whole queue after ANN pruning removed the
-		// promised subtree, ending the search with no result at all.
+	if lb > s.ub && s.bestOK {
+		// Exact pruning, deferred until a real point backs the bound:
+		// face-property promises alone could otherwise exact-prune the
+		// whole queue after ANN pruning removed the promised subtree,
+		// ending the search with no result at all.
 		return true
 	}
-	if s.factor <= 0 || math.IsInf(s.ub, 1) {
+	if math.IsInf(s.ub, 1) {
 		return false
 	}
 	if lb <= s.queueMinLower() {
 		return false // the greedy-descent guarantee: always visited
 	}
-	return s.overlapRatio(c.Node.MBR) <= s.alpha(c.Node.Depth)
+	return s.overlapRatio(m) <= s.alpha(int(f.Depth[c.Key]))
 }
 
 // queueMinLower returns the smallest metric lower bound among the queued
@@ -344,7 +466,7 @@ func (s *nnSearch) queueMinLower() float64 {
 	if !s.qminOK {
 		min := math.Inf(1)
 		for i, n := 0, s.queue.Len(); i < n; i++ {
-			if lb := s.lower(s.queue.At(i).Node.MBR); lb < min {
+			if lb := s.lower(s.flat.EntRect(s.queue.At(i).Ent)); lb < min {
 				min = lb
 			}
 		}
@@ -354,33 +476,84 @@ func (s *nnSearch) queueMinLower() float64 {
 	return s.qmin
 }
 
+// tightenUB lowers the sound upper bound with the face-property guarantee
+// of node entry e, screening out entries that cannot improve it: exactly
+// (same legs) for the NN metric via MinMaxDistBelow, with ScreenSlack for
+// the independently computed transitive bound.
+func (s *nnSearch) tightenUB(e int32) {
+	if s.mode == modeNN {
+		if z, ok := s.flat.EntRect(e).MinMaxDistBelow(s.q, s.ub); ok {
+			s.ub = z
+		}
+		return
+	}
+	m := s.flat.EntRect(e)
+	if geom.MinTransDistCheb(s.q, m, s.rEnd) > s.ub*geom.ScreenSlack {
+		return // MinMaxTransDist >= MinTransDist > ub: cannot improve
+	}
+	if z := geom.MinMaxTransDist(s.q, m, s.rEnd); z < s.ub {
+		s.ub = z
+	}
+}
+
 // visit consumes a downloaded node's page content: child references for
 // internal nodes (updating the upper bound via the face property),
 // point entries for leaves.
-func (s *nnSearch) visit(n *rtree.Node) {
-	if n.Leaf() {
-		for _, e := range n.Entries {
-			s.seen = append(s.seen, e)
-			d := s.metric(e.Point)
+func (s *nnSearch) visit(id int32) {
+	if s.flat.Leaf(id) {
+		s.visitLeaf(id)
+		return
+	}
+	s.visitInternal(id)
+}
+
+// visitLeaf scans a leaf's points from the Flat SoA arrays: the whole run
+// is bulk-appended to seen, then screened in batchCap blocks — the
+// Chebyshev kernel shares its subtractions with the metric, so a point
+// whose screen value reaches both bounds provably updates neither.
+func (s *nnSearch) visitLeaf(id int32) {
+	f := s.flat
+	first, end := f.LeafRange(id)
+	xs, ys, ids := f.X[first:end], f.Y[first:end], f.ID[first:end]
+	s.seen.appendRun(xs, ys, ids)
+	for len(xs) > 0 {
+		n := min(len(xs), batchCap)
+		cheb := s.cheb[:n]
+		if s.mode == modeTrans {
+			geom.TransDistChebBatch(s.q, s.rEnd, xs[:n], ys[:n], cheb)
+		} else {
+			geom.DistChebBatch(s.q, xs[:n], ys[:n], cheb)
+		}
+		for i := range n {
+			if cheb[i] >= s.bestD && cheb[i] >= s.ub {
+				continue // metric >= screen: cannot improve either bound
+			}
+			d := s.metricXY(xs[i], ys[i])
 			if d < s.bestD {
-				s.bestD, s.best, s.bestOK = d, e, true
+				s.bestD, s.bestOK = d, true
+				s.best = rtree.Entry{Point: geom.Point{X: xs[i], Y: ys[i]}, ID: int(ids[i])}
 			}
 			if d < s.ub {
 				s.ub = d
 			}
 		}
-		return
+		xs, ys, ids = xs[n:], ys[n:], ids[n:]
 	}
-	for _, ch := range n.Children {
-		// Sound upper bound (face property) for exact pruning.
-		if z := s.upper(ch.MBR); z < s.ub {
-			s.ub = z
-		}
-		// Delayed pruning: enqueue every child; pruning happens at pop so
-		// that a later metric change can still reach any subtree.
-		s.queue.Push(client.Candidate{Node: ch, Arrival: s.rx.NextNodeArrival(ch.ID)})
+}
+
+// visitInternal scans an internal node's child entries from the Flat SoA
+// arrays: tighten the sound bound, enqueue every child (delayed pruning:
+// pruning happens at pop so that a later metric change can still reach
+// any subtree), and keep the ANN queue-minimum cache current.
+func (s *nnSearch) visitInternal(id int32) {
+	f := s.flat
+	first, end := f.EntRange(id)
+	for e := first; e < end; e++ {
+		s.tightenUB(e)
+		key := f.Key[e]
+		s.queue.Push(client.Candidate{Arrival: s.rx.NextNodeArrival(int(key)), Key: key, Ent: e})
 		if s.qminOK {
-			if lb := s.lower(ch.MBR); lb < s.qmin {
+			if lb := s.lower(f.EntRect(e)); lb < s.qmin {
 				s.qmin = lb
 			}
 		}
@@ -394,10 +567,12 @@ func (s *nnSearch) rescore() {
 	s.ub = math.Inf(1)
 	s.bestD = math.Inf(1)
 	s.bestOK = false
-	for _, e := range s.seen {
-		d := s.metric(e.Point)
+	xs, ys, ids := s.seen.x, s.seen.y, s.seen.id
+	for i := range xs {
+		d := s.metricXY(xs[i], ys[i])
 		if d < s.bestD {
-			s.bestD, s.best, s.bestOK = d, e, true
+			s.bestD, s.bestOK = d, true
+			s.best = rtree.Entry{Point: geom.Point{X: xs[i], Y: ys[i]}, ID: int(ids[i])}
 		}
 		if d < s.ub {
 			s.ub = d
@@ -410,9 +585,7 @@ func (s *nnSearch) rescore() {
 // smallest guaranteed (face-property) distance among the queued MBRs.
 func (s *nnSearch) queueBoundUpdate() {
 	for i, n := 0, s.queue.Len(); i < n; i++ {
-		if z := s.upper(s.queue.At(i).Node.MBR); z < s.ub {
-			s.ub = z
-		}
+		s.tightenUB(s.queue.At(i).Ent)
 	}
 }
 
@@ -428,6 +601,7 @@ func (s *nnSearch) retarget(newQ geom.Point) {
 	if s.finished && s.queue.Len() > 0 {
 		s.finished = false
 	}
+	s.resched()
 }
 
 // switchTransitive switches the search to the transitive metric
@@ -444,6 +618,7 @@ func (s *nnSearch) switchTransitive(r geom.Point) {
 	if s.finished && s.queue.Len() > 0 {
 		s.finished = false
 	}
+	s.resched()
 }
 
 // result returns the best entry found and its metric value.
@@ -454,17 +629,25 @@ func (s *nnSearch) result() (rtree.Entry, float64, bool) {
 // rangeSearch retrieves every object location inside a circular window —
 // the filter-phase range query. It implements client.Process.
 type rangeSearch struct {
-	rx       *client.Receiver
-	circle   geom.Circle
-	queue    client.ArrivalQueue
-	found    []rtree.Entry
+	rx     *client.Receiver
+	flat   *rtree.Flat
+	circle geom.Circle
+	rBound float64 // circle.R + Eps: the IntersectsRect threshold, hoisted
+	r2     float64 // circle.R² + Eps: the Contains threshold, hoisted
+	queue  client.ArrivalQueue
+	found  pointBuf
+
 	started  bool
 	finished bool
+	next     int64 // cached next-action slot; valid while !finished
 
 	// Loss recovery, mirroring nnSearch.
 	faults    int
 	maxFaults int
 	err       *broadcast.ChannelError
+
+	// d2 is the batched DistSq buffer for leaf scans.
+	d2 [batchCap]float64
 }
 
 func newRangeSearch(rx *client.Receiver, c geom.Circle, maxFaults int) *rangeSearch {
@@ -474,17 +657,42 @@ func newRangeSearch(rx *client.Receiver, c geom.Circle, maxFaults int) *rangeSea
 }
 
 // init (re)initializes the search in place, retaining the queue's backing
-// storage and the found buffer's capacity across queries.
+// storage and the found buffer's capacity across queries. The two circle
+// thresholds are hoisted here: both are deterministic functions of R, so
+// computing them once is bit-identical to the per-call originals.
 func (s *rangeSearch) init(rx *client.Receiver, c geom.Circle, maxFaults int) {
 	s.rx = rx
+	s.flat = rx.Channel().Index().Tree().Flat()
 	s.circle = c
+	s.rBound = c.R + geom.Eps
+	s.r2 = c.R*c.R + geom.Eps
 	s.queue.Reset()
-	s.found = s.found[:0]
+	s.found.reset()
+	s.found.reserve(64)
 	s.started = false
 	s.finished = rx.Channel().Index().Tree().Count == 0
 	s.faults = 0
 	s.maxFaults = maxFaults
 	s.err = nil
+	s.resched()
+}
+
+// resched mirrors nnSearch.resched: recompute the cached Peek answer.
+//
+//tnn:noalloc
+func (s *rangeSearch) resched() {
+	if s.finished {
+		return
+	}
+	if !s.started {
+		s.next = s.rx.NextRootArrival()
+		return
+	}
+	if s.queue.Len() == 0 {
+		s.finished = true
+		return
+	}
+	s.next = s.queue.Peek().Arrival
 }
 
 // fault mirrors nnSearch.fault.
@@ -496,65 +704,77 @@ func (s *rangeSearch) fault(pf *broadcast.PageFault) {
 	}
 }
 
-// Peek implements client.Process.
+// Peek implements client.Process: a pure read of the cached schedule.
+//
+//tnn:noalloc
 func (s *rangeSearch) Peek() (int64, bool) {
-	if s.finished {
-		return 0, true
-	}
-	if !s.started {
-		return s.rx.NextRootArrival(), false
-	}
-	if s.queue.Len() == 0 {
-		s.finished = true
-		return 0, true
-	}
-	return s.queue.Peek().Arrival, false
+	return s.next, s.finished
 }
 
 // Step implements client.Process. The same recovery protocol as
 // nnSearch.Step: a faulted root keeps the search unstarted, a faulted
 // candidate is re-filed at its next broadcast.
+//
+// Candidates need no pre-download re-check: children are only enqueued
+// after passing the intersection test, the circle never changes, and a
+// faulted candidate is re-filed unmodified — so every popped candidate
+// still intersects. (The pointer-walking code re-tested the MBR on pop;
+// that test was provably dead and is gone.)
 func (s *rangeSearch) Step() {
-	var node *rtree.Node
+	var id int32
 	if !s.started {
-		root, pf := s.rx.DownloadNode(s.rx.NextRootArrival())
-		if pf != nil {
+		// s.next caches the root arrival; the root is preorder node 0.
+		if pf := s.rx.DownloadIndexSlot(s.next); pf != nil {
 			s.fault(pf)
+			s.resched()
 			return
 		}
 		s.started = true
-		node = root
+		id = 0
 	} else {
 		c := s.queue.Pop()
-		if !s.circle.IntersectsRect(c.Node.MBR) {
-			if s.queue.Len() == 0 {
-				s.finished = true
-			}
-			return
-		}
-		n, pf := s.rx.DownloadNode(c.Arrival)
-		if pf != nil {
-			s.queue.Push(client.Candidate{Node: c.Node, Arrival: s.rx.NextNodeArrival(c.Node.ID)})
+		// The slot is c.Key's next arrival: the page on air IS node c.Key.
+		if pf := s.rx.DownloadIndexSlot(c.Arrival); pf != nil {
+			s.queue.Push(client.Candidate{Arrival: s.rx.NextNodeArrival(int(c.Key)), Key: c.Key, Ent: c.Ent})
 			s.fault(pf)
+			s.resched()
 			return
 		}
-		node = n
+		id = c.Key
 	}
 	s.faults = 0
-	if node.Leaf() {
-		for _, e := range node.Entries {
-			if s.circle.Contains(e.Point) {
-				s.found = append(s.found, e)
+	f := s.flat
+	if f.Leaf(id) {
+		first, end := f.LeafRange(id)
+		xs, ys, ids := f.X[first:end], f.Y[first:end], f.ID[first:end]
+		for len(xs) > 0 {
+			n := min(len(xs), batchCap)
+			d2 := s.d2[:n]
+			geom.DistSqBatch(s.circle.Center, xs[:n], ys[:n], d2)
+			for i := range n {
+				if d2[i] <= s.r2 {
+					s.found.add(xs[i], ys[i], ids[i])
+				}
 			}
+			xs, ys, ids = xs[n:], ys[n:], ids[n:]
 		}
 	} else {
-		for _, ch := range node.Children {
-			if s.circle.IntersectsRect(ch.MBR) {
-				s.queue.Push(client.Candidate{Node: ch, Arrival: s.rx.NextNodeArrival(ch.ID)})
+		first, end := f.EntRange(id)
+		for e := first; e < end; e++ {
+			// Chebyshev screen over the same clamped gaps MinDist uses:
+			// exact, so only the borderline children pay the hypot.
+			dx := max(f.MinX[e]-s.circle.Center.X, 0, s.circle.Center.X-f.MaxX[e])
+			dy := max(f.MinY[e]-s.circle.Center.Y, 0, s.circle.Center.Y-f.MaxY[e])
+			if max(dx, dy) > s.rBound {
+				continue // MinDist >= max gap > R+Eps: disjoint
+			}
+			// 1-norm accept (hypot <= dx+dy, slacked for rounding), exact
+			// hypot only for the borderline ring in between.
+			if (dx+dy)*geom.ScreenSlack <= s.rBound || math.Hypot(dx, dy) <= s.rBound {
+				key := f.Key[e]
+				s.queue.Push(client.Candidate{Arrival: s.rx.NextNodeArrival(int(key)), Key: key, Ent: e})
 			}
 		}
 	}
-	if s.queue.Len() == 0 {
-		s.finished = true
-	}
+	s.resched()
 }

@@ -78,11 +78,11 @@ func TestBroadcastRangeMatchesInMemory(t *testing.T) {
 			s := newRangeSearch(rx, c, 16)
 			client.RunSequential(s)
 			want := te.treeS.RangeCircle(c)
-			if len(s.found) != len(want) {
-				t.Fatalf("range found %d, want %d", len(s.found), len(want))
+			if s.found.Len() != len(want) {
+				t.Fatalf("range found %d, want %d", s.found.Len(), len(want))
 			}
-			gotIDs := make([]int, len(s.found))
-			for i, e := range s.found {
+			gotIDs := make([]int, s.found.Len())
+			for i, e := range s.found.entries() {
 				gotIDs[i] = e.ID
 			}
 			wantIDs := make([]int, len(want))
@@ -131,7 +131,7 @@ func TestRetargetMidFlight(t *testing.T) {
 			t.Fatal("result distance not under the new metric")
 		}
 		// The result is the minimum over everything seen.
-		for _, e := range s.seen {
+		for _, e := range s.seen.entries() {
 			if geom.Dist(newQ, e.Point) < gotD-1e-9 {
 				t.Fatal("a seen point beats the reported result")
 			}

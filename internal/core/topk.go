@@ -26,6 +26,7 @@ import (
 // bound a k-NN). It implements client.Process.
 type knnSearch struct {
 	rx       *client.Receiver
+	flat     *rtree.Flat
 	q        geom.Point
 	k        int
 	queue    client.ArrivalQueue
@@ -38,10 +39,13 @@ type knnSearch struct {
 	faults    int
 	maxFaults int
 	err       *broadcast.ChannelError
+
+	// cheb is the screen buffer for batched leaf scans.
+	cheb [batchCap]float64
 }
 
 func newKNNSearch(rx *client.Receiver, q geom.Point, k, maxFaults int) *knnSearch {
-	s := &knnSearch{rx: rx, q: q, k: k, maxFaults: maxFaults}
+	s := &knnSearch{rx: rx, flat: rx.Channel().Index().Tree().Flat(), q: q, k: k, maxFaults: maxFaults}
 	if rx.Channel().Index().Tree().Count == 0 || k <= 0 {
 		s.finished = true
 	}
@@ -85,39 +89,63 @@ func (s *knnSearch) Peek() (int64, bool) {
 // nnSearch.Step: faulted root → stay unstarted, faulted candidate →
 // re-file at its next broadcast.
 func (s *knnSearch) Step() {
-	var node *rtree.Node
+	var id int32
+	f := s.flat
 	if !s.started {
-		root, pf := s.rx.DownloadNode(s.rx.NextRootArrival())
-		if pf != nil {
+		// The root is preorder node 0.
+		if pf := s.rx.DownloadIndexSlot(s.rx.NextRootArrival()); pf != nil {
 			s.fault(pf)
 			return
 		}
 		s.started = true
-		node = root
+		id = 0
 	} else {
 		c := s.queue.Pop()
-		if c.Node.MBR.MinDist(s.q) > s.bound() {
+		// Pop-time prune MinDist > bound, screened by the Chebyshev gap
+		// (same clamped subtractions, so the short-circuit is exact) and
+		// the slacked 1-norm accept (hypot <= dx+dy).
+		b := s.bound()
+		e := c.Ent
+		dx := max(f.MinX[e]-s.q.X, 0, s.q.X-f.MaxX[e])
+		dy := max(f.MinY[e]-s.q.Y, 0, s.q.Y-f.MaxY[e])
+		if max(dx, dy) > b || ((dx+dy)*geom.ScreenSlack > b && math.Hypot(dx, dy) > b) {
 			if s.queue.Len() == 0 {
 				s.finished = true
 			}
 			return
 		}
-		n, pf := s.rx.DownloadNode(c.Arrival)
-		if pf != nil {
-			s.queue.Push(client.Candidate{Node: c.Node, Arrival: s.rx.NextNodeArrival(c.Node.ID)})
+		// The slot is c.Key's next arrival: the page on air IS node c.Key.
+		if pf := s.rx.DownloadIndexSlot(c.Arrival); pf != nil {
+			s.queue.Push(client.Candidate{Arrival: s.rx.NextNodeArrival(int(c.Key)), Key: c.Key, Ent: c.Ent})
 			s.fault(pf)
 			return
 		}
-		node = n
+		id = c.Key
 	}
 	s.faults = 0
-	if node.Leaf() {
-		for _, e := range node.Entries {
-			s.offer(e)
+	if f.Leaf(id) {
+		first, end := f.LeafRange(id)
+		xs, ys, ids := f.X[first:end], f.Y[first:end], f.ID[first:end]
+		for len(xs) > 0 {
+			n := min(len(xs), batchCap)
+			cheb := s.cheb[:n]
+			geom.DistChebBatch(s.q, xs[:n], ys[:n], cheb)
+			for i := range n {
+				// With a full top-k, a point whose screen value already
+				// exceeds the k-th distance sorts past position k: skip
+				// the hypot and the binary search.
+				if len(s.dists) == s.k && cheb[i] > s.dists[s.k-1] {
+					continue
+				}
+				s.offerXY(xs[i], ys[i], ids[i])
+			}
+			xs, ys, ids = xs[n:], ys[n:], ids[n:]
 		}
 	} else {
-		for _, ch := range node.Children {
-			s.queue.Push(client.Candidate{Node: ch, Arrival: s.rx.NextNodeArrival(ch.ID)})
+		first, end := f.EntRange(id)
+		for e := first; e < end; e++ {
+			key := f.Key[e]
+			s.queue.Push(client.Candidate{Arrival: s.rx.NextNodeArrival(int(key)), Key: key, Ent: e})
 		}
 	}
 	if s.queue.Len() == 0 {
@@ -125,9 +153,9 @@ func (s *knnSearch) Step() {
 	}
 }
 
-// offer inserts a point into the running top-k.
-func (s *knnSearch) offer(e rtree.Entry) {
-	d := geom.Dist(s.q, e.Point)
+// offerXY inserts a point (in SoA coordinates) into the running top-k.
+func (s *knnSearch) offerXY(x, y float64, id int32) {
+	d := math.Hypot(s.q.X-x, s.q.Y-y)
 	i := sort.SearchFloat64s(s.dists, d)
 	if i >= s.k {
 		return
@@ -137,7 +165,7 @@ func (s *knnSearch) offer(e rtree.Entry) {
 	s.dists[i] = d
 	s.entries = append(s.entries, rtree.Entry{})
 	copy(s.entries[i+1:], s.entries[i:])
-	s.entries[i] = e
+	s.entries[i] = rtree.Entry{Point: geom.Point{X: x, Y: y}, ID: int(id)}
 	if len(s.dists) > s.k {
 		s.dists = s.dists[:s.k]
 		s.entries = s.entries[:s.k]
@@ -224,33 +252,40 @@ func TopKTNN(env Env, p geom.Point, k int, opt Options) TopKResult {
 		return TopKResult{Metrics: client.Collect(rxS, rxR), Err: cerr}
 	}
 
-	// k-bounded join: keep the k best pairs in a max-heap.
+	// k-bounded join over the SoA found buffers: keep the k best pairs in
+	// a max-heap. Entries are only materialized on a heap insert.
 	var h pairHeap
 	kth := math.Inf(1)
-	for _, si := range qs.found {
-		dps := geom.Dist(p, si.Point)
+	fs, fr := &qs.found, &qr.found
+	for i := range fs.x {
+		// Outer Chebyshev screen: dps >= the gap, so a gap at or past the
+		// k-th distance skips the hypot and the whole inner loop.
+		if max(math.Abs(p.X-fs.x[i]), math.Abs(p.Y-fs.y[i])) >= kth {
+			continue
+		}
+		dps := math.Hypot(p.X-fs.x[i], p.Y-fs.y[i])
 		if dps >= kth {
 			continue
 		}
-		for _, rj := range qr.found {
+		for j := range fr.x {
 			// Chebyshev screen once the heap is full, as in join():
 			// hypot never rounds below its larger leg and rounding is
 			// monotone, so pairs this bound already excludes are exactly
 			// the pairs the full distance would exclude.
 			if len(h) == k {
-				m := max(math.Abs(si.Point.X-rj.Point.X), math.Abs(si.Point.Y-rj.Point.Y))
+				m := max(math.Abs(fs.x[i]-fr.x[j]), math.Abs(fs.y[i]-fr.y[j]))
 				if dps+m >= kth {
 					continue
 				}
 			}
-			t := dps + geom.Dist(si.Point, rj.Point)
+			t := dps + math.Hypot(fs.x[i]-fr.x[j], fs.y[i]-fr.y[j])
 			if len(h) < k {
-				h.push(Pair{S: si, R: rj, Dist: t})
+				h.push(Pair{S: fs.entry(i), R: fr.entry(j), Dist: t})
 				if len(h) == k {
 					kth = h[0].Dist
 				}
 			} else if t < kth {
-				h[0] = Pair{S: si, R: rj, Dist: t}
+				h[0] = Pair{S: fs.entry(i), R: fr.entry(j), Dist: t}
 				h.fixTop()
 				kth = h[0].Dist
 			}

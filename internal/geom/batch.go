@@ -1,0 +1,261 @@
+package geom
+
+import "math"
+
+// This file provides the data-oriented distance kernels of the query hot
+// path: batched evaluation over parallel coordinate slices (the SoA image
+// of an R-tree page, see rtree.Flat) and the Chebyshev screens that let a
+// caller skip most hypot/MinTransDist calls without changing any result.
+//
+// Exactness contract, extending the PR 5 screening discipline:
+//
+//  1. Every *Batch kernel computes, per element, EXACTLY the float64
+//     operations of its scalar twin, in the same order. out[i] is
+//     bit-identical to the corresponding scalar call — proven by the
+//     batch≡scalar property tests in quick_test.go.
+//
+//  2. A *Cheb screen is a lower bound on its metric that holds IN
+//     FLOATING POINT, not just over the reals: math.Hypot is correctly
+//     rounded and never rounds below its larger leg, |fl(a-b)| equals
+//     |fl(b-a)| exactly, and fl(x+y) >= x for y >= 0 because rounding is
+//     monotone and x is representable. A screen computed from the SAME
+//     subtractions as its metric therefore satisfies screen <= metric for
+//     the computed values, so "screen > bound implies metric > bound" is
+//     exact: screens may only skip work, never flip a comparison.
+//
+//  3. When a screen is computed from DIFFERENT subtractions than the
+//     metric it bounds (the transitive-metric case: MinTransDist's
+//     segment/reflection/corner arithmetic shares no operands with the
+//     rectangle gap legs), the few-ulp discrepancy between independently
+//     rounded values could flip a near-tie. Callers of those screens must
+//     compare against bound*ScreenSlack; the slack (~4e6 ulps at any
+//     magnitude) dwarfs the handful of roundings on either side, keeping
+//     the screen strictly conservative while remaining far tighter than
+//     any geometric configuration it needs to separate.
+
+// ScreenSlack is the multiplicative guard for screens that are not
+// computed from the same operands as the metric they bound (case 3
+// above). A screen may reject a candidate only when
+// screen > bound*ScreenSlack.
+const ScreenSlack = 1 + 1e-9
+
+// DistCheb returns the Chebyshev distance max(|dx|, |dy|) between a and
+// b: a floating-point-exact lower bound on Dist(a, b) computed from the
+// same coordinate differences.
+//
+//tnn:noalloc
+func DistCheb(a, b Point) float64 {
+	return max(math.Abs(a.X-b.X), math.Abs(a.Y-b.Y))
+}
+
+// TransDistCheb returns max(DistCheb(p,s), DistCheb(s,r)): a
+// floating-point-exact lower bound on TransDist(p, s, r), since the sum
+// of the two legs is at least either leg and each hypot is at least its
+// larger component.
+//
+//tnn:noalloc
+func TransDistCheb(p, s, r Point) float64 {
+	return max(DistCheb(p, s), DistCheb(s, r))
+}
+
+// MinDistCheb returns the larger of the two axis gaps between p and the
+// rectangle: a floating-point-exact lower bound on MinDist(p) computed
+// from the same clamped differences.
+//
+//tnn:noalloc
+func (r Rect) MinDistCheb(p Point) float64 {
+	dx := max(r.Lo.X-p.X, 0, p.X-r.Hi.X)
+	dy := max(r.Lo.Y-p.Y, 0, p.Y-r.Hi.Y)
+	return max(dx, dy)
+}
+
+// MinTransDistCheb returns max over the two foci of the rectangle's
+// Chebyshev gap: a lower bound on MinTransDist(p, m, r) — any point s of
+// m has dis(p,s)+dis(s,r) >= dis(p,s) >= gap(p) and likewise for r. This
+// is the rectangle-vs-ellipse screen: it is positive exactly when m lies
+// outside the degenerate ellipse with foci (p, r). The bound is computed
+// from different operands than MinTransDist, so callers must apply
+// ScreenSlack (contract case 3).
+//
+//tnn:noalloc
+func MinTransDistCheb(p Point, m Rect, r Point) float64 {
+	return max(m.MinDistCheb(p), m.MinDistCheb(r))
+}
+
+// MinMaxDistBelow reports whether MinMaxDist(p) < bound, returning the
+// exact metric value when it is. The Chebyshev screen on the two
+// candidate legs — computed from the same subtractions the hypots use,
+// so exact per contract case 2 — skips both hypot calls for the common
+// case of a candidate that cannot improve the bound.
+//
+//tnn:noalloc
+func (r Rect) MinMaxDistBelow(p Point, bound float64) (float64, bool) {
+	if r.IsEmpty() {
+		return 0, false // MinMaxDist is +Inf; never strictly below
+	}
+	// Near/far slab boundary selection, exactly as MinMaxDist.
+	rmx, rMx := r.Lo.X, r.Hi.X
+	if p.X > (r.Lo.X+r.Hi.X)/2 {
+		rmx = r.Hi.X
+	}
+	if p.X >= (r.Lo.X+r.Hi.X)/2 {
+		rMx = r.Lo.X
+	}
+	rmy, rMy := r.Lo.Y, r.Hi.Y
+	if p.Y > (r.Lo.Y+r.Hi.Y)/2 {
+		rmy = r.Hi.Y
+	}
+	if p.Y >= (r.Lo.Y+r.Hi.Y)/2 {
+		rMy = r.Lo.Y
+	}
+	l1x, l1y := p.X-rmx, p.Y-rMy
+	l2x, l2y := p.X-rMx, p.Y-rmy
+	lb := min(max(math.Abs(l1x), math.Abs(l1y)), max(math.Abs(l2x), math.Abs(l2y)))
+	if !(lb < bound) {
+		return 0, false // MinMaxDist >= lb >= bound
+	}
+	z := math.Min(math.Hypot(l1x, l1y), math.Hypot(l2x, l2y))
+	return z, z < bound
+}
+
+// DistBatch writes out[i] = Dist(p, (xs[i], ys[i])) for every element.
+//
+//tnn:noalloc
+func DistBatch(p Point, xs, ys, out []float64) {
+	xs, ys = xs[:len(out)], ys[:len(out)]
+	for i := range out {
+		out[i] = math.Hypot(p.X-xs[i], p.Y-ys[i])
+	}
+}
+
+// DistSqBatch writes out[i] = DistSq(p, (xs[i], ys[i])) for every
+// element.
+//
+//tnn:noalloc
+func DistSqBatch(p Point, xs, ys, out []float64) {
+	xs, ys = xs[:len(out)], ys[:len(out)]
+	for i := range out {
+		dx, dy := p.X-xs[i], p.Y-ys[i]
+		out[i] = dx*dx + dy*dy
+	}
+}
+
+// DistChebBatch writes out[i] = DistCheb(p, (xs[i], ys[i])) for every
+// element: the batched point-distance screen.
+//
+//tnn:noalloc
+func DistChebBatch(p Point, xs, ys, out []float64) {
+	xs, ys = xs[:len(out)], ys[:len(out)]
+	for i := range out {
+		out[i] = max(math.Abs(p.X-xs[i]), math.Abs(p.Y-ys[i]))
+	}
+}
+
+// TransDistBatch writes out[i] = TransDist(p, (xs[i], ys[i]), r) for
+// every element.
+//
+//tnn:noalloc
+func TransDistBatch(p, r Point, xs, ys, out []float64) {
+	xs, ys = xs[:len(out)], ys[:len(out)]
+	for i := range out {
+		out[i] = math.Hypot(p.X-xs[i], p.Y-ys[i]) + math.Hypot(xs[i]-r.X, ys[i]-r.Y)
+	}
+}
+
+// TransDistChebBatch writes out[i] = TransDistCheb(p, (xs[i], ys[i]), r)
+// for every element: the batched transitive-metric screen over points.
+//
+//tnn:noalloc
+func TransDistChebBatch(p, r Point, xs, ys, out []float64) {
+	xs, ys = xs[:len(out)], ys[:len(out)]
+	for i := range out {
+		c1 := max(math.Abs(p.X-xs[i]), math.Abs(p.Y-ys[i]))
+		c2 := max(math.Abs(xs[i]-r.X), math.Abs(ys[i]-r.Y))
+		out[i] = max(c1, c2)
+	}
+}
+
+// MinDistBatch writes out[i] = MinDist of p to the i-th rectangle of the
+// SoA block (minX[i], minY[i], maxX[i], maxY[i]).
+//
+//tnn:noalloc
+func MinDistBatch(p Point, minX, minY, maxX, maxY, out []float64) {
+	minX, minY = minX[:len(out)], minY[:len(out)]
+	maxX, maxY = maxX[:len(out)], maxY[:len(out)]
+	for i := range out {
+		dx := max(minX[i]-p.X, 0, p.X-maxX[i])
+		dy := max(minY[i]-p.Y, 0, p.Y-maxY[i])
+		out[i] = math.Hypot(dx, dy)
+	}
+}
+
+// MinDistChebBatch writes out[i] = MinDistCheb of p to the i-th
+// rectangle: the batched rectangle screen feeding range and NN pruning.
+//
+//tnn:noalloc
+func MinDistChebBatch(p Point, minX, minY, maxX, maxY, out []float64) {
+	minX, minY = minX[:len(out)], minY[:len(out)]
+	maxX, maxY = maxX[:len(out)], maxY[:len(out)]
+	for i := range out {
+		dx := max(minX[i]-p.X, 0, p.X-maxX[i])
+		dy := max(minY[i]-p.Y, 0, p.Y-maxY[i])
+		out[i] = max(dx, dy)
+	}
+}
+
+// MaxDistBatch writes out[i] = MaxDist of p to the i-th rectangle.
+//
+//tnn:noalloc
+func MaxDistBatch(p Point, minX, minY, maxX, maxY, out []float64) {
+	minX, minY = minX[:len(out)], minY[:len(out)]
+	maxX, maxY = maxX[:len(out)], maxY[:len(out)]
+	for i := range out {
+		dx := max(math.Abs(p.X-minX[i]), math.Abs(p.X-maxX[i]))
+		dy := max(math.Abs(p.Y-minY[i]), math.Abs(p.Y-maxY[i]))
+		out[i] = math.Hypot(dx, dy)
+	}
+}
+
+// MinMaxDistBatch writes out[i] = MinMaxDist of p to the i-th rectangle
+// (+Inf for an empty rectangle, as the scalar).
+//
+//tnn:noalloc
+func MinMaxDistBatch(p Point, minX, minY, maxX, maxY, out []float64) {
+	minX, minY = minX[:len(out)], minY[:len(out)]
+	maxX, maxY = maxX[:len(out)], maxY[:len(out)]
+	for i := range out {
+		r := Rect{Lo: Point{X: minX[i], Y: minY[i]}, Hi: Point{X: maxX[i], Y: maxY[i]}}
+		out[i] = r.MinMaxDist(p)
+	}
+}
+
+// SegMaxDistBatch writes out[i] = SegMaxDist(p, a_i, b_i, r) for the
+// segment block (ax[i], ay[i])–(bx[i], by[i]).
+//
+//tnn:noalloc
+func SegMaxDistBatch(p, r Point, ax, ay, bx, by, out []float64) {
+	ax, ay = ax[:len(out)], ay[:len(out)]
+	bx, by = bx[:len(out)], by[:len(out)]
+	for i := range out {
+		da := math.Hypot(p.X-ax[i], p.Y-ay[i]) + math.Hypot(ax[i]-r.X, ay[i]-r.Y)
+		db := math.Hypot(p.X-bx[i], p.Y-by[i]) + math.Hypot(bx[i]-r.X, by[i]-r.Y)
+		out[i] = max(da, db)
+	}
+}
+
+// MinTransDistChebBatch writes out[i] = MinTransDistCheb(p, m_i, r) for
+// the rectangle block: the batched ellipse/Chebyshev screen of the
+// transitive search. Callers must apply ScreenSlack (contract case 3).
+//
+//tnn:noalloc
+func MinTransDistChebBatch(p, r Point, minX, minY, maxX, maxY, out []float64) {
+	minX, minY = minX[:len(out)], minY[:len(out)]
+	maxX, maxY = maxX[:len(out)], maxY[:len(out)]
+	for i := range out {
+		pdx := max(minX[i]-p.X, 0, p.X-maxX[i])
+		pdy := max(minY[i]-p.Y, 0, p.Y-maxY[i])
+		rdx := max(minX[i]-r.X, 0, r.X-maxX[i])
+		rdy := max(minY[i]-r.Y, 0, r.Y-maxY[i])
+		out[i] = max(pdx, pdy, rdx, rdy)
+	}
+}

@@ -1,0 +1,113 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+// Edge cases the batch kernels must share with their scalar twins: the
+// degenerate inputs that sit exactly on the case boundaries of the
+// geometry — one-point segments, zero-area rectangles, coincident-focus
+// ellipses. Each case asserts the scalar result AND bit-identity of the
+// batched kernel on a block containing the degenerate element.
+
+func bitsEq(a, b float64) bool { return math.Float64bits(a) == math.Float64bits(b) }
+
+func TestSegMaxDistDegenerateSegment(t *testing.T) {
+	p, r := Pt(1, 2), Pt(7, -3)
+	for _, a := range []Point{Pt(0, 0), Pt(1, 2), Pt(-4.5, 11), Pt(7, -3)} {
+		got := SegMaxDist(p, a, a, r)
+		want := TransDist(p, a, r)
+		if !bitsEq(got, want) {
+			t.Errorf("SegMaxDist(p, %v, %v, r) = %v, want TransDist %v", a, a, got, want)
+		}
+		var out [1]float64
+		SegMaxDistBatch(p, r, []float64{a.X}, []float64{a.Y}, []float64{a.X}, []float64{a.Y}, out[:])
+		if !bitsEq(out[0], got) {
+			t.Errorf("SegMaxDistBatch degenerate = %v, scalar %v", out[0], got)
+		}
+	}
+}
+
+func TestZeroAreaRectDistances(t *testing.T) {
+	q := Pt(3, 4)
+	r := Rect{Lo: q, Hi: q} // a single point
+	cases := []struct {
+		p    Point
+		want float64
+	}{
+		{Pt(0, 0), Dist(Pt(0, 0), q)},
+		{Pt(3, 4), 0},
+		{Pt(3, -4), Dist(Pt(3, -4), q)},
+	}
+	for _, c := range cases {
+		if got := r.MinDist(c.p); !bitsEq(got, c.want) {
+			t.Errorf("MinDist(%v, point-rect) = %v, want %v", c.p, got, c.want)
+		}
+		if got := r.MaxDist(c.p); !bitsEq(got, c.want) {
+			t.Errorf("MaxDist(%v, point-rect) = %v, want %v", c.p, got, c.want)
+		}
+		if got := r.MinMaxDist(c.p); !bitsEq(got, c.want) {
+			t.Errorf("MinMaxDist(%v, point-rect) = %v, want %v", c.p, got, c.want)
+		}
+		// Batched kernels on a block holding the degenerate rectangle.
+		minX, minY := []float64{q.X}, []float64{q.Y}
+		maxX, maxY := []float64{q.X}, []float64{q.Y}
+		var out [1]float64
+		MinDistBatch(c.p, minX, minY, maxX, maxY, out[:])
+		if !bitsEq(out[0], r.MinDist(c.p)) {
+			t.Errorf("MinDistBatch(%v) = %v, scalar %v", c.p, out[0], r.MinDist(c.p))
+		}
+		MaxDistBatch(c.p, minX, minY, maxX, maxY, out[:])
+		if !bitsEq(out[0], r.MaxDist(c.p)) {
+			t.Errorf("MaxDistBatch(%v) = %v, scalar %v", c.p, out[0], r.MaxDist(c.p))
+		}
+		MinMaxDistBatch(c.p, minX, minY, maxX, maxY, out[:])
+		if !bitsEq(out[0], r.MinMaxDist(c.p)) {
+			t.Errorf("MinMaxDistBatch(%v) = %v, scalar %v", c.p, out[0], r.MinMaxDist(c.p))
+		}
+	}
+}
+
+func TestCoincidentFocusEllipse(t *testing.T) {
+	c := Pt(2, -1)
+	e := Ellipse{F1: c, F2: c, Major: 6} // a circle of radius 3
+	if !e.Valid() {
+		t.Fatal("coincident-focus ellipse with positive major axis must be valid")
+	}
+	if got := e.SemiMajor(); got != 3 {
+		t.Errorf("SemiMajor = %v, want 3", got)
+	}
+	if got := e.SemiMinor(); got != 3 {
+		t.Errorf("SemiMinor = %v, want 3 (circle)", got)
+	}
+	if got, want := e.Area(), math.Pi*9; math.Abs(got-want) > 1e-12*want {
+		t.Errorf("Area = %v, want %v", got, want)
+	}
+	for _, tc := range []struct {
+		p  Point
+		in bool
+	}{
+		{c, true},               // center
+		{Pt(5, -1), true},       // on the boundary
+		{Pt(2, 2), true},        // boundary along the other axis
+		{Pt(5.001, -1), false},  // just outside
+		{Pt(-1.001, -1), false}, // just outside on the far side
+	} {
+		if got := e.Contains(tc.p); got != tc.in {
+			t.Errorf("Contains(%v) = %v, want %v", tc.p, got, tc.in)
+		}
+	}
+	// The frame of a coincident-focus family: no rotation, zero focal
+	// distance — normalization must reduce to the plain circle test.
+	fr := NewEllipseFrame(c, c)
+	if fr.c != 0 || fr.cosT != 1 || fr.sinT != 0 {
+		t.Errorf("NewEllipseFrame(c, c) = %+v, want identity frame", fr)
+	}
+	// The degenerate transitive screen: with p == r the Chebyshev screen
+	// must equal the single-focus rectangle gap.
+	m := RectOf(Pt(4, 1), Pt(6, 5))
+	if got, want := MinTransDistCheb(c, m, c), m.MinDistCheb(c); !bitsEq(got, want) {
+		t.Errorf("MinTransDistCheb(c, m, c) = %v, want MinDistCheb %v", got, want)
+	}
+}

@@ -1,0 +1,43 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+// BenchmarkCalibration is the machine-speed yardstick for
+// scripts/benchguard.sh: a fixed, allocation-free float64 reduction whose
+// instruction mix (hypot, compares, sequential loads) matches the query
+// hot path. The benchguard baseline stores each guarded benchmark's
+// ns/op as a RATIO to this benchmark's ns/op on the same machine, which
+// makes the committed baseline portable across CI runners of different
+// clock speeds. Keep this benchmark frozen: changing its work re-bases
+// every guarded ratio.
+func BenchmarkCalibration(b *testing.B) {
+	const n = 4096
+	var xs, ys [n]float64
+	for i := range xs {
+		// Deterministic, irrational-step fill; no rand dependency.
+		xs[i] = math.Mod(float64(i)*math.Phi, 1000)
+		ys[i] = math.Mod(float64(i)*math.Sqrt2, 1000)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	sink := 0.0
+	for i := 0; i < b.N; i++ {
+		best := math.Inf(1)
+		for j := 0; j < n; j++ {
+			dx, dy := xs[j]-500, ys[j]-500
+			if m := math.Max(math.Abs(dx), math.Abs(dy)); m >= best {
+				continue
+			}
+			if d := math.Hypot(dx, dy); d < best {
+				best = d
+			}
+		}
+		sink += best
+	}
+	if sink < 0 {
+		b.Fatal("unreachable; keeps the loop live")
+	}
+}

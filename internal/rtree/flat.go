@@ -1,0 +1,141 @@
+package rtree
+
+import "tnnbcast/internal/geom"
+
+// Flat is the structure-of-arrays image of a packed tree, built once at
+// Build time and shared by every reader. It is the data layout of the
+// query hot path: the broadcast program and the core search loops walk
+// these contiguous slices instead of chasing *Node/Entry records, so a
+// node visit is a couple of bounds-checked slice reads over cache-dense,
+// pointer-free memory (the GC never scans the coordinate arrays).
+//
+// Indexing scheme, all derived from the preorder (broadcast) order:
+//
+//   - Per-node arrays (Depth, EntFirst/EntCount, LeafFirst/LeafCount)
+//     are indexed by preorder node ID, matching Tree.Nodes.
+//   - Node entries — the child references of internal nodes — live in
+//     MinX/MinY/MaxX/MaxY/Key. Node id's children occupy the contiguous
+//     run [EntFirst[id], EntFirst[id]+EntCount[id]); Key[e] is the
+//     child's preorder ID. Every node except the root is referenced by
+//     exactly one entry, so the arrays hold len(Nodes)-1 elements and a
+//     search can carry a node's entry index alongside its ID to re-read
+//     the MBR at pop time without touching the Node.
+//   - Leaf entries — the data points — live in X/Y/ID, grouped per leaf
+//     in preorder walk order: leaf id's points occupy
+//     [LeafFirst[id], LeafFirst[id]+LeafCount[id]), and the whole ID
+//     array is the broadcast object order.
+//
+// A node is a leaf iff EntCount[id] == 0 (internal nodes always have at
+// least one child; the empty tree's root is a leaf with LeafCount 0).
+type Flat struct {
+	Depth     []int32 // per node: depth (root 0)
+	EntFirst  []int32 // per node: first index of its child-entry run
+	EntCount  []int32 // per node: number of child entries (0 for leaves)
+	LeafFirst []int32 // per node: first index of its leaf-entry run
+	LeafCount []int32 // per node: number of leaf entries (0 for internal)
+
+	// Node entries (child references), grouped per parent.
+	MinX, MinY, MaxX, MaxY []float64
+	Key                    []int32 // child node's preorder ID
+
+	// Leaf entries (data points), grouped per leaf, preorder walk order.
+	X, Y []float64
+	ID   []int32
+}
+
+// Flat returns the tree's SoA image. It is built eagerly by Build and
+// immutable thereafter; callers may share it freely.
+//
+//tnn:noalloc
+func (t *Tree) Flat() *Flat { return t.flat }
+
+// EntRect materializes the MBR of node entry e as a geom.Rect. The four
+// loads are from contiguous parallel arrays; the Rect itself is a stack
+// value.
+//
+//tnn:noalloc
+func (f *Flat) EntRect(e int32) geom.Rect {
+	return geom.Rect{
+		Lo: geom.Point{X: f.MinX[e], Y: f.MinY[e]},
+		Hi: geom.Point{X: f.MaxX[e], Y: f.MaxY[e]},
+	}
+}
+
+// EntRange returns node id's child-entry run [first, end).
+//
+//tnn:noalloc
+func (f *Flat) EntRange(id int32) (first, end int32) {
+	first = f.EntFirst[id]
+	return first, first + f.EntCount[id]
+}
+
+// LeafRange returns node id's leaf-entry run [first, end).
+//
+//tnn:noalloc
+func (f *Flat) LeafRange(id int32) (first, end int32) {
+	first = f.LeafFirst[id]
+	return first, first + f.LeafCount[id]
+}
+
+// LeafEntry materializes leaf entry i as an Entry, for cold paths and
+// oracles that still traffic in the pointer-tree types.
+//
+//tnn:noalloc
+func (f *Flat) LeafEntry(i int32) Entry {
+	return Entry{Point: geom.Point{X: f.X[i], Y: f.Y[i]}, ID: int(f.ID[i])}
+}
+
+// Leaf reports whether node id is a leaf.
+//
+//tnn:noalloc
+func (f *Flat) Leaf(id int32) bool { return f.EntCount[id] == 0 }
+
+// buildFlat constructs the SoA image from the freshly indexed tree. One
+// preorder pass: each node appends its child MBRs (keeping every
+// parent's run contiguous) or its data points.
+func buildFlat(t *Tree) *Flat {
+	n := len(t.Nodes)
+	nEnt := n - 1
+	if nEnt < 0 {
+		nEnt = 0
+	}
+	f := &Flat{
+		Depth:     make([]int32, n),
+		EntFirst:  make([]int32, n),
+		EntCount:  make([]int32, n),
+		LeafFirst: make([]int32, n),
+		LeafCount: make([]int32, n),
+		MinX:      make([]float64, 0, nEnt),
+		MinY:      make([]float64, 0, nEnt),
+		MaxX:      make([]float64, 0, nEnt),
+		MaxY:      make([]float64, 0, nEnt),
+		Key:       make([]int32, 0, nEnt),
+		X:         make([]float64, 0, t.Count),
+		Y:         make([]float64, 0, t.Count),
+		ID:        make([]int32, 0, t.Count),
+	}
+	for _, nd := range t.Nodes { // preorder: parents precede children
+		id := nd.ID
+		f.Depth[id] = int32(nd.Depth)
+		if nd.Leaf() {
+			f.LeafFirst[id] = int32(len(f.X))
+			f.LeafCount[id] = int32(len(nd.Entries))
+			for _, e := range nd.Entries {
+				f.X = append(f.X, e.Point.X)
+				f.Y = append(f.Y, e.Point.Y)
+				f.ID = append(f.ID, int32(e.ID))
+			}
+			continue
+		}
+		f.EntFirst[id] = int32(len(f.Key))
+		f.EntCount[id] = int32(len(nd.Children))
+		for _, c := range nd.Children {
+			f.MinX = append(f.MinX, c.MBR.Lo.X)
+			f.MinY = append(f.MinY, c.MBR.Lo.Y)
+			f.MaxX = append(f.MaxX, c.MBR.Hi.X)
+			f.MaxY = append(f.MaxY, c.MBR.Hi.Y)
+			f.Key = append(f.Key, int32(c.ID))
+		}
+	}
+	return f
+}

@@ -13,7 +13,7 @@
 package rtree
 
 import (
-	"fmt"
+	"strconv"
 
 	"tnnbcast/internal/geom"
 )
@@ -64,7 +64,7 @@ func (p Packing) String() string {
 	case NearestX:
 		return "NearestX"
 	default:
-		return fmt.Sprintf("Packing(%d)", int(p))
+		return "Packing(" + strconv.Itoa(int(p)) + ")"
 	}
 }
 
@@ -90,6 +90,7 @@ type Tree struct {
 
 	parent []int // parent[i] = preorder ID of Nodes[i]'s parent; -1 for root
 	subEnd []int // subEnd[i] = one past the last preorder ID in Nodes[i]'s subtree
+	flat   *Flat // SoA image, built once by index(); see flat.go
 }
 
 // Build bulk-loads a packed R-tree over pts. Entry IDs are the indices into
@@ -161,6 +162,7 @@ func (t *Tree) index() {
 		t.subEnd[n.ID] = len(t.Nodes)
 	}
 	walk(t.Root, -1, 0)
+	t.flat = buildFlat(t)
 }
 
 // Parent returns the preorder ID of nodeID's parent, or -1 for the root.

@@ -257,22 +257,22 @@ func (s *source) close() {
 }
 
 // worker drives one shard of the session: its own slot calendar, its own
-// memo layer over the shared feeds, and its own pools of execution state.
-// Per-client engine state lives in chunk-allocated arenas (contiguous
-// arrays of Scratch and QueryExec structs with free lists), so a long
-// stream touches a compact, recycled working set sized by peak
-// concurrency instead of scattering a million tiny allocations.
+// memo layer over the shared feeds, and its own pool of execution state.
+// Per-client engine state lives in a chunk-allocated arena of clientSlot
+// records (each a QueryExec and its Scratch, adjacent), so a long stream
+// touches a compact, recycled working set sized by peak concurrency
+// instead of scattering a million tiny allocations.
 type worker struct {
 	env   core.Env
 	src   *source
 	emit  func(int, core.Result)
 	sched client.Sched
 
-	execs     arena[core.QueryExec]
-	scratches arena[core.Scratch]
-	// customScratch recovers pooled scratches from non-builtin executors,
-	// which do not expose them; keyed by client index.
-	customScratch map[int]*core.Scratch
+	slots arena
+	// handle maps a live client's stream index to its arena slot, so
+	// finish can recycle the slot wholesale. Two map operations per client
+	// lifetime — never on the per-step path.
+	handle map[int]int32
 
 	nextIssue int64 // cached issue slot of the stream head (may be stale)
 	admitted  int
@@ -368,30 +368,30 @@ func (w *worker) refreshNextIssue() {
 	}
 }
 
-// admit starts one client: scratch from the pool, a pooled QueryExec for
-// built-in algorithms (a factory-made executor otherwise), registered on
-// the calendar under the client's stream index — the documented equal-slot
-// tie-break. A client that completes at admission (empty datasets) is
-// finished on the spot.
+// admit starts one client: an arena slot holding its QueryExec and
+// Scratch (the exec struct goes unused on the custom-executor path; the
+// scratch is lent either way), registered on the calendar under the
+// client's stream index — the documented equal-slot tie-break. A client
+// that completes at admission (empty datasets) is finished on the spot.
 func (w *worker) admit(idx int, q Query) {
+	h, slot := w.slots.get()
 	opt := q.Opt
-	opt.Scratch = w.scratches.get()
+	opt.Scratch = &slot.scratch
 	var ex core.Executor
 	if q.Algo.Builtin() {
-		qe := w.execs.get()
-		qe.Reset(w.env, q.Algo, q.Point, opt)
-		ex = qe
+		slot.exec.Reset(w.env, q.Algo, q.Point, opt)
+		ex = &slot.exec
 	} else {
 		var ok bool
 		ex, ok = core.NewExec(w.env, q.Algo, q.Point, opt)
 		if !ok {
 			panic(fmt.Sprintf("session: unregistered algorithm %d", q.Algo))
 		}
-		if w.customScratch == nil {
-			w.customScratch = make(map[int]*core.Scratch)
-		}
-		w.customScratch[idx] = opt.Scratch
 	}
+	if w.handle == nil {
+		w.handle = make(map[int]int32)
+	}
+	w.handle[idx] = h
 	w.admitted++
 	w.live++
 	if w.live > w.peakLive {
@@ -404,12 +404,10 @@ func (w *worker) admit(idx int, q Query) {
 	w.sched.Add(int64(idx), ex)
 }
 
-// finish emits a completed client's Result and recycles its execution
-// state into the worker pools. Clients admitted down the custom path are
-// identified by their customScratch entry, NOT by executor type — a
-// registered strategy may return a bare builtin *QueryExec (the
-// pure-proxy pattern), and classifying it as builtin here would leak its
-// map entry, growing memory with total rather than concurrent clients.
+// finish emits a completed client's Result and recycles its arena slot —
+// exec and scratch together, whatever executor type ran on it (a custom
+// factory-made executor is dropped to the collector; the slot it borrowed
+// its scratch from is reused all the same).
 func (w *worker) finish(idx int, p client.Process) {
 	ex := p.(core.Executor)
 	res := ex.Result()
@@ -421,51 +419,59 @@ func (w *worker) finish(idx int, p client.Process) {
 	}
 	w.emit(idx, res)
 	w.live--
-	if sc, tracked := w.customScratch[idx]; tracked {
-		w.scratches.put(sc)
-		delete(w.customScratch, idx)
-		if qe, isQE := p.(*core.QueryExec); isQE {
-			w.execs.put(qe) // factory-made but arena-poolable all the same
-		}
-		return
-	}
-	if qe, isBuiltin := p.(*core.QueryExec); isBuiltin {
-		if sc := qe.Scratch(); sc != nil {
-			w.scratches.put(sc)
-		}
-		w.execs.put(qe)
+	if h, tracked := w.handle[idx]; tracked {
+		delete(w.handle, idx)
+		w.slots.put(h)
 	}
 }
 
-// arena is a chunk-allocating pool: values live in contiguous blocks
-// (stable addresses), recycled through a free list. get returns a value in
-// whatever state its previous user left it — QueryExec.Reset and the
-// scratch checkout reclaim state on reuse.
-type arena[T any] struct {
-	free  []*T
-	chunk []T
-	used  int
+// clientSlot packs one live client's execution state — the query state
+// machine and the scratch it borrows — into a single contiguous record,
+// so a client's step works against adjacent memory instead of two
+// scattered allocations.
+type clientSlot struct {
+	exec    core.QueryExec
+	scratch core.Scratch
+}
+
+// arena is a chunk-allocating pool of clientSlots: records live in
+// contiguous fixed-size blocks with stable addresses (chunks are only
+// ever appended, never reallocated), recycled through a free list of
+// integer handles. No slice in the pool holds interior pointers into the
+// blocks, so the GC sees a handful of large arrays instead of thousands
+// of per-client pointers.
+type arena struct {
+	chunks [][]clientSlot
+	free   []int32 // recycled handles: chunk<<arenaChunkBits | slot
+	used   int     // slots handed out of the newest chunk
 }
 
 // arenaChunk is the block size: big enough to amortize allocation over a
 // burst of admissions, small enough not to overshoot a low-concurrency
 // session's footprint.
-const arenaChunk = 64
+const (
+	arenaChunkBits = 6
+	arenaChunk     = 1 << arenaChunkBits
+)
 
-func (a *arena[T]) get() *T {
+// get returns a slot and its handle. The slot is in whatever state its
+// previous user left it — QueryExec.Reset and the scratch checkout
+// reclaim state on reuse.
+func (a *arena) get() (int32, *clientSlot) {
 	if n := len(a.free); n > 0 {
-		v := a.free[n-1]
-		a.free[n-1] = nil
+		h := a.free[n-1]
 		a.free = a.free[:n-1]
-		return v
+		return h, &a.chunks[h>>arenaChunkBits][h&(arenaChunk-1)]
 	}
-	if a.used == len(a.chunk) {
-		a.chunk = make([]T, arenaChunk)
+	if len(a.chunks) == 0 || a.used == arenaChunk {
+		a.chunks = append(a.chunks, make([]clientSlot, arenaChunk))
 		a.used = 0
 	}
-	v := &a.chunk[a.used]
+	c := len(a.chunks) - 1
+	h := int32(c<<arenaChunkBits | a.used)
+	v := &a.chunks[c][a.used]
 	a.used++
-	return v
+	return h, v
 }
 
-func (a *arena[T]) put(v *T) { a.free = append(a.free, v) }
+func (a *arena) put(h int32) { a.free = append(a.free, h) }

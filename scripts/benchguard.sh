@@ -1,0 +1,104 @@
+#!/usr/bin/env bash
+# benchguard: benchmark-regression smoke with a machine-portable baseline.
+#
+# Absolute ns/op numbers do not transfer between machines, so the
+# committed baseline (scripts/benchguard.baseline) stores each guarded
+# benchmark's ns/op as a RATIO to BenchmarkCalibration — a frozen,
+# allocation-free float64 reduction in internal/geom whose instruction
+# mix matches the query hot path. On any machine the guard re-measures
+# the calibration yardstick and the guarded benchmarks in the same run,
+# recomputes the ratios, and fails if a benchmark has slowed by more
+# than the tolerance relative to its committed ratio.
+#
+# This catches real hot-path regressions (one benchmark slows while the
+# yardstick does not) and is insensitive to the runner's clock speed. A
+# uniform slowdown of ALL floating-point code (including the yardstick)
+# is invisible by construction — the BENCH_PR*.json trajectory files are
+# the authority for absolute throughput.
+#
+# Usage:
+#   scripts/benchguard.sh          # check against the committed baseline
+#   scripts/benchguard.sh update   # re-measure and rewrite the baseline
+#
+# Environment:
+#   BENCHGUARD_TOLERANCE  allowed slowdown factor (default 1.5 = +50%,
+#                         deliberately generous: shared CI runners jitter
+#                         20-30% between benchmarks in the same job; the
+#                         guard is for 2x-class regressions, not drift)
+#   BENCHGUARD_COUNT      -count per benchmark (default 5; min is kept)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TOL="${BENCHGUARD_TOLERANCE:-1.5}"
+COUNT="${BENCHGUARD_COUNT:-5}"
+BASELINE=scripts/benchguard.baseline
+MODE="${1:-check}"
+
+# min_nsop <bench regex> <benchtime> <pkg> — run the benchmark COUNT
+# times and print "<name> <min ns/op>" per benchmark (min across runs is
+# the most noise-robust statistic for a guard: noise only ever inflates).
+min_nsop() {
+	go test -run '^$' -bench "$1" -benchtime "$2" -count "$COUNT" "$3" |
+		awk '$2 ~ /^[0-9]+$/ && $4 == "ns/op" {
+			name = $1
+			sub(/-[0-9]+$/, "", name)
+			if (!(name in best) || $3 + 0 < best[name]) best[name] = $3 + 0
+		}
+		END { for (name in best) printf "%s %.1f\n", name, best[name] }'
+}
+
+measured=$(mktemp)
+trap 'rm -f "$measured"' EXIT
+{
+	min_nsop '^BenchmarkCalibration$' '10000x' ./internal/geom
+	min_nsop '^BenchmarkQuery(WindowBased|DoubleNN|HybridNN|Approximate|DoubleANN)$' '512x' .
+	min_nsop '^BenchmarkSessionSteps$' '1x' ./internal/session
+} >"$measured"
+
+calib=$(awk '$1 == "BenchmarkCalibration" { print $2 }' "$measured")
+if [ -z "$calib" ]; then
+	echo "benchguard: calibration benchmark produced no ns/op" >&2
+	exit 1
+fi
+
+if [ "$MODE" = update ]; then
+	{
+		echo "# benchguard baseline: <benchmark> <ns/op ratio to BenchmarkCalibration>"
+		echo "# Regenerate with scripts/benchguard.sh update after intentional perf changes."
+		awk -v c="$calib" '$1 != "BenchmarkCalibration" { printf "%s %.3f\n", $1, $2 / c }' "$measured" | sort
+	} >"$BASELINE"
+	echo "benchguard: baseline updated (calibration ${calib} ns/op)"
+	cat "$BASELINE"
+	exit 0
+fi
+
+if [ ! -f "$BASELINE" ]; then
+	echo "benchguard: missing $BASELINE (run scripts/benchguard.sh update)" >&2
+	exit 1
+fi
+
+fail=0
+while read -r name base_ratio; do
+	case "$name" in \#*) continue ;; esac
+	now=$(awk -v n="$name" '$1 == n { print $2 }' "$measured")
+	if [ -z "$now" ]; then
+		echo "FAIL $name: in baseline but not measured (renamed or deleted?)" >&2
+		fail=1
+		continue
+	fi
+	ratio=$(awk -v a="$now" -v c="$calib" 'BEGIN { printf "%.3f", a / c }')
+	ok=$(awk -v r="$ratio" -v b="$base_ratio" -v t="$TOL" 'BEGIN { print (r <= b * t) ? 1 : 0 }')
+	verdict=ok
+	if [ "$ok" != 1 ]; then
+		verdict=FAIL
+		fail=1
+	fi
+	printf '%-4s %-28s ratio %8s  baseline %8s  (x%s allowed)\n' \
+		"$verdict" "$name" "$ratio" "$base_ratio" "$TOL"
+done <"$BASELINE"
+
+if [ "$fail" != 0 ]; then
+	echo "benchguard: regression past tolerance; if intentional, rerun scripts/benchguard.sh update and commit the baseline" >&2
+	exit 1
+fi
+echo "benchguard: all guarded benchmarks within x$TOL of baseline (calibration ${calib} ns/op)"
