@@ -11,11 +11,18 @@
 // Any algorithm registered with tnnbcast.RegisterAlgorithm is selectable
 // by name next to the built-ins.
 //
+// With -connect, tnnquery skips the local broadcast build and runs the
+// same queries against a live tnnserve service instead: the datasets and
+// schedule come from the service's preamble, receptions ride real packets,
+// and the report gains the raw reception counters (bytes read off the
+// wire — the tune-in measurement taken on the socket).
+//
 // Usage:
 //
 //	tnnquery -algo double -s 10000 -r 10000 -x 19500 -y 19500
 //	tnnquery -algo hybrid -s 2000 -r 30000 -trace
 //	tnnquery -algo all -s 5000 -r 5000
+//	tnnquery -algo all -connect 127.0.0.1:7311
 package main
 
 import (
@@ -26,32 +33,58 @@ import (
 	"tnnbcast"
 )
 
+// querier is the query surface shared by the local System and a connected
+// RemoteSystem (whose Query/Start default the issue slot to the live one).
+type querier interface {
+	Query(p tnnbcast.Point, algo tnnbcast.Algorithm, opts ...tnnbcast.QueryOption) tnnbcast.Result
+	Start(p tnnbcast.Point, algo tnnbcast.Algorithm, opts ...tnnbcast.QueryOption) (*tnnbcast.Cursor, error)
+	Exact(p tnnbcast.Point) (tnnbcast.Result, bool)
+	ChannelStats() (s, r tnnbcast.Stats)
+}
+
 func main() {
 	var (
-		algo    = flag.String("algo", "double", "window | double | hybrid | approx | all, or a registered algorithm name")
-		sizeS   = flag.Int("s", 10000, "size of dataset S")
-		sizeR   = flag.Int("r", 10000, "size of dataset R")
-		x       = flag.Float64("x", 19500, "query point x")
-		y       = flag.Float64("y", 19500, "query point y")
-		seed    = flag.Int64("seed", 1, "random seed (datasets and channel phases)")
-		pageCap = flag.Int("page", 64, "page capacity in bytes")
-		ann     = flag.Float64("ann", 0, "ANN adjustment factor (0 = exact search)")
-		trace   = flag.Bool("trace", false, "print the page-by-page download schedule")
+		algo     = flag.String("algo", "double", "window | double | hybrid | approx | all, or a registered algorithm name")
+		sizeS    = flag.Int("s", 10000, "size of dataset S")
+		sizeR    = flag.Int("r", 10000, "size of dataset R")
+		x        = flag.Float64("x", 19500, "query point x")
+		y        = flag.Float64("y", 19500, "query point y")
+		seed     = flag.Int64("seed", 1, "random seed (datasets and channel phases)")
+		pageCap  = flag.Int("page", 64, "page capacity in bytes")
+		dataSize = flag.Int("data", 1024, "data object size in bytes")
+		ann      = flag.Float64("ann", 0, "ANN adjustment factor (0 = exact search)")
+		trace    = flag.Bool("trace", false, "print the page-by-page download schedule")
+		connect  = flag.String("connect", "", "query a live tnnserve service at this address instead of simulating")
 	)
 	flag.Parse()
 
-	region := tnnbcast.PaperRegion
-	ptsS := tnnbcast.UniformDataset(*seed+1, *sizeS, region)
-	ptsR := tnnbcast.UniformDataset(*seed+2, *sizeR, region)
-	// WithPhases normalizes cyclically, so passing the raw products keeps
-	// the pre-v2 offsets (seed*7919 mod cycleS, seed*104729 mod cycleR).
-	sys, err := tnnbcast.New(ptsS, ptsR,
-		tnnbcast.WithRegion(region),
-		tnnbcast.WithPageCap(*pageCap),
-		tnnbcast.WithPhases(*seed*7919, *seed*104729))
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "tnnquery:", err)
-		os.Exit(2)
+	var sys querier
+	var remote *tnnbcast.RemoteSystem
+	if *connect != "" {
+		rs, err := tnnbcast.Connect(*connect)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tnnquery:", err)
+			os.Exit(1)
+		}
+		defer rs.Close()
+		fmt.Printf("connected to %s (live slot %d)\n", *connect, rs.LiveSlot())
+		sys, remote = rs, rs
+	} else {
+		region := tnnbcast.PaperRegion
+		ptsS := tnnbcast.UniformDataset(*seed+1, *sizeS, region)
+		ptsR := tnnbcast.UniformDataset(*seed+2, *sizeR, region)
+		// WithPhases normalizes cyclically, so passing the raw products keeps
+		// the pre-v2 offsets (seed*7919 mod cycleS, seed*104729 mod cycleR).
+		local, err := tnnbcast.New(ptsS, ptsR,
+			tnnbcast.WithRegion(region),
+			tnnbcast.WithPageCap(*pageCap),
+			tnnbcast.WithDataSize(*dataSize),
+			tnnbcast.WithPhases(*seed*7919, *seed*104729))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tnnquery:", err)
+			os.Exit(2)
+		}
+		sys = local
 	}
 
 	statS, statR := sys.ChannelStats()
@@ -123,6 +156,19 @@ func main() {
 		if res.Case != tnnbcast.HybridCaseNone {
 			fmt.Printf(", hybrid case %d", int(res.Case)+1)
 		}
+		if res.Lost > 0 {
+			fmt.Printf(", %d lost / %d retried / %d recovery slots", res.Lost, res.Retries, res.RecoverySlots)
+		}
 		fmt.Println()
+	}
+
+	if remote != nil {
+		if err := remote.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, "tnnquery: connection degraded:", err)
+			os.Exit(1)
+		}
+		st := remote.NetStats()
+		fmt.Printf("wire: %d frames / %d bytes read (+%d preamble bytes), %dB per frame\n",
+			st.FramesRead, st.BytesRead, st.PreambleBytes, st.FrameSize)
 	}
 }

@@ -7,6 +7,17 @@
 // than failing the call — the query still returns its metrics, and a
 // retrieval-phase escalation even keeps the found answer pair. All types
 // work with errors.As/Is; ChannelError.Unwrap exposes the fault.
+//
+// The network family (Connect / RemoteSystem) extends the taxonomy with
+// two types. *ConnectError wraps everything that can go wrong before a
+// RemoteSystem exists: an unreachable address, a handshake failure, a
+// malformed or version-skewed preamble (Unwrap exposes the cause). After
+// connect, ordinary packet loss is NOT an error — it is the same
+// *PageFaultError → retry → *ChannelError ladder as WithFaults, with the
+// faults coming off a real wire. The one genuinely new failure is
+// *DesyncError: the broadcast contradicted the client's locally rebuilt
+// schedule, so retrying cannot help; it wraps the final *PageFaultError of
+// the query that died on it.
 
 package tnnbcast
 
@@ -89,6 +100,56 @@ func publicErr(err error) error {
 		}
 	}
 	return out
+}
+
+// ConnectError reports a failed Connect: the service was unreachable, the
+// handshake failed, or the preamble was malformed or version-skewed.
+// Unwrap exposes the underlying cause (a net error, or a typed framing
+// error from the netfeed protocol layer).
+type ConnectError struct {
+	// Addr is the address Connect dialed.
+	Addr string
+	// Err is the underlying cause.
+	Err error
+}
+
+func (e *ConnectError) Error() string {
+	return fmt.Sprintf("tnnbcast: connect %s: %v", e.Addr, e.Err)
+}
+
+// Unwrap exposes the cause to errors.Is/As chains.
+func (e *ConnectError) Unwrap() error { return e.Err }
+
+// DesyncError reports a remote broadcast that contradicts the client's
+// locally reconstructed schedule: a structurally valid frame arrived for a
+// slot but carried a different page than the air index says is on air.
+// Unlike loss or corruption — which the recovery protocol retries — a
+// desync means schedule truth itself is broken (server restarted with a
+// different dataset, or the client's clock drifted a full slot), so the
+// connection fails fast and queries report this instead of a bare
+// *ChannelError. Reconnecting (a fresh Connect) is the only remedy.
+type DesyncError struct {
+	// Channel names the channel the contradiction appeared on ("S" or "R").
+	Channel string
+	// Slot is the broadcast slot whose frame contradicted the schedule.
+	Slot int64
+	// Fault is the final reception fault of the query that died on the
+	// desynced connection (nil when the desync is reported off a
+	// connection with no failed query, e.g. via RemoteSystem.Err).
+	Fault *PageFaultError
+}
+
+func (e *DesyncError) Error() string {
+	return fmt.Sprintf("tnnbcast: broadcast desync on channel %s at slot %d: received page contradicts the local air index (reconnect required)",
+		e.Channel, e.Slot)
+}
+
+// Unwrap exposes the final PageFaultError to errors.Is/As chains.
+func (e *DesyncError) Unwrap() error {
+	if e.Fault == nil {
+		return nil
+	}
+	return e.Fault
 }
 
 // InvalidPointError reports a dataset point with a NaN or infinite

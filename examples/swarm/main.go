@@ -1,0 +1,182 @@
+// Command swarm is the networked-broadcast load harness: it starts a
+// tnnserve broadcast in-process (or targets a live one with -addr), then
+// drives many fully independent OS-level listeners against it — every
+// client is its own tnnbcast.Connect with its own TCP control stream and
+// its own UDP socket — and measures the paper's energy proxy on the real
+// wire: bytes read off each client's socket versus slots slept through.
+//
+// The claim under test is the real-doze invariant: a client reads ONLY
+// the frames it subscribed to, so per-client bytes-read must equal
+// tune-in × frame size exactly, even with a thousand listeners sharing
+// one broadcast. Answers are cross-checked against an in-process oracle.
+//
+// Usage:
+//
+//	go run ./examples/swarm                      # 1000 listeners, loopback
+//	go run ./examples/swarm -clients 200 -json - # smoke, JSON to stdout
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"tnnbcast"
+	"tnnbcast/internal/broadcast"
+	"tnnbcast/internal/netfeed"
+)
+
+// Report is the harness's JSON output (BENCH_PR9.json).
+type Report struct {
+	Clients          int     `json:"clients"`
+	SlotMicros       int64   `json:"slot_micros"`
+	Answered         int     `json:"answered"`
+	WrongAnswers     int     `json:"wrong_answers"`
+	Errors           int     `json:"errors"`
+	DozeViolations   int     `json:"doze_violations"`
+	TotalTuneIn      int64   `json:"total_tune_in_pages"`
+	TotalFramesRead  int64   `json:"total_frames_read"`
+	TotalBytesRead   int64   `json:"total_bytes_read"`
+	FrameSize        int     `json:"frame_size_bytes"`
+	PreambleBytes    int64   `json:"preamble_bytes_per_client"`
+	BytesPerTuneIn   float64 `json:"bytes_per_tune_in_page"`
+	MeanAccessSlots  float64 `json:"mean_access_slots"`
+	MeanTuneInPages  float64 `json:"mean_tune_in_pages"`
+	WallSeconds      float64 `json:"wall_seconds"`
+	ClientsPerSecond float64 `json:"clients_per_second"`
+}
+
+func main() {
+	var (
+		clients  = flag.Int("clients", 1000, "number of concurrent OS-level listeners")
+		addr     = flag.String("addr", "", "existing tnnserve address (default: start one in-process)")
+		sizeS    = flag.Int("s", 500, "size of dataset S (in-process server)")
+		sizeR    = flag.Int("r", 500, "size of dataset R (in-process server)")
+		slotDur  = flag.Duration("slot", 2*time.Millisecond, "slot duration (in-process server)")
+		jsonPath = flag.String("json", "", "write the JSON report here (\"-\" = stdout)")
+	)
+	flag.Parse()
+
+	target := *addr
+	var twin *tnnbcast.System
+	if target == "" {
+		params := broadcast.DefaultParams()
+		params.DataSize = 64 // one page per object: short cycles under load
+		spec := netfeed.Spec{
+			Params: params,
+			OffS:   7919,
+			OffR:   104729,
+			Region: tnnbcast.PaperRegion,
+			S:      tnnbcast.UniformDataset(2, *sizeS, tnnbcast.PaperRegion),
+			R:      tnnbcast.UniformDataset(3, *sizeR, tnnbcast.PaperRegion),
+		}
+		srv, err := netfeed.NewServer(netfeed.ServerConfig{Spec: spec, SlotDur: *slotDur})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "swarm:", err)
+			os.Exit(2)
+		}
+		if err := srv.Start("127.0.0.1:0"); err != nil {
+			fmt.Fprintln(os.Stderr, "swarm:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		target = srv.Addr().String()
+		twin, err = tnnbcast.New(spec.S, spec.R,
+			tnnbcast.WithRegion(spec.Region),
+			tnnbcast.WithDataSize(params.DataSize),
+			tnnbcast.WithPhases(spec.OffS, spec.OffR))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "swarm:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("swarm: broadcasting on %s (%v per slot)\n", target, *slotDur)
+	}
+
+	queries := tnnbcast.UniformDataset(11, *clients, tnnbcast.PaperRegion)
+
+	type outcome struct {
+		res   tnnbcast.Result
+		stats tnnbcast.NetStats
+		err   error
+	}
+	outcomes := make([]outcome, *clients)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < *clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rs, err := tnnbcast.Connect(target, tnnbcast.WithReceiveGrace(30*time.Second))
+			if err != nil {
+				outcomes[i].err = err
+				return
+			}
+			defer rs.Close()
+			outcomes[i].res = rs.Query(queries[i], tnnbcast.Double)
+			outcomes[i].stats = rs.NetStats()
+			if err := rs.Err(); err != nil {
+				outcomes[i].err = err
+			}
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	rep := Report{Clients: *clients, SlotMicros: slotDur.Microseconds(), WallSeconds: wall.Seconds()}
+	for i, o := range outcomes {
+		if o.err != nil || o.res.Err != nil {
+			rep.Errors++
+			continue
+		}
+		if !o.res.Found {
+			rep.WrongAnswers++
+			continue
+		}
+		rep.Answered++
+		if twin != nil {
+			if oracle, ok := twin.Exact(queries[i]); ok && o.res.Dist > oracle.Dist*(1+1e-9) {
+				rep.WrongAnswers++
+			}
+		}
+		rep.TotalTuneIn += o.res.TuneIn
+		rep.TotalFramesRead += o.stats.FramesRead
+		rep.TotalBytesRead += o.stats.BytesRead
+		rep.FrameSize = o.stats.FrameSize
+		rep.PreambleBytes = o.stats.PreambleBytes
+		rep.MeanAccessSlots += float64(o.res.AccessTime)
+		rep.MeanTuneInPages += float64(o.res.TuneIn)
+		// The real-doze invariant, asserted per client on raw socket
+		// byte counts: nothing was read that was not tuned in for.
+		if o.stats.BytesRead != o.stats.FramesRead*int64(o.stats.FrameSize) {
+			rep.DozeViolations++
+		}
+	}
+	if rep.Answered > 0 {
+		rep.MeanAccessSlots /= float64(rep.Answered)
+		rep.MeanTuneInPages /= float64(rep.Answered)
+		rep.BytesPerTuneIn = float64(rep.TotalBytesRead) / float64(rep.TotalTuneIn)
+	}
+	rep.ClientsPerSecond = float64(*clients) / wall.Seconds()
+
+	fmt.Printf("swarm: %d/%d answered in %.1fs (%.0f clients/s), %d errors, %d wrong, %d doze violations\n",
+		rep.Answered, rep.Clients, rep.WallSeconds, rep.ClientsPerSecond, rep.Errors, rep.WrongAnswers, rep.DozeViolations)
+	fmt.Printf("swarm: %d frames / %d bytes read for %d tuned pages (%.2f bytes per tuned page, frame size %d)\n",
+		rep.TotalFramesRead, rep.TotalBytesRead, rep.TotalTuneIn, rep.BytesPerTuneIn, rep.FrameSize)
+
+	if *jsonPath != "" {
+		blob, _ := json.MarshalIndent(rep, "", "  ")
+		blob = append(blob, '\n')
+		if *jsonPath == "-" {
+			os.Stdout.Write(blob)
+		} else if err := os.WriteFile(*jsonPath, blob, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "swarm:", err)
+			os.Exit(1)
+		}
+	}
+	if rep.Errors > 0 || rep.WrongAnswers > 0 || rep.DozeViolations > 0 {
+		os.Exit(1)
+	}
+}

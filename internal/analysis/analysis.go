@@ -131,21 +131,44 @@ const DirectiveDeterministic = "//tnn:deterministic"
 // DirectiveNoalloc is the function-level hot-path marker.
 const DirectiveNoalloc = "//tnn:noalloc"
 
+// DirectiveWallclock is the package-level sanctioned-chokepoint marker
+// for wall-clock access: the package's job is mapping real time onto the
+// model (internal/observe's elapsed-time stats, internal/netfeed's slot
+// clock), so nowallclock's chokepoint rule lets it read the clock. It is
+// mutually exclusive with //tnn:deterministic.
+const DirectiveWallclock = "//tnn:wallclock"
+
 // Deterministic reports whether the package carries the
 // //tnn:deterministic directive: a comment line with exactly that text
 // positioned before the package clause of any of its files.
 func (p *Pass) Deterministic() bool {
+	_, ok := p.packageDirective(DirectiveDeterministic)
+	return ok
+}
+
+// Wallclock reports whether the package carries the //tnn:wallclock
+// directive.
+func (p *Pass) Wallclock() bool {
+	_, ok := p.packageDirective(DirectiveWallclock)
+	return ok
+}
+
+// packageDirective scans for a package-level directive (a comment line
+// with exactly the directive's text before the package clause of any
+// file) and returns the package clause position of the carrying file —
+// the stable place to anchor diagnostics about the directive itself.
+func (p *Pass) packageDirective(directive string) (token.Pos, bool) {
 	for _, f := range p.Files {
 		for _, cg := range f.Comments {
 			if cg.Pos() >= f.Package {
 				break
 			}
-			if hasDirective(cg, DirectiveDeterministic) {
-				return true
+			if hasDirective(cg, directive) {
+				return f.Package, true
 			}
 		}
 	}
-	return false
+	return token.NoPos, false
 }
 
 // noallocMarked reports whether fn's doc comment carries //tnn:noalloc.

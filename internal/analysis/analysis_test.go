@@ -29,15 +29,29 @@ func golden(t *testing.T, a *Analyzer, name, path string) {
 
 func TestDetorderGolden(t *testing.T)    { golden(t, Detorder, "detorder", "") }
 func TestNowallclockGolden(t *testing.T) { golden(t, Nowallclock, "nowallclock", "") }
-func TestNoallocGolden(t *testing.T)     { golden(t, Noalloc, "noalloc", "") }
+
+// The chokepoint rule: unmarked library packages may not read the wall
+// clock, //tnn:wallclock packages may, carrying both directives is a
+// reported contradiction.
+func TestWallclockChokepointGolden(t *testing.T) {
+	golden(t, Nowallclock, "wallclock_choke", "")
+}
+func TestWallclockMarkedGolden(t *testing.T) {
+	golden(t, Nowallclock, "wallclock_marked", "")
+}
+func TestWallclockConflictGolden(t *testing.T) {
+	golden(t, Nowallclock, "wallclock_conflict", "")
+}
+func TestNoallocGolden(t *testing.T) { golden(t, Noalloc, "noalloc", "") }
 func TestErrtaxonomyGolden(t *testing.T) {
 	golden(t, Errtaxonomy, "errtaxonomy", "golden/errtaxonomy")
 }
 func TestScratchescapeGolden(t *testing.T) { golden(t, Scratchescape, "scratchescape", "") }
 
-// TestDetorderDirectiveGate proves detorder (and by the same gate,
-// nowallclock) is inert without the //tnn:deterministic directive, even
-// on code full of violations.
+// TestDetorderDirectiveGate proves detorder is inert without the
+// //tnn:deterministic directive, even on code full of violations, and
+// that nowallclock's surviving library-wide rule (the wall-clock
+// chokepoint) does not fire on time-free code.
 func TestDetorderDirectiveGate(t *testing.T) {
 	l, err := sharedLoader()
 	if err != nil {

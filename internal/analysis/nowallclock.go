@@ -5,19 +5,26 @@ import (
 	"path"
 )
 
-// Nowallclock flags ambient-state reads in packages marked
-// //tnn:deterministic: wall-clock time (time.Now and friends), the
-// global math/rand source, and process environment. Everything these
-// packages compute must be a pure function of explicit inputs — fault
-// patterns of (seed, slot), workloads of Config.Seed — or the
-// worker-invariance goldens and replayable experiments stop meaning
-// anything. Randomness is fine when seeded explicitly:
-// rand.New(rand.NewSource(seed)) is the sanctioned form. Wall-clock
-// observability (elapsed-time stats, heap sampling) lives in
-// internal/observe, which is deliberately not a deterministic package.
+// Nowallclock enforces two layered invariants about ambient state.
+//
+// In packages marked //tnn:deterministic it flags every ambient-state
+// read: wall-clock time (time.Now and friends), the global math/rand
+// source, and process environment. Everything these packages compute
+// must be a pure function of explicit inputs — fault patterns of
+// (seed, slot), workloads of Config.Seed — or the worker-invariance
+// goldens and replayable experiments stop meaning anything. Randomness
+// is fine when seeded explicitly: rand.New(rand.NewSource(seed)) is the
+// sanctioned form.
+//
+// In every other library package it enforces the chokepoint rule:
+// wall-clock reads are confined to packages marked //tnn:wallclock —
+// the sanctioned chokepoints where real time legitimately enters the
+// system (internal/observe's elapsed-time stats, internal/netfeed's
+// slot clock). Package main (commands, examples) is exempt; a package
+// carrying both directives is a contradiction and is reported as such.
 var Nowallclock = &Analyzer{
 	Name: "nowallclock",
-	Doc:  "forbid wall-clock, global math/rand, and environment reads in //tnn:deterministic packages",
+	Doc:  "forbid ambient-state reads in //tnn:deterministic packages and confine wall-clock access to //tnn:wallclock chokepoints",
 	Run:  runNowallclock,
 }
 
@@ -56,7 +63,16 @@ var wallclockAllowed = map[string]bool{
 }
 
 func runNowallclock(pass *Pass) error {
-	if !pass.Deterministic() {
+	det := pass.Deterministic()
+	choke := pass.Wallclock()
+	if det && choke {
+		pos, _ := pass.packageDirective(DirectiveWallclock)
+		pass.Reportf(pos, "package is marked both %s and %s; a wall-clock chokepoint (internal/observe, internal/netfeed's slot clock) cannot be determinism-critical", DirectiveDeterministic, DirectiveWallclock)
+		// Fall through with the stricter reading: the deterministic bans
+		// still apply until the contradiction is resolved.
+	} else if choke || (!det && pass.Pkg.Name() == "main") {
+		// Sanctioned chokepoint, or a command/example's main package:
+		// measuring real time is its job.
 		return nil
 	}
 	for _, f := range pass.Files {
@@ -74,6 +90,18 @@ func runNowallclock(pass *Pass) error {
 				return true
 			}
 			base := path.Base(pkgPath)
+			if !det {
+				// Unmarked library package: only the chokepoint rule
+				// applies — wall-clock reads need the //tnn:wallclock
+				// directive; explicit randomness and environment reads
+				// are a determinism concern, not a chokepoint one.
+				if pkgPath == "time" {
+					if why, hit := banned[name]; hit {
+						pass.Reportf(call.Pos(), "%s.%s %s outside a sanctioned chokepoint; wall-clock access is confined to %s packages (internal/observe, internal/netfeed)", base, name, why, DirectiveWallclock)
+					}
+				}
+				return true
+			}
 			if banned == nil { // math/rand: every global-source function
 				if !wallclockAllowed[name] {
 					pass.Reportf(call.Pos(), "%s.%s uses the global math/rand source; use rand.New(rand.NewSource(seed)) with an explicit seed", base, name)

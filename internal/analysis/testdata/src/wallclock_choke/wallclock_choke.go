@@ -1,0 +1,33 @@
+// Golden testdata for nowallclock's chokepoint rule: an UNMARKED
+// library package (neither //tnn:deterministic nor //tnn:wallclock) may
+// not read the wall clock — that access is confined to the sanctioned
+// chokepoint packages. Seeded-or-not randomness and environment reads
+// are out of scope here: they are determinism concerns, only policed in
+// //tnn:deterministic packages.
+package wallclock_choke
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func wallClock() time.Duration {
+	t := time.Now()      // want `time.Now reads the wall clock outside a sanctioned chokepoint`
+	return time.Since(t) // want `time.Since reads the wall clock outside a sanctioned chokepoint`
+}
+
+func ticker() *time.Ticker {
+	return time.NewTicker(time.Second) // want `time.NewTicker starts a wall-clock ticker outside a sanctioned chokepoint`
+}
+
+// Global randomness and environment reads stay silent in an unmarked
+// package: the chokepoint rule is about real time only.
+func ambientButNotTime() (int, string) {
+	return rand.Intn(10), os.Getenv("HOME")
+}
+
+// arithmetic stays silent: operating on time values passed in is pure.
+func arithmetic(t time.Time, d time.Duration) time.Time {
+	return t.Add(d)
+}

@@ -1,0 +1,14 @@
+// Golden testdata for the directive contradiction: a package cannot be
+// both determinism-critical and a sanctioned wall-clock chokepoint. The
+// conflict is reported once at the package clause, and until resolved
+// the stricter deterministic bans stay in force.
+//
+//tnn:deterministic
+//tnn:wallclock
+package wallclock_conflict // want `package is marked both //tnn:deterministic and //tnn:wallclock`
+
+import "time"
+
+func wallClock() time.Time {
+	return time.Now() // want `time.Now reads the wall clock`
+}

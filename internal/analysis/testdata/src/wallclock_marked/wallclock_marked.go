@@ -1,0 +1,24 @@
+// Golden testdata for the //tnn:wallclock directive: a marked package
+// is a sanctioned chokepoint, so nowallclock stays entirely silent —
+// wall-clock reads, timers, even the global math/rand source.
+//
+//tnn:wallclock
+package wallclock_marked
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() time.Duration {
+	t := time.Now()
+	return time.Since(t)
+}
+
+func timer(d time.Duration) <-chan time.Time {
+	return time.After(d)
+}
+
+func jitter() int {
+	return rand.Intn(10)
+}

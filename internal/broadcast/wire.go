@@ -77,8 +77,17 @@ func pointerUnit(cycleLen int64) int64 {
 // data pointers are encoded relative to carrySlot. It returns an error if
 // the node's entries do not fit the page capacity.
 func EncodeNode(ch *Channel, n *rtree.Node, carrySlot int64, params Params) ([]byte, error) {
+	return EncodeNodeOn(ch, n, carrySlot, params, ch.Index().CycleLen())
+}
+
+// EncodeNodeOn is EncodeNode over any Feed. cycleLen must be the PHYSICAL
+// channel's cycle length — the feed's own program cycle for a dedicated
+// channel, the combined cycle for one program's share of a multiplexed
+// channel — because it fixes the coarse pointer unit and a multiplexed
+// feed's arrival delays span the combined cycle.
+func EncodeNodeOn(ch Feed, n *rtree.Node, carrySlot int64, params Params, cycleLen int64) ([]byte, error) {
 	buf := make([]byte, 0, params.PageCap)
-	unit := pointerUnit(ch.Index().CycleLen())
+	unit := pointerUnit(cycleLen)
 
 	relPtr := func(target int64) (uint16, error) {
 		d := target - carrySlot

@@ -1,0 +1,110 @@
+package netfeed
+
+import (
+	"encoding/binary"
+	"time"
+)
+
+// slotClock maps broadcast slots to wall time: slot t occupies the
+// half-open window [epoch + t·dur, epoch + (t+1)·dur). It is THE sanctioned
+// wall-clock chokepoint of this package (see the //tnn:wallclock directive
+// in the package doc): the server's pacer and the client's doze timers both
+// read real time only through it, so everything above stays a pure function
+// of slots.
+type slotClock struct {
+	epoch time.Time
+	dur   time.Duration
+}
+
+// at returns the wall time at which slot t begins.
+func (c slotClock) at(t int64) time.Time {
+	return c.epoch.Add(time.Duration(t) * c.dur)
+}
+
+// slotAt returns the slot on air at wall time now (negative before epoch).
+func (c slotClock) slotAt(now time.Time) int64 {
+	d := now.Sub(c.epoch)
+	if d < 0 {
+		return -1 + int64((d+1)/c.dur)
+	}
+	return int64(d / c.dur)
+}
+
+// Control messages ride the TCP stream. HELLO is the client's opening
+// (transport choice + the UDP port it listens on); WAKE is one entry of
+// the client's doze/wake NIC schedule — "I will be awake for slot t of
+// channel c" — which is the only thing that makes the server transmit to
+// that client.
+
+// helloMagic opens the HELLO message.
+var helloMagic = [4]byte{'T', 'N', 'N', 'H'}
+
+// helloSize is the fixed HELLO length: magic, version, transport, UDP port.
+const helloSize = 4 + 2 + 1 + 2
+
+// Transport selects how frames reach a client.
+type Transport int
+
+const (
+	// TransportUDP delivers each frame as one datagram to the client's
+	// UDP socket (unicast fan-out; the loopback stand-in for multicast).
+	TransportUDP Transport = iota
+	// TransportTCP delivers frames length-prefixed on the control stream —
+	// the fallback for UDP-hostile paths.
+	TransportTCP
+)
+
+func (t Transport) String() string {
+	if t == TransportTCP {
+		return "tcp"
+	}
+	return "udp"
+}
+
+// appendHello serializes the client HELLO.
+func appendHello(dst []byte, transport Transport, udpPort int) []byte {
+	dst = append(dst, helloMagic[:]...)
+	dst = binary.BigEndian.AppendUint16(dst, ProtoVersion)
+	dst = append(dst, byte(transport))
+	return binary.BigEndian.AppendUint16(dst, uint16(udpPort))
+}
+
+// decodeHello parses a HELLO buffer of exactly helloSize bytes.
+func decodeHello(buf []byte) (transport Transport, udpPort int, err error) {
+	if len(buf) != helloSize {
+		return 0, 0, &FrameError{Part: "hello", Reason: FrameTruncated, Got: len(buf), Want: helloSize}
+	}
+	if string(buf[:4]) != string(helloMagic[:]) {
+		return 0, 0, &FrameError{Part: "hello", Reason: FrameBadMagic, Got: int(buf[0]), Want: int(helloMagic[0])}
+	}
+	if v := binary.BigEndian.Uint16(buf[4:6]); v != ProtoVersion {
+		return 0, 0, &FrameError{Part: "hello", Reason: FrameVersionSkew, Got: int(v), Want: ProtoVersion}
+	}
+	if buf[6] > byte(TransportTCP) {
+		return 0, 0, &FrameError{Part: "hello", Reason: FrameBadField, Got: int(buf[6]), Want: int(TransportTCP)}
+	}
+	return Transport(buf[6]), int(binary.BigEndian.Uint16(buf[7:9])), nil
+}
+
+// wakeOp tags a WAKE message; wakeSize is its fixed length.
+const (
+	wakeOp   = 0x57 // 'W'
+	wakeSize = 1 + 1 + 8
+)
+
+// appendWake serializes one doze/wake schedule entry.
+func appendWake(dst []byte, channel uint8, slot int64) []byte {
+	dst = append(dst, wakeOp, channel)
+	return binary.BigEndian.AppendUint64(dst, uint64(slot))
+}
+
+// decodeWake parses a WAKE buffer of exactly wakeSize bytes.
+func decodeWake(buf []byte) (channel uint8, slot int64, err error) {
+	if len(buf) != wakeSize {
+		return 0, 0, &FrameError{Part: "wake", Reason: FrameTruncated, Got: len(buf), Want: wakeSize}
+	}
+	if buf[0] != wakeOp {
+		return 0, 0, &FrameError{Part: "wake", Reason: FrameBadMagic, Got: int(buf[0]), Want: wakeOp}
+	}
+	return buf[1], int64(binary.BigEndian.Uint64(buf[2:])), nil
+}

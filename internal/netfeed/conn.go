@@ -1,0 +1,551 @@
+package netfeed
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tnnbcast/internal/broadcast"
+	"tnnbcast/internal/rtree"
+)
+
+// DialConfig configures a client connection.
+type DialConfig struct {
+	// Transport selects how frames are delivered (default TransportUDP).
+	Transport Transport
+	// Grace is how long past a slot's scheduled end the client keeps
+	// listening before declaring the reception lost. It absorbs network
+	// latency and scheduler jitter; larger values trade recovery latency
+	// on a truly lost packet for fewer spurious losses.
+	Grace time.Duration
+	// IssueMargin is how many slots past the live slot NextIssueSlot
+	// schedules new queries, covering clock skew between client and
+	// server plus WAKE propagation (default 3).
+	IssueMargin int64
+}
+
+// DefaultGrace is the default per-slot reception grace.
+const DefaultGrace = time.Second
+
+// DesyncError reports a broadcast that contradicts the client's locally
+// reconstructed schedule: a structurally valid frame arrived for a slot,
+// but carries a different page than the air index says is on air. The
+// client's schedule truth is broken — retrying cannot help — so the
+// connection poisons itself and every subsequent reception fails fast.
+type DesyncError struct {
+	// Channel is the physical channel the contradiction appeared on.
+	Channel uint8
+	// Slot is the absolute slot.
+	Slot int64
+	// WantKind/WantRef and GotKind/GotRef identify the expected and
+	// received pages.
+	WantKind, GotKind broadcast.PageKind
+	WantRef, GotRef   uint32
+}
+
+func (e *DesyncError) Error() string {
+	return fmt.Sprintf("netfeed: schedule desync on channel %d slot %d: air carries %v/%d, local index says %v/%d",
+		e.Channel, e.Slot, e.GotKind, e.GotRef, e.WantKind, e.WantRef)
+}
+
+// NetStats are a connection's raw reception counters.
+type NetStats struct {
+	// BytesRead counts every byte read off the frame sockets (UDP
+	// datagrams or TCP frame segments including their length prefixes) —
+	// the real-wire tune-in proxy. The preamble is counted separately.
+	BytesRead int64
+	// FramesRead counts delivered frames (valid or checksum-failed).
+	FramesRead int64
+	// PreambleBytes is the one-time index-acquisition cost.
+	PreambleBytes int64
+	// FrameSize is the fixed on-wire size of one slot's frame; for UDP
+	// clients BytesRead == FramesRead × FrameSize.
+	FrameSize int
+}
+
+// slotKey addresses one reception.
+type slotKey struct {
+	ch   uint8
+	slot int64
+}
+
+// slotState tracks one subscribed slot: done closes when the reception
+// resolves (frame delivered, possibly as a corrupt-fault).
+type slotState struct {
+	done  chan struct{}
+	fault *broadcast.PageFault // nil: clean payload in frame
+	frame Frame
+	// deadline is the latest waiter's give-up time; the janitor must not
+	// evict an unresolved subscription before it passes.
+	deadline time.Time
+}
+
+// Conn is a live client connection: it rebuilds the broadcast schedule
+// from the preamble and exposes the two datasets' channels as
+// broadcast.Feed values whose receptions ride real packets. A Conn is safe
+// for concurrent use by any number of queries.
+type Conn struct {
+	cfg     DialConfig
+	spec    Spec
+	sc      *schedule
+	clock   slotClock
+	tcp     net.Conn
+	udp     *net.UDPConn
+	writeMu sync.Mutex
+
+	mu    sync.Mutex
+	slots map[slotKey]*slotState
+
+	bytesRead     atomic.Int64
+	framesRead    atomic.Int64
+	preambleBytes int64
+
+	fatalMu  sync.Mutex
+	fatalErr error
+
+	closed    chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+// Dial connects to a tnnserve service, performs the HELLO/PREAMBLE
+// handshake, rebuilds the air schedule locally, and starts the reception
+// machinery.
+func Dial(addr string, cfg DialConfig) (*Conn, error) {
+	if cfg.Grace <= 0 {
+		cfg.Grace = DefaultGrace
+	}
+	if cfg.IssueMargin <= 0 {
+		cfg.IssueMargin = 3
+	}
+	tcp, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Conn{
+		cfg:    cfg,
+		tcp:    tcp,
+		slots:  make(map[slotKey]*slotState),
+		closed: make(chan struct{}),
+	}
+	if cfg.Transport == TransportUDP {
+		c.udp, err = net.ListenUDP("udp", nil)
+		if err != nil {
+			tcp.Close()
+			return nil, err
+		}
+	}
+	var udpPort int
+	if c.udp != nil {
+		udpPort = c.udp.LocalAddr().(*net.UDPAddr).Port
+	}
+	if _, err := tcp.Write(appendHello(nil, cfg.Transport, udpPort)); err != nil {
+		c.closeSockets()
+		return nil, err
+	}
+
+	tcp.SetReadDeadline(time.Now().Add(30 * time.Second))
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(tcp, lenBuf[:]); err != nil {
+		c.closeSockets()
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n > preambleMax {
+		c.closeSockets()
+		return nil, &FrameError{Part: "preamble", Reason: FrameBadLength, Got: int(n), Want: preambleMax}
+	}
+	blob := make([]byte, n)
+	if _, err := io.ReadFull(tcp, blob); err != nil {
+		c.closeSockets()
+		return nil, err
+	}
+	recv := time.Now()
+	tcp.SetReadDeadline(time.Time{})
+
+	spec, slotDur, liveSlot, err := decodePreamble(blob)
+	if err != nil {
+		c.closeSockets()
+		return nil, err
+	}
+	c.spec = spec
+	c.sc = buildSchedule(spec)
+	// Anchoring the epoch at the preamble's receive time makes the client
+	// clock run LATE by (network latency + up to one slot): every local
+	// deadline lands after the server's real transmission, so latency can
+	// only add grace, never manufacture a spurious loss.
+	c.clock = slotClock{epoch: recv.Add(-time.Duration(liveSlot) * slotDur), dur: slotDur}
+	c.preambleBytes = int64(len(blob) + 4)
+
+	if c.udp != nil {
+		c.wg.Add(1)
+		go c.udpReader()
+	}
+	c.wg.Add(1)
+	go c.tcpReader()
+	c.wg.Add(1)
+	go c.janitor()
+	return c, nil
+}
+
+func (c *Conn) closeSockets() {
+	c.tcp.Close()
+	if c.udp != nil {
+		c.udp.Close()
+	}
+}
+
+// Close disconnects and releases every blocked reception.
+func (c *Conn) Close() error {
+	c.closeOnce.Do(func() {
+		close(c.closed)
+		c.closeSockets()
+		c.setFatal(errors.New("netfeed: connection closed"))
+	})
+	c.wg.Wait()
+	return nil
+}
+
+// Spec returns the decoded service description.
+func (c *Conn) Spec() Spec { return c.spec }
+
+// SlotDur returns the service's real-time slot duration.
+func (c *Conn) SlotDur() time.Duration { return c.clock.dur }
+
+// Trees returns the locally rebuilt R-trees (S, R).
+func (c *Conn) Trees() (s, r *rtree.Tree) { return c.sc.treeS, c.sc.treeR }
+
+// Indexes returns the locally rebuilt air indexes (S, R).
+func (c *Conn) Indexes() (s, r broadcast.AirIndex) { return c.sc.idxS, c.sc.idxR }
+
+// FeedS returns dataset S's channel as a network-backed broadcast.Feed.
+func (c *Conn) FeedS() broadcast.Feed { return &remoteFeed{c: c, second: false} }
+
+// FeedR returns dataset R's channel as a network-backed broadcast.Feed.
+func (c *Conn) FeedR() broadcast.Feed { return &remoteFeed{c: c, second: true} }
+
+// LiveSlot returns the slot currently on air by the client's clock.
+func (c *Conn) LiveSlot() int64 { return c.clock.slotAt(time.Now()) }
+
+// NextIssueSlot returns a safe slot to issue a new query at: far enough
+// past the live slot that every first WAKE reaches the server before the
+// slot is transmitted.
+func (c *Conn) NextIssueSlot() int64 { return c.LiveSlot() + c.cfg.IssueMargin }
+
+// Stats snapshots the reception counters.
+func (c *Conn) Stats() NetStats {
+	return NetStats{
+		BytesRead:     c.bytesRead.Load(),
+		FramesRead:    c.framesRead.Load(),
+		PreambleBytes: c.preambleBytes,
+		FrameSize:     FrameSize(c.spec.Params),
+	}
+}
+
+// Err returns the connection's fatal error (a *DesyncError, a socket
+// failure, or the Close sentinel), nil while healthy.
+func (c *Conn) Err() error {
+	c.fatalMu.Lock()
+	defer c.fatalMu.Unlock()
+	return c.fatalErr
+}
+
+// setFatal poisons the connection: the first error sticks, and every
+// pending reception resolves as lost so no caller stays blocked.
+func (c *Conn) setFatal(err error) {
+	c.fatalMu.Lock()
+	if c.fatalErr == nil {
+		c.fatalErr = err
+	}
+	c.fatalMu.Unlock()
+	c.mu.Lock()
+	for key, st := range c.slots {
+		select {
+		case <-st.done:
+		default:
+			st.fault = &broadcast.PageFault{Slot: key.slot, Kind: broadcast.FaultLost}
+			close(st.done)
+		}
+	}
+	c.mu.Unlock()
+}
+
+// channelOf maps a logical side (S=false, R=true) to its physical channel.
+func (c *Conn) channelOf(second bool) uint8 {
+	if second && len(c.sc.phys) == 2 {
+		return 1
+	}
+	return 0
+}
+
+// receive blocks until slot t of physical channel ch resolves: the frame
+// arrives (nil fault or FaultCorrupt), the deadline passes (FaultLost), or
+// the connection dies. It subscribes the slot on first use — the WAKE is
+// the doze/wake schedule entry — and between the WAKE and the delivery the
+// caller is genuinely asleep: nothing is read on its behalf.
+func (c *Conn) receive(ch uint8, t int64) *broadcast.PageFault {
+	if c.Err() != nil {
+		return &broadcast.PageFault{Slot: t, Kind: broadcast.FaultLost}
+	}
+	// Deadline: grace past the slot's scheduled end — or, when the slot is
+	// already in the wall-time past (the query's virtual timeline lags real
+	// time and the server replays the frame from its reception buffer),
+	// grace past now, so a replayed reception gets a full round trip
+	// instead of timing out instantly.
+	deadline := c.clock.at(t + 1).Add(c.cfg.Grace)
+	if now := time.Now(); deadline.Before(now) {
+		deadline = now.Add(c.cfg.Grace)
+	}
+	key := slotKey{ch: ch, slot: t}
+	c.mu.Lock()
+	st, ok := c.slots[key]
+	if !ok {
+		st = &slotState{done: make(chan struct{})}
+		c.slots[key] = st
+	}
+	if st.deadline.Before(deadline) {
+		st.deadline = deadline
+	}
+	c.mu.Unlock()
+	if !ok {
+		if err := c.writeCtl(appendWake(make([]byte, 0, wakeSize), ch, t)); err != nil {
+			c.setFatal(err)
+			return &broadcast.PageFault{Slot: t, Kind: broadcast.FaultLost}
+		}
+	}
+	// A reception already resolved (another query downloaded this slot)
+	// returns immediately — the shared medium delivered one frame for
+	// every listener.
+	select {
+	case <-st.done:
+		return st.fault
+	default:
+	}
+	timer := time.NewTimer(time.Until(deadline))
+	defer timer.Stop()
+	select {
+	case <-st.done:
+		return st.fault
+	case <-timer.C:
+		// Check once more: the frame may have raced the timer.
+		select {
+		case <-st.done:
+			return st.fault
+		default:
+		}
+		return &broadcast.PageFault{Slot: t, Kind: broadcast.FaultLost}
+	}
+}
+
+// writeCtl sends one control message on the TCP stream.
+func (c *Conn) writeCtl(b []byte) error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	_, err := c.tcp.Write(b)
+	return err
+}
+
+// deliver resolves a received frame buffer against the subscription map.
+func (c *Conn) deliver(buf []byte) {
+	f, err := DecodeFrame(buf)
+	var fault *broadcast.PageFault
+	if err != nil {
+		var fe *FrameError
+		if !errors.As(err, &fe) || fe.Reason != FrameChecksum {
+			return // structurally foreign bytes: not a reception at all
+		}
+		// The header survived, the payload is damaged: a FaultCorrupt
+		// reception attributed to the slot the header names.
+		fault = &broadcast.PageFault{Slot: f.Slot, Kind: broadcast.FaultCorrupt}
+	}
+	c.framesRead.Add(1)
+	if int(f.Channel) >= len(c.sc.phys) {
+		return
+	}
+	if fault == nil {
+		// Schedule-truth check: the frame must carry exactly the page the
+		// local air index says is on air at this slot.
+		pg, _ := c.sc.pageOwner(int(f.Channel), f.Slot)
+		wantRef := uint32(pg.NodeID)
+		var wantSeq uint16
+		if pg.Kind == broadcast.DataPage {
+			wantRef = uint32(pg.ObjectID)
+			wantSeq = uint16(pg.Seq)
+		}
+		if pg.Kind != f.Kind || wantRef != f.Ref || wantSeq != f.Seq {
+			c.setFatal(&DesyncError{
+				Channel: f.Channel, Slot: f.Slot,
+				WantKind: pg.Kind, WantRef: wantRef,
+				GotKind: f.Kind, GotRef: f.Ref,
+			})
+			return // setFatal already resolved all pending receptions
+		}
+	}
+	key := slotKey{ch: f.Channel, slot: f.Slot}
+	c.mu.Lock()
+	st := c.slots[key]
+	if st != nil {
+		select {
+		case <-st.done:
+		default:
+			st.fault = fault
+			st.frame = f
+			close(st.done)
+		}
+	}
+	c.mu.Unlock()
+}
+
+// udpReader drains the UDP socket; its byte counter is the real-wire
+// tune-in measurement.
+func (c *Conn) udpReader() {
+	defer c.wg.Done()
+	buf := make([]byte, FrameSize(c.spec.Params)+256)
+	for {
+		n, _, err := c.udp.ReadFromUDP(buf)
+		if n > 0 {
+			c.bytesRead.Add(int64(n))
+			frame := make([]byte, n)
+			copy(frame, buf[:n])
+			c.deliver(frame)
+		}
+		if err != nil {
+			select {
+			case <-c.closed:
+			default:
+				c.setFatal(err)
+			}
+			return
+		}
+	}
+}
+
+// tcpReader drains the control stream. For TCP-transport clients it
+// carries length-prefixed frames; for UDP clients the server sends nothing
+// after the preamble, so the read only detects a dead server.
+func (c *Conn) tcpReader() {
+	defer c.wg.Done()
+	var lenBuf [4]byte
+	for {
+		if _, err := io.ReadFull(c.tcp, lenBuf[:]); err != nil {
+			select {
+			case <-c.closed:
+			default:
+				c.setFatal(err)
+			}
+			return
+		}
+		n := binary.BigEndian.Uint32(lenBuf[:])
+		if n > uint32(FrameSize(c.spec.Params)+256) {
+			c.setFatal(&FrameError{Part: "frame", Reason: FrameBadLength, Got: int(n), Want: FrameSize(c.spec.Params)})
+			return
+		}
+		frame := make([]byte, n)
+		if _, err := io.ReadFull(c.tcp, frame); err != nil {
+			select {
+			case <-c.closed:
+			default:
+				c.setFatal(err)
+			}
+			return
+		}
+		c.bytesRead.Add(int64(4 + n))
+		c.deliver(frame)
+	}
+}
+
+// janitor evicts resolved and abandoned receptions once they are safely in
+// the past, bounding the subscription map over long sessions.
+func (c *Conn) janitor() {
+	defer c.wg.Done()
+	ticker := time.NewTicker(time.Second)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.closed:
+			return
+		case now := <-ticker.C:
+			// Resolved receptions safely in the past have no future reader;
+			// unresolved ones are evicted only once every waiter's deadline
+			// passed a full grace ago (a replayed past slot is subscribed
+			// long after its air time, so slot age alone proves nothing).
+			horizon := c.clock.slotAt(now.Add(-4*c.cfg.Grace)) - 1
+			c.mu.Lock()
+			for key, st := range c.slots {
+				select {
+				case <-st.done:
+					if key.slot < horizon {
+						delete(c.slots, key)
+					}
+				default:
+					if !st.deadline.IsZero() && now.After(st.deadline.Add(c.cfg.Grace)) {
+						delete(c.slots, key)
+					}
+				}
+			}
+			c.mu.Unlock()
+		}
+	}
+}
+
+// remoteFeed adapts one dataset's side of a Conn to broadcast.Feed: all
+// schedule truth comes from the locally rebuilt index; Fault and ReadNode
+// are real receptions.
+type remoteFeed struct {
+	c      *Conn
+	second bool
+}
+
+var _ broadcast.Feed = (*remoteFeed)(nil)
+
+func (f *remoteFeed) local() broadcast.Feed {
+	if f.second {
+		return f.c.sc.feedR
+	}
+	return f.c.sc.feedS
+}
+
+// Index implements Feed.
+func (f *remoteFeed) Index() broadcast.AirIndex { return f.local().Index() }
+
+// PageAt implements Feed.
+func (f *remoteFeed) PageAt(t int64) broadcast.Page { return f.local().PageAt(t) }
+
+// NextNodeArrival implements Feed.
+func (f *remoteFeed) NextNodeArrival(nodeID int, after int64) int64 {
+	return f.local().NextNodeArrival(nodeID, after)
+}
+
+// NextRootArrival implements Feed.
+func (f *remoteFeed) NextRootArrival(after int64) int64 {
+	return f.local().NextRootArrival(after)
+}
+
+// NextObjectArrival implements Feed.
+func (f *remoteFeed) NextObjectArrival(objectID int, after int64) int64 {
+	return f.local().NextObjectArrival(objectID, after)
+}
+
+// Fault implements Feed: it is the blocking reception primitive. The
+// caller dozes (blocks, reading nothing) until the slot's frame arrives on
+// the wire, and the outcome maps onto the fault taxonomy — nil for a clean
+// frame, FaultCorrupt for a failed checksum, FaultLost for a deadline
+// miss or a dead connection.
+func (f *remoteFeed) Fault(t int64) *broadcast.PageFault {
+	return f.c.receive(f.c.channelOf(f.second), t)
+}
+
+// ReadNode implements Feed: a real reception followed by the local tree
+// lookup (the received payload is bit-identical to the local encoding —
+// the desync check enforces the identity, the frame CRC the integrity).
+func (f *remoteFeed) ReadNode(t int64) (*rtree.Node, *broadcast.PageFault) {
+	if pf := f.Fault(t); pf != nil {
+		return nil, pf
+	}
+	return f.local().ReadNode(t)
+}

@@ -1,0 +1,190 @@
+// Package netfeed puts the broadcast channels on a real wire: a Server
+// replays a built broadcast program onto sockets — one frame per slot,
+// paced by a configurable slot duration, looping the cycle indefinitely —
+// and a client Conn implements the broadcast.Feed interface over the
+// network, so every TNN algorithm, the Cursor/Events API, and the session
+// engine run unmodified against live packets.
+//
+// # Transport model
+//
+// A client connects over TCP and receives the PREAMBLE: the broadcast
+// geometry (page parameters, index scheme, phase offsets, service region)
+// plus the dataset coordinates, from which it reconstructs the air index
+// locally — the networked counterpart of a receiver that has acquired the
+// index and, from then on, needs the wire only for receptions. All
+// schedule-truth queries (PageAt, arrival times) are answered from that
+// local reconstruction; what travels per slot is the RECEPTION: a frame
+// carrying the slot-clock header and the wire-format page image (wire.go's
+// v2 layout, CRC32C trailer included).
+//
+// The medium is broadcast, but a real receiver powers its radio only
+// during scheduled slots. netfeed models the doze/wake NIC schedule
+// explicitly: the client announces each slot it will be awake for (a WAKE
+// message on the TCP control stream — the subscription is the NIC
+// schedule), and the server transmits a slot's frame only to the clients
+// awake for it, at that slot's time, never earlier. A WAKE for a slot
+// that already went on air is answered from the modeled reception buffer:
+// the frame is a pure function of (config, channel, slot), and a query's
+// virtual timeline legitimately lags wall time whenever the lockstep
+// scheduler serializes the two channels' downloads.
+// Between receptions the client is genuinely asleep: blocked, not reading,
+// so bytes read off the socket equal tune-in × frame size — the paper's
+// energy proxy measured on a real socket. Frames are carried as UDP
+// datagrams (unicast fan-out) or, as a fallback for UDP-hostile paths, as
+// length-prefixed segments on the TCP stream itself.
+//
+// # Loss and recovery
+//
+// A datagram that never arrives (or arrives damaged) surfaces exactly like
+// the fault-injection layer's faults: the blocked reception times out (or
+// fails its CRC) and returns a typed *broadcast.PageFault, the client
+// re-derives the page's next broadcast arrival from its local air index,
+// and re-enters its doze/wake wait — the recovery protocol and loss-aware
+// accounting of the resilience layer, driven by real packet loss instead
+// of injected faults. The server can additionally inject deterministic
+// faults (the same (seed, slot)-pure model the in-process FaultFeed uses)
+// so lossy runs are reproducible and comparable against the simulation.
+//
+// netfeed is the repo's second sanctioned wall-clock chokepoint (after
+// internal/observe): the slot clock maps broadcast slots to wall time, so
+// the package is deliberately NOT //tnn:deterministic — it is marked
+// //tnn:wallclock, and the nowallclock analyzer enforces that the two
+// directives never meet in one package. Everything above the clock (frame
+// and preamble codecs, fault patterns, the schedule rebuild) remains a
+// pure function of its inputs and is differentially tested against the
+// in-process feeds.
+//
+//tnn:wallclock
+package netfeed
+
+import (
+	"tnnbcast/internal/broadcast"
+	"tnnbcast/internal/geom"
+	"tnnbcast/internal/rtree"
+)
+
+// ProtoVersion is the netfeed protocol version, carried in the HELLO and
+// PREAMBLE. Decoders reject any other version loudly (FrameVersionSkew)
+// rather than misparse.
+const ProtoVersion = 1
+
+// Spec describes one broadcast service completely enough for a client to
+// reconstruct the air schedule bit-for-bit: the physical page parameters,
+// the index family, the phase offsets, the service region, and the dataset
+// coordinates (exact float64 — the model's air index is exact, so the
+// catalog that ships it must be too). It is what the PREAMBLE serializes.
+type Spec struct {
+	// Params are the physical page parameters of both channels.
+	Params broadcast.Params
+	// Scheme selects the air-index family.
+	Scheme broadcast.SchemeID
+	// Cut is the distributed index's replicated-level count (0 = auto).
+	Cut int
+	// SkewDisks/SkewRatio configure a skewed broadcast-disks data
+	// schedule; SkewDisks == 0 selects the flat schedule.
+	SkewDisks, SkewRatio int
+	// Single multiplexes both datasets on ONE physical channel.
+	Single bool
+	// OffS and OffR are the channels' phase offsets (under Single, OffS
+	// applies to the combined cycle and OffR is ignored).
+	OffS, OffR int64
+	// Region is the service region (Approximate-TNN's radius scale).
+	Region geom.Rect
+	// S and R are the two datasets.
+	S, R []geom.Point
+	// WS and WR are optional per-object access weights (nil = uniform).
+	WS, WR []float64
+}
+
+// schedule is the locally reconstructed broadcast: trees, air indexes, and
+// perfect feeds, built identically on server and client from one Spec.
+type schedule struct {
+	treeS, treeR *rtree.Tree
+	idxS, idxR   broadcast.AirIndex
+	feedS, feedR broadcast.Feed
+	// phys describes the physical channels: two dedicated ones, or one
+	// time-multiplexed combined channel.
+	phys []physical
+}
+
+// physical is one physical channel's geometry: the wire's channel IDs
+// index this slice.
+type physical struct {
+	cycle  int64 // slots per physical cycle (combined under Single)
+	offset int64 // absolute slot at which cycle position 0 is on air
+}
+
+// indexSpec mirrors the root package's option translation exactly — the
+// schedule a client rebuilds must be the one the server transmits.
+func (sp Spec) indexSpec(w []float64) broadcast.IndexSpec {
+	spec := broadcast.IndexSpec{Scheme: sp.Scheme, Cut: sp.Cut, Weights: w}
+	if sp.SkewDisks > 0 {
+		spec.Sched = broadcast.SkewedScheduler{Disks: sp.SkewDisks, Ratio: sp.SkewRatio}
+	}
+	return spec
+}
+
+// buildSchedule reconstructs the broadcast from the spec: the same packed
+// R-trees, air indexes, and channel objects the in-process System builds,
+// so every arrival query and page descriptor agrees bit-for-bit with the
+// simulation.
+func buildSchedule(sp Spec) *schedule {
+	rcfg := rtree.Config{
+		LeafCap: sp.Params.LeafCap(),
+		NodeCap: sp.Params.NodeCap(),
+		Packing: rtree.STR,
+	}
+	sc := &schedule{}
+	sc.treeS = rtree.Build(sp.S, rcfg)
+	sc.treeR = rtree.Build(sp.R, rcfg)
+	sc.idxS = broadcast.BuildIndex(sc.treeS, sp.Params, sp.indexSpec(sp.WS))
+	sc.idxR = broadcast.BuildIndex(sc.treeR, sp.Params, sp.indexSpec(sp.WR))
+	if sp.Single {
+		dual := broadcast.NewDualChannel(sc.idxS, sc.idxR, sp.OffS)
+		sc.feedS, sc.feedR = dual.FeedS(), dual.FeedR()
+		sc.phys = []physical{{cycle: dual.CycleLen(), offset: normPhase(sp.OffS, dual.CycleLen())}}
+	} else {
+		sc.feedS = broadcast.NewChannel(sc.idxS, sp.OffS)
+		sc.feedR = broadcast.NewChannel(sc.idxR, sp.OffR)
+		sc.phys = []physical{
+			{cycle: sc.idxS.CycleLen(), offset: normPhase(sp.OffS, sc.idxS.CycleLen())},
+			{cycle: sc.idxR.CycleLen(), offset: normPhase(sp.OffR, sc.idxR.CycleLen())},
+		}
+	}
+	return sc
+}
+
+// pageOwner resolves, for physical channel c at absolute slot t, the page
+// on air and the feed that owns it (the S or R share of a combined
+// channel; the dedicated feed otherwise).
+func (sc *schedule) pageOwner(c int, t int64) (broadcast.Page, broadcast.Feed) {
+	ph := sc.phys[c]
+	rel := floorMod(t-ph.offset, ph.cycle)
+	if len(sc.phys) == 2 {
+		if c == 0 {
+			return sc.idxS.PageAt(rel), sc.feedS
+		}
+		return sc.idxR.PageAt(rel), sc.feedR
+	}
+	if rel < sc.idxS.CycleLen() {
+		return sc.idxS.PageAt(rel), sc.feedS
+	}
+	return sc.idxR.PageAt(rel - sc.idxS.CycleLen()), sc.feedR
+}
+
+// normPhase reduces a phase offset into [0, cycle), as NewChannel does.
+func normPhase(off, cycle int64) int64 {
+	if cycle <= 0 {
+		return 0
+	}
+	return floorMod(off, cycle)
+}
+
+// floorMod returns t mod m with a non-negative result for any t.
+func floorMod(t, m int64) int64 {
+	r := t % m
+	if r < 0 {
+		r += m
+	}
+	return r
+}

@@ -1,0 +1,298 @@
+package netfeed
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"math"
+	"time"
+
+	"tnnbcast/internal/broadcast"
+	"tnnbcast/internal/geom"
+)
+
+// Preamble codec. At connect time the server sends one PREAMBLE blob over
+// the TCP control stream: everything a client needs to reconstruct the air
+// schedule locally (Spec), plus the live slot clock (slot duration and the
+// slot currently on air). It is the networked analogue of index
+// acquisition — after the preamble, the client answers every schedule
+// question itself and uses the wire only for receptions.
+//
+// Layout (all integers big-endian):
+//
+//	[4]  magic "TNNP"
+//	[2]  protocol version (ProtoVersion)
+//	[1]  flags (bit 0: single-channel multiplexing)
+//	[8]  slot duration, nanoseconds
+//	[8]  live slot at send time
+//	[20] params: PageCap, PtrSize, CoordSize, DataSize, M (int32 each)
+//	[1]  index scheme (broadcast.SchemeID)
+//	[12] cut, skew disks, skew ratio (int32 each)
+//	[16] phase offsets offS, offR (int64 each)
+//	[32] service region Lo.X, Lo.Y, Hi.X, Hi.Y (float64 each)
+//	[4]  nS, then nS × 16 bytes of float64 (X, Y)
+//	[4]  nR, then nR × 16 bytes
+//	[1]  WS present? then nS × 8 bytes of float64 weights
+//	[1]  WR present? then nR × 8 bytes
+//	[4]  CRC32C (Castagnoli) of everything above
+//
+// Coordinates and weights travel as exact float64 bits: the model's air
+// index is exact, so the catalog that ships it must be too — this is what
+// makes remote metrics bit-identical to the in-process simulation.
+
+// preambleMagic opens every preamble blob.
+var preambleMagic = [4]byte{'T', 'N', 'N', 'P'}
+
+// preambleMax bounds the accepted blob size (datasets up to ~2M points);
+// the length prefix is checked against it before any allocation.
+const preambleMax = 64 << 20
+
+// appendPreamble serializes the spec and clock state onto dst.
+func appendPreamble(dst []byte, sp Spec, slotDur time.Duration, liveSlot int64) []byte {
+	start := len(dst)
+	dst = append(dst, preambleMagic[:]...)
+	dst = binary.BigEndian.AppendUint16(dst, ProtoVersion)
+	var flags byte
+	if sp.Single {
+		flags |= 1
+	}
+	dst = append(dst, flags)
+	dst = binary.BigEndian.AppendUint64(dst, uint64(slotDur))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(liveSlot))
+	for _, v := range [...]int{sp.Params.PageCap, sp.Params.PtrSize, sp.Params.CoordSize, sp.Params.DataSize, sp.Params.M} {
+		dst = binary.BigEndian.AppendUint32(dst, uint32(int32(v)))
+	}
+	dst = append(dst, byte(sp.Scheme))
+	for _, v := range [...]int{sp.Cut, sp.SkewDisks, sp.SkewRatio} {
+		dst = binary.BigEndian.AppendUint32(dst, uint32(int32(v)))
+	}
+	dst = binary.BigEndian.AppendUint64(dst, uint64(sp.OffS))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(sp.OffR))
+	for _, v := range [...]float64{sp.Region.Lo.X, sp.Region.Lo.Y, sp.Region.Hi.X, sp.Region.Hi.Y} {
+		dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(v))
+	}
+	dst = appendPoints(dst, sp.S)
+	dst = appendPoints(dst, sp.R)
+	dst = appendWeights(dst, sp.WS)
+	dst = appendWeights(dst, sp.WR)
+	return binary.BigEndian.AppendUint32(dst, crc32.Checksum(dst[start:], frameCRC))
+}
+
+func appendPoints(dst []byte, pts []geom.Point) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(pts)))
+	for _, p := range pts {
+		dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(p.X))
+		dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(p.Y))
+	}
+	return dst
+}
+
+func appendWeights(dst []byte, w []float64) []byte {
+	if w == nil {
+		return append(dst, 0)
+	}
+	dst = append(dst, 1)
+	for _, v := range w {
+		dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(v))
+	}
+	return dst
+}
+
+// preambleReader walks a blob with running truncation checks, so every
+// field read is bounds-safe against hostile input.
+type preambleReader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *preambleReader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.off+n > len(r.buf) {
+		r.err = &FrameError{Part: "preamble", Reason: FrameTruncated, Got: len(r.buf), Want: r.off + n}
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *preambleReader) u8() byte {
+	if b := r.take(1); b != nil {
+		return b[0]
+	}
+	return 0
+}
+
+func (r *preambleReader) u16() uint16 {
+	if b := r.take(2); b != nil {
+		return binary.BigEndian.Uint16(b)
+	}
+	return 0
+}
+
+func (r *preambleReader) i32() int {
+	if b := r.take(4); b != nil {
+		return int(int32(binary.BigEndian.Uint32(b)))
+	}
+	return 0
+}
+
+func (r *preambleReader) i64() int64 {
+	if b := r.take(8); b != nil {
+		return int64(binary.BigEndian.Uint64(b))
+	}
+	return 0
+}
+
+func (r *preambleReader) f64() float64 {
+	if b := r.take(8); b != nil {
+		return math.Float64frombits(binary.BigEndian.Uint64(b))
+	}
+	return 0
+}
+
+func (r *preambleReader) points() []geom.Point {
+	n := r.i32()
+	if r.err != nil || n < 0 || r.off+16*n > len(r.buf) {
+		if r.err == nil {
+			r.err = &FrameError{Part: "preamble", Reason: FrameBadLength, Got: n, Want: (len(r.buf) - r.off) / 16}
+		}
+		return nil
+	}
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Pt(r.f64(), r.f64())
+	}
+	return pts
+}
+
+func (r *preambleReader) weights(n int) []float64 {
+	switch r.u8() {
+	case 0:
+		return nil
+	case 1:
+		if r.err != nil || r.off+8*n > len(r.buf) {
+			if r.err == nil {
+				r.err = &FrameError{Part: "preamble", Reason: FrameTruncated, Got: len(r.buf), Want: r.off + 8*n}
+			}
+			return nil
+		}
+		w := make([]float64, n)
+		for i := range w {
+			w[i] = r.f64()
+		}
+		return w
+	default:
+		if r.err == nil {
+			r.err = &FrameError{Part: "preamble", Reason: FrameBadField, Got: int(r.buf[r.off-1]), Want: 1}
+		}
+		return nil
+	}
+}
+
+// decodePreamble parses and validates one blob. The input is hostile:
+// every structural defect returns a typed *FrameError, and the decoded
+// spec is re-validated with the same checks New applies (finite points,
+// page-capacity arithmetic, weight shape) before any schedule is built
+// from it.
+func decodePreamble(buf []byte) (sp Spec, slotDur time.Duration, liveSlot int64, err error) {
+	if len(buf) < 4+2+1+4 {
+		return Spec{}, 0, 0, &FrameError{Part: "preamble", Reason: FrameTruncated, Got: len(buf), Want: 11}
+	}
+	body, trailer := buf[:len(buf)-4], buf[len(buf)-4:]
+	if got, want := crc32.Checksum(body, frameCRC), binary.BigEndian.Uint32(trailer); got != want {
+		return Spec{}, 0, 0, &FrameError{Part: "preamble", Reason: FrameChecksum, Got: int(got), Want: int(want)}
+	}
+	r := &preambleReader{buf: body}
+	if magic := r.take(4); r.err == nil && string(magic) != string(preambleMagic[:]) {
+		return Spec{}, 0, 0, &FrameError{Part: "preamble", Reason: FrameBadMagic, Got: int(magic[0]), Want: int(preambleMagic[0])}
+	}
+	if v := r.u16(); r.err == nil && v != ProtoVersion {
+		return Spec{}, 0, 0, &FrameError{Part: "preamble", Reason: FrameVersionSkew, Got: int(v), Want: ProtoVersion}
+	}
+	flags := r.u8()
+	if flags > 1 {
+		return Spec{}, 0, 0, &FrameError{Part: "preamble", Reason: FrameBadField, Got: int(flags), Want: 1}
+	}
+	slotDur = time.Duration(r.i64())
+	liveSlot = r.i64()
+	sp.Single = flags&1 != 0
+	sp.Params = broadcast.Params{
+		PageCap: r.i32(), PtrSize: r.i32(), CoordSize: r.i32(),
+		DataSize: r.i32(), M: r.i32(),
+	}
+	sp.Scheme = broadcast.SchemeID(r.u8())
+	sp.Cut = r.i32()
+	sp.SkewDisks = r.i32()
+	sp.SkewRatio = r.i32()
+	sp.OffS = r.i64()
+	sp.OffR = r.i64()
+	sp.Region = geom.Rect{Lo: geom.Pt(r.f64(), r.f64()), Hi: geom.Pt(r.f64(), r.f64())}
+	sp.S = r.points()
+	sp.R = r.points()
+	sp.WS = r.weights(len(sp.S))
+	sp.WR = r.weights(len(sp.R))
+	if r.err != nil {
+		return Spec{}, 0, 0, r.err
+	}
+	if r.off != len(body) {
+		return Spec{}, 0, 0, &FrameError{Part: "preamble", Reason: FrameBadLength, Got: len(body), Want: r.off}
+	}
+	if slotDur <= 0 {
+		return Spec{}, 0, 0, &FrameError{Part: "preamble", Reason: FrameBadField, Got: int(slotDur), Want: 1}
+	}
+	if err := sp.validate(); err != nil {
+		return Spec{}, 0, 0, err
+	}
+	return sp, slotDur, liveSlot, nil
+}
+
+// validate applies the same admission checks the root package's New runs,
+// so a schedule is only ever built from a spec that New would accept.
+func (sp Spec) validate() error {
+	switch sp.Scheme {
+	case broadcast.SchemePreorder, broadcast.SchemeDistributed:
+	default:
+		return &FrameError{Part: "preamble", Reason: FrameBadField, Got: int(sp.Scheme), Want: int(broadcast.SchemeDistributed)}
+	}
+	if err := sp.Params.ValidateFor(len(sp.S)); err != nil {
+		return err
+	}
+	if err := sp.Params.ValidateFor(len(sp.R)); err != nil {
+		return err
+	}
+	for _, pts := range [][]geom.Point{sp.S, sp.R} {
+		for _, p := range pts {
+			if !finite(p.X) || !finite(p.Y) {
+				return &FrameError{Part: "preamble", Reason: FrameBadField, Got: 0, Want: 0}
+			}
+		}
+	}
+	for _, w := range [][]float64{sp.WS, sp.WR} {
+		for _, v := range w {
+			if !finite(v) || v < 0 {
+				return &FrameError{Part: "preamble", Reason: FrameBadField, Got: 0, Want: 0}
+			}
+		}
+	}
+	for _, v := range [...]float64{sp.Region.Lo.X, sp.Region.Lo.Y, sp.Region.Hi.X, sp.Region.Hi.Y} {
+		if !finite(v) {
+			return &FrameError{Part: "preamble", Reason: FrameBadField, Got: 0, Want: 0}
+		}
+	}
+	if sp.Region.Hi.X < sp.Region.Lo.X || sp.Region.Hi.Y < sp.Region.Lo.Y {
+		return &FrameError{Part: "preamble", Reason: FrameBadField, Got: 0, Want: 0}
+	}
+	if sp.Cut < 0 {
+		return &FrameError{Part: "preamble", Reason: FrameBadField, Got: sp.Cut, Want: 0}
+	}
+	if sp.SkewDisks < 0 || sp.SkewDisks > 16 || sp.SkewRatio < 0 || sp.SkewRatio > 16 ||
+		(sp.SkewDisks > 0 && sp.SkewRatio < 2) {
+		return &FrameError{Part: "preamble", Reason: FrameBadField, Got: sp.SkewDisks, Want: 2}
+	}
+	return nil
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }

@@ -1,0 +1,403 @@
+package netfeed
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"tnnbcast/internal/broadcast"
+)
+
+// Server replays a broadcast program onto real sockets: one frame per slot
+// per physical channel, paced by the slot clock, looping the cycle
+// indefinitely. It transmits a slot only to the clients whose doze/wake
+// schedule (WAKE subscriptions) covers it — the unicast fan-out stand-in
+// for a broadcast medium with dozing radios — so loopback byte counts on
+// the client side measure true tune-in.
+type ServerConfig struct {
+	// Spec is the broadcast service to put on air.
+	Spec Spec
+	// SlotDur is the real-time duration of one broadcast slot. It must be
+	// positive; DefaultSlotDur is a sensible loopback value.
+	SlotDur time.Duration
+	// Faults optionally injects the deterministic fault model into the
+	// transmissions: a lost slot is simply never sent (every subscriber
+	// times out), a corrupt slot is sent with a flipped payload bit (every
+	// subscriber's frame CRC fails). Per-channel seeds are derived exactly
+	// as the in-process WithFaults does, so a lossy wire run is comparable
+	// to the equivalent simulation.
+	Faults broadcast.FaultModel
+}
+
+// DefaultSlotDur is the default slot pacing for loopback services.
+const DefaultSlotDur = 2 * time.Millisecond
+
+// payloadImage is one precomputed cycle-relative slot payload. Relative
+// pointer delays are cycle-position invariant, so one image per
+// cycle-relative slot serves every repetition of the cycle.
+type payloadImage struct {
+	kind broadcast.PageKind
+	ref  uint32
+	seq  uint16
+	img  []byte
+}
+
+// wakeKey addresses one (physical channel, absolute slot) transmission.
+type wakeKey struct {
+	ch   uint8
+	slot int64
+}
+
+// serverClient is one connected listener.
+type serverClient struct {
+	transport Transport
+	udpAddr   *net.UDPAddr
+	tcp       net.Conn
+	out       chan []byte // TCP frame outbox; nil for UDP clients
+	closed    chan struct{}
+	closeOnce sync.Once
+}
+
+func (cl *serverClient) close() {
+	cl.closeOnce.Do(func() {
+		close(cl.closed)
+		cl.tcp.Close()
+	})
+}
+
+// Server is a running broadcast service. Create with NewServer, bind and
+// start with Start, stop with Close.
+type Server struct {
+	cfg    ServerConfig
+	sc     *schedule
+	images [][]payloadImage
+	faults []*broadcast.FaultFeed // per physical channel; nil = clean
+
+	clock slotClock
+	ln    net.Listener
+	udp   *net.UDPConn
+
+	mu          sync.Mutex
+	wakes       map[wakeKey][]*serverClient
+	clients     map[*serverClient]struct{}
+	sentThrough int64
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewServer validates the spec, rebuilds the broadcast schedule, and
+// precomputes every cycle-relative slot's page image. The returned server
+// is not yet on the air — call Start.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.SlotDur <= 0 {
+		cfg.SlotDur = DefaultSlotDur
+	}
+	if err := cfg.Spec.validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Faults.Validate(); err != nil {
+		return nil, err
+	}
+	sc := buildSchedule(cfg.Spec)
+	srv := &Server{
+		cfg:     cfg,
+		sc:      sc,
+		wakes:   make(map[wakeKey][]*serverClient),
+		clients: make(map[*serverClient]struct{}),
+		done:    make(chan struct{}),
+	}
+	srv.faults = make([]*broadcast.FaultFeed, len(sc.phys))
+	if cfg.Faults.Enabled() {
+		for c := range sc.phys {
+			m := cfg.Faults.WithSeed(broadcast.DeriveFaultSeed(cfg.Faults.Seed, uint64(c)))
+			// The inner feed is irrelevant — only the (seed, slot) fault
+			// pattern is consulted — but FaultFeed wants one.
+			srv.faults[c] = broadcast.NewFaultFeed(sc.feedS, m)
+		}
+	}
+	pageImage := PageImageSize(cfg.Spec.Params)
+	srv.images = make([][]payloadImage, len(sc.phys))
+	for c, ph := range sc.phys {
+		srv.images[c] = make([]payloadImage, ph.cycle)
+		for rel := int64(0); rel < ph.cycle; rel++ {
+			abs := ph.offset + rel
+			pg, feed := sc.pageOwner(c, abs)
+			pi := payloadImage{kind: pg.Kind}
+			if pg.Kind == broadcast.IndexPage {
+				pi.ref = uint32(pg.NodeID)
+				img, err := broadcast.EncodeNodeOn(feed, feed.Index().Tree().Nodes[pg.NodeID],
+					abs, cfg.Spec.Params, ph.cycle)
+				if err != nil {
+					return nil, fmt.Errorf("netfeed: channel %d slot %d: %w", c, rel, err)
+				}
+				pi.img = img
+			} else {
+				pi.ref = uint32(pg.ObjectID)
+				pi.seq = uint16(pg.Seq)
+				pi.img = dataPayload(make([]byte, pageImage), pi.ref, pi.seq)
+			}
+			srv.images[c][rel] = pi
+		}
+	}
+	return srv, nil
+}
+
+// Start binds the TCP listener on addr (e.g. "127.0.0.1:0" for an
+// ephemeral loopback port), opens the UDP fan-out socket, starts the slot
+// clock at the current instant, and begins transmitting. Addr reports the
+// bound address.
+func (s *Server) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	udp, err := net.ListenUDP("udp", nil)
+	if err != nil {
+		ln.Close()
+		return err
+	}
+	s.ln, s.udp = ln, udp
+	s.clock = slotClock{epoch: time.Now(), dur: s.cfg.SlotDur}
+	s.sentThrough = -1
+	s.wg.Add(2)
+	go s.acceptLoop()
+	go s.transmitLoop()
+	return nil
+}
+
+// Addr returns the TCP address clients connect to.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Close stops the broadcast and disconnects every client.
+func (s *Server) Close() error {
+	select {
+	case <-s.done:
+		return nil
+	default:
+	}
+	close(s.done)
+	s.ln.Close()
+	s.udp.Close()
+	s.mu.Lock()
+	for cl := range s.clients {
+		cl.close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go s.handleConn(conn)
+	}
+}
+
+// handleConn runs one client's control stream: HELLO in, PREAMBLE out,
+// then WAKE subscriptions until the client leaves.
+func (s *Server) handleConn(conn net.Conn) {
+	defer s.wg.Done()
+	hello := make([]byte, helloSize)
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	if _, err := io.ReadFull(conn, hello); err != nil {
+		conn.Close()
+		return
+	}
+	transport, udpPort, err := decodeHello(hello)
+	if err != nil {
+		conn.Close()
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+
+	cl := &serverClient{transport: transport, tcp: conn, closed: make(chan struct{})}
+	if transport == TransportUDP {
+		host, _, err := net.SplitHostPort(conn.RemoteAddr().String())
+		if err != nil {
+			conn.Close()
+			return
+		}
+		cl.udpAddr = &net.UDPAddr{IP: net.ParseIP(host), Port: udpPort}
+	} else {
+		cl.out = make(chan []byte, 256)
+		go s.tcpWriter(cl)
+	}
+
+	s.mu.Lock()
+	s.clients[cl] = struct{}{}
+	live := s.clock.slotAt(time.Now())
+	s.mu.Unlock()
+
+	blob := appendPreamble(make([]byte, 4), s.cfg.Spec, s.cfg.SlotDur, live)
+	binary.BigEndian.PutUint32(blob[:4], uint32(len(blob)-4))
+	if _, err := conn.Write(blob); err != nil {
+		s.dropClient(cl)
+		return
+	}
+
+	wake := make([]byte, wakeSize)
+	for {
+		if _, err := io.ReadFull(conn, wake); err != nil {
+			break
+		}
+		ch, slot, err := decodeWake(wake)
+		if err != nil || int(ch) >= len(s.sc.phys) {
+			break // protocol violation: drop the client
+		}
+		s.mu.Lock()
+		sent := s.sentThrough
+		if slot > sent {
+			key := wakeKey{ch: ch, slot: slot}
+			s.wakes[key] = append(s.wakes[key], cl)
+		}
+		s.mu.Unlock()
+		if slot <= sent {
+			// The slot already went on air. A query's virtual timeline can
+			// lag wall time — the lockstep scheduler serializes the two
+			// channels' downloads, so channel R's clock stands still while
+			// channel S's receptions consume real seconds — and a WAKE for a
+			// slot that has already been transmitted is the normal result,
+			// not a protocol error. The frame is a pure function of
+			// (config, channel, slot), so the server replays it from the
+			// modeled reception buffer; the client still reads only the
+			// frames it subscribed to, and injected faults still apply — a
+			// lost slot stays lost no matter when it is asked for.
+			if frame := s.frameFor(int(ch), slot); frame != nil {
+				s.sendTo(cl, frame)
+			}
+		}
+	}
+	s.dropClient(cl)
+}
+
+// tcpWriter drains one TCP client's frame outbox. A slow client's overflow
+// is dropped at enqueue time (loss, like any radio shadow); a write error
+// ends the client.
+func (s *Server) tcpWriter(cl *serverClient) {
+	for {
+		select {
+		case b := <-cl.out:
+			if _, err := cl.tcp.Write(b); err != nil {
+				cl.close()
+				return
+			}
+		case <-cl.closed:
+			return
+		}
+	}
+}
+
+func (s *Server) dropClient(cl *serverClient) {
+	cl.close()
+	s.mu.Lock()
+	delete(s.clients, cl)
+	s.mu.Unlock()
+}
+
+// transmitLoop paces the broadcast: at every tick it transmits all slots
+// whose windows have completed since the last tick, so a stalled scheduler
+// catches up instead of drifting.
+func (s *Server) transmitLoop() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.cfg.SlotDur)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case now := <-ticker.C:
+			target := s.clock.slotAt(now)
+			s.mu.Lock()
+			from := s.sentThrough + 1
+			s.mu.Unlock()
+			for t := from; t <= target; t++ {
+				s.transmitSlot(t)
+			}
+		}
+	}
+}
+
+// transmitSlot sends slot t's frame on every physical channel to the
+// clients awake for it. The slot is marked sent BEFORE fan-out, so a WAKE
+// racing the transmission is dropped (the client missed the slot) rather
+// than parked forever.
+func (s *Server) transmitSlot(t int64) {
+	s.mu.Lock()
+	s.sentThrough = t
+	var subs [][]*serverClient
+	for c := range s.sc.phys {
+		key := wakeKey{ch: uint8(c), slot: t}
+		subs = append(subs, s.wakes[key])
+		delete(s.wakes, key)
+	}
+	s.mu.Unlock()
+
+	for c, clients := range subs {
+		if len(clients) == 0 {
+			continue
+		}
+		frame := s.frameFor(c, t)
+		if frame == nil {
+			continue // injected loss: never sent; subscribers time out
+		}
+		for _, cl := range clients {
+			s.sendTo(cl, frame)
+		}
+	}
+}
+
+// frameFor builds the sealed frame of (channel c, absolute slot t),
+// applying the injected fault pattern: nil for a lost slot, a frame with a
+// damaged payload (so the receiver's CRC check fails) for a corrupt one.
+// It is a pure function of (config, c, t) — which is what allows late
+// WAKEs to be answered after the slot's transmission.
+func (s *Server) frameFor(c int, t int64) []byte {
+	var fault *broadcast.PageFault
+	if s.faults[c] != nil {
+		fault = s.faults[c].Fault(t)
+	}
+	if fault != nil && fault.Kind == broadcast.FaultLost {
+		return nil
+	}
+	ph := s.sc.phys[c]
+	pi := s.images[c][floorMod(t-ph.offset, ph.cycle)]
+	frame := AppendFrame(make([]byte, 0, FrameHeaderSize+len(pi.img)+FrameTrailerSize), Frame{
+		Channel: uint8(c), Kind: pi.kind, Slot: t, Ref: pi.ref, Seq: pi.seq, Payload: pi.img,
+	})
+	if fault != nil && fault.Kind == broadcast.FaultCorrupt {
+		frame[FrameHeaderSize] ^= 0x01
+	}
+	return frame
+}
+
+// sendTo delivers one sealed frame to one client over its transport. A
+// full TCP outbox drops the frame — backpressure is loss, like any radio
+// shadow.
+func (s *Server) sendTo(cl *serverClient, frame []byte) {
+	select {
+	case <-cl.closed:
+		return
+	default:
+	}
+	if cl.transport == TransportUDP {
+		s.udp.WriteToUDP(frame, cl.udpAddr)
+		return
+	}
+	tcpFrame := make([]byte, 4, 4+len(frame))
+	binary.BigEndian.PutUint32(tcpFrame[:4], uint32(len(frame)))
+	tcpFrame = append(tcpFrame, frame...)
+	select {
+	case cl.out <- tcpFrame:
+	default:
+	}
+}

@@ -1,0 +1,76 @@
+package netfeed_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"tnnbcast"
+	"tnnbcast/internal/broadcast"
+	"tnnbcast/internal/netfeed"
+)
+
+// TestSwarmListeners drives many fully independent OS-level listeners —
+// each client its own Connect, TCP control stream, and UDP socket —
+// against one live broadcast and asserts the real-doze invariant on raw
+// socket counters: every client's bytes-read equals its tune-in × frame
+// size, and every answer matches the in-process oracle. The full harness
+// (1000 listeners, JSON report) is examples/swarm; under -short this is
+// its CI-sized smoke.
+func TestSwarmListeners(t *testing.T) {
+	clients := 1000
+	if testing.Short() {
+		clients = 150
+	}
+	p := broadcast.DefaultParams()
+	p.DataSize = 64
+	sp := netfeed.Spec{
+		Params: p,
+		OffS:   7919,
+		OffR:   104729,
+		Region: tnnbcast.PaperRegion,
+		S:      tnnbcast.UniformDataset(2, 500, tnnbcast.PaperRegion),
+		R:      tnnbcast.UniformDataset(3, 500, tnnbcast.PaperRegion),
+	}
+	srv := startServer(t, sp, broadcast.FaultModel{})
+	twin, err := tnnbcast.New(sp.S, sp.R, twinOptions(sp)...)
+	if err != nil {
+		t.Fatalf("New twin: %v", err)
+	}
+
+	queries := tnnbcast.UniformDataset(11, clients, tnnbcast.PaperRegion)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rs, err := tnnbcast.Connect(srv.Addr().String(), tnnbcast.WithReceiveGrace(30*time.Second))
+			if err != nil {
+				t.Errorf("client %d: connect: %v", i, err)
+				return
+			}
+			defer rs.Close()
+			res := rs.Query(queries[i], tnnbcast.Double)
+			st := rs.NetStats()
+			if err := rs.Err(); err != nil {
+				t.Errorf("client %d: connection degraded: %v", i, err)
+				return
+			}
+			if res.Err != nil || !res.Found {
+				t.Errorf("client %d: query failed: found=%v err=%v", i, res.Found, res.Err)
+				return
+			}
+			if oracle, ok := twin.Exact(queries[i]); ok && res.Dist > oracle.Dist*(1+1e-9) {
+				t.Errorf("client %d: wrong answer: dist %g vs oracle %g", i, res.Dist, oracle.Dist)
+			}
+			if st.BytesRead != st.FramesRead*int64(st.FrameSize) {
+				t.Errorf("client %d: doze violation: %d bytes read, %d frames × %dB",
+					i, st.BytesRead, st.FramesRead, st.FrameSize)
+			}
+			if st.FramesRead == 0 {
+				t.Errorf("client %d: answered without reading the wire", i)
+			}
+		}(i)
+	}
+	wg.Wait()
+}

@@ -8,7 +8,11 @@
 // absolute: a direct time.Now in a deterministic package is always a
 // bug; an elapsed-time statistic routes through observe.
 //
-// This package is deliberately NOT marked //tnn:deterministic.
+// This package is deliberately NOT marked //tnn:deterministic; it is
+// the opposite — a declared chokepoint, which nowallclock's
+// library-wide rule requires to be explicit:
+//
+//tnn:wallclock
 package observe
 
 import (

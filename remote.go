@@ -1,0 +1,186 @@
+package tnnbcast
+
+import (
+	"errors"
+	"time"
+
+	"tnnbcast/internal/core"
+	"tnnbcast/internal/netfeed"
+)
+
+// Networked broadcast: Connect attaches to a live tnnserve service and
+// returns a RemoteSystem — a System whose channels are real sockets. At
+// connect time the client receives the preamble (broadcast geometry +
+// dataset catalog), rebuilds the air index locally, and from then on uses
+// the wire only for receptions: it announces each slot it will be awake
+// for and sleeps — genuinely not reading — between them, so the bytes read
+// off the socket are the tune-in metric measured on a real wire. All four
+// algorithms, the Cursor/Events API, and the session engine run unmodified;
+// lost or damaged datagrams flow into the same recovery protocol and
+// loss accounting as WithFaults.
+
+// ConnectOption configures Connect.
+type ConnectOption func(*connectConfig)
+
+type connectConfig struct {
+	dial netfeed.DialConfig
+}
+
+// WithTCPFrames delivers broadcast frames length-prefixed on the TCP
+// control stream instead of UDP datagrams — the fallback for UDP-hostile
+// paths. TCP cannot drop frames, so losses under it come only from
+// server-side fault injection or backpressure overflow.
+func WithTCPFrames() ConnectOption {
+	return func(c *connectConfig) { c.dial.Transport = netfeed.TransportTCP }
+}
+
+// WithReceiveGrace sets how long past a slot's scheduled end the client
+// keeps listening before declaring the reception lost (default 1s). It
+// absorbs network latency and scheduler jitter: larger values make clean
+// runs robust, smaller ones recover faster from true losses.
+func WithReceiveGrace(d time.Duration) ConnectOption {
+	return func(c *connectConfig) { c.dial.Grace = d }
+}
+
+// RemoteSystem is a System whose broadcast channels are a live network
+// service. Every System entry point works unmodified; the only semantic
+// difference is time — queries are issued at the service's CURRENT slot
+// (see IssueSlot), because a real broadcast cannot be rewound. An explicit
+// WithIssue still overrides, for issuing at a chosen future slot.
+type RemoteSystem struct {
+	*System
+	conn *netfeed.Conn
+}
+
+// Connect dials a tnnserve service, performs the handshake, and rebuilds
+// the broadcast system client-side. Failures — unreachable address,
+// handshake errors, a malformed or version-skewed preamble — return a
+// *ConnectError wrapping the cause.
+func Connect(addr string, opts ...ConnectOption) (*RemoteSystem, error) {
+	var cfg connectConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	conn, err := netfeed.Dial(addr, cfg.dial)
+	if err != nil {
+		return nil, &ConnectError{Addr: addr, Err: err}
+	}
+	spec := conn.Spec()
+	idxS, idxR := conn.Indexes()
+	treeS, treeR := conn.Trees()
+	var offS, offR int64
+	if spec.Single {
+		offS = normalizePhase(spec.OffS, idxS.CycleLen()+idxR.CycleLen())
+	} else {
+		offS = normalizePhase(spec.OffS, idxS.CycleLen())
+		offR = normalizePhase(spec.OffR, idxR.CycleLen())
+	}
+	sys := &System{
+		env:  core.Env{ChS: conn.FeedS(), ChR: conn.FeedR(), Region: spec.Region},
+		idxS: idxS, idxR: idxR,
+		treeS: treeS, treeR: treeR,
+		params: spec.Params,
+		region: spec.Region,
+		offS:   offS, offR: offR,
+	}
+	return &RemoteSystem{System: sys, conn: conn}, nil
+}
+
+// Close disconnects from the service. In-flight queries resolve with
+// channel errors rather than blocking forever.
+func (rs *RemoteSystem) Close() error { return rs.conn.Close() }
+
+// LiveSlot returns the broadcast slot currently on air.
+func (rs *RemoteSystem) LiveSlot() int64 { return rs.conn.LiveSlot() }
+
+// IssueSlot returns the slot at which a query issued now would enter the
+// broadcast — slightly past the live slot, covering clock skew and
+// subscription propagation. Do, Query, and Start use it as the default
+// issue slot; pass it to an in-process twin's WithIssue to compare runs
+// slot-for-slot.
+func (rs *RemoteSystem) IssueSlot() int64 { return rs.conn.NextIssueSlot() }
+
+// NetStats are the connection's raw reception counters; see
+// netfeed.NetStats for the field semantics. BytesRead ≈ TuneIn × FrameSize
+// is the real-doze invariant the load harness asserts.
+type NetStats struct {
+	BytesRead     int64
+	FramesRead    int64
+	PreambleBytes int64
+	FrameSize     int
+}
+
+// NetStats snapshots the connection's reception counters.
+func (rs *RemoteSystem) NetStats() NetStats {
+	st := rs.conn.Stats()
+	return NetStats{
+		BytesRead:     st.BytesRead,
+		FramesRead:    st.FramesRead,
+		PreambleBytes: st.PreambleBytes,
+		FrameSize:     st.FrameSize,
+	}
+}
+
+// Err returns the connection's fatal error — a *DesyncError, a socket
+// failure after connect, or nil while healthy.
+func (rs *RemoteSystem) Err() error {
+	err := rs.conn.Err()
+	if err == nil {
+		return nil
+	}
+	return rs.translate(err, nil)
+}
+
+// Do answers one request over the live broadcast. Without an explicit
+// WithIssue the query is issued at IssueSlot (a real broadcast cannot be
+// rewound to slot 0).
+func (rs *RemoteSystem) Do(req Request) (Response, error) {
+	req.Options = append([]QueryOption{WithIssue(rs.conn.NextIssueSlot())}, req.Options...)
+	resp, err := rs.System.Do(req)
+	if err != nil {
+		return resp, err
+	}
+	resp.Result.Err = rs.translate(rs.conn.Err(), resp.Result.Err)
+	return resp, nil
+}
+
+// Query answers the TNN query at p over the live broadcast; a thin wrapper
+// over Do, like System.Query.
+func (rs *RemoteSystem) Query(p Point, algo Algorithm, opts ...QueryOption) Result {
+	resp, err := rs.Do(Request{Point: p, Algo: algo, Options: opts})
+	if err != nil {
+		panic(err)
+	}
+	return resp.Result
+}
+
+// Start begins a streaming query over the live broadcast, issued at
+// IssueSlot unless WithIssue overrides.
+func (rs *RemoteSystem) Start(p Point, algo Algorithm, opts ...QueryOption) (*Cursor, error) {
+	opts = append([]QueryOption{WithIssue(rs.conn.NextIssueSlot())}, opts...)
+	return rs.System.Start(p, algo, opts...)
+}
+
+// translate maps a connection-level desync onto the public error family:
+// a query that died on a desynced connection reports a *DesyncError
+// (wrapping the final *PageFaultError) instead of a bare *ChannelError,
+// because retrying cannot help when schedule truth itself is broken.
+// resultErr passes through untouched in every other case.
+func (rs *RemoteSystem) translate(connErr, resultErr error) error {
+	var d *netfeed.DesyncError
+	if !errors.As(connErr, &d) {
+		if resultErr != nil {
+			return resultErr
+		}
+		return connErr
+	}
+	out := &DesyncError{Slot: d.Slot, Channel: "S"}
+	if d.Channel == 1 {
+		out.Channel = "R"
+	}
+	var ce *ChannelError
+	if errors.As(resultErr, &ce) {
+		out.Fault = ce.Fault
+	}
+	return out
+}

@@ -227,6 +227,14 @@ func WithInterleave(m int) Option {
 	return func(c *config) { c.params.M = m }
 }
 
+// WithDataSize sets one data object's content size in bytes (default 1024,
+// the paper's Table 2). Each object occupies ⌈DataSize/PageCap⌉ consecutive
+// data pages; smaller objects shorten the cycle, which keeps real-time
+// services (tnnserve) fast to loop.
+func WithDataSize(bytes int) Option {
+	return func(c *config) { c.params.DataSize = bytes }
+}
+
 // WithRegion declares the common service region. By default it is the
 // bounding box of both datasets. Approximate-TNN scales its radius
 // estimate by the region's area.
