@@ -55,13 +55,18 @@ func main() {
 		ann      = flag.Float64("ann", 0, "ANN adjustment factor (0 = exact search)")
 		trace    = flag.Bool("trace", false, "print the page-by-page download schedule")
 		connect  = flag.String("connect", "", "query a live tnnserve service at this address instead of simulating")
+		timeout  = flag.Duration("timeout", 0, "with -connect: bound on dial + handshake (0 = default 10s)")
 	)
 	flag.Parse()
 
 	var sys querier
 	var remote *tnnbcast.RemoteSystem
 	if *connect != "" {
-		rs, err := tnnbcast.Connect(*connect)
+		var copts []tnnbcast.ConnectOption
+		if *timeout > 0 {
+			copts = append(copts, tnnbcast.WithConnectTimeout(*timeout))
+		}
+		rs, err := tnnbcast.Connect(*connect, copts...)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "tnnquery:", err)
 			os.Exit(1)
@@ -170,5 +175,9 @@ func main() {
 		st := remote.NetStats()
 		fmt.Printf("wire: %d frames / %d bytes read (+%d preamble bytes), %dB per frame\n",
 			st.FramesRead, st.BytesRead, st.PreambleBytes, st.FrameSize)
+		if st.Reconnects > 0 {
+			fmt.Printf("wire: survived %d reconnects (%d warm resumes, +%d resume bytes)\n",
+				st.Reconnects, st.ResumedWarm, st.ResumeBytes)
+		}
 	}
 }

@@ -42,6 +42,7 @@ func main() {
 		loss      = flag.Float64("loss", 0, "injected page loss probability in [0,1)")
 		corrupt   = flag.Float64("corrupt", 0, "injected page corruption probability in [0,1)")
 		faultSeed = flag.Uint64("faultseed", 1, "fault pattern seed (with -loss / -corrupt)")
+		restart   = flag.Bool("restartable", false, "mark the shutdown GOODBYE with a restart hint so clients reconnect instead of failing terminally")
 	)
 	flag.Parse()
 
@@ -68,9 +69,10 @@ func main() {
 	}
 
 	srv, err := netfeed.NewServer(netfeed.ServerConfig{
-		Spec:    spec,
-		SlotDur: *slotDur,
-		Faults:  broadcast.FaultModel{Loss: *loss, Corrupt: *corrupt, Seed: *faultSeed},
+		Spec:        spec,
+		SlotDur:     *slotDur,
+		Faults:      broadcast.FaultModel{Loss: *loss, Corrupt: *corrupt, Seed: *faultSeed},
+		RestartHint: *restart,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tnnserve:", err)
@@ -86,9 +88,24 @@ func main() {
 		fmt.Printf("tnnserve: injecting loss=%.3f corrupt=%.3f seed=%d\n", *loss, *corrupt, *faultSeed)
 	}
 
-	sig := make(chan os.Signal, 1)
+	// First signal: graceful drain — finish the slot on air, tell every
+	// client GOODBYE (with the restart hint under -restartable), flush,
+	// close. A second signal force-exits a drain that cannot complete.
+	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	fmt.Println("tnnserve: shutting down")
-	srv.Close()
+	if *restart {
+		fmt.Println("tnnserve: draining (clients told to reconnect)")
+	} else {
+		fmt.Println("tnnserve: draining (clients told the broadcast is over)")
+	}
+	done := make(chan struct{})
+	go func() { srv.Close(); close(done) }()
+	select {
+	case <-done:
+		fmt.Println("tnnserve: drained")
+	case <-sig:
+		fmt.Fprintln(os.Stderr, "tnnserve: second signal, aborting drain")
+		os.Exit(1)
+	}
 }

@@ -9,15 +9,19 @@
 // work with errors.As/Is; ChannelError.Unwrap exposes the fault.
 //
 // The network family (Connect / RemoteSystem) extends the taxonomy with
-// two types. *ConnectError wraps everything that can go wrong before a
+// three types. *ConnectError wraps everything that can go wrong before a
 // RemoteSystem exists: an unreachable address, a handshake failure, a
 // malformed or version-skewed preamble (Unwrap exposes the cause). After
 // connect, ordinary packet loss is NOT an error — it is the same
 // *PageFaultError → retry → *ChannelError ladder as WithFaults, with the
-// faults coming off a real wire. The one genuinely new failure is
-// *DesyncError: the broadcast contradicted the client's locally rebuilt
-// schedule, so retrying cannot help; it wraps the final *PageFaultError of
-// the query that died on it.
+// faults coming off a real wire — and neither is an outage: a lost link
+// surfaces as a transient *DegradedError from RemoteSystem.Err while the
+// connection reconnects under backoff, becoming permanent only when the
+// reconnect budget runs out. The genuinely new failure is *DesyncError:
+// the broadcast contradicted the client's locally rebuilt schedule
+// (a wrong page on air, or a spec change discovered across a reconnect),
+// so retrying cannot help; it wraps the final *PageFaultError of the
+// query that died on it.
 
 package tnnbcast
 
@@ -122,16 +126,22 @@ func (e *ConnectError) Unwrap() error { return e.Err }
 
 // DesyncError reports a remote broadcast that contradicts the client's
 // locally reconstructed schedule: a structurally valid frame arrived for a
-// slot but carried a different page than the air index says is on air.
-// Unlike loss or corruption — which the recovery protocol retries — a
-// desync means schedule truth itself is broken (server restarted with a
-// different dataset, or the client's clock drifted a full slot), so the
-// connection fails fast and queries report this instead of a bare
-// *ChannelError. Reconnecting (a fresh Connect) is the only remedy.
+// slot but carried a different page than the air index says is on air —
+// or a reconnect handshake found the server broadcasting a different spec
+// than the one the client's schedule was rebuilt from (Channel "" and
+// Slot -1 mark that form). Unlike loss or corruption — which the recovery
+// protocol retries — a desync means schedule truth itself is broken
+// (server restarted with a different dataset, or the client's clock
+// drifted a full slot), so the connection fails fast and queries report
+// this instead of a bare *ChannelError. Reconnecting (a fresh Connect) is
+// the only remedy.
 type DesyncError struct {
-	// Channel names the channel the contradiction appeared on ("S" or "R").
+	// Channel names the channel the contradiction appeared on ("S" or
+	// "R"; "" when the desync is a spec change found at resume time,
+	// before any channel carried a contradicting frame).
 	Channel string
-	// Slot is the broadcast slot whose frame contradicted the schedule.
+	// Slot is the broadcast slot whose frame contradicted the schedule
+	// (-1 for the spec-change form).
 	Slot int64
 	// Fault is the final reception fault of the query that died on the
 	// desynced connection (nil when the desync is reported off a
@@ -140,6 +150,9 @@ type DesyncError struct {
 }
 
 func (e *DesyncError) Error() string {
+	if e.Channel == "" {
+		return "tnnbcast: broadcast spec changed across reconnect: local schedule is stale (a fresh Connect is required)"
+	}
 	return fmt.Sprintf("tnnbcast: broadcast desync on channel %s at slot %d: received page contradicts the local air index (reconnect required)",
 		e.Channel, e.Slot)
 }
@@ -151,6 +164,36 @@ func (e *DesyncError) Unwrap() error {
 	}
 	return e.Fault
 }
+
+// DegradedError reports a connection currently without a live control
+// stream. While the reconnect budget lasts it is transient: the client
+// keeps re-dialing under capped exponential backoff, receptions resolve
+// as ordinary losses into the recovery protocol, and RemoteSystem.Err
+// returns this so callers can observe the outage without treating it as
+// fatal. Once the budget is exhausted (or reconnection is disabled) it
+// becomes the connection's permanent error. Terminal is the discriminant.
+type DegradedError struct {
+	// Attempts is the number of failed reconnect attempts in the outage.
+	Attempts int
+	// Terminal is true when the reconnect budget is exhausted and the
+	// connection will not recover; false while reconnection is still in
+	// progress.
+	Terminal bool
+	// Err is the most recent underlying cause (socket error, heartbeat
+	// timeout, refused dial, ...).
+	Err error
+}
+
+func (e *DegradedError) Error() string {
+	state := "reconnecting"
+	if e.Terminal {
+		state = "gave up"
+	}
+	return fmt.Sprintf("tnnbcast: connection degraded (%s after %d attempts): %v", state, e.Attempts, e.Err)
+}
+
+// Unwrap exposes the underlying cause to errors.Is/As chains.
+func (e *DegradedError) Unwrap() error { return e.Err }
 
 // InvalidPointError reports a dataset point with a NaN or infinite
 // coordinate passed to New (or NewChain). Such points cannot be indexed —

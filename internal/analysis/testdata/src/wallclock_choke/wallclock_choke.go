@@ -21,6 +21,20 @@ func ticker() *time.Ticker {
 	return time.NewTicker(time.Second) // want `time.NewTicker starts a wall-clock ticker outside a sanctioned chokepoint`
 }
 
+// The connection-lifecycle machinery leans on one-shot timers (reconnect
+// backoff, heartbeat intervals, delayed chaos datagrams) — every timer
+// constructor is a wall-clock read and stays confined to the chokepoint
+// packages (internal/netfeed) and the fault tooling (internal/netchaos).
+func timers(ch chan int) {
+	<-time.After(time.Second)       // want `time.After starts a wall-clock timer outside a sanctioned chokepoint`
+	t := time.NewTimer(time.Second) // want `time.NewTimer starts a wall-clock timer outside a sanctioned chokepoint`
+	defer t.Stop()
+	time.AfterFunc(time.Second, func() {}) // want `time.AfterFunc starts a wall-clock timer outside a sanctioned chokepoint`
+	for range time.Tick(time.Second) {     // want `time.Tick starts a wall-clock ticker outside a sanctioned chokepoint`
+		<-ch
+	}
+}
+
 // Global randomness and environment reads stay silent in an unmarked
 // package: the chokepoint rule is about real time only.
 func ambientButNotTime() (int, string) {

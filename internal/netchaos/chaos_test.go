@@ -1,0 +1,482 @@
+// Chaos differentials: the connection-lifecycle machinery proven against
+// real sockets misbehaving on purpose. Every run routes a live tnnserve
+// broadcast through the netchaos proxy and injects an outage — a network
+// partition, a mid-cycle server restart, datagram loss, latency spikes —
+// while queries are in flight. The contract is the PR 6 resilience
+// contract extended across reconnects: chaos may cost losses, retries,
+// and recovery slots, but the ANSWER of every query must be bit-identical
+// to the in-process twin's, and once the fault clears the connection must
+// be LIVE again with its warm-resume and loss accounting correct.
+package netchaos_test
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"tnnbcast"
+	"tnnbcast/internal/broadcast"
+	"tnnbcast/internal/netchaos"
+	"tnnbcast/internal/netfeed"
+)
+
+// chaosSlot matches the loopback suite's pacing: long enough that WAKE
+// round trips never race the pacer under -race, short enough for
+// multi-cycle queries to finish in seconds.
+const chaosSlot = 3 * time.Millisecond
+
+var chaosAlgos = []tnnbcast.Algorithm{
+	tnnbcast.Window, tnnbcast.Double, tnnbcast.Hybrid, tnnbcast.Approximate,
+}
+
+var chaosPoint = tnnbcast.Pt(19500, 20500)
+
+// chaosSpec builds the small paper-workload service spec (seeded, so two
+// servers built from it broadcast bit-identical cycles).
+func chaosSpec() netfeed.Spec {
+	p := broadcast.DefaultParams()
+	p.DataSize = 128
+	return netfeed.Spec{
+		Params: p,
+		Scheme: broadcast.SchemePreorder,
+		OffS:   17,
+		OffR:   91,
+		Region: tnnbcast.PaperRegion,
+		S:      tnnbcast.UniformDataset(101, 100, tnnbcast.PaperRegion),
+		R:      tnnbcast.UniformDataset(202, 100, tnnbcast.PaperRegion),
+	}
+}
+
+// twinOptions translates a spec into the root options that build the
+// identical in-process system.
+func twinOptions(sp netfeed.Spec) []tnnbcast.Option {
+	return []tnnbcast.Option{
+		tnnbcast.WithRegion(sp.Region),
+		tnnbcast.WithDataSize(sp.Params.DataSize),
+		tnnbcast.WithPhases(sp.OffS, sp.OffR),
+	}
+}
+
+func startServer(t *testing.T, sp netfeed.Spec, restartHint bool) *netfeed.Server {
+	t.Helper()
+	srv, err := netfeed.NewServer(netfeed.ServerConfig{
+		Spec: sp, SlotDur: chaosSlot, RestartHint: restartHint,
+	})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+func startProxy(t *testing.T, target string, cfg netchaos.Config) *netchaos.Proxy {
+	t.Helper()
+	px, err := netchaos.New(target, cfg)
+	if err != nil {
+		t.Fatalf("netchaos.New: %v", err)
+	}
+	t.Cleanup(px.Close)
+	return px
+}
+
+// diffResult compares every metric field of two Results (the loopback
+// suite's comparator).
+func diffResult(remote, local tnnbcast.Result) string {
+	if d := diffAnswer(remote, local); d != "" {
+		return d
+	}
+	if remote.AccessTime != local.AccessTime || remote.TuneIn != local.TuneIn ||
+		remote.EstimateTuneIn != local.EstimateTuneIn || remote.FilterTuneIn != local.FilterTuneIn {
+		return fmt.Sprintf("metrics differ: remote acc=%d tune=%d (%d+%d) local acc=%d tune=%d (%d+%d)",
+			remote.AccessTime, remote.TuneIn, remote.EstimateTuneIn, remote.FilterTuneIn,
+			local.AccessTime, local.TuneIn, local.EstimateTuneIn, local.FilterTuneIn)
+	}
+	if remote.Radius != local.Radius || remote.Case != local.Case {
+		return fmt.Sprintf("phase state differs: remote r=%g case=%v local r=%g case=%v",
+			remote.Radius, remote.Case, local.Radius, local.Case)
+	}
+	if remote.Lost != local.Lost || remote.Retries != local.Retries ||
+		remote.RecoverySlots != local.RecoverySlots {
+		return fmt.Sprintf("loss accounting differs: remote lost=%d retries=%d rec=%d local lost=%d retries=%d rec=%d",
+			remote.Lost, remote.Retries, remote.RecoverySlots,
+			local.Lost, local.Retries, local.RecoverySlots)
+	}
+	if (remote.Err == nil) != (local.Err == nil) {
+		return fmt.Sprintf("error state differs: remote %v local %v", remote.Err, local.Err)
+	}
+	return ""
+}
+
+// diffAnswer compares only the answer a user sees — the invariant even
+// chaos may never bend.
+func diffAnswer(remote, local tnnbcast.Result) string {
+	if remote.SID != local.SID || remote.RID != local.RID || remote.S != local.S ||
+		remote.R != local.R || remote.Dist != local.Dist || remote.Found != local.Found {
+		return fmt.Sprintf("answer differs: remote (%d,%d,%g,%v) local (%d,%d,%g,%v)",
+			remote.SID, remote.RID, remote.Dist, remote.Found,
+			local.SID, local.RID, local.Dist, local.Found)
+	}
+	return ""
+}
+
+// TestChaosPartitionReconnect opens a full network partition while all
+// four algorithms are mid-query, long enough for heartbeat death
+// detection and several failed reconnect attempts, then heals it. The
+// connection must come back LIVE via a warm resume (zero new preamble
+// bytes), the straddling receptions must land in the loss accounting, and
+// every answer must match the in-process twin bit-for-bit.
+func TestChaosPartitionReconnect(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time chaos broadcast")
+	}
+	sp := chaosSpec()
+	srv := startServer(t, sp, false)
+	px := startProxy(t, srv.Addr().String(), netchaos.Config{Seed: 1})
+
+	rs, err := tnnbcast.Connect(px.Addr(),
+		tnnbcast.WithReceiveGrace(150*time.Millisecond),
+		tnnbcast.WithHeartbeat(50*time.Millisecond, 3),
+		tnnbcast.WithConnectTimeout(250*time.Millisecond),
+		tnnbcast.WithReconnectBackoff(64, 25*time.Millisecond, 100*time.Millisecond))
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	defer rs.Close()
+	twin, err := tnnbcast.New(sp.S, sp.R, twinOptions(sp)...)
+	if err != nil {
+		t.Fatalf("New twin: %v", err)
+	}
+	preambleBefore := rs.NetStats().PreambleBytes
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var totalLost, totalRecovery int64
+	for _, algo := range chaosAlgos {
+		wg.Add(1)
+		go func(algo tnnbcast.Algorithm) {
+			defer wg.Done()
+			issue := rs.IssueSlot()
+			remote := rs.Query(chaosPoint, algo, tnnbcast.WithIssue(issue))
+			clean := twin.Query(chaosPoint, algo, tnnbcast.WithIssue(issue))
+			mu.Lock()
+			defer mu.Unlock()
+			totalLost += remote.Lost
+			totalRecovery += remote.RecoverySlots
+			if remote.Err != nil {
+				t.Errorf("%v: query gave up across the partition: %v", algo, remote.Err)
+				return
+			}
+			if d := diffAnswer(remote, clean); d != "" {
+				t.Errorf("%v: %s", algo, d)
+			}
+			if remote.AccessTime < clean.AccessTime || remote.TuneIn < clean.TuneIn {
+				t.Errorf("%v: chaotic run faster than clean: acc %d < %d or tune %d < %d",
+					algo, remote.AccessTime, clean.AccessTime, remote.TuneIn, clean.TuneIn)
+			}
+		}(algo)
+	}
+
+	// Let the queries get receptions in flight, then cut the wire for
+	// half a second — several heartbeat windows and reconnect attempts.
+	time.Sleep(300 * time.Millisecond)
+	px.Partition(true)
+	time.Sleep(500 * time.Millisecond)
+	px.Partition(false)
+	wg.Wait()
+
+	waitLive(t, rs, 5*time.Second)
+	if err := rs.Err(); err != nil {
+		t.Fatalf("connection not healed: %v", err)
+	}
+	st := rs.NetStats()
+	if st.Reconnects < 1 {
+		t.Errorf("partition did not force a reconnect (reconnects=%d)", st.Reconnects)
+	}
+	if st.ResumedWarm < 1 {
+		t.Errorf("reconnect to an unchanged broadcast did not warm-resume (warm=%d of %d)",
+			st.ResumedWarm, st.Reconnects)
+	}
+	if st.PreambleBytes != preambleBefore {
+		t.Errorf("warm resume re-transferred the preamble: %dB -> %dB", preambleBefore, st.PreambleBytes)
+	}
+	if totalLost == 0 && totalRecovery == 0 {
+		t.Error("a 500ms partition mid-query produced no accounted losses")
+	}
+	if st.BytesRead != st.FramesRead*int64(st.FrameSize) {
+		t.Errorf("real-doze invariant broken across reconnects: %dB != %d frames × %dB",
+			st.BytesRead, st.FramesRead, st.FrameSize)
+	}
+	t.Logf("partition: %d reconnects (%d warm), %d lost, %d recovery slots, rtt %v",
+		st.Reconnects, st.ResumedWarm, totalLost, totalRecovery, st.HeartbeatRTT)
+}
+
+// TestChaosServerRestartWarmResume kills the server mid-cycle and brings
+// up a fresh instance with the identical spec behind the same proxy
+// address. The drain GOODBYE carries the restart hint, the client
+// reconnects, and — because the spec digest matches — warm-resumes
+// against the new instance without re-downloading the preamble. In-flight
+// queries ride across the restart; with a generous grace they lose
+// nothing, so the full metric surface stays bit-identical to the twin.
+func TestChaosServerRestartWarmResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time chaos broadcast")
+	}
+	sp := chaosSpec()
+	srv1 := startServer(t, sp, true)
+	px := startProxy(t, srv1.Addr().String(), netchaos.Config{Seed: 2})
+
+	rs, err := tnnbcast.Connect(px.Addr(),
+		tnnbcast.WithReceiveGrace(10*time.Second),
+		tnnbcast.WithConnectTimeout(time.Second),
+		tnnbcast.WithReconnectBackoff(16, 25*time.Millisecond, 200*time.Millisecond))
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	defer rs.Close()
+	twin, err := tnnbcast.New(sp.S, sp.R, twinOptions(sp)...)
+	if err != nil {
+		t.Fatalf("New twin: %v", err)
+	}
+	preambleBefore := rs.NetStats().PreambleBytes
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for _, algo := range chaosAlgos {
+		wg.Add(1)
+		go func(algo tnnbcast.Algorithm) {
+			defer wg.Done()
+			issue := rs.IssueSlot()
+			remote := rs.Query(chaosPoint, algo, tnnbcast.WithIssue(issue))
+			local := twin.Query(chaosPoint, algo, tnnbcast.WithIssue(issue))
+			mu.Lock()
+			defer mu.Unlock()
+			if d := diffResult(remote, local); d != "" {
+				t.Errorf("%v across restart: %s", algo, d)
+			}
+		}(algo)
+	}
+
+	// Mid-flight: retarget to a fresh same-spec instance, then drain the
+	// old one. The GOODBYE's restart hint sends the client straight into
+	// the reconnect path, which lands on the new server.
+	time.Sleep(300 * time.Millisecond)
+	srv2 := startServer(t, sp, true)
+	px.SetTarget(srv2.Addr().String())
+	srv1.Close()
+	wg.Wait()
+
+	waitLive(t, rs, 5*time.Second)
+	if err := rs.Err(); err != nil {
+		t.Fatalf("connection not healed after restart: %v", err)
+	}
+	st := rs.NetStats()
+	if st.Reconnects < 1 {
+		t.Errorf("server restart did not force a reconnect (reconnects=%d)", st.Reconnects)
+	}
+	if st.ResumedWarm < 1 {
+		t.Errorf("restart with identical spec did not warm-resume (warm=%d of %d)",
+			st.ResumedWarm, st.Reconnects)
+	}
+	if st.PreambleBytes != preambleBefore {
+		t.Errorf("warm resume re-transferred the preamble: %dB -> %dB", preambleBefore, st.PreambleBytes)
+	}
+	t.Logf("restart: %d reconnects (%d warm), resume cost %dB (vs %dB preamble)",
+		st.Reconnects, st.ResumedWarm, st.ResumeBytes, st.PreambleBytes)
+}
+
+// TestChaosSpecChangeTerminal restarts the server with a DIFFERENT
+// dataset. The resume handshake must detect the digest mismatch and fail
+// the connection terminally — the client's rebuilt schedule is bound to
+// the old spec, and continuing would risk answers computed against the
+// wrong catalog.
+func TestChaosSpecChangeTerminal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time chaos broadcast")
+	}
+	sp := chaosSpec()
+	srv1 := startServer(t, sp, true)
+	px := startProxy(t, srv1.Addr().String(), netchaos.Config{Seed: 3})
+
+	rs, err := tnnbcast.Connect(px.Addr(),
+		tnnbcast.WithConnectTimeout(time.Second),
+		tnnbcast.WithReconnectBackoff(16, 25*time.Millisecond, 200*time.Millisecond))
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	defer rs.Close()
+
+	changed := sp
+	changed.S = tnnbcast.UniformDataset(999, 100, tnnbcast.PaperRegion)
+	srv2 := startServer(t, changed, true)
+	px.SetTarget(srv2.Addr().String())
+	srv1.Close()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if err := rs.Err(); err != nil {
+			var de *tnnbcast.DesyncError
+			var dg *tnnbcast.DegradedError
+			if errors.As(err, &de) {
+				if de.Channel != "" || de.Slot != -1 {
+					t.Fatalf("spec-change desync not marked: %+v", de)
+				}
+				if rs.State() != "closed" {
+					t.Fatalf("spec change left connection %q, want closed", rs.State())
+				}
+				return
+			}
+			if !errors.As(err, &dg) {
+				t.Fatalf("spec change surfaced as %T %v, want *DesyncError", err, err)
+			}
+			// Transient degradation while the reconnect is in flight is
+			// fine; keep polling for the terminal verdict.
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("spec change never became terminal (state %s, err %v)", rs.State(), rs.Err())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestChaosLossyWire drops ~8% of datagrams at the proxy (plus jitter and
+// periodic latency spikes) — loss the SERVER never knows about, unlike
+// the fault-injection path. The recovery protocol must absorb it: answers
+// bit-identical to the clean twin, losses accounted, connection healthy.
+func TestChaosLossyWire(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time chaos broadcast")
+	}
+	sp := chaosSpec()
+	srv := startServer(t, sp, false)
+	px := startProxy(t, srv.Addr().String(), netchaos.Config{
+		Seed:       4,
+		DropRate:   0.08,
+		DelayMax:   2 * time.Millisecond,
+		SpikeEvery: 11,
+		SpikeDelay: 20 * time.Millisecond,
+	})
+
+	rs, err := tnnbcast.Connect(px.Addr(), tnnbcast.WithReceiveGrace(100*time.Millisecond))
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	defer rs.Close()
+	twin, err := tnnbcast.New(sp.S, sp.R, twinOptions(sp)...)
+	if err != nil {
+		t.Fatalf("New twin: %v", err)
+	}
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var totalLost int64
+	for _, algo := range chaosAlgos {
+		wg.Add(1)
+		go func(algo tnnbcast.Algorithm) {
+			defer wg.Done()
+			issue := rs.IssueSlot()
+			remote := rs.Query(chaosPoint, algo, tnnbcast.WithIssue(issue))
+			clean := twin.Query(chaosPoint, algo, tnnbcast.WithIssue(issue))
+			mu.Lock()
+			defer mu.Unlock()
+			totalLost += remote.Lost
+			if remote.Err != nil {
+				t.Errorf("%v: query gave up under 8%% wire loss: %v", algo, remote.Err)
+				return
+			}
+			if d := diffAnswer(remote, clean); d != "" {
+				t.Errorf("%v: %s", algo, d)
+			}
+			if remote.AccessTime < clean.AccessTime || remote.TuneIn < clean.TuneIn {
+				t.Errorf("%v: lossy run faster than clean: acc %d < %d or tune %d < %d",
+					algo, remote.AccessTime, clean.AccessTime, remote.TuneIn, clean.TuneIn)
+			}
+		}(algo)
+	}
+	wg.Wait()
+	if totalLost == 0 {
+		t.Error("8% datagram drop produced no accounted losses")
+	}
+	if err := rs.Err(); err != nil {
+		t.Fatalf("wire loss degraded the connection: %v", err)
+	}
+	t.Logf("lossy wire: %d losses recovered", totalLost)
+}
+
+// TestChaosReorderBitIdentical delays every datagram by a pseudo-random
+// jitter larger than a slot, so adjacent frames routinely arrive out of
+// order — but none are lost and none outrun the grace. Reordering alone
+// must be invisible: the FULL metric surface stays bit-identical.
+func TestChaosReorderBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time chaos broadcast")
+	}
+	sp := chaosSpec()
+	srv := startServer(t, sp, false)
+	px := startProxy(t, srv.Addr().String(), netchaos.Config{
+		Seed:     5,
+		DelayMax: 4 * time.Millisecond,
+	})
+
+	rs, err := tnnbcast.Connect(px.Addr(), tnnbcast.WithReceiveGrace(5*time.Second))
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	defer rs.Close()
+	twin, err := tnnbcast.New(sp.S, sp.R, twinOptions(sp)...)
+	if err != nil {
+		t.Fatalf("New twin: %v", err)
+	}
+	for _, algo := range []tnnbcast.Algorithm{tnnbcast.Double, tnnbcast.Hybrid} {
+		issue := rs.IssueSlot()
+		remote := rs.Query(chaosPoint, algo, tnnbcast.WithIssue(issue))
+		local := twin.Query(chaosPoint, algo, tnnbcast.WithIssue(issue))
+		if d := diffResult(remote, local); d != "" {
+			t.Errorf("%v under reorder: %s", algo, d)
+		}
+	}
+	if err := rs.Err(); err != nil {
+		t.Fatalf("reorder degraded the connection: %v", err)
+	}
+}
+
+// TestChaosBlackholeConnectTimeout points Connect at a proxy that accepts
+// and then never responds — the signature of a dead route, where a plain
+// dial succeeds and an unbounded handshake would hang forever. The
+// connect timeout must fail it as a *ConnectError in bounded time.
+func TestChaosBlackholeConnectTimeout(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time chaos broadcast")
+	}
+	px := startProxy(t, "127.0.0.1:1", netchaos.Config{})
+	px.Blackhole(true)
+
+	start := time.Now()
+	_, err := tnnbcast.Connect(px.Addr(), tnnbcast.WithConnectTimeout(300*time.Millisecond))
+	elapsed := time.Since(start)
+	var ce *tnnbcast.ConnectError
+	if !errors.As(err, &ce) {
+		t.Fatalf("black-holed connect: got %T %v, want *ConnectError", err, err)
+	}
+	if elapsed > 3*time.Second {
+		t.Fatalf("connect timeout did not bound the handshake: took %v for a 300ms budget", elapsed)
+	}
+	t.Logf("blackhole: failed in %v: %v", elapsed, ce)
+}
+
+// waitLive polls the connection back to the live state after an injected
+// outage (reconnects finish asynchronously to the queries).
+func waitLive(t *testing.T, rs *tnnbcast.RemoteSystem, within time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for rs.State() != "live" {
+		if time.Now().After(deadline) {
+			t.Fatalf("connection never returned to live: state %s, err %v", rs.State(), rs.Err())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

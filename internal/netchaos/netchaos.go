@@ -1,0 +1,360 @@
+// Package netchaos is an in-process fault-injecting wire proxy for the
+// netfeed protocol: a TCP relay (plus a per-connection UDP relay for the
+// datagram frame path) that sits between a netfeed client and server and
+// mangles the traffic on purpose — network partitions, black holes,
+// latency spikes, datagram drops and reorders, and mid-cycle server
+// restarts (retargeting) — all deterministic from a seed. It exists so
+// the connection-lifecycle machinery (reconnect, warm resume, heartbeat
+// death detection, loss accounting across outages) can be proven against
+// real sockets misbehaving in repeatable ways, without ever leaving the
+// process or touching a real flaky network.
+//
+// The proxy understands exactly one protocol detail: the fixed-size HELLO
+// a client opens with. It inspects the announced transport and, for UDP,
+// interposes its own relay socket by rewriting the announced port — the
+// server then addresses its datagrams at the proxy, which forwards (or
+// drops, delays, reorders) them to the client's real port. Everything
+// after the HELLO is opaque bytes.
+//
+// The package is a sanctioned wall-clock chokepoint: its whole purpose
+// is scheduling real-time faults (delays, partitions) against live
+// sockets. It is test-only tooling, not engine code.
+//
+//tnn:wallclock
+package netchaos
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tnnbcast/internal/netfeed"
+)
+
+// Config sets the deterministic fault schedule for datagram traffic.
+// TCP faults (Partition, Blackhole) are switched at runtime instead,
+// because the interesting TCP failures are episodes, not rates.
+type Config struct {
+	// Seed drives the drop/delay decisions (splitmix64). Zero is a valid
+	// seed; two proxies with equal seeds and traffic make equal decisions.
+	Seed uint64
+	// DropRate is the probability in [0,1] that a server→client datagram
+	// is silently discarded.
+	DropRate float64
+	// DelayMax, when positive, delays each surviving datagram by a
+	// pseudo-random duration in [0, DelayMax) — adjacent datagrams with
+	// different delays arrive reordered.
+	DelayMax time.Duration
+	// SpikeEvery, when positive, inflicts SpikeDelay on every
+	// SpikeEvery'th surviving datagram — a periodic latency spike on top
+	// of the baseline jitter.
+	SpikeEvery int
+	// SpikeDelay is the spike magnitude (default 0: spikes disabled).
+	SpikeDelay time.Duration
+}
+
+// Proxy is one client-facing listener relaying to a retargetable server
+// address. Connections accepted while Blackhole is set are held open and
+// never serviced (the far end of a dead route); while Partition is set,
+// established relays stall in both directions and new handshakes hang —
+// heal it and buffered traffic flows again.
+type Proxy struct {
+	cfg Config
+	ln  net.Listener
+
+	mu     sync.Mutex
+	target string
+	rng    uint64
+	seq    int
+
+	partitioned atomic.Bool
+	blackholed  atomic.Bool
+
+	done      chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+
+	connMu sync.Mutex
+	conns  map[interface{ Close() error }]struct{}
+}
+
+// New starts a proxy on an ephemeral loopback port relaying to target
+// (a netfeed server's TCP address).
+func New(target string, cfg Config) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("netchaos: listen: %w", err)
+	}
+	p := &Proxy{
+		cfg:    cfg,
+		ln:     ln,
+		target: target,
+		rng:    cfg.Seed,
+		done:   make(chan struct{}),
+		conns:  make(map[interface{ Close() error }]struct{}),
+	}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the client-facing address to Dial/Connect.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// SetTarget atomically retargets future connections — the proxy-side
+// mechanic of a server restart: kill the old server, start a new one,
+// retarget, and the client's reconnect lands on the new instance without
+// ever learning the address changed.
+func (p *Proxy) SetTarget(addr string) {
+	p.mu.Lock()
+	p.target = addr
+	p.mu.Unlock()
+}
+
+// Partition opens (true) or heals (false) a full network partition:
+// established relays stall in both directions, datagrams drop, and new
+// handshakes hang until healed.
+func (p *Proxy) Partition(on bool) { p.partitioned.Store(on) }
+
+// Blackhole makes the proxy accept connections and then never respond —
+// the signature of a route to nowhere, for proving connect timeouts
+// bound the handshake.
+func (p *Proxy) Blackhole(on bool) { p.blackholed.Store(on) }
+
+// Close tears the proxy down: the listener, every relayed connection,
+// and every relay goroutine.
+func (p *Proxy) Close() {
+	p.closeOnce.Do(func() {
+		close(p.done)
+		p.ln.Close()
+		p.connMu.Lock()
+		for c := range p.conns {
+			c.Close()
+		}
+		p.connMu.Unlock()
+	})
+	p.wg.Wait()
+}
+
+func (p *Proxy) track(c interface{ Close() error }) {
+	p.connMu.Lock()
+	p.conns[c] = struct{}{}
+	p.connMu.Unlock()
+}
+
+func (p *Proxy) untrack(c interface{ Close() error }) {
+	p.connMu.Lock()
+	delete(p.conns, c)
+	p.connMu.Unlock()
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		p.track(conn)
+		p.wg.Add(1)
+		go p.handle(conn)
+	}
+}
+
+// gate blocks while a partition is open; it returns false when the proxy
+// is closing and the caller should abandon the relay.
+func (p *Proxy) gate() bool {
+	for p.partitioned.Load() {
+		select {
+		case <-p.done:
+			return false
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+	select {
+	case <-p.done:
+		return false
+	default:
+		return true
+	}
+}
+
+// handle services one client connection: read the HELLO, interpose the
+// UDP relay when the client asked for datagram frames, dial the current
+// target, and relay both directions until either side drops.
+func (p *Proxy) handle(client net.Conn) {
+	defer p.wg.Done()
+	defer p.untrack(client)
+	defer client.Close()
+
+	if p.blackholed.Load() {
+		// Hold the connection open and never respond; the client's
+		// connect timeout is the only way out.
+		<-p.done
+		return
+	}
+
+	hello := make([]byte, netfeed.HelloSize)
+	if _, err := io.ReadFull(client, hello); err != nil {
+		return
+	}
+	transport, clientPort, ok := netfeed.InspectHello(hello)
+	if !ok {
+		return
+	}
+
+	// A partition opened before the handshake completes stalls it, like
+	// any other traffic.
+	if !p.gate() {
+		return
+	}
+
+	p.mu.Lock()
+	target := p.target
+	p.mu.Unlock()
+
+	var relay *net.UDPConn
+	if transport == netfeed.TransportUDP {
+		rc, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+		if err != nil {
+			return
+		}
+		relay = rc
+		p.track(relay)
+		defer p.untrack(relay)
+		defer relay.Close()
+		if !netfeed.RewriteHelloPort(hello, relay.LocalAddr().(*net.UDPAddr).Port) {
+			return
+		}
+	}
+
+	server, err := net.DialTimeout("tcp", target, 5*time.Second)
+	if err != nil {
+		return
+	}
+	p.track(server)
+	defer p.untrack(server)
+	defer server.Close()
+
+	if _, err := server.Write(hello); err != nil {
+		return
+	}
+
+	if relay != nil {
+		// Datagrams land on the relay from the server and are forwarded
+		// (through the fault schedule) to the client's announced port at
+		// its TCP source IP.
+		clientIP := client.RemoteAddr().(*net.TCPAddr).IP
+		dst := &net.UDPAddr{IP: clientIP, Port: clientPort}
+		p.wg.Add(1)
+		go p.relayUDP(relay, dst)
+	}
+
+	// Either direction dropping tears down both, so a dead server (or
+	// client) propagates instead of half-open lingering.
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		p.pipe(client, server)
+		client.Close()
+		server.Close()
+	}()
+	p.pipe(server, client)
+	server.Close()
+}
+
+// pipe relays src→dst through the partition gate. Bytes read before a
+// partition opens are buffered and delivered on heal — the semantics of
+// a stalled middlebox, under which the TCP connection itself survives a
+// short partition.
+func (p *Proxy) pipe(src, dst net.Conn) {
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			if !p.gate() {
+				return
+			}
+			if _, werr := dst.Write(buf[:n]); werr != nil {
+				return
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// relayUDP forwards server→client datagrams through the fault schedule:
+// partition and seeded drops discard, per-datagram delays (and periodic
+// spikes) defer delivery via wall-clock timers, which also reorders.
+func (p *Proxy) relayUDP(relay *net.UDPConn, dst *net.UDPAddr) {
+	defer p.wg.Done()
+	out, err := net.DialUDP("udp", nil, dst)
+	if err != nil {
+		return
+	}
+	p.track(out)
+	defer p.untrack(out)
+	defer out.Close()
+	buf := make([]byte, 64<<10)
+	for {
+		n, _, err := relay.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		if p.partitioned.Load() {
+			continue
+		}
+		delay, dropped := p.schedule()
+		if dropped {
+			continue
+		}
+		if delay <= 0 {
+			out.Write(buf[:n])
+			continue
+		}
+		pkt := append([]byte(nil), buf[:n]...)
+		time.AfterFunc(delay, func() {
+			select {
+			case <-p.done:
+			default:
+				out.Write(pkt)
+			}
+		})
+	}
+}
+
+// schedule draws the next datagram's fate from the seeded fault plan.
+func (p *Proxy) schedule() (delay time.Duration, dropped bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.seq++
+	if p.cfg.DropRate > 0 {
+		p.rng = splitmix64(p.rng)
+		if float64(p.rng>>11)/(1<<53) < p.cfg.DropRate {
+			return 0, true
+		}
+	}
+	if p.cfg.DelayMax > 0 {
+		p.rng = splitmix64(p.rng)
+		delay = time.Duration(p.rng % uint64(p.cfg.DelayMax))
+	}
+	if p.cfg.SpikeEvery > 0 && p.cfg.SpikeDelay > 0 && p.seq%p.cfg.SpikeEvery == 0 {
+		delay += p.cfg.SpikeDelay
+	}
+	return delay, false
+}
+
+// splitmix64 is the standard SplitMix64 finalizer — the same construction
+// the frame layer's fault injection uses, so seeded chaos runs share the
+// repo's one PRNG idiom.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}

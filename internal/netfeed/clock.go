@@ -31,16 +31,25 @@ func (c slotClock) slotAt(now time.Time) int64 {
 }
 
 // Control messages ride the TCP stream. HELLO is the client's opening
-// (transport choice + the UDP port it listens on); WAKE is one entry of
-// the client's doze/wake NIC schedule — "I will be awake for slot t of
-// channel c" — which is the only thing that makes the server transmit to
-// that client.
+// (transport choice, the UDP port it listens on, and — on a resume — the
+// spec digest of its cached preamble); WAKE is one entry of the client's
+// doze/wake NIC schedule — "I will be awake for slot t of channel c" —
+// which is the only thing that makes the server transmit to that client;
+// PING/PONG is the liveness heartbeat; GOODBYE is the server's drain
+// notice carrying the restart-resume hint.
 
 // helloMagic opens the HELLO message.
 var helloMagic = [4]byte{'T', 'N', 'N', 'H'}
 
-// helloSize is the fixed HELLO length: magic, version, transport, UDP port.
-const helloSize = 4 + 2 + 1 + 2
+// HelloSize is the fixed HELLO length: magic, version, transport, UDP
+// port, flags, spec digest. Exported for wire-level proxies (netchaos)
+// that must parse the opening message to learn the client's frame
+// transport before relaying the rest of the stream opaquely.
+const HelloSize = 4 + 2 + 1 + 2 + 1 + 8
+
+// helloFlagResume marks a HELLO whose digest field names a cached
+// preamble the client wants to resume against.
+const helloFlagResume = 1
 
 // Transport selects how frames reach a client.
 type Transport int
@@ -61,35 +70,86 @@ func (t Transport) String() string {
 	return "udp"
 }
 
-// appendHello serializes the client HELLO.
-func appendHello(dst []byte, transport Transport, udpPort int) []byte {
+// appendHello serializes the client HELLO. A resume HELLO carries the
+// spec digest of the client's cached preamble; the server answers it with
+// the short warm preamble when the digest still names the live broadcast.
+func appendHello(dst []byte, transport Transport, udpPort int, resume bool, digest uint64) []byte {
 	dst = append(dst, helloMagic[:]...)
 	dst = binary.BigEndian.AppendUint16(dst, ProtoVersion)
 	dst = append(dst, byte(transport))
-	return binary.BigEndian.AppendUint16(dst, uint16(udpPort))
+	dst = binary.BigEndian.AppendUint16(dst, uint16(udpPort))
+	var flags byte
+	if resume {
+		flags |= helloFlagResume
+	}
+	dst = append(dst, flags)
+	return binary.BigEndian.AppendUint64(dst, digest)
 }
 
-// decodeHello parses a HELLO buffer of exactly helloSize bytes.
-func decodeHello(buf []byte) (transport Transport, udpPort int, err error) {
-	if len(buf) != helloSize {
-		return 0, 0, &FrameError{Part: "hello", Reason: FrameTruncated, Got: len(buf), Want: helloSize}
+// decodeHello parses a HELLO buffer of exactly HelloSize bytes.
+func decodeHello(buf []byte) (transport Transport, udpPort int, resume bool, digest uint64, err error) {
+	if len(buf) != HelloSize {
+		return 0, 0, false, 0, &FrameError{Part: "hello", Reason: FrameTruncated, Got: len(buf), Want: HelloSize}
 	}
 	if string(buf[:4]) != string(helloMagic[:]) {
-		return 0, 0, &FrameError{Part: "hello", Reason: FrameBadMagic, Got: int(buf[0]), Want: int(helloMagic[0])}
+		return 0, 0, false, 0, &FrameError{Part: "hello", Reason: FrameBadMagic, Got: int(buf[0]), Want: int(helloMagic[0])}
 	}
 	if v := binary.BigEndian.Uint16(buf[4:6]); v != ProtoVersion {
-		return 0, 0, &FrameError{Part: "hello", Reason: FrameVersionSkew, Got: int(v), Want: ProtoVersion}
+		return 0, 0, false, 0, &FrameError{Part: "hello", Reason: FrameVersionSkew, Got: int(v), Want: ProtoVersion}
 	}
 	if buf[6] > byte(TransportTCP) {
-		return 0, 0, &FrameError{Part: "hello", Reason: FrameBadField, Got: int(buf[6]), Want: int(TransportTCP)}
+		return 0, 0, false, 0, &FrameError{Part: "hello", Reason: FrameBadField, Got: int(buf[6]), Want: int(TransportTCP)}
 	}
-	return Transport(buf[6]), int(binary.BigEndian.Uint16(buf[7:9])), nil
+	if buf[9] > helloFlagResume {
+		return 0, 0, false, 0, &FrameError{Part: "hello", Reason: FrameBadField, Got: int(buf[9]), Want: helloFlagResume}
+	}
+	return Transport(buf[6]), int(binary.BigEndian.Uint16(buf[7:9])),
+		buf[9]&helloFlagResume != 0, binary.BigEndian.Uint64(buf[10:18]), nil
 }
 
-// wakeOp tags a WAKE message; wakeSize is its fixed length.
+// InspectHello parses the transport and UDP port out of a HELLO buffer
+// without validating the rest. A wire-level proxy needs exactly this much
+// to decide whether a UDP relay must be interposed.
+func InspectHello(buf []byte) (transport Transport, udpPort int, ok bool) {
+	if len(buf) < HelloSize || string(buf[:4]) != string(helloMagic[:]) || buf[6] > byte(TransportTCP) {
+		return 0, 0, false
+	}
+	return Transport(buf[6]), int(binary.BigEndian.Uint16(buf[7:9])), true
+}
+
+// RewriteHelloPort replaces the UDP port field of a HELLO buffer in
+// place. Proxies that interpose a UDP relay rewrite the client's
+// announced port to their own server-facing socket so the datagram path
+// runs through them too.
+func RewriteHelloPort(buf []byte, udpPort int) bool {
+	if len(buf) < HelloSize || string(buf[:4]) != string(helloMagic[:]) {
+		return false
+	}
+	binary.BigEndian.PutUint16(buf[7:9], uint16(udpPort))
+	return true
+}
+
+// Control opcodes. Client→server messages are op-tagged fixed-size
+// records on the raw stream (WAKE, PING); server→client control messages
+// ride the same length-prefixed framing as TCP frames, distinguished by
+// their first byte (a frame starts with FrameMagic).
 const (
 	wakeOp   = 0x57 // 'W'
 	wakeSize = 1 + 1 + 8
+
+	pingOp   = 0x50 // 'P': [1] op, [8] sender-clock nonce (echoed verbatim)
+	pingSize = 1 + 8
+
+	pongOp   = 0x51 // 'Q': [1] op, [8] echoed nonce
+	pongSize = 1 + 8
+
+	// goodbyeOp announces a server drain: [1] op, [1] flags (bit 0: the
+	// service intends to restart — resume, don't give up), [8] spec
+	// digest (the warm-resume key of the broadcast being stopped).
+	goodbyeOp   = 0x47 // 'G'
+	goodbyeSize = 1 + 1 + 8
+
+	goodbyeFlagResume = 1
 )
 
 // appendWake serializes one doze/wake schedule entry.
@@ -107,4 +167,37 @@ func decodeWake(buf []byte) (channel uint8, slot int64, err error) {
 		return 0, 0, &FrameError{Part: "wake", Reason: FrameBadMagic, Got: int(buf[0]), Want: wakeOp}
 	}
 	return buf[1], int64(binary.BigEndian.Uint64(buf[2:])), nil
+}
+
+// appendPing serializes one heartbeat probe. The nonce is opaque to the
+// server — the client stamps its send-time clock in it and computes the
+// round trip when the echo returns.
+func appendPing(dst []byte, nonce uint64) []byte {
+	dst = append(dst, pingOp)
+	return binary.BigEndian.AppendUint64(dst, nonce)
+}
+
+// appendPong serializes the heartbeat echo.
+func appendPong(dst []byte, nonce uint64) []byte {
+	dst = append(dst, pongOp)
+	return binary.BigEndian.AppendUint64(dst, nonce)
+}
+
+// appendGoodbye serializes the server's drain notice.
+func appendGoodbye(dst []byte, resume bool, digest uint64) []byte {
+	dst = append(dst, goodbyeOp)
+	var flags byte
+	if resume {
+		flags |= goodbyeFlagResume
+	}
+	dst = append(dst, flags)
+	return binary.BigEndian.AppendUint64(dst, digest)
+}
+
+// decodeGoodbye parses a GOODBYE body (already length-delimited).
+func decodeGoodbye(buf []byte) (resume bool, digest uint64, err error) {
+	if len(buf) != goodbyeSize {
+		return false, 0, &FrameError{Part: "goodbye", Reason: FrameTruncated, Got: len(buf), Want: goodbyeSize}
+	}
+	return buf[1]&goodbyeFlagResume != 0, binary.BigEndian.Uint64(buf[2:]), nil
 }

@@ -1,6 +1,7 @@
 package netfeed
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -27,6 +28,36 @@ type DialConfig struct {
 	// schedules new queries, covering clock skew between client and
 	// server plus WAKE propagation (default 3).
 	IssueMargin int64
+	// ConnectTimeout bounds each dial + handshake attempt — the TCP
+	// connect, the HELLO write, and the full preamble read together. A
+	// black-holed address fails within it instead of hanging (default
+	// DefaultConnectTimeout).
+	ConnectTimeout time.Duration
+	// Heartbeat is the PING interval on the control stream (default
+	// DefaultHeartbeat; negative disables heartbeats). A silent TCP peer
+	// is declared dead after HeartbeatMiss missed intervals.
+	Heartbeat time.Duration
+	// HeartbeatMiss is how many Heartbeat intervals may pass without a
+	// PONG before the session is declared dead (default
+	// DefaultHeartbeatMiss).
+	HeartbeatMiss int
+	// MaxReconnects is the consecutive-failure budget of one outage:
+	// after this many failed reconnect attempts the connection fails
+	// terminally (default DefaultMaxReconnects; negative disables
+	// reconnection entirely — the first session loss is final).
+	MaxReconnects int
+	// BackoffBase and BackoffMax bound the exponential reconnect backoff
+	// (defaults DefaultBackoffBase / DefaultBackoffMax).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// NoWarmResume forces every resume handshake down the cold path (the
+	// server sends the full preamble and the client rebuilds the
+	// schedule, even when the spec digest still matches). A test and
+	// benchmarking knob; warm resume is strictly better when available.
+	NoWarmResume bool
+	// JitterSeed seeds the deterministic backoff jitter; 0 seeds from
+	// the wall clock (fine outside reproducible tests).
+	JitterSeed uint64
 }
 
 // DefaultGrace is the default per-slot reception grace.
@@ -57,15 +88,29 @@ func (e *DesyncError) Error() string {
 type NetStats struct {
 	// BytesRead counts every byte read off the frame sockets (UDP
 	// datagrams or TCP frame segments including their length prefixes) —
-	// the real-wire tune-in proxy. The preamble is counted separately.
+	// the real-wire tune-in proxy. The preamble and the control chatter
+	// (PING/PONG, GOODBYE) are counted separately, so for UDP clients
+	// BytesRead == FramesRead × FrameSize holds exactly.
 	BytesRead int64
 	// FramesRead counts delivered frames (valid or checksum-failed).
 	FramesRead int64
-	// PreambleBytes is the one-time index-acquisition cost.
+	// PreambleBytes is the one-time index-acquisition cost of the first
+	// handshake.
 	PreambleBytes int64
-	// FrameSize is the fixed on-wire size of one slot's frame; for UDP
-	// clients BytesRead == FramesRead × FrameSize.
+	// ResumeBytes counts resume-handshake bytes (warm or cold preambles
+	// received across reconnects) — kept apart from PreambleBytes so a
+	// warm resume demonstrably re-acquires the index for free.
+	ResumeBytes int64
+	// FrameSize is the fixed on-wire size of one slot's frame.
 	FrameSize int
+	// Reconnects counts sessions re-established after the first.
+	Reconnects int64
+	// ResumedWarm counts reconnects that warm-resumed: the spec digest
+	// matched, zero catalog bytes moved, trees and programs were reused.
+	ResumedWarm int64
+	// HeartbeatRTT is the most recent PING→PONG round trip (0 before the
+	// first echo or with heartbeats disabled).
+	HeartbeatRTT time.Duration
 }
 
 // slotKey addresses one reception.
@@ -83,20 +128,73 @@ type slotState struct {
 	// deadline is the latest waiter's give-up time; the janitor must not
 	// evict an unresolved subscription before it passes.
 	deadline time.Time
+	// wakeGen is the generation of the session whose WAKE covers this
+	// subscription (0: none yet). A reconnect re-arms every unresolved
+	// subscription on the new session exactly once.
+	wakeGen uint64
+}
+
+// session is one TCP control stream's lifetime: dialed and handshaken by
+// connect, killed by the first error (socket, heartbeat, GOODBYE), and
+// replaced by the supervisor. The UDP socket outlives sessions — it is
+// bound once per Conn and its announced port travels in every HELLO.
+type session struct {
+	c       *Conn
+	gen     uint64
+	tcp     net.Conn
+	writeMu sync.Mutex
+
+	dead     chan struct{}
+	dieOnce  sync.Once
+	err      error
+	lastPong atomic.Int64 // UnixNano of the last PONG (or session start)
+	wg       sync.WaitGroup
+}
+
+// die records the session's terminal cause and tears the stream down;
+// the first cause sticks. The supervisor observes dead and decides
+// whether to reconnect.
+func (s *session) die(err error) {
+	s.dieOnce.Do(func() {
+		s.err = err
+		close(s.dead)
+		s.tcp.Close()
+	})
+}
+
+// writeCtl sends one control message on the session's TCP stream.
+func (s *session) writeCtl(b []byte) error {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	_, err := s.tcp.Write(b)
+	return err
 }
 
 // Conn is a live client connection: it rebuilds the broadcast schedule
 // from the preamble and exposes the two datasets' channels as
 // broadcast.Feed values whose receptions ride real packets. A Conn is safe
-// for concurrent use by any number of queries.
+// for concurrent use by any number of queries, and survives link loss:
+// a supervisor reconnects with backoff and warm-resumes against an
+// unchanged broadcast (see the lifecycle overview in lifecycle.go).
 type Conn struct {
-	cfg     DialConfig
-	spec    Spec
-	sc      *schedule
+	cfg  DialConfig
+	addr string
+
+	spec      Spec
+	digest    uint64
+	frameSize int
+	sc        atomic.Pointer[schedule]
+
+	clockMu sync.Mutex
 	clock   slotClock
-	tcp     net.Conn
-	udp     *net.UDPConn
-	writeMu sync.Mutex
+
+	state atomic.Int32
+
+	sessMu sync.Mutex
+	sess   *session
+	gen    uint64
+
+	udp *net.UDPConn
 
 	mu    sync.Mutex
 	slots map[slotKey]*slotState
@@ -104,9 +202,20 @@ type Conn struct {
 	bytesRead     atomic.Int64
 	framesRead    atomic.Int64
 	preambleBytes int64
+	resumeBytes   atomic.Int64
+	reconnects    atomic.Int64
+	resumedWarm   atomic.Int64
+	hbRTT         atomic.Int64
+
+	degradedMu  sync.Mutex
+	degradedErr error
+	attempt     int
 
 	fatalMu  sync.Mutex
 	fatalErr error
+
+	rngMu sync.Mutex
+	rng   uint64
 
 	closed    chan struct{}
 	closeOnce sync.Once
@@ -115,7 +224,8 @@ type Conn struct {
 
 // Dial connects to a tnnserve service, performs the HELLO/PREAMBLE
 // handshake, rebuilds the air schedule locally, and starts the reception
-// machinery.
+// machinery plus the reconnect supervisor. The first dial + handshake is
+// bounded by ConnectTimeout.
 func Dial(addr string, cfg DialConfig) (*Conn, error) {
 	if cfg.Grace <= 0 {
 		cfg.Grace = DefaultGrace
@@ -123,146 +233,310 @@ func Dial(addr string, cfg DialConfig) (*Conn, error) {
 	if cfg.IssueMargin <= 0 {
 		cfg.IssueMargin = 3
 	}
-	tcp, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, err
+	if cfg.ConnectTimeout <= 0 {
+		cfg.ConnectTimeout = DefaultConnectTimeout
+	}
+	if cfg.Heartbeat == 0 {
+		cfg.Heartbeat = DefaultHeartbeat
+	}
+	if cfg.HeartbeatMiss <= 0 {
+		cfg.HeartbeatMiss = DefaultHeartbeatMiss
+	}
+	if cfg.MaxReconnects == 0 {
+		cfg.MaxReconnects = DefaultMaxReconnects
+	}
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = DefaultBackoffBase
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = DefaultBackoffMax
 	}
 	c := &Conn{
 		cfg:    cfg,
-		tcp:    tcp,
+		addr:   addr,
 		slots:  make(map[slotKey]*slotState),
 		closed: make(chan struct{}),
+		rng:    cfg.JitterSeed,
 	}
+	if c.rng == 0 {
+		c.rng = uint64(time.Now().UnixNano())
+	}
+	c.state.Store(int32(StateConnecting))
 	if cfg.Transport == TransportUDP {
-		c.udp, err = net.ListenUDP("udp", nil)
+		udp, err := net.ListenUDP("udp", nil)
 		if err != nil {
-			tcp.Close()
 			return nil, err
 		}
+		c.udp = udp
 	}
-	var udpPort int
-	if c.udp != nil {
-		udpPort = c.udp.LocalAddr().(*net.UDPAddr).Port
-	}
-	if _, err := tcp.Write(appendHello(nil, cfg.Transport, udpPort)); err != nil {
-		c.closeSockets()
-		return nil, err
-	}
-
-	tcp.SetReadDeadline(time.Now().Add(30 * time.Second))
-	var lenBuf [4]byte
-	if _, err := io.ReadFull(tcp, lenBuf[:]); err != nil {
-		c.closeSockets()
-		return nil, err
-	}
-	n := binary.BigEndian.Uint32(lenBuf[:])
-	if n > preambleMax {
-		c.closeSockets()
-		return nil, &FrameError{Part: "preamble", Reason: FrameBadLength, Got: int(n), Want: preambleMax}
-	}
-	blob := make([]byte, n)
-	if _, err := io.ReadFull(tcp, blob); err != nil {
-		c.closeSockets()
-		return nil, err
-	}
-	recv := time.Now()
-	tcp.SetReadDeadline(time.Time{})
-
-	spec, slotDur, liveSlot, err := decodePreamble(blob)
+	sess, err := c.connect(false)
 	if err != nil {
-		c.closeSockets()
+		if c.udp != nil {
+			c.udp.Close()
+		}
 		return nil, err
 	}
-	c.spec = spec
-	c.sc = buildSchedule(spec)
-	// Anchoring the epoch at the preamble's receive time makes the client
-	// clock run LATE by (network latency + up to one slot): every local
-	// deadline lands after the server's real transmission, so latency can
-	// only add grace, never manufacture a spurious loss.
-	c.clock = slotClock{epoch: recv.Add(-time.Duration(liveSlot) * slotDur), dur: slotDur}
-	c.preambleBytes = int64(len(blob) + 4)
-
+	c.installSession(sess)
 	if c.udp != nil {
 		c.wg.Add(1)
 		go c.udpReader()
 	}
 	c.wg.Add(1)
-	go c.tcpReader()
-	c.wg.Add(1)
 	go c.janitor()
+	c.wg.Add(1)
+	go c.supervise()
 	return c, nil
 }
 
-func (c *Conn) closeSockets() {
-	c.tcp.Close()
+// connect performs one dial + handshake attempt, bounded end to end by
+// ConnectTimeout. On resume it offers the cached spec digest; the server
+// answers with the warm preamble (clock re-anchor only) when the digest
+// still names the live broadcast, or the full preamble otherwise — and a
+// full preamble whose digest differs from the cache is a terminal
+// *SpecChangeError, because the client's trees and in-flight queries are
+// bound to the old spec.
+func (c *Conn) connect(resume bool) (*session, error) {
+	deadline := time.Now().Add(c.cfg.ConnectTimeout)
+	// Close-during-handshake must not leave this attempt blocked: a
+	// watchdog cancels an in-flight dial and slams the handshake socket
+	// the moment the Conn closes.
+	ctx, cancel := context.WithDeadline(context.Background(), deadline)
+	var hsMu sync.Mutex
+	var hsTCP net.Conn
+	var hsKilled bool
+	hsDone := make(chan struct{})
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		defer cancel()
+		select {
+		case <-c.closed:
+			hsMu.Lock()
+			hsKilled = true
+			t := hsTCP
+			hsMu.Unlock()
+			cancel()
+			if t != nil {
+				t.Close()
+			}
+		case <-hsDone:
+		}
+	}()
+	var d net.Dialer
+	tcp, err := d.DialContext(ctx, "tcp", c.addr)
+	if err != nil {
+		close(hsDone)
+		return nil, err
+	}
+	hsMu.Lock()
+	killed := hsKilled
+	hsTCP = tcp
+	hsMu.Unlock()
+	fail := func(err error) (*session, error) {
+		close(hsDone)
+		tcp.Close()
+		return nil, err
+	}
+	if killed {
+		return fail(errConnClosed)
+	}
+
+	var udpPort int
 	if c.udp != nil {
-		c.udp.Close()
+		udpPort = c.udp.LocalAddr().(*net.UDPAddr).Port
+	}
+	offerResume := resume && !c.cfg.NoWarmResume
+	tcp.SetDeadline(deadline)
+	if _, err := tcp.Write(appendHello(nil, c.cfg.Transport, udpPort, offerResume, c.digest)); err != nil {
+		return fail(err)
+	}
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(tcp, lenBuf[:]); err != nil {
+		return fail(err)
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n > preambleMax {
+		return fail(&FrameError{Part: "preamble", Reason: FrameBadLength, Got: int(n), Want: preambleMax})
+	}
+	blob := make([]byte, n)
+	if _, err := io.ReadFull(tcp, blob); err != nil {
+		return fail(err)
+	}
+	recv := time.Now()
+	tcp.SetDeadline(time.Time{})
+
+	spec, slotDur, liveSlot, digest, warm, err := decodePreamble(blob)
+	if err != nil {
+		return fail(err)
+	}
+	switch {
+	case warm:
+		// The warm form only ever answers a resume offer with the same
+		// digest; anything else is a server protocol violation.
+		if !offerResume || digest != c.digest {
+			return fail(&FrameError{Part: "preamble", Reason: FrameBadField, Got: int(uint32(digest)), Want: int(uint32(c.digest))})
+		}
+		c.resumedWarm.Add(1)
+	case resume:
+		if digest != c.digest {
+			return fail(&SpecChangeError{OldDigest: c.digest, NewDigest: digest})
+		}
+		// Cold resume to an unchanged spec: rebuild the schedule and swap
+		// it in. Spec equality (digest match) makes the rebuilt schedule
+		// bit-identical, so readers may cross the swap freely.
+		c.sc.Store(buildSchedule(spec))
+	default:
+		c.spec = spec
+		c.digest = digest
+		c.frameSize = FrameSize(spec.Params)
+		c.sc.Store(buildSchedule(spec))
+		c.preambleBytes = int64(len(blob) + 4)
+	}
+	if resume {
+		c.resumeBytes.Add(int64(len(blob) + 4))
+	}
+	// Anchoring the epoch at the preamble's receive time makes the client
+	// clock run LATE by (network latency + up to one slot): every local
+	// deadline lands after the server's real transmission, so latency can
+	// only add grace, never manufacture a spurious loss. A resume
+	// re-anchors against the (possibly restarted) server's live slot.
+	c.clockMu.Lock()
+	c.clock = slotClock{epoch: recv.Add(-time.Duration(liveSlot) * slotDur), dur: slotDur}
+	c.clockMu.Unlock()
+
+	close(hsDone)
+	c.sessMu.Lock()
+	c.gen++
+	gen := c.gen
+	c.sessMu.Unlock()
+	sess := &session{c: c, gen: gen, tcp: tcp, dead: make(chan struct{})}
+	sess.lastPong.Store(recv.UnixNano())
+	sess.wg.Add(1)
+	go sess.readLoop()
+	if c.cfg.Heartbeat > 0 {
+		sess.wg.Add(1)
+		go sess.heartbeat(c.cfg.Heartbeat, c.cfg.HeartbeatMiss)
+	}
+	return sess, nil
+}
+
+// installSession publishes a freshly handshaken session as the live one
+// and clears the outage bookkeeping.
+func (c *Conn) installSession(sess *session) {
+	c.sessMu.Lock()
+	c.sess = sess
+	c.sessMu.Unlock()
+	c.degradedMu.Lock()
+	c.degradedErr = nil
+	c.attempt = 0
+	c.degradedMu.Unlock()
+	c.state.Store(int32(StateLive))
+}
+
+// curSession returns the most recently installed session (possibly
+// already dead) and its generation.
+func (c *Conn) curSession() (*session, uint64) {
+	c.sessMu.Lock()
+	defer c.sessMu.Unlock()
+	if c.sess == nil {
+		return nil, 0
+	}
+	return c.sess, c.sess.gen
+}
+
+// supervise is the lifecycle driver: it watches the live session, and on
+// session death either finalizes (terminal cause, reconnect disabled, or
+// budget exhausted) or cycles DEGRADED → RESUMING → LIVE under backoff.
+func (c *Conn) supervise() {
+	defer c.wg.Done()
+	for {
+		sess, _ := c.curSession()
+		select {
+		case <-c.closed:
+			c.finalize(sess, errConnClosed)
+			return
+		case <-sess.dead:
+		}
+		sess.wg.Wait()
+		err := sess.err
+		select {
+		case <-c.closed:
+			c.finalize(nil, errConnClosed)
+			return
+		default:
+		}
+		if terminalErr(err) || c.cfg.MaxReconnects < 0 {
+			c.finalize(nil, err)
+			return
+		}
+		c.noteOutage(err, 0)
+		attempt := 0
+		for {
+			c.rngMu.Lock()
+			delay := backoffDelay(c.cfg.BackoffBase, c.cfg.BackoffMax, attempt, &c.rng)
+			c.rngMu.Unlock()
+			timer := time.NewTimer(delay)
+			select {
+			case <-c.closed:
+				timer.Stop()
+				c.finalize(nil, errConnClosed)
+				return
+			case <-timer.C:
+			}
+			c.state.Store(int32(StateResuming))
+			next, cerr := c.connect(true)
+			if cerr == nil {
+				c.reconnects.Add(1)
+				c.installSession(next)
+				c.rearmWakes(next)
+				break
+			}
+			select {
+			case <-c.closed:
+				c.finalize(nil, errConnClosed)
+				return
+			default:
+			}
+			if terminalErr(cerr) {
+				c.finalize(nil, cerr)
+				return
+			}
+			attempt++
+			c.noteOutage(cerr, attempt)
+			if attempt >= c.cfg.MaxReconnects {
+				c.finalize(nil, &DegradedError{State: StateClosed, Attempt: attempt, Err: cerr})
+				return
+			}
+		}
 	}
 }
 
-// Close disconnects and releases every blocked reception.
-func (c *Conn) Close() error {
-	c.closeOnce.Do(func() {
-		close(c.closed)
-		c.closeSockets()
-		c.setFatal(errors.New("netfeed: connection closed"))
-	})
-	c.wg.Wait()
-	return nil
+// noteOutage records the latest transient cause and enters DEGRADED.
+func (c *Conn) noteOutage(err error, attempt int) {
+	c.degradedMu.Lock()
+	c.degradedErr = err
+	c.attempt = attempt
+	c.degradedMu.Unlock()
+	c.state.Store(int32(StateDegraded))
 }
 
-// Spec returns the decoded service description.
-func (c *Conn) Spec() Spec { return c.spec }
-
-// SlotDur returns the service's real-time slot duration.
-func (c *Conn) SlotDur() time.Duration { return c.clock.dur }
-
-// Trees returns the locally rebuilt R-trees (S, R).
-func (c *Conn) Trees() (s, r *rtree.Tree) { return c.sc.treeS, c.sc.treeR }
-
-// Indexes returns the locally rebuilt air indexes (S, R).
-func (c *Conn) Indexes() (s, r broadcast.AirIndex) { return c.sc.idxS, c.sc.idxR }
-
-// FeedS returns dataset S's channel as a network-backed broadcast.Feed.
-func (c *Conn) FeedS() broadcast.Feed { return &remoteFeed{c: c, second: false} }
-
-// FeedR returns dataset R's channel as a network-backed broadcast.Feed.
-func (c *Conn) FeedR() broadcast.Feed { return &remoteFeed{c: c, second: true} }
-
-// LiveSlot returns the slot currently on air by the client's clock.
-func (c *Conn) LiveSlot() int64 { return c.clock.slotAt(time.Now()) }
-
-// NextIssueSlot returns a safe slot to issue a new query at: far enough
-// past the live slot that every first WAKE reaches the server before the
-// slot is transmitted.
-func (c *Conn) NextIssueSlot() int64 { return c.LiveSlot() + c.cfg.IssueMargin }
-
-// Stats snapshots the reception counters.
-func (c *Conn) Stats() NetStats {
-	return NetStats{
-		BytesRead:     c.bytesRead.Load(),
-		FramesRead:    c.framesRead.Load(),
-		PreambleBytes: c.preambleBytes,
-		FrameSize:     FrameSize(c.spec.Params),
-	}
-}
-
-// Err returns the connection's fatal error (a *DesyncError, a socket
-// failure, or the Close sentinel), nil while healthy.
-func (c *Conn) Err() error {
-	c.fatalMu.Lock()
-	defer c.fatalMu.Unlock()
-	return c.fatalErr
-}
-
-// setFatal poisons the connection: the first error sticks, and every
-// pending reception resolves as lost so no caller stays blocked.
-func (c *Conn) setFatal(err error) {
+// finalize poisons the connection terminally: the fatal error sticks,
+// every pending reception resolves as lost, the current session (if any)
+// dies, and the state machine parks in CLOSED.
+func (c *Conn) finalize(sess *session, err error) {
 	c.fatalMu.Lock()
 	if c.fatalErr == nil {
 		c.fatalErr = err
 	}
 	c.fatalMu.Unlock()
+	c.state.Store(int32(StateClosed))
+	if sess == nil {
+		sess, _ = c.curSession()
+	}
+	if sess != nil {
+		sess.die(err)
+		sess.wg.Wait()
+	}
 	c.mu.Lock()
 	for key, st := range c.slots {
 		select {
@@ -275,33 +549,184 @@ func (c *Conn) setFatal(err error) {
 	c.mu.Unlock()
 }
 
+// rearmWakes replays every unresolved subscription's WAKE on a freshly
+// resumed session — the doze/wake schedule survives the outage, so
+// queries parked on future slots keep their reservations. Receptions
+// whose slots were transmitted during the outage stay unresolved until
+// their deadlines pass and the recovery protocol re-derives them.
+func (c *Conn) rearmWakes(sess *session) {
+	var keys []slotKey
+	c.mu.Lock()
+	for key, st := range c.slots {
+		select {
+		case <-st.done:
+			continue
+		default:
+		}
+		if st.wakeGen != sess.gen {
+			st.wakeGen = sess.gen
+			keys = append(keys, key)
+		}
+	}
+	c.mu.Unlock()
+	for _, key := range keys {
+		if err := sess.writeCtl(appendWake(make([]byte, 0, wakeSize), key.ch, key.slot)); err != nil {
+			sess.die(err)
+			return
+		}
+	}
+}
+
+// Close disconnects, stops the supervisor, and releases every blocked
+// reception. It is idempotent and safe to call at any point of the
+// lifecycle, including mid-handshake.
+func (c *Conn) Close() error {
+	c.closeOnce.Do(func() {
+		close(c.closed)
+		if sess, _ := c.curSession(); sess != nil {
+			sess.die(errConnClosed)
+		}
+		if c.udp != nil {
+			c.udp.Close()
+		}
+	})
+	c.wg.Wait()
+	// The supervisor has finalized by now; make the poisoning visible
+	// even if Close raced a concurrent finalize.
+	c.fatalMu.Lock()
+	if c.fatalErr == nil {
+		c.fatalErr = errConnClosed
+	}
+	c.fatalMu.Unlock()
+	c.state.Store(int32(StateClosed))
+	return nil
+}
+
+// sched returns the current schedule image (atomically swapped on a cold
+// resume; bit-identical across swaps because the spec digest matched).
+func (c *Conn) sched() *schedule { return c.sc.Load() }
+
+// Spec returns the decoded service description.
+func (c *Conn) Spec() Spec { return c.spec }
+
+// SlotDur returns the service's real-time slot duration.
+func (c *Conn) SlotDur() time.Duration {
+	c.clockMu.Lock()
+	defer c.clockMu.Unlock()
+	return c.clock.dur
+}
+
+// State returns the connection's current lifecycle state.
+func (c *Conn) State() State { return State(c.state.Load()) }
+
+// Trees returns the locally rebuilt R-trees (S, R).
+func (c *Conn) Trees() (s, r *rtree.Tree) {
+	sc := c.sched()
+	return sc.treeS, sc.treeR
+}
+
+// Indexes returns the locally rebuilt air indexes (S, R).
+func (c *Conn) Indexes() (s, r broadcast.AirIndex) {
+	sc := c.sched()
+	return sc.idxS, sc.idxR
+}
+
+// FeedS returns dataset S's channel as a network-backed broadcast.Feed.
+func (c *Conn) FeedS() broadcast.Feed { return &remoteFeed{c: c, second: false} }
+
+// FeedR returns dataset R's channel as a network-backed broadcast.Feed.
+func (c *Conn) FeedR() broadcast.Feed { return &remoteFeed{c: c, second: true} }
+
+// LiveSlot returns the slot currently on air by the client's clock.
+func (c *Conn) LiveSlot() int64 {
+	c.clockMu.Lock()
+	defer c.clockMu.Unlock()
+	return c.clock.slotAt(time.Now())
+}
+
+// NextIssueSlot returns a safe slot to issue a new query at: far enough
+// past the live slot that every first WAKE reaches the server before the
+// slot is transmitted.
+func (c *Conn) NextIssueSlot() int64 { return c.LiveSlot() + c.cfg.IssueMargin }
+
+// Stats snapshots the reception counters.
+func (c *Conn) Stats() NetStats {
+	return NetStats{
+		BytesRead:     c.bytesRead.Load(),
+		FramesRead:    c.framesRead.Load(),
+		PreambleBytes: c.preambleBytes,
+		ResumeBytes:   c.resumeBytes.Load(),
+		FrameSize:     c.frameSize,
+		Reconnects:    c.reconnects.Load(),
+		ResumedWarm:   c.resumedWarm.Load(),
+		HeartbeatRTT:  time.Duration(c.hbRTT.Load()),
+	}
+}
+
+// terminal returns the connection's terminal error (nil unless the
+// lifecycle has parked in CLOSED).
+func (c *Conn) terminal() error {
+	c.fatalMu.Lock()
+	defer c.fatalMu.Unlock()
+	return c.fatalErr
+}
+
+// Err reports the connection's health: nil while LIVE, a transient
+// *DegradedError while an outage is being reconnected, and the sticking
+// terminal error (a *DesyncError, *SpecChangeError, exhausted-reconnect
+// *DegradedError, ErrServerClosed, or the Close sentinel) once CLOSED.
+func (c *Conn) Err() error {
+	if err := c.terminal(); err != nil {
+		return err
+	}
+	switch c.State() {
+	case StateDegraded, StateResuming:
+		c.degradedMu.Lock()
+		defer c.degradedMu.Unlock()
+		return &DegradedError{State: c.State(), Attempt: c.attempt, Err: c.degradedErr}
+	}
+	return nil
+}
+
 // channelOf maps a logical side (S=false, R=true) to its physical channel.
 func (c *Conn) channelOf(second bool) uint8 {
-	if second && len(c.sc.phys) == 2 {
+	if second && len(c.sched().phys) == 2 {
 		return 1
 	}
 	return 0
 }
 
-// receive blocks until slot t of physical channel ch resolves: the frame
-// arrives (nil fault or FaultCorrupt), the deadline passes (FaultLost), or
-// the connection dies. It subscribes the slot on first use — the WAKE is
-// the doze/wake schedule entry — and between the WAKE and the delivery the
-// caller is genuinely asleep: nothing is read on its behalf.
-func (c *Conn) receive(ch uint8, t int64) *broadcast.PageFault {
-	if c.Err() != nil {
-		return &broadcast.PageFault{Slot: t, Kind: broadcast.FaultLost}
-	}
-	// Deadline: grace past the slot's scheduled end — or, when the slot is
-	// already in the wall-time past (the query's virtual timeline lags real
-	// time and the server replays the frame from its reception buffer),
-	// grace past now, so a replayed reception gets a full round trip
-	// instead of timing out instantly.
+// slotDeadline computes the give-up time for a reception of slot t:
+// grace past the slot's scheduled end — or, when the slot is already in
+// the wall-time past (the query's virtual timeline lags real time and
+// the server replays the frame from its reception buffer), grace past
+// now, so a replayed reception gets a full round trip instead of timing
+// out instantly.
+func (c *Conn) slotDeadline(t int64) time.Time {
+	c.clockMu.Lock()
 	deadline := c.clock.at(t + 1).Add(c.cfg.Grace)
+	c.clockMu.Unlock()
 	if now := time.Now(); deadline.Before(now) {
 		deadline = now.Add(c.cfg.Grace)
 	}
+	return deadline
+}
+
+// receive blocks until slot t of physical channel ch resolves: the frame
+// arrives (nil fault or FaultCorrupt), the deadline passes (FaultLost), or
+// the connection dies terminally. It subscribes the slot on first use —
+// the WAKE is the doze/wake schedule entry — and between the WAKE and the
+// delivery the caller is genuinely asleep: nothing is read on its behalf.
+// During an outage the subscription is parked (re-armed on resume); a
+// reception that straddles the outage simply times out into FaultLost and
+// re-enters the recovery protocol.
+func (c *Conn) receive(ch uint8, t int64) *broadcast.PageFault {
+	if c.terminal() != nil {
+		return &broadcast.PageFault{Slot: t, Kind: broadcast.FaultLost}
+	}
+	deadline := c.slotDeadline(t)
 	key := slotKey{ch: ch, slot: t}
+	sess, gen := c.curSession()
 	c.mu.Lock()
 	st, ok := c.slots[key]
 	if !ok {
@@ -311,11 +736,21 @@ func (c *Conn) receive(ch uint8, t int64) *broadcast.PageFault {
 	if st.deadline.Before(deadline) {
 		st.deadline = deadline
 	}
+	needWake := false
+	select {
+	case <-st.done:
+	default:
+		if sess != nil && st.wakeGen != gen {
+			st.wakeGen = gen
+			needWake = true
+		}
+	}
 	c.mu.Unlock()
-	if !ok {
-		if err := c.writeCtl(appendWake(make([]byte, 0, wakeSize), ch, t)); err != nil {
-			c.setFatal(err)
-			return &broadcast.PageFault{Slot: t, Kind: broadcast.FaultLost}
+	if needWake {
+		if err := sess.writeCtl(appendWake(make([]byte, 0, wakeSize), ch, t)); err != nil {
+			// The stream just died under us: hand the session to the
+			// supervisor and let this reception ride its deadline.
+			sess.die(err)
 		}
 	}
 	// A reception already resolved (another query downloaded this slot)
@@ -342,14 +777,6 @@ func (c *Conn) receive(ch uint8, t int64) *broadcast.PageFault {
 	}
 }
 
-// writeCtl sends one control message on the TCP stream.
-func (c *Conn) writeCtl(b []byte) error {
-	c.writeMu.Lock()
-	defer c.writeMu.Unlock()
-	_, err := c.tcp.Write(b)
-	return err
-}
-
 // deliver resolves a received frame buffer against the subscription map.
 func (c *Conn) deliver(buf []byte) {
 	f, err := DecodeFrame(buf)
@@ -364,13 +791,14 @@ func (c *Conn) deliver(buf []byte) {
 		fault = &broadcast.PageFault{Slot: f.Slot, Kind: broadcast.FaultCorrupt}
 	}
 	c.framesRead.Add(1)
-	if int(f.Channel) >= len(c.sc.phys) {
+	sc := c.sched()
+	if int(f.Channel) >= len(sc.phys) {
 		return
 	}
 	if fault == nil {
 		// Schedule-truth check: the frame must carry exactly the page the
 		// local air index says is on air at this slot.
-		pg, _ := c.sc.pageOwner(int(f.Channel), f.Slot)
+		pg, _ := sc.pageOwner(int(f.Channel), f.Slot)
 		wantRef := uint32(pg.NodeID)
 		var wantSeq uint16
 		if pg.Kind == broadcast.DataPage {
@@ -378,12 +806,17 @@ func (c *Conn) deliver(buf []byte) {
 			wantSeq = uint16(pg.Seq)
 		}
 		if pg.Kind != f.Kind || wantRef != f.Ref || wantSeq != f.Seq {
-			c.setFatal(&DesyncError{
+			desync := &DesyncError{
 				Channel: f.Channel, Slot: f.Slot,
 				WantKind: pg.Kind, WantRef: wantRef,
 				GotKind: f.Kind, GotRef: f.Ref,
-			})
-			return // setFatal already resolved all pending receptions
+			}
+			// Terminal: kill the session with the desync so the
+			// supervisor finalizes (resolving all pending receptions).
+			if sess, _ := c.curSession(); sess != nil {
+				sess.die(desync)
+			}
+			return
 		}
 	}
 	key := slotKey{ch: f.Channel, slot: f.Slot}
@@ -401,11 +834,12 @@ func (c *Conn) deliver(buf []byte) {
 	c.mu.Unlock()
 }
 
-// udpReader drains the UDP socket; its byte counter is the real-wire
-// tune-in measurement.
+// udpReader drains the UDP socket for the Conn's whole lifetime (the
+// socket and its announced port survive reconnects); its byte counter is
+// the real-wire tune-in measurement.
 func (c *Conn) udpReader() {
 	defer c.wg.Done()
-	buf := make([]byte, FrameSize(c.spec.Params)+256)
+	buf := make([]byte, c.frameSize+256)
 	for {
 		n, _, err := c.udp.ReadFromUDP(buf)
 		if n > 0 {
@@ -415,47 +849,86 @@ func (c *Conn) udpReader() {
 			c.deliver(frame)
 		}
 		if err != nil {
-			select {
-			case <-c.closed:
-			default:
-				c.setFatal(err)
-			}
+			// The UDP socket only dies on Close.
 			return
 		}
 	}
 }
 
-// tcpReader drains the control stream. For TCP-transport clients it
-// carries length-prefixed frames; for UDP clients the server sends nothing
-// after the preamble, so the read only detects a dead server.
-func (c *Conn) tcpReader() {
-	defer c.wg.Done()
+// readLoop drains one session's control stream: length-prefixed messages
+// discriminated by their first byte — frames (TCP transport), PONG
+// heartbeat echoes, and the server's GOODBYE drain notice.
+func (s *session) readLoop() {
+	defer s.wg.Done()
+	c := s.c
 	var lenBuf [4]byte
 	for {
-		if _, err := io.ReadFull(c.tcp, lenBuf[:]); err != nil {
-			select {
-			case <-c.closed:
-			default:
-				c.setFatal(err)
-			}
+		if _, err := io.ReadFull(s.tcp, lenBuf[:]); err != nil {
+			s.die(err)
 			return
 		}
 		n := binary.BigEndian.Uint32(lenBuf[:])
-		if n > uint32(FrameSize(c.spec.Params)+256) {
-			c.setFatal(&FrameError{Part: "frame", Reason: FrameBadLength, Got: int(n), Want: FrameSize(c.spec.Params)})
+		if n == 0 || n > uint32(c.frameSize+256) {
+			s.die(&FrameError{Part: "frame", Reason: FrameBadLength, Got: int(n), Want: c.frameSize})
 			return
 		}
-		frame := make([]byte, n)
-		if _, err := io.ReadFull(c.tcp, frame); err != nil {
-			select {
-			case <-c.closed:
-			default:
-				c.setFatal(err)
+		body := make([]byte, n)
+		if _, err := io.ReadFull(s.tcp, body); err != nil {
+			s.die(err)
+			return
+		}
+		switch body[0] {
+		case FrameMagic:
+			c.bytesRead.Add(int64(4 + n))
+			c.deliver(body)
+		case pongOp:
+			if len(body) == pongSize {
+				now := time.Now()
+				if rtt := now.UnixNano() - int64(binary.BigEndian.Uint64(body[1:])); rtt > 0 {
+					c.hbRTT.Store(rtt)
+				}
+				s.lastPong.Store(now.UnixNano())
+			}
+		case goodbyeOp:
+			resume, _, err := decodeGoodbye(body)
+			if err != nil {
+				s.die(err)
+				return
+			}
+			if resume {
+				s.die(errServerDraining)
+			} else {
+				s.die(ErrServerClosed)
 			}
 			return
+		default:
+			s.die(&FrameError{Part: "frame", Reason: FrameBadMagic, Got: int(body[0]), Want: FrameMagic})
+			return
 		}
-		c.bytesRead.Add(int64(4 + n))
-		c.deliver(frame)
+	}
+}
+
+// heartbeat probes the control stream's liveness: a PING every interval,
+// and a session death after miss intervals without any PONG — the
+// bounded-time detector for silent TCP death and stalled servers.
+func (s *session) heartbeat(interval time.Duration, miss int) {
+	defer s.wg.Done()
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.dead:
+			return
+		case now := <-ticker.C:
+			if age := now.UnixNano() - s.lastPong.Load(); age > int64(interval)*int64(miss) {
+				s.die(fmt.Errorf("netfeed: heartbeat timeout: no PONG in %v", time.Duration(age)))
+				return
+			}
+			if err := s.writeCtl(appendPing(make([]byte, 0, pingSize), uint64(now.UnixNano()))); err != nil {
+				s.die(err)
+				return
+			}
+		}
 	}
 }
 
@@ -474,7 +947,9 @@ func (c *Conn) janitor() {
 			// unresolved ones are evicted only once every waiter's deadline
 			// passed a full grace ago (a replayed past slot is subscribed
 			// long after its air time, so slot age alone proves nothing).
+			c.clockMu.Lock()
 			horizon := c.clock.slotAt(now.Add(-4*c.cfg.Grace)) - 1
+			c.clockMu.Unlock()
 			c.mu.Lock()
 			for key, st := range c.slots {
 				select {
@@ -505,9 +980,9 @@ var _ broadcast.Feed = (*remoteFeed)(nil)
 
 func (f *remoteFeed) local() broadcast.Feed {
 	if f.second {
-		return f.c.sc.feedR
+		return f.c.sched().feedR
 	}
-	return f.c.sc.feedS
+	return f.c.sched().feedS
 }
 
 // Index implements Feed.

@@ -98,12 +98,18 @@ func TestPreambleRoundTrip(t *testing.T) {
 		sp.WS[i] = float64(i)
 	}
 	blob := appendPreamble(nil, sp, 3*time.Millisecond, 12345)
-	got, dur, live, err := decodePreamble(blob)
+	got, dur, live, digest, warm, err := decodePreamble(blob)
 	if err != nil {
 		t.Fatalf("decodePreamble: %v", err)
 	}
+	if warm {
+		t.Fatal("full preamble decoded as warm")
+	}
 	if dur != 3*time.Millisecond || live != 12345 {
 		t.Fatalf("clock fields: dur %v live %d", dur, live)
+	}
+	if want := specDigest(appendSpecBody(nil, sp)); digest != want {
+		t.Fatalf("digest: %016x, want %016x", digest, want)
 	}
 	if got.Scheme != sp.Scheme || got.Cut != sp.Cut || got.OffS != 17 || got.OffR != 91 ||
 		got.Single != sp.Single || got.Params != sp.Params || got.Region != sp.Region {
@@ -124,12 +130,49 @@ func TestPreambleRoundTrip(t *testing.T) {
 	}
 }
 
+// TestWarmPreambleRoundTrip covers the short resume form: clock header
+// and digest echo only, zero catalog bytes.
+func TestWarmPreambleRoundTrip(t *testing.T) {
+	blob := appendWarmPreamble(nil, 0xDEADBEEFCAFEF00D, 2*time.Millisecond, 777)
+	if len(blob) != preambleHeaderSize+4 {
+		t.Fatalf("warm preamble is %d bytes, want %d", len(blob), preambleHeaderSize+4)
+	}
+	sp, dur, live, digest, warm, err := decodePreamble(blob)
+	if err != nil {
+		t.Fatalf("decodePreamble(warm): %v", err)
+	}
+	if !warm {
+		t.Fatal("warm preamble decoded as full")
+	}
+	if dur != 2*time.Millisecond || live != 777 || digest != 0xDEADBEEFCAFEF00D {
+		t.Fatalf("warm fields: dur %v live %d digest %016x", dur, live, digest)
+	}
+	if len(sp.S) != 0 || len(sp.R) != 0 {
+		t.Fatal("warm preamble carried a catalog")
+	}
+}
+
+// TestPreambleDigestMismatch: a full preamble whose header digest does not
+// match its spec body is rejected even with a valid CRC — the digest is a
+// consistency obligation, not a checksum duplicate.
+func TestPreambleDigestMismatch(t *testing.T) {
+	blob := appendPreamble(nil, testSpec(20), time.Millisecond, 0)
+	bad := append([]byte(nil), blob[:len(blob)-4]...)
+	bad[preambleHeaderSize-1] ^= 0x01 // last digest byte
+	bad = binary.BigEndian.AppendUint32(bad, crc32.Checksum(bad, frameCRC))
+	_, _, _, _, _, err := decodePreamble(bad)
+	var fe *FrameError
+	if !errors.As(err, &fe) || fe.Reason != FrameBadField {
+		t.Fatalf("digest mismatch: got %v, want FrameBadField", err)
+	}
+}
+
 func TestPreambleRejectsDamage(t *testing.T) {
 	blob := appendPreamble(nil, testSpec(20), time.Millisecond, 0)
 
 	wantFrameError := func(name string, b []byte) {
 		t.Helper()
-		_, _, _, err := decodePreamble(b)
+		_, _, _, _, _, err := decodePreamble(b)
 		var fe *FrameError
 		if !errors.As(err, &fe) {
 			t.Fatalf("%s: got %v, want *FrameError", name, err)
@@ -148,7 +191,7 @@ func TestPreambleRejectsDamage(t *testing.T) {
 	skew := append([]byte(nil), blob[:len(blob)-4]...)
 	skew[5] = ProtoVersion + 1
 	skew = binary.BigEndian.AppendUint32(skew, crc32.Checksum(skew, frameCRC))
-	_, _, _, err := decodePreamble(skew)
+	_, _, _, _, _, err := decodePreamble(skew)
 	var fe *FrameError
 	if !errors.As(err, &fe) || fe.Reason != FrameVersionSkew {
 		t.Fatalf("version skew: got %v", err)
@@ -156,16 +199,28 @@ func TestPreambleRejectsDamage(t *testing.T) {
 }
 
 func TestHelloWakeRoundTrip(t *testing.T) {
-	b := appendHello(nil, TransportTCP, 40123)
-	tr, port, err := decodeHello(b)
-	if err != nil || tr != TransportTCP || port != 40123 {
-		t.Fatalf("hello round trip: %v %v %d", err, tr, port)
+	b := appendHello(nil, TransportTCP, 40123, true, 0xAB54A98CEB1F0AD2)
+	tr, port, resume, digest, err := decodeHello(b)
+	if err != nil || tr != TransportTCP || port != 40123 || !resume || digest != 0xAB54A98CEB1F0AD2 {
+		t.Fatalf("hello round trip: %v %v %d %v %016x", err, tr, port, resume, digest)
 	}
-	if _, _, err := decodeHello(b[:5]); err == nil {
+	if _, _, r2, d2, err := decodeHello(appendHello(nil, TransportUDP, 1, false, 0)); err != nil || r2 || d2 != 0 {
+		t.Fatalf("cold hello round trip: %v %v %d", err, r2, d2)
+	}
+	if _, _, _, _, err := decodeHello(b[:5]); err == nil {
 		t.Fatal("truncated hello accepted")
 	}
+	if itr, iport, ok := InspectHello(b); !ok || itr != TransportTCP || iport != 40123 {
+		t.Fatalf("InspectHello: %v %v %d", ok, itr, iport)
+	}
+	if !RewriteHelloPort(b, 555) {
+		t.Fatal("RewriteHelloPort refused a valid hello")
+	}
+	if _, port, _, _, err := decodeHello(b); err != nil || port != 555 {
+		t.Fatalf("rewritten hello: %v %d", err, port)
+	}
 	b[4] = 0xEE
-	if _, _, err := decodeHello(b); err == nil {
+	if _, _, _, _, err := decodeHello(b); err == nil {
 		t.Fatal("version-skewed hello accepted")
 	}
 
@@ -173,6 +228,30 @@ func TestHelloWakeRoundTrip(t *testing.T) {
 	ch, slot, err := decodeWake(w)
 	if err != nil || ch != 1 || slot != -77 {
 		t.Fatalf("wake round trip: %v %d %d", err, ch, slot)
+	}
+}
+
+// TestControlOpsRoundTrip covers the v2 control messages: heartbeat
+// PING/PONG and the GOODBYE drain notice.
+func TestControlOpsRoundTrip(t *testing.T) {
+	p := appendPing(nil, 12345)
+	if len(p) != pingSize || p[0] != pingOp || binary.BigEndian.Uint64(p[1:]) != 12345 {
+		t.Fatalf("ping encoding: %x", p)
+	}
+	q := appendPong(nil, 12345)
+	if len(q) != pongSize || q[0] != pongOp || binary.BigEndian.Uint64(q[1:]) != 12345 {
+		t.Fatalf("pong encoding: %x", q)
+	}
+	g := appendGoodbye(nil, true, 0xFEED)
+	resume, digest, err := decodeGoodbye(g)
+	if err != nil || !resume || digest != 0xFEED {
+		t.Fatalf("goodbye round trip: %v %v %x", err, resume, digest)
+	}
+	if resume, _, err := decodeGoodbye(appendGoodbye(nil, false, 1)); err != nil || resume {
+		t.Fatalf("goodbye no-resume round trip: %v %v", err, resume)
+	}
+	if _, _, err := decodeGoodbye(g[:3]); err == nil {
+		t.Fatal("truncated goodbye accepted")
 	}
 }
 
@@ -200,6 +279,7 @@ func FuzzFrameRoundTrip(f *testing.F) {
 	sp := testSpec(20)
 	f.Add(AppendFrame(nil, Frame{Channel: 1, Kind: broadcast.DataPage, Slot: 99, Ref: 5, Seq: 1, Payload: make([]byte, 71)}), true)
 	f.Add(appendPreamble(nil, sp, time.Millisecond, 42), false)
+	f.Add(appendWarmPreamble(nil, specDigest(appendSpecBody(nil, sp)), time.Millisecond, 42), false)
 	f.Add([]byte{FrameMagic, FrameVersion}, true)
 	f.Add([]byte("TNNP"), false)
 	f.Add([]byte{}, true)
@@ -221,11 +301,17 @@ func FuzzFrameRoundTrip(f *testing.F) {
 			}
 			return
 		}
-		spec, dur, _, err := decodePreamble(data)
+		spec, dur, _, _, warm, err := decodePreamble(data)
 		if err != nil {
 			var fe *FrameError
 			if !errors.As(err, &fe) && !isBroadcastConfigErr(err) {
 				t.Fatalf("decodePreamble returned untyped error %T: %v", err, err)
+			}
+			return
+		}
+		if warm {
+			if dur <= 0 {
+				t.Fatal("accepted warm preamble with non-positive slot duration")
 			}
 			return
 		}

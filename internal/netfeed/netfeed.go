@@ -65,8 +65,9 @@ import (
 
 // ProtoVersion is the netfeed protocol version, carried in the HELLO and
 // PREAMBLE. Decoders reject any other version loudly (FrameVersionSkew)
-// rather than misparse.
-const ProtoVersion = 1
+// rather than misparse. Version 2 added warm-resume digests to the
+// handshake, heartbeats, and the GOODBYE drain notice.
+const ProtoVersion = 2
 
 // Spec describes one broadcast service completely enough for a client to
 // reconstruct the air schedule bit-for-bit: the physical page parameters,

@@ -30,6 +30,11 @@ type ServerConfig struct {
 	// as the in-process WithFaults does, so a lossy wire run is comparable
 	// to the equivalent simulation.
 	Faults broadcast.FaultModel
+	// RestartHint, when set, marks the GOODBYE drain notice with the
+	// resume flag: "this service intends to come back — reconnect and
+	// resume, don't give up". Rolling restarts set it; a final shutdown
+	// leaves it clear so clients fail terminally with ErrServerClosed.
+	RestartHint bool
 }
 
 // DefaultSlotDur is the default slot pacing for loopback services.
@@ -51,14 +56,18 @@ type wakeKey struct {
 	slot int64
 }
 
-// serverClient is one connected listener.
+// serverClient is one connected listener. Every client — UDP or TCP
+// transport — owns a TCP control outbox: frames ride it for TCP clients,
+// and PONG echoes plus the GOODBYE drain notice ride it for everyone.
 type serverClient struct {
 	transport Transport
 	udpAddr   *net.UDPAddr
 	tcp       net.Conn
-	out       chan []byte // TCP frame outbox; nil for UDP clients
+	out       chan []byte // length-prefixed control-stream messages
 	closed    chan struct{}
 	closeOnce sync.Once
+	draining  chan struct{}
+	drainOnce sync.Once
 }
 
 func (cl *serverClient) close() {
@@ -68,13 +77,21 @@ func (cl *serverClient) close() {
 	})
 }
 
+// drain tells the client's writer to flush whatever is queued (the
+// GOODBYE is the last thing enqueued) and then close the stream.
+func (cl *serverClient) drain() {
+	cl.drainOnce.Do(func() { close(cl.draining) })
+}
+
 // Server is a running broadcast service. Create with NewServer, bind and
 // start with Start, stop with Close.
 type Server struct {
-	cfg    ServerConfig
-	sc     *schedule
-	images [][]payloadImage
-	faults []*broadcast.FaultFeed // per physical channel; nil = clean
+	cfg      ServerConfig
+	sc       *schedule
+	images   [][]payloadImage
+	faults   []*broadcast.FaultFeed // per physical channel; nil = clean
+	specBody []byte
+	digest   uint64
 
 	clock slotClock
 	ln    net.Listener
@@ -83,15 +100,20 @@ type Server struct {
 	mu          sync.Mutex
 	wakes       map[wakeKey][]*serverClient
 	clients     map[*serverClient]struct{}
+	pending     map[net.Conn]struct{} // conns still in the HELLO handshake
 	sentThrough int64
 
-	done chan struct{}
-	wg   sync.WaitGroup
+	done      chan struct{}
+	txDone    chan struct{}
+	closeOnce sync.Once
+	started   bool
+	wg        sync.WaitGroup
 }
 
 // NewServer validates the spec, rebuilds the broadcast schedule, and
-// precomputes every cycle-relative slot's page image. The returned server
-// is not yet on the air — call Start.
+// precomputes every cycle-relative slot's page image plus the preamble
+// spec body and its warm-resume digest. The returned server is not yet on
+// the air — call Start.
 func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.SlotDur <= 0 {
 		cfg.SlotDur = DefaultSlotDur
@@ -108,8 +130,12 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		sc:      sc,
 		wakes:   make(map[wakeKey][]*serverClient),
 		clients: make(map[*serverClient]struct{}),
+		pending: make(map[net.Conn]struct{}),
 		done:    make(chan struct{}),
+		txDone:  make(chan struct{}),
 	}
+	srv.specBody = appendSpecBody(nil, cfg.Spec)
+	srv.digest = specDigest(srv.specBody)
 	srv.faults = make([]*broadcast.FaultFeed, len(sc.phys))
 	if cfg.Faults.Enabled() {
 		for c := range sc.phys {
@@ -163,6 +189,7 @@ func (s *Server) Start(addr string) error {
 	s.ln, s.udp = ln, udp
 	s.clock = slotClock{epoch: time.Now(), dur: s.cfg.SlotDur}
 	s.sentThrough = -1
+	s.started = true
 	s.wg.Add(2)
 	go s.acceptLoop()
 	go s.transmitLoop()
@@ -172,21 +199,43 @@ func (s *Server) Start(addr string) error {
 // Addr returns the TCP address clients connect to.
 func (s *Server) Addr() net.Addr { return s.ln.Addr() }
 
-// Close stops the broadcast and disconnects every client.
+// Digest returns the warm-resume key of the broadcast on air: the spec
+// digest carried in every preamble and GOODBYE.
+func (s *Server) Digest() uint64 { return s.digest }
+
+// Close drains and stops the broadcast: the accept loop stops, the
+// transmit loop finishes every slot already due, each connected client
+// receives a GOODBYE (with the restart-resume hint from the config)
+// flushed ahead of the stream teardown, and every server goroutine is
+// joined. It is idempotent, and concurrent Closes all wait for the full
+// shutdown.
 func (s *Server) Close() error {
-	select {
-	case <-s.done:
-		return nil
-	default:
-	}
-	close(s.done)
-	s.ln.Close()
-	s.udp.Close()
-	s.mu.Lock()
-	for cl := range s.clients {
-		cl.close()
-	}
-	s.mu.Unlock()
+	s.closeOnce.Do(func() {
+		close(s.done)
+		if !s.started {
+			return
+		}
+		s.ln.Close()
+		// Abort handshakes in flight: a client blocked mid-HELLO must not
+		// hold the shutdown hostage for the handshake deadline.
+		s.mu.Lock()
+		for conn := range s.pending {
+			conn.Close()
+		}
+		s.mu.Unlock()
+		// Let the pacer flush every slot already due, so subscribers of
+		// the current slot get their frames instead of a cliff.
+		<-s.txDone
+		goodbye := appendGoodbye(make([]byte, 4, 4+goodbyeSize), s.cfg.RestartHint, s.digest)
+		binary.BigEndian.PutUint32(goodbye[:4], goodbyeSize)
+		s.mu.Lock()
+		for cl := range s.clients {
+			s.enqueue(cl, goodbye)
+			cl.drain()
+		}
+		s.mu.Unlock()
+		s.udp.Close()
+	})
 	s.wg.Wait()
 	return nil
 }
@@ -198,29 +247,43 @@ func (s *Server) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
+		s.mu.Lock()
+		s.pending[conn] = struct{}{}
+		s.mu.Unlock()
 		s.wg.Add(1)
 		go s.handleConn(conn)
 	}
 }
 
-// handleConn runs one client's control stream: HELLO in, PREAMBLE out,
-// then WAKE subscriptions until the client leaves.
+// handleConn runs one client's control stream: HELLO in, PREAMBLE out
+// (the warm form when the HELLO offers a digest that still names the live
+// broadcast), then WAKE subscriptions and PING heartbeats until the
+// client leaves.
 func (s *Server) handleConn(conn net.Conn) {
 	defer s.wg.Done()
-	hello := make([]byte, helloSize)
+	hello := make([]byte, HelloSize)
 	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
-	if _, err := io.ReadFull(conn, hello); err != nil {
+	_, err := io.ReadFull(conn, hello)
+	s.mu.Lock()
+	delete(s.pending, conn)
+	s.mu.Unlock()
+	if err != nil {
 		conn.Close()
 		return
 	}
-	transport, udpPort, err := decodeHello(hello)
+	transport, udpPort, resume, digest, err := decodeHello(hello)
 	if err != nil {
 		conn.Close()
 		return
 	}
 	conn.SetReadDeadline(time.Time{})
 
-	cl := &serverClient{transport: transport, tcp: conn, closed: make(chan struct{})}
+	cl := &serverClient{
+		transport: transport, tcp: conn,
+		out:      make(chan []byte, 256),
+		closed:   make(chan struct{}),
+		draining: make(chan struct{}),
+	}
 	if transport == TransportUDP {
 		host, _, err := net.SplitHostPort(conn.RemoteAddr().String())
 		if err != nil {
@@ -228,62 +291,105 @@ func (s *Server) handleConn(conn net.Conn) {
 			return
 		}
 		cl.udpAddr = &net.UDPAddr{IP: net.ParseIP(host), Port: udpPort}
-	} else {
-		cl.out = make(chan []byte, 256)
-		go s.tcpWriter(cl)
 	}
 
 	s.mu.Lock()
-	s.clients[cl] = struct{}{}
+	draining := false
+	select {
+	case <-s.done:
+		draining = true
+	default:
+		s.clients[cl] = struct{}{}
+	}
 	live := s.clock.slotAt(time.Now())
 	s.mu.Unlock()
+	if draining {
+		conn.Close()
+		return
+	}
 
-	blob := appendPreamble(make([]byte, 4), s.cfg.Spec, s.cfg.SlotDur, live)
+	// The preamble is written synchronously, before the outbox writer
+	// starts, so nothing can interleave with it on the stream.
+	var blob []byte
+	if resume && digest == s.digest {
+		blob = appendWarmPreamble(make([]byte, 4), s.digest, s.cfg.SlotDur, live)
+	} else {
+		blob = appendPreambleParts(make([]byte, 4), s.specBody, s.digest, s.cfg.SlotDur, live)
+	}
 	binary.BigEndian.PutUint32(blob[:4], uint32(len(blob)-4))
 	if _, err := conn.Write(blob); err != nil {
 		s.dropClient(cl)
 		return
 	}
+	s.wg.Add(1)
+	go s.clientWriter(cl)
 
-	wake := make([]byte, wakeSize)
+	buf := make([]byte, wakeSize)
 	for {
-		if _, err := io.ReadFull(conn, wake); err != nil {
+		if _, err := io.ReadFull(conn, buf[:1]); err != nil {
 			break
 		}
-		ch, slot, err := decodeWake(wake)
-		if err != nil || int(ch) >= len(s.sc.phys) {
-			break // protocol violation: drop the client
-		}
-		s.mu.Lock()
-		sent := s.sentThrough
-		if slot > sent {
-			key := wakeKey{ch: ch, slot: slot}
-			s.wakes[key] = append(s.wakes[key], cl)
-		}
-		s.mu.Unlock()
-		if slot <= sent {
-			// The slot already went on air. A query's virtual timeline can
-			// lag wall time — the lockstep scheduler serializes the two
-			// channels' downloads, so channel R's clock stands still while
-			// channel S's receptions consume real seconds — and a WAKE for a
-			// slot that has already been transmitted is the normal result,
-			// not a protocol error. The frame is a pure function of
-			// (config, channel, slot), so the server replays it from the
-			// modeled reception buffer; the client still reads only the
-			// frames it subscribed to, and injected faults still apply — a
-			// lost slot stays lost no matter when it is asked for.
-			if frame := s.frameFor(int(ch), slot); frame != nil {
-				s.sendTo(cl, frame)
+		switch buf[0] {
+		case wakeOp:
+			if _, err := io.ReadFull(conn, buf[1:wakeSize]); err != nil {
+				s.dropClient(cl)
+				return
 			}
+			ch, slot, err := decodeWake(buf[:wakeSize])
+			if err != nil || int(ch) >= len(s.sc.phys) {
+				s.dropClient(cl)
+				return // protocol violation: drop the client
+			}
+			s.handleWake(cl, ch, slot)
+		case pingOp:
+			if _, err := io.ReadFull(conn, buf[1:pingSize]); err != nil {
+				s.dropClient(cl)
+				return
+			}
+			pong := appendPong(make([]byte, 4, 4+pongSize), binary.BigEndian.Uint64(buf[1:pingSize]))
+			binary.BigEndian.PutUint32(pong[:4], pongSize)
+			s.enqueue(cl, pong)
+		default:
+			s.dropClient(cl)
+			return // protocol violation: drop the client
 		}
 	}
 	s.dropClient(cl)
 }
 
-// tcpWriter drains one TCP client's frame outbox. A slow client's overflow
-// is dropped at enqueue time (loss, like any radio shadow); a write error
-// ends the client.
-func (s *Server) tcpWriter(cl *serverClient) {
+// handleWake registers one doze/wake schedule entry, or replays the frame
+// immediately when the slot already went on air.
+func (s *Server) handleWake(cl *serverClient, ch uint8, slot int64) {
+	s.mu.Lock()
+	sent := s.sentThrough
+	if slot > sent {
+		key := wakeKey{ch: ch, slot: slot}
+		s.wakes[key] = append(s.wakes[key], cl)
+	}
+	s.mu.Unlock()
+	if slot <= sent {
+		// The slot already went on air. A query's virtual timeline can
+		// lag wall time — the lockstep scheduler serializes the two
+		// channels' downloads, so channel R's clock stands still while
+		// channel S's receptions consume real seconds — and a WAKE for a
+		// slot that has already been transmitted is the normal result,
+		// not a protocol error. The frame is a pure function of
+		// (config, channel, slot), so the server replays it from the
+		// modeled reception buffer; the client still reads only the
+		// frames it subscribed to, and injected faults still apply — a
+		// lost slot stays lost no matter when it is asked for.
+		if frame := s.frameFor(int(ch), slot); frame != nil {
+			s.sendTo(cl, frame)
+		}
+	}
+}
+
+// clientWriter drains one client's control-stream outbox. A slow client's
+// overflow is dropped at enqueue time (loss, like any radio shadow); a
+// write error ends the client. On drain it flushes everything queued —
+// the GOODBYE is last — and then closes the stream.
+func (s *Server) clientWriter(cl *serverClient) {
+	defer s.wg.Done()
 	for {
 		select {
 		case b := <-cl.out:
@@ -293,7 +399,30 @@ func (s *Server) tcpWriter(cl *serverClient) {
 			}
 		case <-cl.closed:
 			return
+		case <-cl.draining:
+			for {
+				select {
+				case b := <-cl.out:
+					if _, err := cl.tcp.Write(b); err != nil {
+						cl.close()
+						return
+					}
+				default:
+					cl.close()
+					return
+				}
+			}
 		}
+	}
+}
+
+// enqueue queues one length-prefixed message on a client's control
+// outbox; a full outbox drops it (backpressure is loss).
+func (s *Server) enqueue(cl *serverClient, msg []byte) {
+	select {
+	case <-cl.closed:
+	case cl.out <- msg:
+	default:
 	}
 }
 
@@ -306,24 +435,32 @@ func (s *Server) dropClient(cl *serverClient) {
 
 // transmitLoop paces the broadcast: at every tick it transmits all slots
 // whose windows have completed since the last tick, so a stalled scheduler
-// catches up instead of drifting.
+// catches up instead of drifting. On shutdown it flushes every slot
+// already due — the drain finishes the current slot — then signals txDone.
 func (s *Server) transmitLoop() {
 	defer s.wg.Done()
+	defer close(s.txDone)
 	ticker := time.NewTicker(s.cfg.SlotDur)
 	defer ticker.Stop()
 	for {
 		select {
 		case <-s.done:
+			s.catchUp(time.Now())
 			return
 		case now := <-ticker.C:
-			target := s.clock.slotAt(now)
-			s.mu.Lock()
-			from := s.sentThrough + 1
-			s.mu.Unlock()
-			for t := from; t <= target; t++ {
-				s.transmitSlot(t)
-			}
+			s.catchUp(now)
 		}
+	}
+}
+
+// catchUp transmits every slot due at wall time now.
+func (s *Server) catchUp(now time.Time) {
+	target := s.clock.slotAt(now)
+	s.mu.Lock()
+	from := s.sentThrough + 1
+	s.mu.Unlock()
+	for t := from; t <= target; t++ {
+		s.transmitSlot(t)
 	}
 }
 
@@ -396,8 +533,5 @@ func (s *Server) sendTo(cl *serverClient, frame []byte) {
 	tcpFrame := make([]byte, 4, 4+len(frame))
 	binary.BigEndian.PutUint32(tcpFrame[:4], uint32(len(frame)))
 	tcpFrame = append(tcpFrame, frame...)
-	select {
-	case cl.out <- tcpFrame:
-	default:
-	}
+	s.enqueue(cl, tcpFrame)
 }

@@ -42,6 +42,53 @@ func WithReceiveGrace(d time.Duration) ConnectOption {
 	return func(c *connectConfig) { c.dial.Grace = d }
 }
 
+// WithConnectTimeout bounds the time Connect (and each reconnect attempt)
+// may spend dialing and completing the handshake (default 10s). An
+// unreachable or black-holed address fails with a *ConnectError within
+// this bound instead of hanging on the platform's TCP timeout.
+func WithConnectTimeout(d time.Duration) ConnectOption {
+	return func(c *connectConfig) { c.dial.ConnectTimeout = d }
+}
+
+// WithHeartbeat tunes liveness detection: the client pings the server
+// every interval, and declares the connection dead — entering the
+// reconnect path — after miss consecutive intervals without a reply
+// (defaults 500ms × 4). Pass a negative interval to disable heartbeats
+// entirely (silent TCP death is then detected only by reception
+// deadlines).
+func WithHeartbeat(interval time.Duration, miss int) ConnectOption {
+	return func(c *connectConfig) {
+		c.dial.Heartbeat = interval
+		c.dial.HeartbeatMiss = miss
+	}
+}
+
+// WithReconnectBackoff tunes the reconnect schedule after a lost
+// connection: up to maxAttempts dials spaced base·2ⁿ apart, clamped to
+// maxDelay, with ±25% jitter (defaults: 8 attempts, 50ms base, 2s cap).
+// Zero values keep the defaults.
+func WithReconnectBackoff(maxAttempts int, base, maxDelay time.Duration) ConnectOption {
+	return func(c *connectConfig) {
+		c.dial.MaxReconnects = maxAttempts
+		c.dial.BackoffBase = base
+		c.dial.BackoffMax = maxDelay
+	}
+}
+
+// WithoutReconnect disables automatic reconnection: the first lost
+// connection is terminal, as in the pre-lifecycle client.
+func WithoutReconnect() ConnectOption {
+	return func(c *connectConfig) { c.dial.MaxReconnects = -1 }
+}
+
+// WithColdResume disables the warm-resume fast path: every reconnect
+// re-downloads the full preamble and rebuilds the schedule even when the
+// spec digest matches. Mostly a diagnostic knob — warm resume is strictly
+// cheaper and digest-guarded.
+func WithColdResume() ConnectOption {
+	return func(c *connectConfig) { c.dial.NoWarmResume = true }
+}
+
 // RemoteSystem is a System whose broadcast channels are a live network
 // service. Every System entry point works unmodified; the only semantic
 // difference is time — queries are issued at the service's CURRENT slot
@@ -102,11 +149,18 @@ func (rs *RemoteSystem) IssueSlot() int64 { return rs.conn.NextIssueSlot() }
 
 // NetStats are the connection's raw reception counters; see
 // netfeed.NetStats for the field semantics. BytesRead ≈ TuneIn × FrameSize
-// is the real-doze invariant the load harness asserts.
+// is the real-doze invariant the load harness asserts; reconnect-handshake
+// traffic is accounted separately (ResumeBytes) so the invariant survives
+// outages, and ResumedWarm counts the reconnects that skipped the preamble
+// body entirely (PreambleBytes does not grow on a warm resume).
 type NetStats struct {
 	BytesRead     int64
 	FramesRead    int64
 	PreambleBytes int64
+	ResumeBytes   int64
+	Reconnects    int64
+	ResumedWarm   int64
+	HeartbeatRTT  time.Duration
 	FrameSize     int
 }
 
@@ -117,12 +171,22 @@ func (rs *RemoteSystem) NetStats() NetStats {
 		BytesRead:     st.BytesRead,
 		FramesRead:    st.FramesRead,
 		PreambleBytes: st.PreambleBytes,
+		ResumeBytes:   st.ResumeBytes,
+		Reconnects:    st.Reconnects,
+		ResumedWarm:   st.ResumedWarm,
+		HeartbeatRTT:  st.HeartbeatRTT,
 		FrameSize:     st.FrameSize,
 	}
 }
 
-// Err returns the connection's fatal error — a *DesyncError, a socket
-// failure after connect, or nil while healthy.
+// State reports the connection lifecycle state ("connecting", "live",
+// "degraded", "resuming", or "closed").
+func (rs *RemoteSystem) State() string { return rs.conn.State().String() }
+
+// Err returns the connection's error: nil while healthy, a transient
+// *DegradedError during an outage the client is still reconnecting from,
+// or a permanent error — *DesyncError, exhausted reconnect budget, server
+// shutdown — once the connection cannot recover.
 func (rs *RemoteSystem) Err() error {
 	err := rs.conn.Err()
 	if err == nil {
@@ -161,26 +225,40 @@ func (rs *RemoteSystem) Start(p Point, algo Algorithm, opts ...QueryOption) (*Cu
 	return rs.System.Start(p, algo, opts...)
 }
 
-// translate maps a connection-level desync onto the public error family:
-// a query that died on a desynced connection reports a *DesyncError
-// (wrapping the final *PageFaultError) instead of a bare *ChannelError,
-// because retrying cannot help when schedule truth itself is broken.
-// resultErr passes through untouched in every other case.
+// translate maps connection-level failures onto the public error family.
+// A desync (or a spec change found at resume time, its handshake-borne
+// form) turns a query's *ChannelError into a *DesyncError wrapping the
+// final *PageFaultError, because retrying cannot help when schedule truth
+// itself is broken. An outage — transient or final — surfaces as a public
+// *DegradedError. resultErr passes through untouched in every other case.
 func (rs *RemoteSystem) translate(connErr, resultErr error) error {
-	var d *netfeed.DesyncError
-	if !errors.As(connErr, &d) {
-		if resultErr != nil {
-			return resultErr
-		}
-		return connErr
-	}
-	out := &DesyncError{Slot: d.Slot, Channel: "S"}
-	if d.Channel == 1 {
-		out.Channel = "R"
-	}
+	var fault *PageFaultError
 	var ce *ChannelError
 	if errors.As(resultErr, &ce) {
-		out.Fault = ce.Fault
+		fault = ce.Fault
 	}
-	return out
+	var d *netfeed.DesyncError
+	if errors.As(connErr, &d) {
+		out := &DesyncError{Slot: d.Slot, Channel: "S", Fault: fault}
+		if d.Channel == 1 {
+			out.Channel = "R"
+		}
+		return out
+	}
+	var sce *netfeed.SpecChangeError
+	if errors.As(connErr, &sce) {
+		return &DesyncError{Slot: -1, Channel: "", Fault: fault}
+	}
+	var de *netfeed.DegradedError
+	if errors.As(connErr, &de) {
+		return &DegradedError{
+			Attempts: de.Attempt,
+			Terminal: de.State == netfeed.StateClosed,
+			Err:      de.Err,
+		}
+	}
+	if resultErr != nil {
+		return resultErr
+	}
+	return connErr
 }
